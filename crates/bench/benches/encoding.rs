@@ -1,0 +1,33 @@
+//! Criterion benchmark: the layer-wise network encoder (§III-B) and the
+//! static hardware encoder (§III-C) — feature construction for every row
+//! of every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdcm_core::{EncoderConfig, NetworkEncoder, StaticSpecEncoder};
+use gdcm_gen::zoo;
+use gdcm_sim::DevicePopulation;
+
+fn bench_encoding(c: &mut Criterion) {
+    let nets = zoo::all();
+    let encoder = NetworkEncoder::fit(nets.iter(), EncoderConfig::default());
+    let device = DevicePopulation::sample(1, 0).devices.remove(0);
+    let mnv3 = zoo::mobilenet_v3_large().expect("valid");
+
+    let mut group = c.benchmark_group("encoding");
+    group.bench_function("fit_encoder_zoo", |b| {
+        b.iter(|| NetworkEncoder::fit(nets.iter(), EncoderConfig::default()));
+    });
+    group.bench_function("encode_mobilenet_v3_large", |b| {
+        b.iter(|| encoder.encode(&mnv3));
+    });
+    group.bench_function("encode_whole_zoo", |b| {
+        b.iter(|| nets.iter().map(|n| encoder.encode(n)).count());
+    });
+    group.bench_function("static_spec_encode", |b| {
+        b.iter(|| StaticSpecEncoder::encode(&device));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmark: GBDT training throughput — the kernel behind
+//! every table and figure (Fig. 8–13 all train this model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdcm_core::hardware::HardwareRepr;
+use gdcm_core::signature::{RandomSelector, SignatureSelector};
+use gdcm_core::{CostDataset, CostModelPipeline, PipelineConfig};
+use gdcm_ml::{GbdtParams, GbdtRegressor, Regressor};
+
+fn bench_gbdt(c: &mut Criterion) {
+    let data = CostDataset::tiny(1, 30, 40);
+    let pipeline = CostModelPipeline::new(&data, PipelineConfig::default());
+    let (train, _) = pipeline.device_split();
+    let signature = RandomSelector::new(0).select(&data.db, &train, 5);
+    let networks: Vec<usize> = (0..data.n_networks())
+        .filter(|n| !signature.contains(n))
+        .collect();
+    let (x, y) = pipeline.build_rows(&HardwareRepr::Signature(signature), &train, &networks);
+
+    let mut group = c.benchmark_group("gbdt");
+    group.sample_size(10);
+    for n_estimators in [25usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("fit", n_estimators),
+            &n_estimators,
+            |b, &n| {
+                let params = GbdtParams {
+                    n_estimators: n,
+                    ..GbdtParams::default()
+                };
+                b.iter(|| GbdtRegressor::fit(&x, &y, &params));
+            },
+        );
+    }
+    let model = GbdtRegressor::fit(&x, &y, &GbdtParams::default());
+    group.bench_function("predict_batch", |b| {
+        b.iter(|| model.predict(&x));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gbdt);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmark: the three signature-selection algorithms
+//! (Fig. 9–11, Table I). MIS/SCCS cost is dominated by the pairwise
+//! MI / Spearman matrices over the network latency vectors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdcm_core::signature::{
+    MutualInfoSelector, RandomSelector, SignatureSelector, SpearmanSelector,
+};
+use gdcm_core::CostDataset;
+
+fn bench_selection(c: &mut Criterion) {
+    let data = CostDataset::tiny(1, 40, 30);
+    let devices: Vec<usize> = (0..21).collect();
+
+    let mut group = c.benchmark_group("signature_selection");
+    group.sample_size(10);
+    group.bench_function("random_m10", |b| {
+        b.iter(|| RandomSelector::new(0).select(&data.db, &devices, 10));
+    });
+    group.bench_function("mutual_information_m10", |b| {
+        b.iter(|| MutualInfoSelector::default().select(&data.db, &devices, 10));
+    });
+    group.bench_function("spearman_m10", |b| {
+        b.iter(|| SpearmanSelector::default().select(&data.db, &devices, 10));
+    });
+    group.bench_function("mi_matrix", |b| {
+        b.iter(|| MutualInfoSelector::default().mi_matrix(&data.db, &devices));
+    });
+    group.bench_function("rho_matrix", |b| {
+        b.iter(|| SpearmanSelector::default().rho_matrix(&data.db, &devices));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark: latency-simulator throughput — the substrate that
+//! generated the 12,390-point dataset (Fig. 1's measurement framework).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdcm_gen::zoo;
+use gdcm_gen::NamedNetwork;
+use gdcm_sim::{measure, DevicePopulation, LatencyEngine, MeasurementConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let engine = LatencyEngine::new();
+    let devices = DevicePopulation::sample(8, 3).devices;
+    let net = zoo::mobilenet_v2(1.0).expect("valid");
+    let named = NamedNetwork {
+        index: 0,
+        network: net.clone(),
+        predesigned: true,
+    };
+    let cfg = MeasurementConfig::default();
+
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("latency_mobilenet_v2", |b| {
+        b.iter(|| engine.latency_ms(&net, &devices[0]));
+    });
+    group.bench_function("breakdown_mobilenet_v2", |b| {
+        b.iter(|| engine.breakdown(&net, &devices[0]));
+    });
+    group.bench_function("measure_30_runs", |b| {
+        b.iter(|| measure(&engine, &named, &devices[0], &cfg));
+    });
+    group.bench_function("population_sample_105", |b| {
+        b.iter(|| DevicePopulation::sample(105, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmark: benchmark-suite construction (Fig. 1's
+//! parameterized DNN generator plus the model zoo).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdcm_gen::{benchmark_suite, zoo, RandomNetworkGenerator, SearchSpace};
+
+fn bench_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite_generation");
+    group.sample_size(20);
+    group.bench_function("zoo_all_18", |b| {
+        b.iter(zoo::all);
+    });
+    group.bench_function("random_network_mobile", |b| {
+        let mut generator = RandomNetworkGenerator::new(SearchSpace::mobile(), 1);
+        b.iter(|| generator.generate("bench").expect("valid"));
+    });
+    group.bench_function("full_suite_118", |b| {
+        b.iter(|| benchmark_suite(42));
+    });
+    group.bench_function("mobilenet_v2_cost", |b| {
+        let net = zoo::mobilenet_v2(1.0).expect("valid");
+        b.iter(|| net.cost());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Fig. 2: FLOPs distribution of the benchmark suite.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig02(&data));
+    eprintln!("[fig02_flops_distribution completed in {:?}]", start.elapsed());
+}

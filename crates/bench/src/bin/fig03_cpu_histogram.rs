@@ -1,0 +1,14 @@
+//! Fig. 3: CPU histogram of the device population.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig03(&data));
+    eprintln!("[fig03_cpu_histogram completed in {:?}]", start.elapsed());
+}

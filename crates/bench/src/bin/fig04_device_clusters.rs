@@ -1,0 +1,14 @@
+//! Fig. 4: fast/medium/slow device clusters.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig04(&data));
+    eprintln!("[fig04_device_clusters completed in {:?}]", start.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Fig. 5: MobileNetV2 latency vs frequency/DRAM.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig05(&data));
+    eprintln!("[fig05_latency_vs_frequency completed in {:?}]", start.elapsed());
+}

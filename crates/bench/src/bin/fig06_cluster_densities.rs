@@ -1,0 +1,14 @@
+//! Fig. 6: device-cluster x network-cluster densities.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig06(&data));
+    eprintln!("[fig06_cluster_densities completed in {:?}]", start.elapsed());
+}

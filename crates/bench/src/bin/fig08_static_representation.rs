@@ -1,0 +1,14 @@
+//! Fig. 8: static hardware representation baseline.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig08(&data));
+    eprintln!("[fig08_static_representation completed in {:?}]", start.elapsed());
+}

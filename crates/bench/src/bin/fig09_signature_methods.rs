@@ -1,0 +1,14 @@
+//! Fig. 9: RS/MIS/SCCS signature sets, m=10.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig09(&data));
+    eprintln!("[fig09_signature_methods completed in {:?}]", start.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Fig. 10: variance across random signature sets.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig10(&data));
+    eprintln!("[fig10_random_signature_variation completed in {:?}]", start.elapsed());
+}

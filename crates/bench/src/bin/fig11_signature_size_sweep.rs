@@ -1,0 +1,14 @@
+//! Fig. 11: accuracy vs signature-set size.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig11(&data));
+    eprintln!("[fig11_signature_size_sweep completed in {:?}]", start.elapsed());
+}

@@ -1,0 +1,14 @@
+//! Fig. 12: collaborative model growth.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig12(&data));
+    eprintln!("[fig12_collaborative_evolution completed in {:?}]", start.elapsed());
+}

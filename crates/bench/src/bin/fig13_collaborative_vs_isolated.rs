@@ -1,0 +1,14 @@
+//! Fig. 13: isolated vs collaborative training.
+//!
+//! Prints the experiment's Markdown section; run `all_experiments` to
+//! regenerate the full `EXPERIMENTS.md`.
+
+use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_core::CostDataset;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = CostDataset::paper(DATASET_SEED);
+    println!("{}", experiments::fig13(&data));
+    eprintln!("[fig13_collaborative_vs_isolated completed in {:?}]", start.elapsed());
+}

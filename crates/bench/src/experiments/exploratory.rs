@@ -1,0 +1,290 @@
+//! Exploratory data analysis experiments (§II-C): Figures 2–6.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use gdcm_core::CostDataset;
+
+use crate::util::{bar, device_clusters, mean, network_clusters, percentile};
+
+/// Fig. 2 — distribution of FLOPs (MACs) across the 118 networks.
+pub fn fig02(data: &CostDataset) -> String {
+    let macs: Vec<f64> = data
+        .suite
+        .iter()
+        .map(|n| n.network.cost().mmacs())
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 2 — FLOPs distribution of the {} networks\n", macs.len());
+    let _ = writeln!(
+        out,
+        "Paper: the suite spans the mobile regime (~hundreds of millions of MACs)."
+    );
+    let _ = writeln!(
+        out,
+        "Measured: min {:.0}M, p25 {:.0}M, median {:.0}M, p75 {:.0}M, max {:.0}M MACs.\n",
+        percentile(&macs, 0.0),
+        percentile(&macs, 25.0),
+        percentile(&macs, 50.0),
+        percentile(&macs, 75.0),
+        percentile(&macs, 100.0)
+    );
+    let _ = writeln!(out, "| MACs bucket | networks | histogram |");
+    let _ = writeln!(out, "|---|---|---|");
+    let bucket_ms = 100.0;
+    let max_bucket = (percentile(&macs, 100.0) / bucket_ms).ceil() as usize;
+    for b in 0..max_bucket {
+        let lo = b as f64 * bucket_ms;
+        let hi = lo + bucket_ms;
+        let count = macs.iter().filter(|&&m| m >= lo && m < hi).count();
+        let _ = writeln!(out, "| {lo:.0}–{hi:.0}M | {count} | {} |", bar(count));
+    }
+    out
+}
+
+/// Fig. 3 — histogram of CPUs across the 105 devices.
+pub fn fig03(data: &CostDataset) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in &data.devices {
+        *counts.entry(d.core.name).or_default() += 1;
+    }
+    let mut rows: Vec<(&str, usize)> = counts.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 3 — CPU histogram of the {} devices\n", data.n_devices());
+    let _ = writeln!(
+        out,
+        "Paper: large diversity — 22 unique core families, Cortex-A53 dominant."
+    );
+    let _ = writeln!(
+        out,
+        "Measured: {} families present; most common is {} ({} devices).\n",
+        rows.iter().filter(|(_, c)| *c > 0).count(),
+        rows[0].0,
+        rows[0].1
+    );
+    let _ = writeln!(out, "| CPU | devices | histogram |");
+    let _ = writeln!(out, "|---|---|---|");
+    for (name, count) in rows {
+        let _ = writeln!(out, "| {name} | {count} | {} |", bar(count));
+    }
+    out
+}
+
+/// Fig. 4 — k-means device clusters (fast/medium/slow) and CPU overlap.
+pub fn fig04(data: &CostDataset) -> String {
+    let clusters = device_clusters(data);
+    let names = ["fast", "medium", "slow"];
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 4 — device clusters (k-means, k = 3)\n");
+    let _ = writeln!(
+        out,
+        "Paper: fast/medium/slow clusters with mean latencies ≈ 50 / 115 / 235 ms;\n\
+         some CPUs appear in multiple clusters, but for most devices (80/105)\n\
+         the CPU uniquely determines the cluster.\n"
+    );
+    let _ = writeln!(out, "| cluster | devices | mean latency (ms) | paper (ms) |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for (c, paper) in [(0, 50.0), (1, 115.0), (2, 235.0)] {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.0} | {:.0} |",
+            names[c],
+            clusters.members[c].len(),
+            clusters.mean_ms[c],
+            paper
+        );
+    }
+
+    // CPU family -> set of clusters it appears in (the Venn diagram).
+    let mut family_clusters: BTreeMap<&str, [bool; 3]> = BTreeMap::new();
+    for (d, &c) in clusters.assignment.iter().enumerate() {
+        family_clusters.entry(data.devices[d].core.name).or_default()[c] = true;
+    }
+    let overlapping: Vec<&str> = family_clusters
+        .iter()
+        .filter(|(_, cs)| cs.iter().filter(|&&b| b).count() > 1)
+        .map(|(n, _)| *n)
+        .collect();
+    let unique_devices = clusters
+        .assignment
+        .iter()
+        .enumerate()
+        .filter(|(d, _)| {
+            family_clusters[data.devices[*d].core.name]
+                .iter()
+                .filter(|&&b| b)
+                .count()
+                == 1
+        })
+        .count();
+    let _ = writeln!(
+        out,
+        "\nCPUs spanning multiple clusters: {} ({}).",
+        overlapping.len(),
+        overlapping.join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "Devices whose CPU uniquely determines the cluster: {}/{} (paper: 80/105).",
+        unique_devices,
+        data.n_devices()
+    );
+
+    let _ = writeln!(out, "\nPer-cluster latency distribution (violin-plot summary):\n");
+    let _ = writeln!(out, "| cluster | p10 | median | p90 |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for c in 0..3 {
+        let all: Vec<f64> = clusters.members[c]
+            .iter()
+            .flat_map(|&d| data.db.device_vector(d).to_vec())
+            .collect();
+        let _ = writeln!(
+            out,
+            "| {} | {:.0} ms | {:.0} ms | {:.0} ms |",
+            names[c],
+            percentile(&all, 10.0),
+            percentile(&all, 50.0),
+            percentile(&all, 90.0)
+        );
+    }
+    out
+}
+
+/// Fig. 5 — MobileNetV2 latency vs frequency vs DRAM size.
+pub fn fig05(data: &CostDataset) -> String {
+    let net = data
+        .network_index("mobilenet_v2_1.0")
+        .expect("suite contains MobileNetV2");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 5 — MobileNetV2 latency vs CPU frequency and DRAM\n");
+    let _ = writeln!(
+        out,
+        "Paper: latency trends down with frequency/DRAM, but devices at the same\n\
+         1.8 GHz / 3 GB operating point still spread over 2.5x (120–300 ms).\n"
+    );
+    let _ = writeln!(out, "| frequency bucket | devices | mean (ms) | min–max (ms) |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let mut bucket_means = Vec::new();
+    for bucket in [(1.0, 1.6), (1.6, 2.0), (2.0, 2.4), (2.4, 2.8), (2.8, 3.2)] {
+        let lats: Vec<f64> = data
+            .devices
+            .iter()
+            .filter(|d| d.freq_ghz >= bucket.0 && d.freq_ghz < bucket.1)
+            .map(|d| data.db.latency(d.id.index(), net))
+            .collect();
+        if lats.is_empty() {
+            continue;
+        }
+        let m = mean(&lats);
+        bucket_means.push(m);
+        let _ = writeln!(
+            out,
+            "| {:.1}–{:.1} GHz | {} | {:.0} | {:.0}–{:.0} |",
+            bucket.0,
+            bucket.1,
+            lats.len(),
+            m,
+            percentile(&lats, 0.0),
+            percentile(&lats, 100.0)
+        );
+    }
+    let decreasing = bucket_means.windows(2).filter(|w| w[1] < w[0]).count();
+    let _ = writeln!(
+        out,
+        "\nDecreasing trend: {} of {} adjacent bucket pairs improve with frequency.",
+        decreasing,
+        bucket_means.len().saturating_sub(1)
+    );
+
+    // Spread at a fixed operating point.
+    let fixed: Vec<f64> = data
+        .devices
+        .iter()
+        .filter(|d| (1.7..=2.0).contains(&d.freq_ghz) && (3..=4).contains(&d.dram_gb))
+        .map(|d| data.db.latency(d.id.index(), net))
+        .collect();
+    if fixed.len() >= 2 {
+        let lo = percentile(&fixed, 0.0);
+        let hi = percentile(&fixed, 100.0);
+        let _ = writeln!(
+            out,
+            "Spread at ~1.8 GHz / 3–4 GB: {} devices, {:.0}–{:.0} ms = {:.1}x\n\
+             (paper: > 2.5x at the same operating point — static specs underdetermine latency).",
+            fixed.len(),
+            lo,
+            hi,
+            hi / lo
+        );
+    }
+    out
+}
+
+/// Fig. 6 — latency distributions of device clusters × network clusters.
+pub fn fig06(data: &CostDataset) -> String {
+    let dev = device_clusters(data);
+    let net = network_clusters(data);
+    let dev_names = ["fast", "medium", "slow"];
+    let net_names = ["small", "large", "giant"];
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Fig. 6 — device clusters × network clusters\n");
+    let _ = writeln!(
+        out,
+        "Paper: even after conditioning on both the device cluster and the network\n\
+         cluster, the latency distributions overlap heavily — cluster identity is\n\
+         not enough to predict latency.\n"
+    );
+    let _ = writeln!(out, "| network \\ device | fast | medium | slow |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let mut cells = [[(0f64, 0f64, 0f64); 3]; 3]; // (p10, mean, p90)
+    for nc in 0..3 {
+        let mut row = format!("| {} |", net_names[nc]);
+        for dc in 0..3 {
+            let lats: Vec<f64> = dev.members[dc]
+                .iter()
+                .flat_map(|&d| net.members[nc].iter().map(move |&n| data.db.latency(d, n)))
+                .collect();
+            let cell = (percentile(&lats, 10.0), mean(&lats), percentile(&lats, 90.0));
+            cells[nc][dc] = cell;
+            let _ = write!(row, " {:.0} ({:.0}–{:.0}) ms |", cell.1, cell.0, cell.2);
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    let _ = writeln!(out, "\nCell format: mean (p10–p90).");
+
+    // Overlap check: adjacent device clusters overlap within each network
+    // cluster when the faster cluster's p90 exceeds the slower's p10.
+    let mut overlaps = 0;
+    let mut pairs = 0;
+    for nc in 0..3 {
+        for dc in 0..2 {
+            pairs += 1;
+            if cells[nc][dc].2 > cells[nc][dc + 1].0 {
+                overlaps += 1;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "Overlapping adjacent device-cluster distributions: {overlaps}/{pairs} \
+         (paper: distributions overlap in all network clusters)."
+    );
+    let _ = writeln!(
+        out,
+        "Device-cluster sizes: fast {}, medium {}, slow {}; network-cluster sizes: \
+         small {}, large {}, giant {}.",
+        dev.members[0].len(),
+        dev.members[1].len(),
+        dev.members[2].len(),
+        net.members[0].len(),
+        net.members[1].len(),
+        net.members[2].len()
+    );
+    let _ = dev_names;
+    out
+}

@@ -1,0 +1,29 @@
+//! The experiment suite: one function per figure/table.
+
+mod collaboration;
+mod exploratory;
+mod representation;
+
+pub use collaboration::{fig12, fig13};
+pub use exploratory::{fig02, fig03, fig04, fig05, fig06};
+pub use representation::{fig08, fig09, fig10, fig11, table1};
+
+use gdcm_core::CostDataset;
+
+/// All experiments in paper order, as `(id, runner)` pairs.
+pub fn all() -> Vec<(&'static str, fn(&CostDataset) -> String)> {
+    vec![
+        ("fig02", fig02 as fn(&CostDataset) -> String),
+        ("fig03", fig03),
+        ("fig04", fig04),
+        ("fig05", fig05),
+        ("fig06", fig06),
+        ("fig08", fig08),
+        ("fig09", fig09),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("table1", table1),
+        ("fig12", fig12),
+        ("fig13", fig13),
+    ]
+}

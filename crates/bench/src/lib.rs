@@ -1,0 +1,29 @@
+//! # gdcm-bench — experiment drivers
+//!
+//! One module per figure/table of the paper's evaluation. Every
+//! experiment consumes the shared [`gdcm_core::CostDataset`] (seed 42)
+//! and returns a Markdown section comparing the paper's reported numbers
+//! with this reproduction's measured numbers.
+//!
+//! Binaries:
+//!
+//! * `fig02_flops_distribution` … `fig13_collaborative_vs_isolated`,
+//!   `table1_cluster_generalization` — run one experiment and print its
+//!   section.
+//! * `all_experiments` — run everything and write `EXPERIMENTS.md`.
+//!
+//! Set `GDCM_FAST=1` to cut replication counts (smoke-test mode).
+
+pub mod experiments;
+pub mod util;
+
+/// The dataset seed shared by every experiment, mirroring the paper's
+/// single collected dataset. The seed is arbitrary; like the paper's one
+/// physical data collection, all experiments run on this one realization
+/// (see Fig. 8's note on across-realization spread).
+pub const DATASET_SEED: u64 = 2020;
+
+/// Whether fast (reduced-replication) mode is requested via `GDCM_FAST`.
+pub fn fast_mode() -> bool {
+    std::env::var("GDCM_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
+}

@@ -1,0 +1,129 @@
+//! The measured dataset bundle: suite + devices + latency DB + encodings.
+
+use gdcm_gen::{benchmark_suite, benchmark_suite_with, NamedNetwork, SearchSpace};
+use gdcm_ml::DenseMatrix;
+use gdcm_sim::{Device, DevicePopulation, LatencyDb, LatencyEngine, MeasurementConfig};
+
+use crate::encoding::{EncoderConfig, NetworkEncoder};
+
+/// Everything the experiments consume: the benchmark suite, the device
+/// fleet, the measured latency matrix, and the pre-computed network
+/// encodings (index-aligned with the suite).
+#[derive(Debug, Clone)]
+pub struct CostDataset {
+    /// The benchmark networks, suite-indexed.
+    pub suite: Vec<NamedNetwork>,
+    /// The device fleet, id-indexed.
+    pub devices: Vec<Device>,
+    /// Measured mean latencies, `[device][network]`.
+    pub db: LatencyDb,
+    /// Network encodings, one row per suite network.
+    pub encodings: DenseMatrix,
+    /// The fitted encoder (for encoding new, out-of-suite networks).
+    pub encoder: NetworkEncoder,
+}
+
+impl CostDataset {
+    /// Builds the paper-scale dataset: 118 networks x 105 devices x 30
+    /// runs. The suite is seeded with `seed`; the device population and
+    /// measurement noise derive their seeds from it.
+    pub fn paper(seed: u64) -> Self {
+        let suite = benchmark_suite(seed);
+        let devices = DevicePopulation::paper(seed.wrapping_add(1)).devices;
+        Self::from_parts(suite, devices, MeasurementConfig { runs: 30, seed })
+    }
+
+    /// A reduced dataset for tests: a tiny search space, few random
+    /// networks, and a small fleet.
+    pub fn tiny(seed: u64, random_networks: usize, n_devices: usize) -> Self {
+        let suite = benchmark_suite_with(seed, SearchSpace::tiny(), random_networks);
+        let devices = DevicePopulation::sample(n_devices, seed.wrapping_add(1)).devices;
+        Self::from_parts(suite, devices, MeasurementConfig { runs: 5, seed })
+    }
+
+    /// Assembles a dataset from pre-built parts, measuring every cell.
+    ///
+    /// At paper scale the deepest random networks reach ~100 parametric
+    /// layers; the encoder masks to the 64 deepest slots (the truncated
+    /// tail is still visible through the network-level summary features),
+    /// which keeps the feature vector — and GBDT training — tractable on
+    /// one core without changing any qualitative result.
+    pub fn from_parts(
+        suite: Vec<NamedNetwork>,
+        devices: Vec<Device>,
+        config: MeasurementConfig,
+    ) -> Self {
+        let engine = LatencyEngine::new();
+        let db = LatencyDb::collect(&engine, &suite, &devices, &config);
+        let auto = NetworkEncoder::fit(suite.iter().map(|n| &n.network), EncoderConfig::default());
+        let encoder = if auto.max_layers() > 64 {
+            NetworkEncoder::fit(
+                suite.iter().map(|n| &n.network),
+                EncoderConfig {
+                    max_layers: 64,
+                    ..EncoderConfig::default()
+                },
+            )
+        } else {
+            auto
+        };
+        let mut encodings = DenseMatrix::with_capacity(suite.len(), encoder.len());
+        for n in &suite {
+            encodings.push_row(&encoder.encode(&n.network));
+        }
+        Self {
+            suite,
+            devices,
+            db,
+            encodings,
+            encoder,
+        }
+    }
+
+    /// Number of networks.
+    pub fn n_networks(&self) -> usize {
+        self.suite.len()
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Suite index of a network by name.
+    pub fn network_index(&self, name: &str) -> Option<usize> {
+        self.suite.iter().position(|n| n.name() == name)
+    }
+
+    /// Device id of a device by model name.
+    pub fn device_index(&self, model: &str) -> Option<usize> {
+        self.devices.iter().position(|d| d.model == model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_is_consistent() {
+        let data = CostDataset::tiny(3, 4, 6);
+        assert_eq!(data.n_networks(), 22);
+        assert_eq!(data.n_devices(), 6);
+        assert_eq!(data.db.n_networks(), 22);
+        assert_eq!(data.db.n_devices(), 6);
+        assert_eq!(data.encodings.n_rows(), 22);
+        assert_eq!(data.encodings.n_cols(), data.encoder.len());
+        assert!(data.network_index("mobilenet_v2_1.0").is_some());
+        assert!(data.device_index("Redmi Note 5 Pro").is_some());
+        assert!(data.network_index("nonexistent").is_none());
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = CostDataset::tiny(3, 2, 3);
+        let b = CostDataset::tiny(3, 2, 3);
+        assert_eq!(a.db, b.db);
+        assert_eq!(a.encodings, b.encodings);
+    }
+}

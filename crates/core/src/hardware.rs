@@ -1,0 +1,151 @@
+//! Hardware representations (§III-C).
+
+use gdcm_sim::{Device, LatencyDb, CORE_CATALOG};
+use serde::{Deserialize, Serialize};
+
+/// How a device is represented in the cost model's feature vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HardwareRepr {
+    /// Static specifications: one-hot CPU model + frequency + DRAM size —
+    /// the baseline the paper shows to be inadequate (Fig. 8).
+    StaticSpec,
+    /// Measured latencies of the signature-set networks (by suite index)
+    /// on the device — the paper's contribution.
+    Signature(Vec<usize>),
+}
+
+impl HardwareRepr {
+    /// Length of the feature block this representation contributes.
+    pub fn len(&self) -> usize {
+        match self {
+            HardwareRepr::StaticSpec => StaticSpecEncoder::LEN,
+            HardwareRepr::Signature(sig) => sig.len(),
+        }
+    }
+
+    /// Whether the representation contributes no features.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds the device's feature block.
+    ///
+    /// For the signature representation the features are the *measured*
+    /// latencies (noise and all) of the signature networks on this device,
+    /// read from the latency database.
+    pub fn encode(&self, device: &Device, db: &LatencyDb) -> Vec<f32> {
+        match self {
+            HardwareRepr::StaticSpec => StaticSpecEncoder::encode(device),
+            HardwareRepr::Signature(sig) => sig
+                .iter()
+                .map(|&n| db.latency(device.id.index(), n) as f32)
+                .collect(),
+        }
+    }
+}
+
+/// Encodes the public specification of a device: a one-hot vector over
+/// the CPU catalog, the core frequency in GHz, and the DRAM size in GB —
+/// exactly the three components the paper's baseline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticSpecEncoder;
+
+impl StaticSpecEncoder {
+    /// Feature length: 22 core families + frequency + DRAM.
+    pub const LEN: usize = CORE_CATALOG.len() + 2;
+
+    /// Encodes one device.
+    pub fn encode(device: &Device) -> Vec<f32> {
+        let mut v = vec![0f32; Self::LEN];
+        v[device.core.index()] = 1.0;
+        v[CORE_CATALOG.len()] = device.freq_ghz as f32;
+        v[CORE_CATALOG.len() + 1] = device.dram_gb as f32;
+        v
+    }
+
+    /// Feature names, index-aligned with [`StaticSpecEncoder::encode`].
+    pub fn feature_names() -> Vec<String> {
+        let mut names: Vec<String> = CORE_CATALOG
+            .iter()
+            .map(|f| format!("cpu_{}", f.name))
+            .collect();
+        names.push("freq_ghz".into());
+        names.push("dram_gb".into());
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdcm_gen::{benchmark_suite_with, SearchSpace};
+    use gdcm_sim::{DevicePopulation, LatencyEngine, MeasurementConfig};
+
+    #[test]
+    fn static_encoding_is_one_hot_plus_scalars() {
+        let pop = DevicePopulation::sample(5, 3);
+        for d in &pop.devices {
+            let v = StaticSpecEncoder::encode(d);
+            assert_eq!(v.len(), StaticSpecEncoder::LEN);
+            let ones = v[..CORE_CATALOG.len()]
+                .iter()
+                .filter(|&&x| x == 1.0)
+                .count();
+            assert_eq!(ones, 1);
+            assert_eq!(v[CORE_CATALOG.len()], d.freq_ghz as f32);
+            assert_eq!(v[CORE_CATALOG.len() + 1], d.dram_gb as f32);
+        }
+        assert_eq!(StaticSpecEncoder::feature_names().len(), StaticSpecEncoder::LEN);
+    }
+
+    #[test]
+    fn signature_encoding_reads_database() {
+        let nets = benchmark_suite_with(1, SearchSpace::tiny(), 4);
+        let pop = DevicePopulation::sample(3, 5);
+        let db = LatencyDb::collect(
+            &LatencyEngine::new(),
+            &nets,
+            &pop.devices,
+            &MeasurementConfig::default(),
+        );
+        let repr = HardwareRepr::Signature(vec![2, 0, 5]);
+        assert_eq!(repr.len(), 3);
+        let v = repr.encode(&pop.devices[1], &db);
+        assert_eq!(v[0], db.latency(1, 2) as f32);
+        assert_eq!(v[1], db.latency(1, 0) as f32);
+        assert_eq!(v[2], db.latency(1, 5) as f32);
+    }
+
+    #[test]
+    fn repr_lengths() {
+        assert_eq!(HardwareRepr::StaticSpec.len(), 24);
+        assert!(!HardwareRepr::Signature(vec![1]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod cluster_tests {
+    use super::*;
+    use gdcm_sim::DevicePopulation;
+
+    #[test]
+    fn every_catalog_family_one_hot_slot_is_reachable() {
+        // Sample a large fleet and confirm the one-hot encoding exercises
+        // many distinct slots (no indexing bugs collapsing families).
+        let pop = DevicePopulation::sample(400, 17);
+        let mut seen = vec![false; CORE_CATALOG.len()];
+        for d in &pop.devices {
+            let v = StaticSpecEncoder::encode(d);
+            let hot = v[..CORE_CATALOG.len()]
+                .iter()
+                .position(|&x| x == 1.0)
+                .expect("exactly one hot slot");
+            assert_eq!(hot, d.core.index());
+            seen[hot] = true;
+        }
+        assert!(
+            seen.iter().filter(|&&s| s).count() >= 15,
+            "large fleet should cover most families"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! A trained, self-contained cost model — the artifact the paper's
+//! framework would ship to app developers.
+//!
+//! [`CostModel::train`] runs the full §IV recipe (signature selection on
+//! the available devices, row construction, GBDT fitting) and packages
+//! the result with everything needed at inference time: the fitted
+//! network encoder and the signature-set definition. Predicting latency
+//! for a new device then requires only the device's measured signature
+//! latencies.
+
+use gdcm_dnn::Network;
+use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor, Regressor};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::CostDataset;
+use crate::encoding::NetworkEncoder;
+use crate::signature::SignatureSelector;
+
+/// A fully trained, serializable latency predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    encoder: NetworkEncoder,
+    /// Suite indices of the signature networks (in feature order).
+    signature: Vec<usize>,
+    /// Names of the signature networks, for user-facing onboarding docs.
+    signature_names: Vec<String>,
+    model: GbdtRegressor,
+}
+
+impl CostModel {
+    /// Trains a cost model on the measurements of `devices` (typically
+    /// the whole repository), selecting the signature set with
+    /// `selector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is empty or `signature_size` is not in
+    /// `1..n_networks`.
+    pub fn train(
+        data: &CostDataset,
+        devices: &[usize],
+        selector: &dyn SignatureSelector,
+        signature_size: usize,
+        gbdt: &GbdtParams,
+    ) -> Self {
+        assert!(!devices.is_empty(), "need at least one training device");
+        let signature = selector.select(&data.db, devices, signature_size);
+        let networks: Vec<usize> = (0..data.n_networks())
+            .filter(|n| !signature.contains(n))
+            .collect();
+
+        let width = data.encoder.len() + signature.len();
+        let mut x = DenseMatrix::with_capacity(devices.len() * networks.len(), width);
+        let mut y = Vec::with_capacity(devices.len() * networks.len());
+        let mut row = Vec::with_capacity(width);
+        for &d in devices {
+            let hw: Vec<f32> = signature
+                .iter()
+                .map(|&n| data.db.latency(d, n) as f32)
+                .collect();
+            for &n in &networks {
+                row.clear();
+                row.extend_from_slice(data.encodings.row(n));
+                row.extend_from_slice(&hw);
+                x.push_row(&row);
+                y.push(data.db.latency(d, n) as f32);
+            }
+        }
+        let model = GbdtRegressor::fit(&x, &y, gbdt);
+        Self {
+            encoder: data.encoder.clone(),
+            signature_names: signature
+                .iter()
+                .map(|&n| data.suite[n].name().to_string())
+                .collect(),
+            signature,
+            model,
+        }
+    }
+
+    /// Predicts the latency (ms) of `network` on a device described by
+    /// its measured signature latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `signature_latencies_ms` does not match the signature
+    /// size (see [`CostModel::signature_size`]).
+    pub fn predict_ms(&self, network: &Network, signature_latencies_ms: &[f64]) -> f64 {
+        assert_eq!(
+            signature_latencies_ms.len(),
+            self.signature.len(),
+            "expected {} signature latencies",
+            self.signature.len()
+        );
+        let mut row = self.encoder.encode(network);
+        row.extend(signature_latencies_ms.iter().map(|&v| v as f32));
+        self.model.predict_row(&row) as f64
+    }
+
+    /// Suite indices of the signature networks, in the order their
+    /// latencies must be supplied to [`CostModel::predict_ms`].
+    pub fn signature(&self) -> &[usize] {
+        &self.signature
+    }
+
+    /// Names of the signature networks, same order as
+    /// [`CostModel::signature`].
+    pub fn signature_names(&self) -> &[String] {
+        &self.signature_names
+    }
+
+    /// Number of signature measurements a new device must provide.
+    pub fn signature_size(&self) -> usize {
+        self.signature.len()
+    }
+
+    /// The fitted network encoder (e.g. for inspecting feature names).
+    pub fn encoder(&self) -> &NetworkEncoder {
+        &self.encoder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::MutualInfoSelector;
+    use gdcm_ml::metrics::r2_score;
+
+    fn fast_gbdt() -> GbdtParams {
+        GbdtParams {
+            n_estimators: 50,
+            ..GbdtParams::default()
+        }
+    }
+
+    #[test]
+    fn trained_model_predicts_unseen_device() {
+        let data = CostDataset::tiny(31, 22, 28);
+        let train: Vec<usize> = (0..20).collect();
+        let model = CostModel::train(
+            &data,
+            &train,
+            &MutualInfoSelector::default(),
+            5,
+            &fast_gbdt(),
+        );
+        assert_eq!(model.signature_size(), 5);
+        assert_eq!(model.signature_names().len(), 5);
+
+        // Score an unseen device using only its signature measurements.
+        let target = 25;
+        let sig: Vec<f64> = model
+            .signature()
+            .iter()
+            .map(|&n| data.db.latency(target, n))
+            .collect();
+        let mut actual = Vec::new();
+        let mut predicted = Vec::new();
+        for n in 0..data.n_networks() {
+            if model.signature().contains(&n) {
+                continue;
+            }
+            actual.push(data.db.latency(target, n) as f32);
+            predicted.push(model.predict_ms(&data.suite[n].network, &sig) as f32);
+        }
+        let r2 = r2_score(&actual, &predicted);
+        assert!(r2 > 0.5, "unseen-device R² {r2:.3}");
+    }
+
+    #[test]
+    fn predicts_out_of_suite_networks() {
+        // The model must accept networks it has never seen (the NAS use
+        // case), including deeper ones (encoder truncation).
+        let data = CostDataset::tiny(31, 16, 20);
+        let train: Vec<usize> = (0..15).collect();
+        let model = CostModel::train(
+            &data,
+            &train,
+            &MutualInfoSelector::default(),
+            4,
+            &fast_gbdt(),
+        );
+        let mut generator = gdcm_gen::RandomNetworkGenerator::new(
+            gdcm_gen::SearchSpace::tiny(),
+            987,
+        );
+        let sig: Vec<f64> = model
+            .signature()
+            .iter()
+            .map(|&n| data.db.latency(16, n))
+            .collect();
+        for i in 0..5 {
+            let net = generator.generate(format!("fresh{i}")).unwrap();
+            let p = model.predict_ms(&net, &sig);
+            assert!(p.is_finite() && p > 0.0, "fresh{i}: {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 signature latencies")]
+    fn wrong_signature_length_panics() {
+        let data = CostDataset::tiny(31, 10, 12);
+        let train: Vec<usize> = (0..10).collect();
+        let model = CostModel::train(
+            &data,
+            &train,
+            &MutualInfoSelector::default(),
+            4,
+            &fast_gbdt(),
+        );
+        let _ = model.predict_ms(&data.suite[0].network, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,337 @@
+//! The user-facing collaborative repository.
+//!
+//! Implements the workflow the paper recommends in its conclusion:
+//!
+//! 1. Maintain a repository keyed by a commonly agreed signature set.
+//! 2. A new device joins by measuring the signature set (its
+//!    representation) and optionally contributing a few more latencies.
+//! 3. Anyone can query the shared cost model for *any* network on *any*
+//!    enrolled device — or on a brand-new device given only its signature
+//!    measurements.
+
+use gdcm_dnn::Network;
+use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor, Regressor};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::encoding::NetworkEncoder;
+
+/// Repository configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepositoryConfig {
+    /// Regressor hyper-parameters used at (re)fit time.
+    pub gbdt: GbdtParams,
+    /// Minimum number of contributed rows before `fit` succeeds.
+    pub min_rows: usize,
+}
+
+impl Default for RepositoryConfig {
+    fn default() -> Self {
+        Self {
+            gbdt: GbdtParams::default(),
+            min_rows: 20,
+        }
+    }
+}
+
+/// Errors surfaced by repository operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RepositoryError {
+    /// A device name was not found in the repository.
+    UnknownDevice(String),
+    /// A signature vector had the wrong length.
+    SignatureLength {
+        /// Expected signature-set size.
+        expected: usize,
+        /// Provided vector length.
+        actual: usize,
+    },
+    /// `fit` was called with fewer rows than `min_rows`.
+    NotEnoughData {
+        /// Rows currently in the repository.
+        rows: usize,
+        /// Rows required.
+        required: usize,
+    },
+    /// `predict` was called before any successful `fit`.
+    NotFitted,
+}
+
+impl fmt::Display for RepositoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepositoryError::UnknownDevice(name) => write!(f, "unknown device {name:?}"),
+            RepositoryError::SignatureLength { expected, actual } => write!(
+                f,
+                "signature vector has {actual} entries but the repository uses {expected}"
+            ),
+            RepositoryError::NotEnoughData { rows, required } => {
+                write!(f, "repository has {rows} rows but needs {required} to fit")
+            }
+            RepositoryError::NotFitted => write!(f, "cost model has not been fitted yet"),
+        }
+    }
+}
+
+impl std::error::Error for RepositoryError {}
+
+/// A growing, refittable collaborative cost-model repository.
+#[derive(Debug, Clone)]
+pub struct CollaborativeRepository {
+    encoder: NetworkEncoder,
+    signature_size: usize,
+    config: RepositoryConfig,
+    /// Device name -> measured signature latencies (ms).
+    devices: HashMap<String, Vec<f32>>,
+    /// Accumulated training rows.
+    x_rows: Vec<Vec<f32>>,
+    y: Vec<f32>,
+    model: Option<GbdtRegressor>,
+}
+
+impl CollaborativeRepository {
+    /// Creates an empty repository over a fitted network encoder and a
+    /// signature-set size agreed by all participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `signature_size` is 0.
+    pub fn new(encoder: NetworkEncoder, signature_size: usize, config: RepositoryConfig) -> Self {
+        assert!(signature_size >= 1, "signature size must be >= 1");
+        Self {
+            encoder,
+            signature_size,
+            config,
+            devices: HashMap::new(),
+            x_rows: Vec::new(),
+            y: Vec::new(),
+            model: None,
+        }
+    }
+
+    /// Enrolls (or re-enrolls) a device with its measured signature-set
+    /// latencies in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RepositoryError::SignatureLength`] when the vector does
+    /// not match the agreed signature size.
+    pub fn onboard_device(
+        &mut self,
+        name: impl Into<String>,
+        signature_latencies_ms: &[f64],
+    ) -> Result<(), RepositoryError> {
+        if signature_latencies_ms.len() != self.signature_size {
+            return Err(RepositoryError::SignatureLength {
+                expected: self.signature_size,
+                actual: signature_latencies_ms.len(),
+            });
+        }
+        self.devices.insert(
+            name.into(),
+            signature_latencies_ms.iter().map(|&v| v as f32).collect(),
+        );
+        Ok(())
+    }
+
+    /// Contributes one measured latency for an enrolled device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RepositoryError::UnknownDevice`] when the device has not
+    /// been onboarded.
+    pub fn contribute(
+        &mut self,
+        device: &str,
+        network: &Network,
+        latency_ms: f64,
+    ) -> Result<(), RepositoryError> {
+        let hw = self
+            .devices
+            .get(device)
+            .ok_or_else(|| RepositoryError::UnknownDevice(device.to_string()))?;
+        let mut row = self.encoder.encode(network);
+        row.extend_from_slice(hw);
+        self.x_rows.push(row);
+        self.y.push(latency_ms as f32);
+        Ok(())
+    }
+
+    /// (Re)fits the shared cost model on everything contributed so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RepositoryError::NotEnoughData`] below the configured
+    /// row minimum.
+    pub fn fit(&mut self) -> Result<(), RepositoryError> {
+        if self.y.len() < self.config.min_rows {
+            return Err(RepositoryError::NotEnoughData {
+                rows: self.y.len(),
+                required: self.config.min_rows,
+            });
+        }
+        let x = DenseMatrix::from_rows(&self.x_rows);
+        self.model = Some(GbdtRegressor::fit(&x, &self.y, &self.config.gbdt));
+        Ok(())
+    }
+
+    /// Predicts the latency (ms) of `network` on an enrolled device.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the device is unknown or the model is unfitted.
+    pub fn predict(&self, device: &str, network: &Network) -> Result<f64, RepositoryError> {
+        let hw = self
+            .devices
+            .get(device)
+            .ok_or_else(|| RepositoryError::UnknownDevice(device.to_string()))?;
+        self.predict_with_signature_f32(hw, network)
+    }
+
+    /// Predicts the latency (ms) of `network` on a *new* device described
+    /// only by its signature-set latencies — no enrollment required.
+    ///
+    /// # Errors
+    ///
+    /// Fails on signature-length mismatch or when the model is unfitted.
+    pub fn predict_for_new_device(
+        &self,
+        signature_latencies_ms: &[f64],
+        network: &Network,
+    ) -> Result<f64, RepositoryError> {
+        if signature_latencies_ms.len() != self.signature_size {
+            return Err(RepositoryError::SignatureLength {
+                expected: self.signature_size,
+                actual: signature_latencies_ms.len(),
+            });
+        }
+        let hw: Vec<f32> = signature_latencies_ms.iter().map(|&v| v as f32).collect();
+        self.predict_with_signature_f32(&hw, network)
+    }
+
+    fn predict_with_signature_f32(
+        &self,
+        hw: &[f32],
+        network: &Network,
+    ) -> Result<f64, RepositoryError> {
+        let model = self.model.as_ref().ok_or(RepositoryError::NotFitted)?;
+        let mut row = self.encoder.encode(network);
+        row.extend_from_slice(hw);
+        Ok(model.predict_row(&row) as f64)
+    }
+
+    /// Number of enrolled devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of contributed training rows.
+    pub fn n_rows(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether a fitted model is available.
+    pub fn is_fitted(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Names of enrolled devices, sorted.
+    pub fn device_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.devices.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CostDataset;
+    use crate::signature::{MutualInfoSelector, SignatureSelector};
+    use gdcm_ml::metrics::r2_score;
+
+    fn build_repo(data: &CostDataset, sig: &[usize]) -> CollaborativeRepository {
+        CollaborativeRepository::new(
+            data.encoder.clone(),
+            sig.len(),
+            RepositoryConfig {
+                gbdt: GbdtParams {
+                    n_estimators: 40,
+                    ..GbdtParams::default()
+                },
+                min_rows: 10,
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_repository_flow() {
+        let data = CostDataset::tiny(17, 16, 25);
+        let all: Vec<usize> = (0..data.n_devices()).collect();
+        let sig = MutualInfoSelector::default().select(&data.db, &all, 4);
+        let mut repo = build_repo(&data, &sig);
+
+        // Enroll 20 devices; each contributes 8 measurements.
+        let open: Vec<usize> = (0..data.n_networks()).filter(|n| !sig.contains(n)).collect();
+        for d in 0..20 {
+            let lat: Vec<f64> = sig.iter().map(|&n| data.db.latency(d, n)).collect();
+            let name = data.devices[d].model.clone();
+            repo.onboard_device(name.clone(), &lat).unwrap();
+            for &n in open.iter().skip(d % 5).step_by(4).take(8) {
+                repo.contribute(&name, &data.suite[n].network, data.db.latency(d, n))
+                    .unwrap();
+            }
+        }
+        assert_eq!(repo.n_devices(), 20);
+        repo.fit().unwrap();
+        assert!(repo.is_fitted());
+
+        // Predict every open network on a *new* 21st device from its
+        // signature alone; accuracy should be solid.
+        let target = 21;
+        let lat: Vec<f64> = sig.iter().map(|&n| data.db.latency(target, n)).collect();
+        let mut actual = Vec::new();
+        let mut predicted = Vec::new();
+        for &n in &open {
+            actual.push(data.db.latency(target, n) as f32);
+            predicted.push(
+                repo.predict_for_new_device(&lat, &data.suite[n].network)
+                    .unwrap() as f32,
+            );
+        }
+        let r2 = r2_score(&actual, &predicted);
+        assert!(r2 > 0.5, "new-device R² {r2}");
+    }
+
+    #[test]
+    fn error_paths() {
+        let data = CostDataset::tiny(17, 4, 5);
+        let mut repo = build_repo(&data, &[0, 1, 2]);
+        assert_eq!(
+            repo.onboard_device("x", &[1.0]).unwrap_err(),
+            RepositoryError::SignatureLength {
+                expected: 3,
+                actual: 1
+            }
+        );
+        assert!(matches!(
+            repo.contribute("ghost", &data.suite[0].network, 1.0),
+            Err(RepositoryError::UnknownDevice(_))
+        ));
+        assert!(matches!(
+            repo.fit(),
+            Err(RepositoryError::NotEnoughData { .. })
+        ));
+        assert!(matches!(
+            repo.predict_for_new_device(&[1.0, 2.0, 3.0], &data.suite[0].network),
+            Err(RepositoryError::NotFitted)
+        ));
+        repo.onboard_device("real", &[10.0, 20.0, 30.0]).unwrap();
+        assert!(matches!(
+            repo.predict("ghost", &data.suite[0].network),
+            Err(RepositoryError::UnknownDevice(_))
+        ));
+        assert_eq!(repo.device_names(), vec!["real"]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Static cost accounting: MACs, FLOPs, parameters, and bytes moved.
+//!
+//! These are the *architecture-side* quantities: they depend only on the
+//! network structure, never on the device. The latency simulator combines
+//! them with device parameters; the feature encoder exposes some of them
+//! to the cost model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::Op;
+use crate::tensor::TensorShape;
+
+/// Cost of a single node.
+///
+/// `weight_bytes` assumes int8 weights (the paper quantizes every network
+/// to 8 bits); `input_bytes`/`output_bytes` are int8 activation traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Total floating-point-equivalent operations (MACs count as two, plus
+    /// element-wise work such as activations, pooling compares and adds).
+    pub flops: u64,
+    /// Trainable parameter count (weights + biases).
+    pub params: u64,
+    /// Weight bytes touched (int8).
+    pub weight_bytes: u64,
+    /// Input activation bytes read (int8, summed over all inputs).
+    pub input_bytes: u64,
+    /// Output activation bytes written (int8).
+    pub output_bytes: u64,
+}
+
+impl LayerCost {
+    /// Total activation + weight traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.input_bytes + self.output_bytes
+    }
+
+    /// Arithmetic intensity: MACs per byte moved. Returns 0 for pure
+    /// data-movement nodes.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.total_bytes();
+        if b == 0 {
+            0.0
+        } else {
+            self.macs as f64 / b as f64
+        }
+    }
+}
+
+/// Aggregate cost of a network with the per-node breakdown retained.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkCost {
+    /// Total multiply-accumulate operations over all nodes.
+    pub total_macs: u64,
+    /// Total floating-point-equivalent operations.
+    pub total_flops: u64,
+    /// Total trainable parameters.
+    pub total_params: u64,
+    /// Total bytes moved (weights + activations, int8).
+    pub total_bytes: u64,
+    /// Largest single activation tensor produced, in bytes — a proxy for
+    /// peak working-set pressure.
+    pub peak_activation_bytes: u64,
+    /// Per-node costs, indexed by node id.
+    pub per_node: Vec<LayerCost>,
+}
+
+impl NetworkCost {
+    /// Builds the aggregate from per-node costs.
+    pub fn from_layers(per_node: Vec<LayerCost>) -> Self {
+        let mut total = NetworkCost {
+            total_macs: 0,
+            total_flops: 0,
+            total_params: 0,
+            total_bytes: 0,
+            peak_activation_bytes: 0,
+            per_node: Vec::new(),
+        };
+        for c in &per_node {
+            total.total_macs += c.macs;
+            total.total_flops += c.flops;
+            total.total_params += c.params;
+            total.total_bytes += c.total_bytes();
+            total.peak_activation_bytes = total.peak_activation_bytes.max(c.output_bytes);
+        }
+        total.per_node = per_node;
+        total
+    }
+
+    /// Total MACs expressed in millions, the unit of the paper's Fig. 2.
+    pub fn mmacs(&self) -> f64 {
+        self.total_macs as f64 / 1e6
+    }
+}
+
+/// Computes the cost of one operator application.
+///
+/// `inputs` are the resolved input shapes (in argument order) and `output`
+/// the inferred output shape; both come from a validated [`crate::Network`],
+/// so this function does not re-validate.
+pub fn node_cost(op: &Op, inputs: &[TensorShape], output: TensorShape) -> LayerCost {
+    let out_elems = output.elements() as u64;
+    let input_bytes: u64 = inputs.iter().map(TensorShape::bytes_int8).sum();
+    let output_bytes = output.bytes_int8();
+
+    match op {
+        Op::Input { .. } => LayerCost::default(),
+        Op::Conv2d(p) => {
+            let in_c = inputs[0].c as u64;
+            let k = p.kernel as u64;
+            let macs = out_elems * k * k * in_c / p.groups as u64;
+            let weights = p.out_channels as u64 * k * k * in_c / p.groups as u64;
+            let bias = if p.bias { p.out_channels as u64 } else { 0 };
+            LayerCost {
+                macs,
+                flops: 2 * macs + bias * (output.h * output.w) as u64,
+                params: weights + bias,
+                weight_bytes: weights + 4 * bias, // int8 weights, int32 biases
+                input_bytes,
+                output_bytes,
+            }
+        }
+        Op::DepthwiseConv2d(p) => {
+            let k = p.kernel as u64;
+            let macs = out_elems * k * k;
+            let weights = inputs[0].c as u64 * p.multiplier as u64 * k * k;
+            let bias = if p.bias { output.c as u64 } else { 0 };
+            LayerCost {
+                macs,
+                flops: 2 * macs + bias * (output.h * output.w) as u64,
+                params: weights + bias,
+                weight_bytes: weights + 4 * bias,
+                input_bytes,
+                output_bytes,
+            }
+        }
+        Op::FullyConnected { out_features, bias } => {
+            let in_f = inputs[0].flattened() as u64;
+            let out_f = *out_features as u64;
+            let macs = in_f * out_f;
+            let bias = if *bias { out_f } else { 0 };
+            LayerCost {
+                macs,
+                flops: 2 * macs + bias,
+                params: macs + bias,
+                weight_bytes: macs + 4 * bias,
+                input_bytes,
+                output_bytes,
+            }
+        }
+        Op::Activation(a) => LayerCost {
+            macs: 0,
+            flops: out_elems * a.ops_per_element(),
+            params: 0,
+            weight_bytes: 0,
+            input_bytes,
+            output_bytes,
+        },
+        Op::MaxPool2d(p) | Op::AvgPool2d(p) => {
+            let k = p.kernel as u64;
+            LayerCost {
+                macs: 0,
+                flops: out_elems * k * k,
+                params: 0,
+                weight_bytes: 0,
+                input_bytes,
+                output_bytes,
+            }
+        }
+        Op::GlobalAvgPool => LayerCost {
+            macs: 0,
+            flops: inputs[0].elements() as u64 + output.c as u64,
+            params: 0,
+            weight_bytes: 0,
+            input_bytes,
+            output_bytes,
+        },
+        Op::Add | Op::Multiply => LayerCost {
+            macs: 0,
+            flops: out_elems,
+            params: 0,
+            weight_bytes: 0,
+            input_bytes,
+            output_bytes,
+        },
+        Op::Concat => LayerCost {
+            macs: 0,
+            flops: 0, // pure data movement
+            params: 0,
+            weight_bytes: 0,
+            input_bytes,
+            output_bytes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Activation, Conv2dParams, DepthwiseConv2dParams};
+
+    fn s(h: usize, w: usize, c: usize) -> TensorShape {
+        TensorShape::new(h, w, c)
+    }
+
+    #[test]
+    fn conv_macs_match_textbook_formula() {
+        // 3x3 conv, 3 -> 32 channels, on 224x224, stride 2, SAME -> 112x112.
+        let op = Op::Conv2d(Conv2dParams::dense(32, 3, 2));
+        let c = node_cost(&op, &[s(224, 224, 3)], s(112, 112, 32));
+        assert_eq!(c.macs, 112 * 112 * 32 * 3 * 3 * 3);
+        assert_eq!(c.params, 32 * 3 * 3 * 3 + 32);
+    }
+
+    #[test]
+    fn grouped_conv_divides_macs() {
+        let dense = Op::Conv2d(Conv2dParams::dense(64, 3, 1));
+        let grouped = Op::Conv2d(Conv2dParams {
+            groups: 4,
+            ..Conv2dParams::dense(64, 3, 1)
+        });
+        let cd = node_cost(&dense, &[s(28, 28, 64)], s(28, 28, 64));
+        let cg = node_cost(&grouped, &[s(28, 28, 64)], s(28, 28, 64));
+        assert_eq!(cd.macs, 4 * cg.macs);
+    }
+
+    #[test]
+    fn depthwise_cheaper_than_dense() {
+        let dw = Op::DepthwiseConv2d(DepthwiseConv2dParams::new(3, 1));
+        let dense = Op::Conv2d(Conv2dParams::dense(96, 3, 1));
+        let cdw = node_cost(&dw, &[s(14, 14, 96)], s(14, 14, 96));
+        let cd = node_cost(&dense, &[s(14, 14, 96)], s(14, 14, 96));
+        assert!(cdw.macs * 10 < cd.macs);
+        assert_eq!(cdw.macs, 14 * 14 * 96 * 9);
+    }
+
+    #[test]
+    fn fc_macs() {
+        let op = Op::FullyConnected {
+            out_features: 1000,
+            bias: true,
+        };
+        let c = node_cost(&op, &[s(1, 1, 1280)], TensorShape::vector(1000));
+        assert_eq!(c.macs, 1280 * 1000);
+        assert_eq!(c.params, 1280 * 1000 + 1000);
+    }
+
+    #[test]
+    fn activation_has_no_macs_but_moves_bytes() {
+        let op = Op::Activation(Activation::HSwish);
+        let c = node_cost(&op, &[s(14, 14, 96)], s(14, 14, 96));
+        assert_eq!(c.macs, 0);
+        assert_eq!(c.flops, 14 * 14 * 96 * 4);
+        assert_eq!(c.input_bytes, 14 * 14 * 96);
+        assert_eq!(c.output_bytes, 14 * 14 * 96);
+    }
+
+    #[test]
+    fn aggregate_totals_and_peak() {
+        let layers = vec![
+            LayerCost {
+                macs: 10,
+                flops: 20,
+                params: 5,
+                weight_bytes: 5,
+                input_bytes: 100,
+                output_bytes: 50,
+            },
+            LayerCost {
+                macs: 30,
+                flops: 60,
+                params: 7,
+                weight_bytes: 7,
+                input_bytes: 50,
+                output_bytes: 200,
+            },
+        ];
+        let total = NetworkCost::from_layers(layers);
+        assert_eq!(total.total_macs, 40);
+        assert_eq!(total.total_flops, 80);
+        assert_eq!(total.total_params, 12);
+        assert_eq!(total.peak_activation_bytes, 200);
+        assert_eq!(total.total_bytes, 155 + 257);
+    }
+
+    #[test]
+    fn arithmetic_intensity_zero_for_pure_movement() {
+        let c = node_cost(&Op::Concat, &[s(7, 7, 8), s(7, 7, 8)], s(7, 7, 16));
+        assert_eq!(c.arithmetic_intensity(), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for network construction and validation.
+
+use std::fmt;
+
+use crate::graph::NodeId;
+use crate::op::OpKind;
+
+/// Errors raised while constructing or validating a [`crate::Network`].
+///
+/// Every variant names the offending node (when known) so failures in
+/// randomly generated networks can be traced back to the generator
+/// decision that produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DnnError {
+    /// An operator received a different number of inputs than it requires.
+    Arity {
+        /// Operator kind that was misused.
+        kind: OpKind,
+        /// Number of inputs the operator expects.
+        expected: usize,
+        /// Number of inputs actually supplied.
+        actual: usize,
+    },
+    /// Two inputs to an element-wise operator (e.g. residual `Add`) have
+    /// incompatible shapes.
+    ShapeMismatch {
+        /// Operator kind that was misused.
+        kind: OpKind,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A hyper-parameter is structurally invalid (zero kernel, zero stride,
+    /// channel count not divisible by groups, …).
+    InvalidParameter {
+        /// Operator kind that was misused.
+        kind: OpKind,
+        /// Human-readable description of the invalid parameter.
+        detail: String,
+    },
+    /// A spatial operator would produce an empty output (kernel larger than
+    /// the padded input).
+    EmptyOutput {
+        /// Operator kind that was misused.
+        kind: OpKind,
+        /// Input height/width that proved too small.
+        input_hw: (usize, usize),
+        /// Effective kernel height/width.
+        kernel_hw: (usize, usize),
+    },
+    /// A node references an input id that does not exist in the graph.
+    UnknownNode(NodeId),
+    /// The finished graph has no path from its input to the designated
+    /// output node, or has no input at all.
+    Disconnected {
+        /// Human-readable description of what is missing.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::Arity {
+                kind,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{kind:?} expects {expected} input(s) but received {actual}"
+            ),
+            DnnError::ShapeMismatch { kind, detail } => {
+                write!(f, "shape mismatch at {kind:?}: {detail}")
+            }
+            DnnError::InvalidParameter { kind, detail } => {
+                write!(f, "invalid parameter for {kind:?}: {detail}")
+            }
+            DnnError::EmptyOutput {
+                kind,
+                input_hw,
+                kernel_hw,
+            } => write!(
+                f,
+                "{kind:?} produces an empty output: input {}x{} smaller than effective kernel {}x{}",
+                input_hw.0, input_hw.1, kernel_hw.0, kernel_hw.1
+            ),
+            DnnError::UnknownNode(id) => write!(f, "reference to unknown node {id}"),
+            DnnError::Disconnected { detail } => write!(f, "disconnected graph: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let e = DnnError::Arity {
+            kind: OpKind::Add,
+            expected: 2,
+            actual: 1,
+        };
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        let e = DnnError::Disconnected {
+            detail: "no input".into(),
+        };
+        assert!(e.to_string().contains("no input"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnnError>();
+    }
+}

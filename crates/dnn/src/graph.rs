@@ -1,0 +1,470 @@
+//! Network graph: nodes, shape inference, validation, traversal.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::cost::{node_cost, NetworkCost};
+use crate::error::DnnError;
+use crate::op::{Op, OpKind, Padding};
+use crate::tensor::TensorShape;
+
+/// Identifier of a node within a [`Network`].
+///
+/// Node ids are dense indices assigned in construction order, which is
+/// also a topological order (a node may only consume earlier nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single operator instance in the graph with resolved shapes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier of this node.
+    pub id: NodeId,
+    /// The operator.
+    pub op: Op,
+    /// Producers of this node's inputs, in argument order.
+    pub inputs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub output_shape: TensorShape,
+}
+
+/// An immutable, validated DNN graph.
+///
+/// Networks are built through [`crate::NetworkBuilder`], which performs
+/// shape inference and validation incrementally; a `Network` value is
+/// therefore always structurally sound. Nodes are stored in topological
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    nodes: Vec<Node>,
+    output: NodeId,
+}
+
+impl Network {
+    pub(crate) fn from_parts(
+        name: String,
+        nodes: Vec<Node>,
+        output: NodeId,
+    ) -> Result<Self, DnnError> {
+        if nodes.is_empty() {
+            return Err(DnnError::Disconnected {
+                detail: "network has no nodes".into(),
+            });
+        }
+        if output.0 >= nodes.len() {
+            return Err(DnnError::UnknownNode(output));
+        }
+        if !nodes.iter().any(|n| n.op.kind() == OpKind::Input) {
+            return Err(DnnError::Disconnected {
+                detail: "network has no input node".into(),
+            });
+        }
+        Ok(Self {
+            name,
+            nodes,
+            output,
+        })
+    }
+
+    /// Human-readable network name (e.g. `"mobilenet_v2"` or `"rand_042"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the network, consuming and returning it.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node producing the network output.
+    pub fn output(&self) -> &Node {
+        &self.nodes[self.output.0]
+    }
+
+    /// Looks up a node by id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.0)
+    }
+
+    /// Number of nodes, including the input placeholder.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty (never true for a validated network).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The network's input shape.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a validated network: construction guarantees an
+    /// input node exists.
+    pub fn input_shape(&self) -> TensorShape {
+        self.nodes
+            .iter()
+            .find_map(|n| match n.op {
+                Op::Input { shape } => Some(shape),
+                _ => None,
+            })
+            .expect("validated network always has an input node")
+    }
+
+    /// Input shapes of a node, in argument order.
+    pub fn input_shapes(&self, node: &Node) -> Vec<TensorShape> {
+        node.inputs
+            .iter()
+            .map(|id| self.nodes[id.0].output_shape)
+            .collect()
+    }
+
+    /// Number of "layers" in the layer-wise sense used by the paper's
+    /// network representation: every node except the input placeholder.
+    pub fn layer_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Computes MAC/FLOP/parameter/byte totals and the per-node breakdown.
+    pub fn cost(&self) -> NetworkCost {
+        let per_node = self
+            .nodes
+            .iter()
+            .map(|n| node_cost(&n.op, &self.input_shapes(n), n.output_shape))
+            .collect();
+        NetworkCost::from_layers(per_node)
+    }
+
+    /// Iterates over `(node, input_shapes)` pairs in topological order,
+    /// skipping the input placeholder — the traversal used both by the
+    /// latency simulator and by the feature encoder.
+    pub fn layers(&self) -> impl Iterator<Item = (&Node, Vec<TensorShape>)> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.op.kind() != OpKind::Input)
+            .map(move |n| (n, self.input_shapes(n)))
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "network {} ({} nodes)", self.name, self.nodes.len())?;
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "  {:>4}  {:<16}  -> {}",
+                n.id.to_string(),
+                format!("{:?}", n.op.kind()),
+                n.output_shape
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Output spatial size of a strided window operator.
+///
+/// Follows the TFLite convention: `SAME` padding yields
+/// `ceil(in / stride)`, `VALID` yields `floor((in - k) / stride) + 1`, and
+/// explicit padding yields `floor((in + 2p - k) / stride) + 1`.
+pub(crate) fn window_output(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    padding: Padding,
+) -> Option<usize> {
+    match padding {
+        Padding::Same => Some(input.div_ceil(stride)),
+        Padding::Valid => {
+            if input < kernel {
+                None
+            } else {
+                Some((input - kernel) / stride + 1)
+            }
+        }
+        Padding::Explicit(p) => {
+            let padded = input + 2 * p;
+            if padded < kernel {
+                None
+            } else {
+                Some((padded - kernel) / stride + 1)
+            }
+        }
+    }
+}
+
+/// Infers the output shape of `op` applied to `inputs`.
+///
+/// # Errors
+///
+/// Returns [`DnnError`] when arities mismatch, hyper-parameters are invalid
+/// (e.g. input channels not divisible by groups), shapes are incompatible
+/// (residual `Add` over different shapes), or a window operator would
+/// produce an empty output.
+pub fn infer_shape(op: &Op, inputs: &[TensorShape]) -> Result<TensorShape, DnnError> {
+    op.validate_params()?;
+    let kind = op.kind();
+    if let Some(expected) = op.arity() {
+        if inputs.len() != expected {
+            return Err(DnnError::Arity {
+                kind,
+                expected,
+                actual: inputs.len(),
+            });
+        }
+    } else if inputs.len() < 2 {
+        return Err(DnnError::Arity {
+            kind,
+            expected: 2,
+            actual: inputs.len(),
+        });
+    }
+
+    match op {
+        Op::Input { shape } => Ok(*shape),
+        Op::Conv2d(p) => {
+            let x = inputs[0];
+            if !x.c.is_multiple_of(p.groups) {
+                return Err(DnnError::InvalidParameter {
+                    kind,
+                    detail: format!("input channels {} not divisible by groups {}", x.c, p.groups),
+                });
+            }
+            let oh = window_output(x.h, p.kernel, p.stride, p.padding);
+            let ow = window_output(x.w, p.kernel, p.stride, p.padding);
+            match (oh, ow) {
+                (Some(h), Some(w)) if h > 0 && w > 0 => Ok(TensorShape::new(h, w, p.out_channels)),
+                _ => Err(DnnError::EmptyOutput {
+                    kind,
+                    input_hw: (x.h, x.w),
+                    kernel_hw: (p.kernel, p.kernel),
+                }),
+            }
+        }
+        Op::DepthwiseConv2d(p) => {
+            let x = inputs[0];
+            let oh = window_output(x.h, p.kernel, p.stride, p.padding);
+            let ow = window_output(x.w, p.kernel, p.stride, p.padding);
+            match (oh, ow) {
+                (Some(h), Some(w)) if h > 0 && w > 0 => {
+                    Ok(TensorShape::new(h, w, x.c * p.multiplier))
+                }
+                _ => Err(DnnError::EmptyOutput {
+                    kind,
+                    input_hw: (x.h, x.w),
+                    kernel_hw: (p.kernel, p.kernel),
+                }),
+            }
+        }
+        Op::FullyConnected { out_features, .. } => Ok(TensorShape::vector(*out_features)),
+        Op::Activation(_) => Ok(inputs[0]),
+        Op::MaxPool2d(p) | Op::AvgPool2d(p) => {
+            let x = inputs[0];
+            let oh = window_output(x.h, p.kernel, p.stride, p.padding);
+            let ow = window_output(x.w, p.kernel, p.stride, p.padding);
+            match (oh, ow) {
+                (Some(h), Some(w)) if h > 0 && w > 0 => Ok(TensorShape::new(h, w, x.c)),
+                _ => Err(DnnError::EmptyOutput {
+                    kind,
+                    input_hw: (x.h, x.w),
+                    kernel_hw: (p.kernel, p.kernel),
+                }),
+            }
+        }
+        Op::GlobalAvgPool => Ok(TensorShape::vector(inputs[0].c)),
+        Op::Add => {
+            if inputs[0] != inputs[1] {
+                return Err(DnnError::ShapeMismatch {
+                    kind,
+                    detail: format!("{} vs {}", inputs[0], inputs[1]),
+                });
+            }
+            Ok(inputs[0])
+        }
+        Op::Multiply => {
+            let (a, b) = (inputs[0], inputs[1]);
+            let broadcast_ok =
+                a == b || (b.is_vector() && b.c == a.c) || (a.is_vector() && a.c == b.c);
+            if !broadcast_ok {
+                return Err(DnnError::ShapeMismatch {
+                    kind,
+                    detail: format!("{a} vs {b} (channel broadcast required)"),
+                });
+            }
+            Ok(if a.elements() >= b.elements() { a } else { b })
+        }
+        Op::Concat => {
+            let first = inputs[0];
+            let mut c = 0;
+            for s in inputs {
+                if s.h != first.h || s.w != first.w {
+                    return Err(DnnError::ShapeMismatch {
+                        kind,
+                        detail: format!("spatial mismatch {first} vs {s}"),
+                    });
+                }
+                c += s.c;
+            }
+            Ok(TensorShape::new(first.h, first.w, c))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Conv2dParams, DepthwiseConv2dParams, PoolParams};
+
+    fn s(h: usize, w: usize, c: usize) -> TensorShape {
+        TensorShape::new(h, w, c)
+    }
+
+    #[test]
+    fn conv_same_halves_with_stride_two() {
+        let op = Op::Conv2d(Conv2dParams::dense(32, 3, 2));
+        let out = infer_shape(&op, &[s(224, 224, 3)]).unwrap();
+        assert_eq!(out, s(112, 112, 32));
+    }
+
+    #[test]
+    fn conv_same_preserves_spatial_with_stride_one() {
+        for k in [1, 3, 5, 7] {
+            let op = Op::Conv2d(Conv2dParams::dense(8, k, 1));
+            let out = infer_shape(&op, &[s(56, 56, 16)]).unwrap();
+            assert_eq!(out, s(56, 56, 8), "kernel {k}");
+        }
+    }
+
+    #[test]
+    fn conv_valid_shrinks() {
+        let op = Op::Conv2d(Conv2dParams {
+            padding: Padding::Valid,
+            ..Conv2dParams::dense(8, 3, 1)
+        });
+        let out = infer_shape(&op, &[s(10, 10, 4)]).unwrap();
+        assert_eq!(out, s(8, 8, 8));
+    }
+
+    #[test]
+    fn conv_valid_too_small_errors() {
+        let op = Op::Conv2d(Conv2dParams {
+            padding: Padding::Valid,
+            ..Conv2dParams::dense(8, 3, 1)
+        });
+        assert!(matches!(
+            infer_shape(&op, &[s(2, 2, 4)]),
+            Err(DnnError::EmptyOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn grouped_conv_requires_divisible_channels() {
+        let op = Op::Conv2d(Conv2dParams {
+            groups: 4,
+            ..Conv2dParams::dense(8, 3, 1)
+        });
+        assert!(infer_shape(&op, &[s(8, 8, 6)]).is_err());
+        assert!(infer_shape(&op, &[s(8, 8, 8)]).is_ok());
+    }
+
+    #[test]
+    fn depthwise_multiplies_channels() {
+        let op = Op::DepthwiseConv2d(DepthwiseConv2dParams {
+            multiplier: 2,
+            ..DepthwiseConv2dParams::new(3, 1)
+        });
+        let out = infer_shape(&op, &[s(14, 14, 96)]).unwrap();
+        assert_eq!(out, s(14, 14, 192));
+    }
+
+    #[test]
+    fn odd_input_same_stride2_rounds_up() {
+        let op = Op::DepthwiseConv2d(DepthwiseConv2dParams::new(3, 2));
+        let out = infer_shape(&op, &[s(7, 7, 8)]).unwrap();
+        assert_eq!(out, s(4, 4, 8));
+    }
+
+    #[test]
+    fn fc_flattens_input() {
+        let op = Op::FullyConnected {
+            out_features: 1000,
+            bias: true,
+        };
+        let out = infer_shape(&op, &[s(1, 1, 1280)]).unwrap();
+        assert_eq!(out, TensorShape::vector(1000));
+        // FC also accepts spatial inputs (implicit flatten).
+        let out = infer_shape(&op, &[s(7, 7, 64)]).unwrap();
+        assert_eq!(out, TensorShape::vector(1000));
+    }
+
+    #[test]
+    fn add_requires_identical_shapes() {
+        assert!(infer_shape(&Op::Add, &[s(7, 7, 8), s(7, 7, 8)]).is_ok());
+        assert!(matches!(
+            infer_shape(&Op::Add, &[s(7, 7, 8), s(7, 7, 16)]),
+            Err(DnnError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            infer_shape(&Op::Add, &[s(7, 7, 8)]),
+            Err(DnnError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn multiply_broadcasts_se_gate() {
+        let out = infer_shape(&Op::Multiply, &[s(14, 14, 96), s(1, 1, 96)]).unwrap();
+        assert_eq!(out, s(14, 14, 96));
+        assert!(infer_shape(&Op::Multiply, &[s(14, 14, 96), s(1, 1, 32)]).is_err());
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let out = infer_shape(&Op::Concat, &[s(28, 28, 64), s(28, 28, 64)]).unwrap();
+        assert_eq!(out, s(28, 28, 128));
+        assert!(infer_shape(&Op::Concat, &[s(28, 28, 64), s(14, 14, 64)]).is_err());
+        assert!(infer_shape(&Op::Concat, &[s(28, 28, 64)]).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_makes_vector() {
+        let out = infer_shape(&Op::GlobalAvgPool, &[s(7, 7, 320)]).unwrap();
+        assert_eq!(out, TensorShape::vector(320));
+    }
+
+    #[test]
+    fn pool_valid() {
+        let op = Op::MaxPool2d(PoolParams::new(3, 2));
+        let out = infer_shape(&op, &[s(112, 112, 64)]).unwrap();
+        assert_eq!(out, s(55, 55, 64));
+    }
+
+    #[test]
+    fn window_output_cases() {
+        assert_eq!(window_output(224, 3, 2, Padding::Same), Some(112));
+        assert_eq!(window_output(7, 3, 2, Padding::Same), Some(4));
+        assert_eq!(window_output(7, 7, 1, Padding::Valid), Some(1));
+        assert_eq!(window_output(6, 7, 1, Padding::Valid), None);
+        assert_eq!(window_output(5, 3, 1, Padding::Explicit(1)), Some(5));
+    }
+}

@@ -1,0 +1,52 @@
+//! # gdcm-dnn — DNN graph IR for mobile cost modeling
+//!
+//! This crate provides the network intermediate representation used by the
+//! *Generalizable DNN Cost Models* reproduction: a small dataflow-graph IR
+//! whose operator set covers the design motifs of mobile computer-vision
+//! networks (convolutions, depthwise-separable convolutions, inverted
+//! bottlenecks, pooling, skip connections, squeeze-and-excite, …), together
+//! with NHWC shape inference, structural validation, and per-layer cost
+//! accounting (MACs, FLOPs, parameters, activation/weight bytes).
+//!
+//! The IR is deliberately *structural*: it carries everything a latency
+//! model needs (operator kinds, hyper-parameters, tensor shapes) and nothing
+//! it does not (weights, training state).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gdcm_dnn::{Activation, NetworkBuilder, TensorShape};
+//!
+//! # fn main() -> Result<(), gdcm_dnn::DnnError> {
+//! let mut b = NetworkBuilder::new("tiny");
+//! let x = b.input(TensorShape::new(224, 224, 3));
+//! let x = b.conv2d_act(x, 16, 3, 2, Activation::Relu6)?;
+//! let x = b.inverted_bottleneck(x, 6, 24, 3, 2, Activation::Relu6, false)?;
+//! let x = b.global_avg_pool(x)?;
+//! let logits = b.fully_connected(x, 1000)?;
+//! let net = b.build(logits)?;
+//!
+//! let cost = net.cost();
+//! assert!(cost.total_macs > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod cost;
+mod error;
+mod graph;
+mod op;
+mod tensor;
+
+pub use builder::NetworkBuilder;
+pub use cost::{LayerCost, NetworkCost};
+pub use error::DnnError;
+pub use graph::{Network, Node, NodeId};
+pub use op::{
+    Activation, Conv2dParams, DepthwiseConv2dParams, Op, OpKind, Padding, PoolParams,
+};
+pub use tensor::TensorShape;

@@ -1,0 +1,431 @@
+//! Operators and their hyper-parameters.
+//!
+//! The operator set mirrors the search space of the paper's parameterized
+//! DNN generator (Fig. 1): convolutions, depthwise convolutions (the
+//! building block of depthwise-separable convolutions and inverted
+//! bottlenecks), fully-connected layers, activations, pooling, and the
+//! element-wise ops used by skip connections and squeeze-and-excite blocks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DnnError;
+use crate::tensor::TensorShape;
+
+/// Activation functions found in mobile networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clipped at 6 — the default in MobileNet-family networks.
+    Relu6,
+    /// Hard swish, used by MobileNetV3.
+    HSwish,
+    /// Hard sigmoid, used inside squeeze-and-excite gates.
+    HSigmoid,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Swish / SiLU (`x * sigmoid(x)`), used by EfficientNet.
+    Swish,
+}
+
+impl Activation {
+    /// All supported activations, in one-hot encoding order.
+    pub const ALL: [Activation; 6] = [
+        Activation::Relu,
+        Activation::Relu6,
+        Activation::HSwish,
+        Activation::HSigmoid,
+        Activation::Sigmoid,
+        Activation::Swish,
+    ];
+
+    /// Stable index used in feature encodings.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|a| *a == self).expect("listed")
+    }
+
+    /// Relative arithmetic cost of evaluating the activation once,
+    /// in "simple ALU ops per element" (a ReLU costs one clamp; hard
+    /// swish costs a clamp, an add, a multiply and a shift; sigmoid-family
+    /// activations are LUT-based in int8 runtimes but still cost more than
+    /// a clamp).
+    pub fn ops_per_element(self) -> u64 {
+        match self {
+            Activation::Relu | Activation::Relu6 => 1,
+            Activation::HSigmoid => 3,
+            Activation::HSwish => 4,
+            Activation::Sigmoid => 4,
+            Activation::Swish => 5,
+        }
+    }
+}
+
+/// Spatial padding policy for convolution and pooling operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// TensorFlow-style `SAME` padding: output spatial size is
+    /// `ceil(input / stride)`.
+    Same,
+    /// No padding: the kernel must fit inside the input.
+    Valid,
+    /// Explicit symmetric padding of `p` pixels on every border.
+    Explicit(usize),
+}
+
+impl Padding {
+    /// The number of padding pixels applied on each border for a given
+    /// kernel size, assuming stride-1 semantics for `Same`.
+    ///
+    /// For `Same` padding with stride `s`, TFLite distributes
+    /// `max(k - s, 0)` pixels across the two borders; for cost purposes the
+    /// symmetric approximation `(k - 1) / 2` is used, which matches the
+    /// common odd-kernel case exactly.
+    pub fn pixels(self, kernel: usize) -> usize {
+        match self {
+            Padding::Same => kernel.saturating_sub(1) / 2,
+            Padding::Valid => 0,
+            Padding::Explicit(p) => p,
+        }
+    }
+}
+
+/// Hyper-parameters of a standard (possibly grouped) 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dParams {
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Square kernel size (mobile networks use square kernels).
+    pub kernel: usize,
+    /// Spatial stride (same in both dimensions).
+    pub stride: usize,
+    /// Padding policy.
+    pub padding: Padding,
+    /// Group count; `1` is a dense convolution. The input and output
+    /// channel counts must both be divisible by `groups`.
+    pub groups: usize,
+    /// Whether a bias vector is added.
+    pub bias: bool,
+}
+
+impl Conv2dParams {
+    /// Dense convolution with `SAME` padding and bias — the common case.
+    pub fn dense(out_channels: usize, kernel: usize, stride: usize) -> Self {
+        Self {
+            out_channels,
+            kernel,
+            stride,
+            padding: Padding::Same,
+            groups: 1,
+            bias: true,
+        }
+    }
+
+    /// Pointwise (1x1) convolution.
+    pub fn pointwise(out_channels: usize) -> Self {
+        Self::dense(out_channels, 1, 1)
+    }
+}
+
+/// Hyper-parameters of a depthwise 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepthwiseConv2dParams {
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Padding policy.
+    pub padding: Padding,
+    /// Channel multiplier; output channels = input channels × multiplier.
+    pub multiplier: usize,
+    /// Whether a bias vector is added.
+    pub bias: bool,
+}
+
+impl DepthwiseConv2dParams {
+    /// Depthwise convolution with multiplier 1 and `SAME` padding.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        Self {
+            kernel,
+            stride,
+            padding: Padding::Same,
+            multiplier: 1,
+            bias: true,
+        }
+    }
+}
+
+/// Hyper-parameters of a spatial pooling operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolParams {
+    /// Square pooling window.
+    pub kernel: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Padding policy.
+    pub padding: Padding,
+}
+
+impl PoolParams {
+    /// Pooling window of size `kernel` with stride `stride` and no padding.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        Self {
+            kernel,
+            stride,
+            padding: Padding::Valid,
+        }
+    }
+}
+
+/// A graph operator.
+///
+/// Operators are pure descriptions; they carry no weights. Binary
+/// element-wise operators ([`Op::Add`], [`Op::Multiply`]) take two inputs,
+/// [`Op::Concat`] takes two or more, everything else takes exactly one
+/// (except [`Op::Input`], which takes none).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Graph input placeholder carrying the input image shape.
+    Input {
+        /// Shape of the network input.
+        shape: TensorShape,
+    },
+    /// Standard or grouped 2-D convolution.
+    Conv2d(Conv2dParams),
+    /// Depthwise 2-D convolution.
+    DepthwiseConv2d(DepthwiseConv2dParams),
+    /// Fully-connected (dense) layer over the flattened input.
+    FullyConnected {
+        /// Number of output features.
+        out_features: usize,
+        /// Whether a bias vector is added.
+        bias: bool,
+    },
+    /// Element-wise activation function.
+    Activation(Activation),
+    /// Max pooling.
+    MaxPool2d(PoolParams),
+    /// Average pooling.
+    AvgPool2d(PoolParams),
+    /// Global average pooling collapsing the spatial dimensions to 1x1.
+    GlobalAvgPool,
+    /// Element-wise addition (residual / skip connection). Two inputs with
+    /// identical shapes.
+    Add,
+    /// Element-wise multiplication with channel broadcasting — the gate of
+    /// a squeeze-and-excite block. Two inputs: a `HxWxC` tensor and either
+    /// an identical tensor or a `1x1xC` gate.
+    Multiply,
+    /// Channel-axis concatenation of two or more tensors with matching
+    /// spatial dimensions.
+    Concat,
+}
+
+impl Op {
+    /// The kind discriminant of this operator.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Input { .. } => OpKind::Input,
+            Op::Conv2d(_) => OpKind::Conv2d,
+            Op::DepthwiseConv2d(_) => OpKind::DepthwiseConv2d,
+            Op::FullyConnected { .. } => OpKind::FullyConnected,
+            Op::Activation(_) => OpKind::Activation,
+            Op::MaxPool2d(_) => OpKind::MaxPool2d,
+            Op::AvgPool2d(_) => OpKind::AvgPool2d,
+            Op::GlobalAvgPool => OpKind::GlobalAvgPool,
+            Op::Add => OpKind::Add,
+            Op::Multiply => OpKind::Multiply,
+            Op::Concat => OpKind::Concat,
+        }
+    }
+
+    /// Number of inputs this operator requires, or `None` when variadic
+    /// (only [`Op::Concat`], which requires at least two).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            Op::Input { .. } => Some(0),
+            Op::Add | Op::Multiply => Some(2),
+            Op::Concat => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Validates hyper-parameters that do not depend on input shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidParameter`] for zero kernels, zero
+    /// strides, zero channel counts, or zero group counts.
+    pub fn validate_params(&self) -> Result<(), DnnError> {
+        let err = |detail: String| {
+            Err(DnnError::InvalidParameter {
+                kind: self.kind(),
+                detail,
+            })
+        };
+        match self {
+            Op::Input { shape }
+                if shape.elements() == 0 => {
+                    return err(format!("input shape {shape} has zero elements"));
+                }
+            Op::Conv2d(p) => {
+                if p.kernel == 0 || p.stride == 0 {
+                    return err(format!("kernel {} / stride {} must be >= 1", p.kernel, p.stride));
+                }
+                if p.out_channels == 0 {
+                    return err("out_channels must be >= 1".into());
+                }
+                if p.groups == 0 {
+                    return err("groups must be >= 1".into());
+                }
+                if p.out_channels % p.groups != 0 {
+                    return err(format!(
+                        "out_channels {} not divisible by groups {}",
+                        p.out_channels, p.groups
+                    ));
+                }
+            }
+            Op::DepthwiseConv2d(p) => {
+                if p.kernel == 0 || p.stride == 0 {
+                    return err(format!("kernel {} / stride {} must be >= 1", p.kernel, p.stride));
+                }
+                if p.multiplier == 0 {
+                    return err("multiplier must be >= 1".into());
+                }
+            }
+            Op::FullyConnected { out_features, .. }
+                if *out_features == 0 => {
+                    return err("out_features must be >= 1".into());
+                }
+            Op::MaxPool2d(p) | Op::AvgPool2d(p)
+                if (p.kernel == 0 || p.stride == 0) => {
+                    return err(format!("kernel {} / stride {} must be >= 1", p.kernel, p.stride));
+                }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// Operator kind discriminant, used for one-hot feature encodings and
+/// for grouping latency contributions by operator class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum OpKind {
+    Input,
+    Conv2d,
+    DepthwiseConv2d,
+    FullyConnected,
+    Activation,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool,
+    Add,
+    Multiply,
+    Concat,
+}
+
+impl OpKind {
+    /// All operator kinds, in one-hot encoding order.
+    pub const ALL: [OpKind; 11] = [
+        OpKind::Input,
+        OpKind::Conv2d,
+        OpKind::DepthwiseConv2d,
+        OpKind::FullyConnected,
+        OpKind::Activation,
+        OpKind::MaxPool2d,
+        OpKind::AvgPool2d,
+        OpKind::GlobalAvgPool,
+        OpKind::Add,
+        OpKind::Multiply,
+        OpKind::Concat,
+    ];
+
+    /// Stable index of this kind within [`OpKind::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|k| *k == self).expect("listed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_stable_and_unique() {
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn activation_indices_are_stable() {
+        for (i, a) in Activation::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+        }
+    }
+
+    #[test]
+    fn padding_pixels() {
+        assert_eq!(Padding::Same.pixels(3), 1);
+        assert_eq!(Padding::Same.pixels(5), 2);
+        assert_eq!(Padding::Same.pixels(7), 3);
+        assert_eq!(Padding::Same.pixels(1), 0);
+        assert_eq!(Padding::Valid.pixels(7), 0);
+        assert_eq!(Padding::Explicit(4).pixels(3), 4);
+    }
+
+    #[test]
+    fn arity() {
+        assert_eq!(Op::Add.arity(), Some(2));
+        assert_eq!(Op::Concat.arity(), None);
+        assert_eq!(Op::GlobalAvgPool.arity(), Some(1));
+        assert_eq!(
+            Op::Input {
+                shape: TensorShape::new(1, 1, 1)
+            }
+            .arity(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let op = Op::Conv2d(Conv2dParams {
+            out_channels: 0,
+            ..Conv2dParams::dense(8, 3, 1)
+        });
+        assert!(op.validate_params().is_err());
+        let op = Op::Conv2d(Conv2dParams {
+            groups: 3,
+            ..Conv2dParams::dense(8, 3, 1)
+        });
+        assert!(op.validate_params().is_err());
+        let op = Op::DepthwiseConv2d(DepthwiseConv2dParams {
+            stride: 0,
+            ..DepthwiseConv2dParams::new(3, 1)
+        });
+        assert!(op.validate_params().is_err());
+        let op = Op::FullyConnected {
+            out_features: 0,
+            bias: true,
+        };
+        assert!(op.validate_params().is_err());
+    }
+
+    #[test]
+    fn valid_params_accepted() {
+        assert!(Op::Conv2d(Conv2dParams::dense(32, 3, 2))
+            .validate_params()
+            .is_ok());
+        assert!(Op::DepthwiseConv2d(DepthwiseConv2dParams::new(5, 1))
+            .validate_params()
+            .is_ok());
+        assert!(Op::MaxPool2d(PoolParams::new(2, 2)).validate_params().is_ok());
+    }
+
+    #[test]
+    fn activation_costs_ordered() {
+        assert!(Activation::Relu.ops_per_element() <= Activation::HSwish.ops_per_element());
+        assert!(Activation::HSwish.ops_per_element() <= Activation::Swish.ops_per_element());
+    }
+}

@@ -1,0 +1,100 @@
+//! Tensor shapes.
+//!
+//! The IR models single-image (batch = 1) NHWC activations, matching the
+//! paper's measurement protocol (TFLite, batch size one). A shape is the
+//! spatial extent plus the channel count; fully-connected activations are
+//! represented as `1x1xC` tensors so that shape inference stays uniform.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of an activation tensor in NHWC layout with batch size 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+    /// Channel count.
+    pub c: usize,
+}
+
+impl TensorShape {
+    /// Creates a new shape.
+    ///
+    /// ```
+    /// let s = gdcm_dnn::TensorShape::new(224, 224, 3);
+    /// assert_eq!(s.elements(), 224 * 224 * 3);
+    /// ```
+    pub const fn new(h: usize, w: usize, c: usize) -> Self {
+        Self { h, w, c }
+    }
+
+    /// Shape of a flattened feature vector (`1 x 1 x features`).
+    pub const fn vector(features: usize) -> Self {
+        Self::new(1, 1, features)
+    }
+
+    /// Total number of scalar elements in the tensor.
+    pub const fn elements(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// Number of features when the tensor is flattened into a vector.
+    pub const fn flattened(&self) -> usize {
+        self.elements()
+    }
+
+    /// Whether the tensor is already a `1x1xC` feature vector.
+    pub const fn is_vector(&self) -> bool {
+        self.h == 1 && self.w == 1
+    }
+
+    /// Size of the tensor in bytes for 8-bit quantized activations.
+    ///
+    /// The paper quantizes all networks to int8 with TFLite's post-training
+    /// quantizer, so one element is one byte.
+    pub const fn bytes_int8(&self) -> u64 {
+        self.elements() as u64
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_and_bytes() {
+        let s = TensorShape::new(7, 5, 3);
+        assert_eq!(s.elements(), 105);
+        assert_eq!(s.bytes_int8(), 105);
+        assert_eq!(s.flattened(), 105);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let v = TensorShape::vector(1280);
+        assert!(v.is_vector());
+        assert_eq!(v.c, 1280);
+        assert_eq!(v.elements(), 1280);
+        assert!(!TensorShape::new(2, 1, 8).is_vector());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TensorShape::new(112, 112, 32).to_string(), "112x112x32");
+    }
+
+    #[test]
+    fn copy_and_eq() {
+        let s = TensorShape::new(14, 14, 160);
+        let t = s; // Copy
+        assert_eq!(s, t);
+    }
+}

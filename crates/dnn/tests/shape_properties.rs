@@ -1,0 +1,147 @@
+//! Property-based tests of shape inference and cost accounting.
+
+use gdcm_dnn::{
+    Activation, Conv2dParams, DepthwiseConv2dParams, NetworkBuilder, Op, Padding, PoolParams,
+    TensorShape,
+};
+use proptest::prelude::*;
+
+fn shape_strategy() -> impl Strategy<Value = TensorShape> {
+    (1usize..64, 1usize..64, 1usize..128).prop_map(|(h, w, c)| TensorShape::new(h, w, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SAME padding with stride s always yields ceil(in / s) — never an
+    /// empty output, for any kernel.
+    #[test]
+    fn same_padding_never_empties(
+        shape in shape_strategy(),
+        kernel in 1usize..8,
+        stride in 1usize..4,
+        out_c in 1usize..64,
+    ) {
+        let mut b = NetworkBuilder::new("p");
+        let x = b.input(shape);
+        let y = b.push(
+            Op::Conv2d(Conv2dParams {
+                out_channels: out_c,
+                kernel,
+                stride,
+                padding: Padding::Same,
+                groups: 1,
+                bias: true,
+            }),
+            &[x],
+        ).unwrap();
+        let out = b.shape(y).unwrap();
+        prop_assert_eq!(out.h, shape.h.div_ceil(stride));
+        prop_assert_eq!(out.w, shape.w.div_ceil(stride));
+        prop_assert_eq!(out.c, out_c);
+    }
+
+    /// VALID padding either errors (kernel too large) or produces the
+    /// textbook size floor((in - k)/s) + 1.
+    #[test]
+    fn valid_padding_is_exact_or_errors(
+        shape in shape_strategy(),
+        kernel in 1usize..10,
+        stride in 1usize..4,
+    ) {
+        let mut b = NetworkBuilder::new("p");
+        let x = b.input(shape);
+        let result = b.push(
+            Op::MaxPool2d(PoolParams {
+                kernel,
+                stride,
+                padding: Padding::Valid,
+            }),
+            &[x],
+        );
+        if kernel > shape.h || kernel > shape.w {
+            prop_assert!(result.is_err());
+        } else {
+            let out = b.shape(result.unwrap()).unwrap();
+            prop_assert_eq!(out.h, (shape.h - kernel) / stride + 1);
+            prop_assert_eq!(out.w, (shape.w - kernel) / stride + 1);
+        }
+    }
+
+    /// Depthwise conv multiplies channels by the multiplier exactly, and
+    /// its MAC count is elements x kernel².
+    #[test]
+    fn depthwise_cost_formula(
+        shape in shape_strategy(),
+        kernel in prop::sample::select(vec![1usize, 3, 5, 7]),
+        multiplier in 1usize..4,
+    ) {
+        let mut b = NetworkBuilder::new("p");
+        let x = b.input(shape);
+        let y = b.push(
+            Op::DepthwiseConv2d(DepthwiseConv2dParams {
+                kernel,
+                stride: 1,
+                padding: Padding::Same,
+                multiplier,
+                bias: false,
+            }),
+            &[x],
+        ).unwrap();
+        let net = b.build(y).unwrap();
+        let out = net.output().output_shape;
+        prop_assert_eq!(out.c, shape.c * multiplier);
+        let cost = net.cost();
+        prop_assert_eq!(
+            cost.per_node[1].macs,
+            (out.elements() * kernel * kernel) as u64
+        );
+    }
+
+    /// Residual adds preserve shape; mismatched shapes are rejected.
+    #[test]
+    fn residual_shape_rules(a in shape_strategy(), b_extra in 1usize..8) {
+        let mut builder = NetworkBuilder::new("p");
+        let x = builder.input(a);
+        let same = builder.push(Op::Activation(Activation::Relu), &[x]).unwrap();
+        prop_assert!(builder.add(x, same).is_ok());
+
+        // A channel-mismatched second input must be rejected.
+        let other = builder
+            .conv2d(x, a.c + b_extra, 1, 1)
+            .unwrap();
+        prop_assert!(builder.add(x, other).is_err());
+    }
+
+    /// Network totals equal the sum over nodes, and every validated
+    /// network's MAC count fits in the declared accounting types.
+    #[test]
+    fn totals_are_sums(shape in shape_strategy(), width in 1usize..32) {
+        let mut b = NetworkBuilder::new("p");
+        let x = b.input(shape);
+        let y = b.conv2d_act(x, width, 3, 1, Activation::Relu6).unwrap();
+        let z = b.classifier(y, 10).unwrap();
+        let net = b.build(z).unwrap();
+        let cost = net.cost();
+        let macs: u64 = cost.per_node.iter().map(|c| c.macs).sum();
+        let flops: u64 = cost.per_node.iter().map(|c| c.flops).sum();
+        let params: u64 = cost.per_node.iter().map(|c| c.params).sum();
+        prop_assert_eq!(cost.total_macs, macs);
+        prop_assert_eq!(cost.total_flops, flops);
+        prop_assert_eq!(cost.total_params, params);
+        prop_assert!(cost.total_flops >= 2 * cost.total_macs);
+    }
+
+    /// Concat channel accounting is exact for any branch count.
+    #[test]
+    fn concat_sums_channels(shape in shape_strategy(), branches in 2usize..5) {
+        let mut b = NetworkBuilder::new("p");
+        let x = b.input(shape);
+        let outs: Vec<_> = (0..branches)
+            .map(|i| b.conv2d(x, i + 1, 1, 1).unwrap())
+            .collect();
+        let y = b.concat(&outs).unwrap();
+        let expected: usize = (1..=branches).sum();
+        prop_assert_eq!(b.shape(y).unwrap().c, expected);
+    }
+}

@@ -1,0 +1,28 @@
+//! # gdcm-gen — parameterized DNN generator and model zoo
+//!
+//! Reproduces the paper's benchmark suite (§II-A): 18 hand-designed /
+//! NAS-produced mobile networks plus 100 randomly generated networks drawn
+//! from a mobile search space (inverted bottlenecks, convolutions,
+//! depthwise-separable convolutions, pooling, skip connections; varying
+//! depth, kernel size, channel counts, stride, expansion, activation).
+//!
+//! ```
+//! use gdcm_gen::benchmark_suite;
+//!
+//! let suite = benchmark_suite(42);
+//! assert_eq!(suite.len(), 118);
+//! ```
+
+#![warn(missing_docs)]
+
+mod random;
+mod space;
+mod suite;
+pub mod zoo;
+
+pub use random::RandomNetworkGenerator;
+pub use space::{BlockKind, SearchSpace};
+pub use suite::{
+    benchmark_suite, benchmark_suite_with, NamedNetwork, PREDESIGNED_COUNT, RANDOM_COUNT,
+    SUITE_SIZE,
+};

@@ -1,0 +1,212 @@
+//! The mobile search space the random generator samples from.
+//!
+//! The space follows the paper's Fig. 1, which in turn adapts the search
+//! spaces of hardware-aware NAS frameworks (ProxylessNAS, Single-Path NAS,
+//! MobileNetV3): a strided stem convolution, a sequence of stages built
+//! from mobile blocks, and a global-pool + fully-connected head.
+
+use gdcm_dnn::Activation;
+use serde::{Deserialize, Serialize};
+
+/// Block families the generator can place in a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Plain dense convolution + activation.
+    Conv,
+    /// Depthwise-separable convolution (MobileNetV1 motif).
+    SeparableConv,
+    /// Inverted bottleneck / MBConv (MobileNetV2/V3 motif), optionally
+    /// with squeeze-and-excite.
+    InvertedBottleneck,
+    /// Spatial max pooling.
+    MaxPool,
+    /// Spatial average pooling.
+    AvgPool,
+}
+
+impl BlockKind {
+    /// All block kinds the space can draw from.
+    pub const ALL: [BlockKind; 5] = [
+        BlockKind::Conv,
+        BlockKind::SeparableConv,
+        BlockKind::InvertedBottleneck,
+        BlockKind::MaxPool,
+        BlockKind::AvgPool,
+    ];
+}
+
+/// A user-configurable description of the random-network search space.
+///
+/// All ranges are inclusive. The defaults reproduce the paper's space:
+/// ImageNet-sized inputs, 4–7 stages of 1–4 blocks, kernels {3,5,7},
+/// expansion ratios {1,3,6}, ReLU/ReLU6/h-swish activations, optional
+/// squeeze-and-excite and skip connections, ~40M–900M MACs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Input image resolution choices (square); the generator draws one
+    /// per network, as hardware-aware NAS spaces do.
+    pub input_resolutions: Vec<usize>,
+    /// Input channels (3 for RGB).
+    pub input_channels: usize,
+    /// Stem output channel choices.
+    pub stem_channels: Vec<usize>,
+    /// Inclusive range of stage counts.
+    pub stages: (usize, usize),
+    /// Inclusive range of blocks per stage.
+    pub blocks_per_stage: (usize, usize),
+    /// Kernel size choices for convolutions and depthwise convolutions.
+    pub kernels: Vec<usize>,
+    /// Expansion-ratio choices for inverted bottlenecks.
+    pub expansions: Vec<usize>,
+    /// Base channel-width choices for the first stage; later stages grow.
+    pub base_widths: Vec<usize>,
+    /// Per-stage channel growth multiplier choices (×100; e.g. 150 = 1.5×).
+    pub width_growth_pct: Vec<usize>,
+    /// Activation choices.
+    pub activations: Vec<Activation>,
+    /// Probability (in percent) that an eligible block keeps its residual
+    /// skip connection.
+    pub skip_probability_pct: u8,
+    /// Probability (in percent) that an inverted bottleneck carries a
+    /// squeeze-and-excite gate.
+    pub se_probability_pct: u8,
+    /// Block-kind sampling weights, parallel to [`BlockKind::ALL`].
+    pub block_weights: [u32; 5],
+    /// Number of classifier outputs.
+    pub classes: usize,
+}
+
+impl SearchSpace {
+    /// The paper's mobile search space.
+    pub fn mobile() -> Self {
+        Self {
+            input_resolutions: vec![224],
+            input_channels: 3,
+            stem_channels: vec![16, 24, 32],
+            stages: (4, 7),
+            blocks_per_stage: (1, 4),
+            kernels: vec![3, 5, 7],
+            expansions: vec![1, 3, 6],
+            base_widths: vec![16, 24, 32],
+            width_growth_pct: vec![130, 150, 175, 200],
+            activations: vec![Activation::Relu, Activation::Relu6, Activation::HSwish],
+            skip_probability_pct: 70,
+            se_probability_pct: 25,
+            // Inverted bottlenecks dominate mobile NAS spaces; pooling is rare.
+            block_weights: [2, 3, 6, 1, 1],
+            classes: 1000,
+        }
+    }
+
+    /// A reduced space for fast tests: small inputs, few stages.
+    pub fn tiny() -> Self {
+        Self {
+            input_resolutions: vec![48, 64],
+            input_channels: 3,
+            stem_channels: vec![8, 16],
+            stages: (2, 3),
+            blocks_per_stage: (1, 2),
+            kernels: vec![3, 5],
+            expansions: vec![1, 3],
+            base_widths: vec![8, 16],
+            width_growth_pct: vec![150, 200],
+            activations: vec![Activation::Relu, Activation::Relu6],
+            skip_probability_pct: 50,
+            se_probability_pct: 20,
+            block_weights: [2, 3, 4, 1, 1],
+            classes: 10,
+        }
+    }
+
+    /// Validates that every range and choice list is non-empty and ordered.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.input_resolutions.is_empty() || self.input_resolutions.iter().any(|&r| r < 8) {
+            return Err("input_resolutions must be non-empty with entries >= 8".into());
+        }
+        if self.input_channels == 0 {
+            return Err("input_channels must be >= 1".into());
+        }
+        for (name, list) in [
+            ("stem_channels", &self.stem_channels),
+            ("kernels", &self.kernels),
+            ("expansions", &self.expansions),
+            ("base_widths", &self.base_widths),
+            ("width_growth_pct", &self.width_growth_pct),
+        ] {
+            if list.is_empty() {
+                return Err(format!("{name} must not be empty"));
+            }
+            if list.contains(&0) {
+                return Err(format!("{name} must not contain zero"));
+            }
+        }
+        if self.activations.is_empty() {
+            return Err("activations must not be empty".into());
+        }
+        if self.stages.0 == 0 || self.stages.0 > self.stages.1 {
+            return Err(format!("invalid stage range {:?}", self.stages));
+        }
+        if self.blocks_per_stage.0 == 0 || self.blocks_per_stage.0 > self.blocks_per_stage.1 {
+            return Err(format!(
+                "invalid blocks_per_stage range {:?}",
+                self.blocks_per_stage
+            ));
+        }
+        if self.skip_probability_pct > 100 || self.se_probability_pct > 100 {
+            return Err("probabilities must be <= 100".into());
+        }
+        if self.block_weights.iter().all(|w| *w == 0) {
+            return Err("block_weights must not all be zero".into());
+        }
+        if self.classes == 0 {
+            return Err("classes must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        Self::mobile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_mobile_and_valid() {
+        let space = SearchSpace::default();
+        assert_eq!(space, SearchSpace::mobile());
+        space.validate().unwrap();
+        SearchSpace::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let mut s = SearchSpace::mobile();
+        s.stages = (5, 3);
+        assert!(s.validate().is_err());
+
+        let mut s = SearchSpace::mobile();
+        s.kernels.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = SearchSpace::mobile();
+        s.base_widths = vec![0];
+        assert!(s.validate().is_err());
+
+        let mut s = SearchSpace::mobile();
+        s.skip_probability_pct = 140;
+        assert!(s.validate().is_err());
+
+        let mut s = SearchSpace::mobile();
+        s.block_weights = [0; 5];
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! The 118-network benchmark suite (18 pre-designed + 100 random).
+
+use gdcm_dnn::Network;
+use serde::{Deserialize, Serialize};
+
+use crate::random::RandomNetworkGenerator;
+use crate::space::SearchSpace;
+use crate::zoo;
+
+/// Number of hand-designed / NAS networks in the suite.
+pub const PREDESIGNED_COUNT: usize = 18;
+/// Number of randomly generated networks in the suite.
+pub const RANDOM_COUNT: usize = 100;
+/// Total suite size, matching the paper's 118 networks.
+pub const SUITE_SIZE: usize = PREDESIGNED_COUNT + RANDOM_COUNT;
+
+/// A network together with its stable position in the benchmark suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedNetwork {
+    /// Dense suite index, `0..SUITE_SIZE`.
+    pub index: usize,
+    /// The network. Its [`Network::name`] is unique within the suite.
+    pub network: Network,
+    /// Whether the network came from the model zoo (vs the random
+    /// generator).
+    pub predesigned: bool,
+}
+
+impl NamedNetwork {
+    /// Shorthand for the network's name.
+    pub fn name(&self) -> &str {
+        self.network.name()
+    }
+}
+
+/// Builds the full 118-network benchmark suite.
+///
+/// The suite is fully determined by `seed`: the 18 zoo networks are fixed
+/// and the 100 random networks are drawn from [`SearchSpace::mobile`] with
+/// a ChaCha stream seeded by `seed`. The paper's experiments use seed 42.
+///
+/// ```
+/// let suite = gdcm_gen::benchmark_suite(42);
+/// assert_eq!(suite.len(), gdcm_gen::SUITE_SIZE);
+/// assert!(suite[0].predesigned);
+/// assert!(!suite[117].predesigned);
+/// ```
+pub fn benchmark_suite(seed: u64) -> Vec<NamedNetwork> {
+    benchmark_suite_with(seed, SearchSpace::mobile(), RANDOM_COUNT)
+}
+
+/// Builds a suite with a custom space and random-network count; used by
+/// tests to keep runtimes small.
+pub fn benchmark_suite_with(
+    seed: u64,
+    space: SearchSpace,
+    random_count: usize,
+) -> Vec<NamedNetwork> {
+    let mut suite = Vec::with_capacity(PREDESIGNED_COUNT + random_count);
+    for (index, network) in zoo::all().into_iter().enumerate() {
+        suite.push(NamedNetwork {
+            index,
+            network,
+            predesigned: true,
+        });
+    }
+    let mut generator = RandomNetworkGenerator::new(space, seed);
+    // The paper's generator targets the mobile regime (Fig. 2): networks
+    // far outside it are re-drawn, keeping the suite comparable.
+    const MAX_SUITE_MACS: u64 = 1_000_000_000;
+    for i in 0..random_count {
+        let network = loop {
+            let candidate = generator
+                .generate(format!("rand_{i:03}"))
+                .expect("generator emits only valid networks");
+            if candidate.cost().total_macs <= MAX_SUITE_MACS {
+                break candidate;
+            }
+        };
+        suite.push(NamedNetwork {
+            index: PREDESIGNED_COUNT + i,
+            network,
+            predesigned: false,
+        });
+    }
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_has_118_unique_networks() {
+        let suite = benchmark_suite(42);
+        assert_eq!(suite.len(), 118);
+        let names: HashSet<_> = suite.iter().map(|n| n.name().to_string()).collect();
+        assert_eq!(names.len(), 118);
+        for (i, n) in suite.iter().enumerate() {
+            assert_eq!(n.index, i);
+        }
+        assert_eq!(
+            suite.iter().filter(|n| n.predesigned).count(),
+            PREDESIGNED_COUNT
+        );
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = benchmark_suite(42);
+        let b = benchmark_suite(42);
+        assert_eq!(a, b);
+        let c = benchmark_suite(43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn flops_span_a_wide_range() {
+        // Paper Fig. 2: the suite spans a wide MAC range. Check an order of
+        // magnitude between smallest and largest.
+        let suite = benchmark_suite(42);
+        let macs: Vec<u64> = suite.iter().map(|n| n.network.cost().total_macs).collect();
+        let min = *macs.iter().min().unwrap() as f64;
+        let max = *macs.iter().max().unwrap() as f64;
+        assert!(max / min > 5.0, "span {min}..{max}");
+    }
+
+    #[test]
+    fn custom_suite_size() {
+        let suite = benchmark_suite_with(1, crate::SearchSpace::tiny(), 7);
+        assert_eq!(suite.len(), PREDESIGNED_COUNT + 7);
+    }
+}

@@ -1,0 +1,77 @@
+//! EfficientNet-B0 and EfficientNet-Lite0.
+
+use gdcm_dnn::{Activation, DnnError, Network, NetworkBuilder, TensorShape};
+
+const INPUT: TensorShape = TensorShape::new(224, 224, 3);
+
+// (expansion, out_channels, repeats, first_stride, kernel)
+const B0_BLOCKS: [(usize, usize, usize, usize, usize); 7] = [
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+];
+
+fn build_effnet(name: &str, act: Activation, se: bool) -> Result<Network, DnnError> {
+    let mut b = NetworkBuilder::new(name);
+    let x = b.input(INPUT);
+    let mut x = b.conv2d_act(x, 32, 3, 2, act)?;
+    for (t, out, n, s, k) in B0_BLOCKS {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            x = b.inverted_bottleneck(x, t, out, k, stride, act, se)?;
+        }
+    }
+    x = b.conv2d_act(x, 1280, 1, 1, act)?;
+    let out = b.classifier(x, 1000)?;
+    b.build(out)
+}
+
+/// EfficientNet-B0 (Tan & Le, 2019): MBConv blocks with swish activations
+/// and squeeze-and-excite throughout.
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed table.
+pub fn efficientnet_b0() -> Result<Network, DnnError> {
+    build_effnet("efficientnet_b0", Activation::Swish, true)
+}
+
+/// EfficientNet-Lite0: the mobile-friendly revision — ReLU6 instead of
+/// swish and no squeeze-and-excite, matching TFLite deployment practice.
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed table.
+pub fn efficientnet_lite0() -> Result<Network, DnnError> {
+    build_effnet("efficientnet_lite0", Activation::Relu6, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b0_in_published_ballpark() {
+        let m = efficientnet_b0().unwrap().cost().mmacs();
+        assert!((250.0..600.0).contains(&m), "got {m}M MACs");
+    }
+
+    #[test]
+    fn lite0_drops_se() {
+        let b0 = efficientnet_b0().unwrap();
+        let lite = efficientnet_lite0().unwrap();
+        let has_se = |n: &Network| {
+            n.nodes()
+                .iter()
+                .any(|x| matches!(x.op, gdcm_dnn::Op::Multiply))
+        };
+        assert!(has_se(&b0));
+        assert!(!has_se(&lite));
+        // Dropping SE reduces node count substantially.
+        assert!(lite.len() < b0.len());
+    }
+}

@@ -1,0 +1,203 @@
+//! MobileNet V1/V2/V3 families.
+
+use gdcm_dnn::{Activation, DnnError, Network, NetworkBuilder, TensorShape};
+
+use super::{mbconv_channels, round_channels};
+
+const INPUT: TensorShape = TensorShape::new(224, 224, 3);
+
+/// MobileNetV1 (Howard et al., 2017) with the given width multiplier.
+///
+/// # Errors
+///
+/// Construction never fails for supported multipliers; the `Result` is
+/// forwarded from the builder.
+pub fn mobilenet_v1(width: f64) -> Result<Network, DnnError> {
+    let c = |ch: usize| round_channels(ch as f64 * width, 8);
+    let mut b = NetworkBuilder::new(format!("mobilenet_v1_{width:.1}"));
+    let x = b.input(INPUT);
+    let mut x = b.conv2d_act(x, c(32), 3, 2, Activation::Relu6)?;
+
+    // (out_channels, stride) of each depthwise-separable block.
+    const BLOCKS: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (out, stride) in BLOCKS {
+        x = b.separable_conv(x, c(out), 3, stride, Activation::Relu6)?;
+    }
+    let head = b.classifier(x, 1000)?;
+    b.build(head)
+}
+
+/// MobileNetV2 (Sandler et al., 2018) with the given width multiplier.
+///
+/// # Errors
+///
+/// Construction never fails for supported multipliers; the `Result` is
+/// forwarded from the builder.
+pub fn mobilenet_v2(width: f64) -> Result<Network, DnnError> {
+    let c = |ch: usize| round_channels(ch as f64 * width, 8);
+    let mut b = NetworkBuilder::new(format!("mobilenet_v2_{width:.1}"));
+    let x = b.input(INPUT);
+    let mut x = b.conv2d_act(x, c(32), 3, 2, Activation::Relu6)?;
+
+    // (expansion, out_channels, repeats, first_stride)
+    const BLOCKS: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (t, out, n, s) in BLOCKS {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            x = b.inverted_bottleneck(x, t, c(out), 3, stride, Activation::Relu6, false)?;
+        }
+    }
+    // The 1280-channel head is not narrowed below width 1.0.
+    let head_c = if width > 1.0 { c(1280) } else { 1280 };
+    x = b.conv2d_act(x, head_c, 1, 1, Activation::Relu6)?;
+    let head = b.classifier(x, 1000)?;
+    b.build(head)
+}
+
+/// One row of the MobileNetV3 block table.
+struct V3Block {
+    kernel: usize,
+    expanded: usize,
+    out: usize,
+    se: bool,
+    act: Activation,
+    stride: usize,
+}
+
+fn v3(kernel: usize, expanded: usize, out: usize, se: bool, hs: bool, stride: usize) -> V3Block {
+    V3Block {
+        kernel,
+        expanded,
+        out,
+        se,
+        act: if hs {
+            Activation::HSwish
+        } else {
+            Activation::Relu
+        },
+        stride,
+    }
+}
+
+fn build_v3(name: &str, stem: usize, blocks: Vec<V3Block>, last_conv: usize, fc: usize) -> Result<Network, DnnError> {
+    let mut b = NetworkBuilder::new(name);
+    let x = b.input(INPUT);
+    let mut x = b.conv2d_act(x, stem, 3, 2, Activation::HSwish)?;
+    for blk in &blocks {
+        x = mbconv_channels(
+            &mut b, x, blk.expanded, blk.out, blk.kernel, blk.stride, blk.act, blk.se,
+        )?;
+    }
+    x = b.conv2d_act(x, last_conv, 1, 1, Activation::HSwish)?;
+    let pooled = b.global_avg_pool(x)?;
+    let fc1 = b.fully_connected(pooled, fc)?;
+    let fc1 = b.activation(fc1, Activation::HSwish)?;
+    let logits = b.fully_connected(fc1, 1000)?;
+    b.build(logits)
+}
+
+/// MobileNetV3-Large (Howard et al., 2019).
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed table.
+pub fn mobilenet_v3_large() -> Result<Network, DnnError> {
+    let blocks = vec![
+        v3(3, 16, 16, false, false, 1),
+        v3(3, 64, 24, false, false, 2),
+        v3(3, 72, 24, false, false, 1),
+        v3(5, 72, 40, true, false, 2),
+        v3(5, 120, 40, true, false, 1),
+        v3(5, 120, 40, true, false, 1),
+        v3(3, 240, 80, false, true, 2),
+        v3(3, 200, 80, false, true, 1),
+        v3(3, 184, 80, false, true, 1),
+        v3(3, 184, 80, false, true, 1),
+        v3(3, 480, 112, true, true, 1),
+        v3(3, 672, 112, true, true, 1),
+        v3(5, 672, 160, true, true, 2),
+        v3(5, 960, 160, true, true, 1),
+        v3(5, 960, 160, true, true, 1),
+    ];
+    build_v3("mobilenet_v3_large", 16, blocks, 960, 1280)
+}
+
+/// MobileNetV3-Small (Howard et al., 2019).
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed table.
+pub fn mobilenet_v3_small() -> Result<Network, DnnError> {
+    let blocks = vec![
+        v3(3, 16, 16, true, false, 2),
+        v3(3, 72, 24, false, false, 2),
+        v3(3, 88, 24, false, false, 1),
+        v3(5, 96, 40, true, true, 2),
+        v3(5, 240, 40, true, true, 1),
+        v3(5, 240, 40, true, true, 1),
+        v3(5, 120, 48, true, true, 1),
+        v3(5, 144, 48, true, true, 1),
+        v3(5, 288, 96, true, true, 2),
+        v3(5, 576, 96, true, true, 1),
+        v3(5, 576, 96, true, true, 1),
+    ];
+    build_v3("mobilenet_v3_small", 16, blocks, 576, 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_output_is_1000_classes() {
+        let net = mobilenet_v1(1.0).unwrap();
+        assert_eq!(net.output().output_shape, TensorShape::vector(1000));
+    }
+
+    #[test]
+    fn v2_macs_close_to_published() {
+        let m = mobilenet_v2(1.0).unwrap().cost().mmacs();
+        assert!((200.0..450.0).contains(&m), "got {m}M MACs");
+    }
+
+    #[test]
+    fn v3_small_is_smaller_than_large() {
+        let small = mobilenet_v3_small().unwrap().cost().total_macs;
+        let large = mobilenet_v3_large().unwrap().cost().total_macs;
+        assert!(small * 2 < large);
+    }
+
+    #[test]
+    fn v2_contains_residuals() {
+        let net = mobilenet_v2(1.0).unwrap();
+        let adds = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, gdcm_dnn::Op::Add))
+            .count();
+        // 10 residual connections in the published v2 table.
+        assert_eq!(adds, 10);
+    }
+}

@@ -1,0 +1,222 @@
+//! The 18 pre-designed networks of the benchmark suite.
+//!
+//! Mirrors the paper's hand-tuned and NAS-produced network set:
+//! MobileNetV1/V2/V3 (and width variants), SqueezeNet, MNASNet,
+//! ProxylessNAS, FBNet, Single-Path NAS, EfficientNet and ShuffleNetV2.
+//! Architectures follow the published block tables; weights are irrelevant
+//! for cost modeling, so only the structure is reproduced.
+
+mod efficientnet;
+mod mobilenet;
+mod nas;
+mod shufflenet;
+mod squeezenet;
+
+pub use efficientnet::{efficientnet_b0, efficientnet_lite0};
+pub use mobilenet::{
+    mobilenet_v1, mobilenet_v2, mobilenet_v3_large, mobilenet_v3_small,
+};
+pub use nas::{fbnet_c, mnasnet_a1, mnasnet_b1, mnasnet_small, proxyless_mobile, single_path_nas};
+pub use shufflenet::shufflenet_v2;
+pub use squeezenet::squeezenet_v1_1;
+
+use gdcm_dnn::{Activation, DnnError, Network, NetworkBuilder, NodeId};
+
+/// Rounds a channel count to the nearest multiple of `divisor`, never
+/// dropping below `0.9x` of the requested value — the rule MobileNet-family
+/// papers use when applying width multipliers.
+pub(crate) fn round_channels(channels: f64, divisor: usize) -> usize {
+    let d = divisor as f64;
+    let rounded = ((channels + d / 2.0) / d).floor() * d;
+    let rounded = if rounded < 0.9 * channels {
+        rounded + d
+    } else {
+        rounded
+    };
+    (rounded as usize).max(divisor)
+}
+
+/// MBConv block parameterized by *absolute* expanded channels (the
+/// MobileNetV3 convention) rather than an expansion ratio.
+pub(crate) fn mbconv_channels(
+    b: &mut NetworkBuilder,
+    x: NodeId,
+    expanded: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    act: Activation,
+    se: bool,
+) -> Result<NodeId, DnnError> {
+    let in_shape = b.shape(x).expect("x is live");
+    let mut h = x;
+    if expanded != in_shape.c {
+        h = b.conv2d(h, expanded, 1, 1)?;
+        h = b.activation(h, act)?;
+    }
+    h = b.depthwise(h, kernel, stride)?;
+    h = b.activation(h, act)?;
+    if se {
+        h = b.squeeze_excite(h, 4)?;
+    }
+    h = b.conv2d(h, out_channels, 1, 1)?;
+    if stride == 1 && in_shape.c == out_channels {
+        h = b.add(h, x)?;
+    }
+    Ok(h)
+}
+
+/// All 18 pre-designed networks, in the canonical suite order.
+///
+/// ```
+/// let nets = gdcm_gen::zoo::all();
+/// assert_eq!(nets.len(), 18);
+/// assert_eq!(nets[0].name(), "mobilenet_v1_1.0");
+/// ```
+pub fn all() -> Vec<Network> {
+    vec![
+        mobilenet_v1(1.0).expect("zoo network is valid"),
+        mobilenet_v1(0.5).expect("zoo network is valid"),
+        mobilenet_v1(0.75).expect("zoo network is valid"),
+        mobilenet_v2(1.0).expect("zoo network is valid"),
+        mobilenet_v2(0.75).expect("zoo network is valid"),
+        mobilenet_v2(1.4).expect("zoo network is valid"),
+        mobilenet_v3_large().expect("zoo network is valid"),
+        mobilenet_v3_small().expect("zoo network is valid"),
+        squeezenet_v1_1().expect("zoo network is valid"),
+        mnasnet_a1().expect("zoo network is valid"),
+        mnasnet_b1().expect("zoo network is valid"),
+        mnasnet_small().expect("zoo network is valid"),
+        proxyless_mobile().expect("zoo network is valid"),
+        fbnet_c().expect("zoo network is valid"),
+        single_path_nas().expect("zoo network is valid"),
+        efficientnet_b0().expect("zoo network is valid"),
+        efficientnet_lite0().expect("zoo network is valid"),
+        shufflenet_v2().expect("zoo network is valid"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn eighteen_unique_valid_networks() {
+        let nets = all();
+        assert_eq!(nets.len(), 18);
+        let names: HashSet<_> = nets.iter().map(|n| n.name().to_string()).collect();
+        assert_eq!(names.len(), 18, "duplicate network names");
+        for n in &nets {
+            let cost = n.cost();
+            assert!(
+                cost.total_macs > 10_000_000,
+                "{} suspiciously small: {} MACs",
+                n.name(),
+                cost.total_macs
+            );
+            assert!(
+                cost.total_macs < 2_000_000_000,
+                "{} suspiciously large: {} MACs",
+                n.name(),
+                cost.total_macs
+            );
+        }
+    }
+
+    #[test]
+    fn round_channels_matches_reference_rule() {
+        assert_eq!(round_channels(32.0, 8), 32);
+        assert_eq!(round_channels(16.8, 8), 16);
+        assert_eq!(round_channels(44.8, 8), 48);
+        assert_eq!(round_channels(3.0, 8), 8);
+        // never drops below 90% of the request
+        assert_eq!(round_channels(68.0, 8), 72);
+    }
+
+    #[test]
+    fn known_mac_counts_are_in_published_ballpark() {
+        // Published MACs: MobileNetV1 ~569M, MobileNetV2 ~300M,
+        // MobileNetV3-Large ~219M, SqueezeNet1.1 ~355M, EfficientNet-B0 ~390M.
+        let within = |net: &str, got: f64, expect: f64| {
+            assert!(
+                got > expect * 0.6 && got < expect * 1.7,
+                "{net}: {got:.0}M MACs vs published ~{expect:.0}M"
+            );
+        };
+        within(
+            "mobilenet_v1",
+            mobilenet_v1(1.0).unwrap().cost().mmacs(),
+            569.0,
+        );
+        within(
+            "mobilenet_v2",
+            mobilenet_v2(1.0).unwrap().cost().mmacs(),
+            300.0,
+        );
+        within(
+            "mobilenet_v3_large",
+            mobilenet_v3_large().unwrap().cost().mmacs(),
+            219.0,
+        );
+        within(
+            "efficientnet_b0",
+            efficientnet_b0().unwrap().cost().mmacs(),
+            390.0,
+        );
+    }
+
+    #[test]
+    fn width_multiplier_scales_cost() {
+        let half = mobilenet_v1(0.5).unwrap().cost().total_macs;
+        let full = mobilenet_v1(1.0).unwrap().cost().total_macs;
+        // Cost scales roughly quadratically with width.
+        assert!(full > 2 * half, "full {full} vs half {half}");
+    }
+}
+
+#[cfg(test)]
+mod ordering_tests {
+    use super::*;
+
+    #[test]
+    fn zoo_cost_ordering_matches_published_relationships() {
+        let cost = |net: Result<Network, gdcm_dnn::DnnError>| net.unwrap().cost().total_macs;
+        // Width multipliers order MobileNetV1 variants.
+        assert!(cost(mobilenet_v1(0.5)) < cost(mobilenet_v1(0.75)));
+        assert!(cost(mobilenet_v1(0.75)) < cost(mobilenet_v1(1.0)));
+        // MobileNetV2 1.4x is the heaviest V2 variant.
+        assert!(cost(mobilenet_v2(0.75)) < cost(mobilenet_v2(1.0)));
+        assert!(cost(mobilenet_v2(1.0)) < cost(mobilenet_v2(1.4)));
+        // V2 is cheaper than V1 at the same width (the paper's motivation
+        // for inverted bottlenecks).
+        assert!(cost(mobilenet_v2(1.0)) < cost(mobilenet_v1(1.0)));
+        // ShuffleNetV2 is the cheapest ImageNet-scale backbone here.
+        assert!(cost(shufflenet_v2()) < cost(mobilenet_v2(1.0)));
+        // MNASNet-A1 (with SE) is close to B1 in MACs.
+        let a1 = cost(mnasnet_a1()) as f64;
+        let b1 = cost(mnasnet_b1()) as f64;
+        assert!((a1 / b1 - 1.0).abs() < 0.5, "a1 {a1} vs b1 {b1}");
+    }
+
+    #[test]
+    fn zoo_networks_all_consume_imagenet_inputs() {
+        for net in all() {
+            let input = net.input_shape();
+            assert_eq!((input.h, input.w, input.c), (224, 224, 3), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn zoo_parameter_counts_are_mobile_scale() {
+        for net in all() {
+            let params = net.cost().total_params;
+            assert!(
+                params > 700_000 && params < 30_000_000,
+                "{}: {} parameters is outside the mobile regime",
+                net.name(),
+                params
+            );
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! NAS-produced networks: MNASNet, ProxylessNAS, FBNet, Single-Path NAS.
+//!
+//! Block tables follow the published architectures; where a paper mixes
+//! kernel sizes and expansion ratios per block, the tables below encode
+//! the released final architectures.
+
+use gdcm_dnn::{Activation, DnnError, Network, NetworkBuilder, TensorShape};
+
+const INPUT: TensorShape = TensorShape::new(224, 224, 3);
+
+/// One stage of ratio-parameterized MBConv blocks.
+struct Stage {
+    expansion: usize,
+    out: usize,
+    repeats: usize,
+    stride: usize,
+    kernel: usize,
+    se: bool,
+}
+
+fn st(expansion: usize, out: usize, repeats: usize, stride: usize, kernel: usize, se: bool) -> Stage {
+    Stage {
+        expansion,
+        out,
+        repeats,
+        stride,
+        kernel,
+        se,
+    }
+}
+
+fn build_mbnet(
+    name: &str,
+    stem: usize,
+    first_sep: Option<usize>,
+    stages: Vec<Stage>,
+    head: usize,
+    act: Activation,
+) -> Result<Network, DnnError> {
+    let mut b = NetworkBuilder::new(name);
+    let x = b.input(INPUT);
+    let mut x = b.conv2d_act(x, stem, 3, 2, act)?;
+    if let Some(out) = first_sep {
+        x = b.separable_conv(x, out, 3, 1, act)?;
+    }
+    for s in &stages {
+        for i in 0..s.repeats {
+            let stride = if i == 0 { s.stride } else { 1 };
+            x = b.inverted_bottleneck(x, s.expansion, s.out, s.kernel, stride, act, s.se)?;
+        }
+    }
+    x = b.conv2d_act(x, head, 1, 1, act)?;
+    let out = b.classifier(x, 1000)?;
+    b.build(out)
+}
+
+/// MNASNet-A1 (Tan et al., 2019) — the SE-augmented search result.
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed table.
+pub fn mnasnet_a1() -> Result<Network, DnnError> {
+    build_mbnet(
+        "mnasnet_a1",
+        32,
+        Some(16),
+        vec![
+            st(6, 24, 2, 2, 3, false),
+            st(3, 40, 3, 2, 5, true),
+            st(6, 80, 4, 2, 3, false),
+            st(6, 112, 2, 1, 3, true),
+            st(6, 160, 3, 2, 5, true),
+            st(6, 320, 1, 1, 3, false),
+        ],
+        1280,
+        Activation::Relu,
+    )
+}
+
+/// MNASNet-B1 (Tan et al., 2019) — the SE-free baseline search result.
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed table.
+pub fn mnasnet_b1() -> Result<Network, DnnError> {
+    build_mbnet(
+        "mnasnet_b1",
+        32,
+        Some(16),
+        vec![
+            st(3, 24, 3, 2, 3, false),
+            st(3, 40, 3, 2, 5, false),
+            st(6, 80, 3, 2, 5, false),
+            st(6, 96, 2, 1, 3, false),
+            st(6, 192, 4, 2, 5, false),
+            st(6, 320, 1, 1, 3, false),
+        ],
+        1280,
+        Activation::Relu,
+    )
+}
+
+/// MNASNet-Small — the latency-optimized small variant from the MNASNet
+/// paper's ablation.
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed table.
+pub fn mnasnet_small() -> Result<Network, DnnError> {
+    build_mbnet(
+        "mnasnet_small",
+        16,
+        Some(8),
+        vec![
+            st(3, 16, 1, 2, 3, false),
+            st(6, 16, 2, 2, 3, false),
+            st(6, 32, 4, 2, 5, true),
+            st(6, 32, 3, 1, 3, true),
+            st(6, 88, 3, 2, 5, true),
+            st(6, 144, 1, 1, 3, true),
+        ],
+        1280,
+        Activation::Relu,
+    )
+}
+
+/// ProxylessNAS-Mobile (Cai et al., 2019) — searched directly for mobile
+/// CPU latency.
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed table.
+pub fn proxyless_mobile() -> Result<Network, DnnError> {
+    build_mbnet(
+        "proxyless_mobile",
+        32,
+        Some(16),
+        vec![
+            st(3, 32, 2, 2, 5, false),
+            st(3, 40, 4, 2, 7, false),
+            st(6, 80, 4, 2, 7, false),
+            st(3, 96, 4, 1, 5, false),
+            st(6, 192, 4, 2, 7, false),
+            st(6, 320, 1, 1, 7, false),
+        ],
+        1280,
+        Activation::Relu6,
+    )
+}
+
+/// FBNet-C (Wu et al., 2019) — differentiable NAS result targeting
+/// Samsung S8 latency.
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed table.
+pub fn fbnet_c() -> Result<Network, DnnError> {
+    build_mbnet(
+        "fbnet_c",
+        16,
+        Some(16),
+        vec![
+            st(6, 24, 2, 2, 3, false),
+            st(6, 32, 3, 2, 5, false),
+            st(6, 64, 4, 2, 5, false),
+            st(6, 112, 4, 1, 5, false),
+            st(6, 184, 4, 2, 5, false),
+            st(6, 352, 1, 1, 3, false),
+        ],
+        1984,
+        Activation::Relu,
+    )
+}
+
+/// Single-Path NAS (Stamoulis et al., 2019) — superkernel search result.
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed table.
+pub fn single_path_nas() -> Result<Network, DnnError> {
+    build_mbnet(
+        "single_path_nas",
+        32,
+        Some(16),
+        vec![
+            st(3, 24, 2, 2, 3, false),
+            st(3, 40, 4, 2, 5, false),
+            st(6, 80, 4, 2, 3, false),
+            st(3, 96, 4, 1, 5, false),
+            st(6, 192, 4, 2, 5, false),
+            st(6, 320, 1, 1, 3, false),
+        ],
+        1280,
+        Activation::Relu6,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nas_nets_build_and_have_sane_cost() {
+        for (name, net) in [
+            ("mnasnet_a1", mnasnet_a1()),
+            ("mnasnet_b1", mnasnet_b1()),
+            ("mnasnet_small", mnasnet_small()),
+            ("proxyless_mobile", proxyless_mobile()),
+            ("fbnet_c", fbnet_c()),
+            ("single_path_nas", single_path_nas()),
+        ] {
+            let net = net.unwrap();
+            assert_eq!(net.output().output_shape, TensorShape::vector(1000));
+            let m = net.cost().mmacs();
+            assert!((20.0..900.0).contains(&m), "{name}: {m}M MACs");
+        }
+    }
+
+    #[test]
+    fn mnasnet_a1_has_se_blocks() {
+        let net = mnasnet_a1().unwrap();
+        assert!(net
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, gdcm_dnn::Op::Multiply)));
+        let net = mnasnet_b1().unwrap();
+        assert!(!net
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, gdcm_dnn::Op::Multiply)));
+    }
+
+    #[test]
+    fn small_variant_is_cheapest() {
+        let small = mnasnet_small().unwrap().cost().total_macs;
+        let a1 = mnasnet_a1().unwrap().cost().total_macs;
+        assert!(small < a1);
+    }
+}

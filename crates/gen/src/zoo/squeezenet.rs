@@ -1,0 +1,52 @@
+//! SqueezeNet v1.1 (Iandola et al., 2016).
+
+use gdcm_dnn::{Activation, DnnError, Network, NetworkBuilder, TensorShape};
+
+/// SqueezeNet v1.1: the cheaper revision of SqueezeNet used in mobile
+/// deployments (3x3/2 stem of 64 channels, fire modules, 1x1 classifier
+/// convolution followed by global pooling).
+///
+/// # Errors
+///
+/// Forwarded from the builder; never fails for this fixed architecture.
+pub fn squeezenet_v1_1() -> Result<Network, DnnError> {
+    let mut b = NetworkBuilder::new("squeezenet_v1.1");
+    let x = b.input(TensorShape::new(224, 224, 3));
+    let x = b.conv2d_act(x, 64, 3, 2, Activation::Relu)?;
+    let x = b.max_pool(x, 3, 2)?;
+    let x = b.fire_module(x, 16, 64, 64)?;
+    let x = b.fire_module(x, 16, 64, 64)?;
+    let x = b.max_pool(x, 3, 2)?;
+    let x = b.fire_module(x, 32, 128, 128)?;
+    let x = b.fire_module(x, 32, 128, 128)?;
+    let x = b.max_pool(x, 3, 2)?;
+    let x = b.fire_module(x, 48, 192, 192)?;
+    let x = b.fire_module(x, 48, 192, 192)?;
+    let x = b.fire_module(x, 64, 256, 256)?;
+    let x = b.fire_module(x, 64, 256, 256)?;
+    // Classifier: 1x1 conv to 1000 maps, then global average pooling.
+    let x = b.conv2d_act(x, 1000, 1, 1, Activation::Relu)?;
+    let out = b.global_avg_pool(x)?;
+    b.build(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_and_cost() {
+        let net = squeezenet_v1_1().unwrap();
+        assert_eq!(net.output().output_shape, TensorShape::vector(1000));
+        let m = net.cost().mmacs();
+        // Published ~355M MACs (with the conv classifier counted).
+        assert!((200.0..600.0).contains(&m), "got {m}M MACs");
+        // Fire modules concatenate: the graph must contain Concat nodes.
+        let concats = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, gdcm_dnn::Op::Concat))
+            .count();
+        assert_eq!(concats, 8);
+    }
+}

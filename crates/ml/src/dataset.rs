@@ -1,0 +1,172 @@
+//! Dense row-major feature matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f32` matrix used as the feature container by every
+/// estimator in this crate.
+///
+/// ```
+/// use gdcm_ml::DenseMatrix;
+///
+/// let mut m = DenseMatrix::with_capacity(2, 3);
+/// m.push_row(&[1.0, 2.0, 3.0]);
+/// m.push_row(&[4.0, 5.0, 6.0]);
+/// assert_eq!(m.n_rows(), 2);
+/// assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+/// assert_eq!(m.get(0, 2), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    data: Vec<f32>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl DenseMatrix {
+    /// Creates an empty matrix expecting rows of length `n_cols`.
+    pub fn with_capacity(n_rows: usize, n_cols: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(n_rows * n_cols),
+            n_rows: 0,
+            n_cols,
+        }
+    }
+
+    /// Builds a matrix from complete row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` is not `n_rows * n_cols`.
+    pub fn from_vec(data: Vec<f32>, n_rows: usize, n_cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            n_rows * n_cols,
+            "data length {} does not match {n_rows}x{n_cols}",
+            data.len()
+        );
+        Self {
+            data,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Builds a matrix from equal-length rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut m = Self::with_capacity(rows.len(), n_cols);
+        for r in rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.len()` differs from the matrix width.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(
+            row.len(),
+            self.n_cols,
+            "row length {} does not match width {}",
+            row.len(),
+            self.n_cols
+        );
+        self.data.extend_from_slice(row);
+        self.n_rows += 1;
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.data[row * self.n_cols + col]
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.n_cols.max(1))
+    }
+
+    /// Copies the selected rows into a new matrix (e.g. a train split).
+    pub fn select_rows(&self, indices: &[usize]) -> DenseMatrix {
+        let mut out = DenseMatrix::with_capacity(indices.len(), self.n_cols);
+        for &i in indices {
+            out.push_row(self.row(i));
+        }
+        out
+    }
+
+    /// Extracts column `col` as a vector.
+    pub fn column(&self, col: usize) -> Vec<f32> {
+        (0..self.n_rows).map(|r| self.get(r, col)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = DenseMatrix::from_vec(vec![1., 2., 3., 4., 5., 6.], 2, 3);
+        assert_eq!(m.row(0), &[1., 2., 3.]);
+        assert_eq!(m.get(1, 0), 4.);
+        assert_eq!(m.column(1), vec![2., 5.]);
+        assert_eq!(m.rows().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_panics() {
+        let mut m = DenseMatrix::with_capacity(1, 3);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn select_rows_copies() {
+        let m = DenseMatrix::from_rows(&[vec![1., 2.], vec![3., 4.], vec![5., 6.]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5., 6.]);
+        assert_eq!(s.row(1), &[1., 2.]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DenseMatrix::with_capacity(0, 4);
+        assert!(m.is_empty());
+        assert_eq!(m.rows().count(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Random-forest regression — another baseline from the paper's model
+//! comparison.
+
+use rand::Rng;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::binning::BinnedMatrix;
+use crate::dataset::DenseMatrix;
+use crate::tree::{Tree, TreeParams};
+use crate::Regressor;
+
+/// Bagged ensemble of deep regression trees with per-tree feature
+/// subsampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestRegressor {
+    trees: Vec<Tree>,
+    n_features: usize,
+}
+
+impl RandomForestRegressor {
+    /// Fits `n_trees` trees of depth `max_depth` on bootstrap samples,
+    /// each restricted to `sqrt(d)`-sized random feature subsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is empty, lengths differ, or `n_trees` is 0.
+    pub fn fit(x: &DenseMatrix, y: &[f32], n_trees: usize, max_depth: usize, seed: u64) -> Self {
+        assert!(!x.is_empty(), "cannot fit on empty matrix");
+        assert_eq!(x.n_rows(), y.len(), "x/y length mismatch");
+        assert!(n_trees >= 1, "need at least one tree");
+
+        let n = x.n_rows();
+        let binned = BinnedMatrix::from_matrix(x, 64);
+        // Forest trees fit targets directly: g = -y, h = 1, λ = 0 makes
+        // every leaf the mean of its targets.
+        let grad: Vec<f64> = y.iter().map(|&v| -(v as f64)).collect();
+        let hess = vec![1f64; n];
+        let params = TreeParams {
+            max_depth,
+            min_child_weight: 1.0,
+            lambda: 0.0,
+            gamma: 0.0,
+            min_samples_leaf: 2,
+        };
+
+        let active: Vec<usize> = (0..x.n_cols()).filter(|&f| !binned.is_constant(f)).collect();
+        let m_features = ((active.len() as f64).sqrt().ceil() as usize)
+            .max(1)
+            .min(active.len().max(1));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let mut feats = active.clone();
+            feats.shuffle(&mut rng);
+            feats.truncate(m_features);
+            trees.push(Tree::fit(&binned, &grad, &hess, &rows, &feats, &params));
+        }
+        Self {
+            trees,
+            n_features: x.n_cols(),
+        }
+    }
+
+    /// The number of trees in the forest.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn predict_row(&self, row: &[f32]) -> f32 {
+        debug_assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        let sum: f64 = self
+            .trees
+            .iter()
+            .map(|t| t.predict_row(row) as f64)
+            .sum();
+        (sum / self.trees.len() as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn fits_piecewise_function() {
+        let rows: Vec<Vec<f32>> = (0..300).map(|i| vec![(i % 100) as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = rows
+            .iter()
+            .map(|r| if r[0] < 30.0 { 1.0 } else if r[0] < 70.0 { 5.0 } else { 2.0 })
+            .collect();
+        let forest = RandomForestRegressor::fit(&x, &y, 30, 8, 0);
+        let r2 = r2_score(&y, &forest.predict(&x));
+        assert!(r2 > 0.9, "r2 = {r2}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rows: Vec<Vec<f32>> = (0..60).map(|i| vec![i as f32, (i * i % 17) as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..60).map(|i| (i % 9) as f32).collect();
+        let a = RandomForestRegressor::fit(&x, &y, 10, 6, 3);
+        let b = RandomForestRegressor::fit(&x, &y, 10, 6, 3);
+        assert_eq!(a, b);
+        let c = RandomForestRegressor::fit(&x, &y, 10, 6, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn averaging_bounds_predictions() {
+        let rows: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let forest = RandomForestRegressor::fit(&x, &y, 20, 8, 1);
+        // Predictions of a forest can never leave the target range.
+        for i in 0..50 {
+            let p = forest.predict_row(x.row(i));
+            assert!((0.0..=49.0).contains(&p));
+        }
+    }
+}

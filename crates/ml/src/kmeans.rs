@@ -1,0 +1,271 @@
+//! Lloyd's k-means with k-means++ initialization.
+//!
+//! Used to reproduce the paper's exploratory clustering: devices into
+//! *fast/medium/slow* (Fig. 4) and networks into *small/large/giant*
+//! (Fig. 6), each clustered on their latency vectors.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::DenseMatrix;
+
+/// k-means configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Number of k-means++ restarts; the lowest-inertia run wins.
+    pub n_init: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// Standard configuration: 100 iterations, 8 restarts.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            max_iter: 100,
+            n_init: 8,
+            seed,
+        }
+    }
+
+    /// Clusters the rows of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is 0 or exceeds the number of rows.
+    pub fn fit(&self, x: &DenseMatrix) -> KMeansResult {
+        assert!(self.k > 0, "k must be >= 1");
+        assert!(
+            self.k <= x.n_rows(),
+            "k={} exceeds {} rows",
+            self.k,
+            x.n_rows()
+        );
+        let mut best: Option<KMeansResult> = None;
+        for restart in 0..self.n_init.max(1) {
+            let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(restart as u64));
+            let result = self.run_once(x, &mut rng);
+            if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
+                best = Some(result);
+            }
+        }
+        best.expect("at least one restart runs")
+    }
+
+    fn run_once(&self, x: &DenseMatrix, rng: &mut ChaCha8Rng) -> KMeansResult {
+        let n = x.n_rows();
+        let d = x.n_cols();
+        let mut centroids = self.init_plus_plus(x, rng);
+        let mut assignment = vec![0usize; n];
+
+        for _ in 0..self.max_iter {
+            let mut changed = false;
+            for i in 0..n {
+                let (c, _) = nearest(&centroids, d, x.row(i));
+                if assignment[i] != c {
+                    assignment[i] = c;
+                    changed = true;
+                }
+            }
+            // Recompute centroids.
+            let mut sums = vec![0f64; self.k * d];
+            let mut counts = vec![0usize; self.k];
+            for i in 0..n {
+                let c = assignment[i];
+                counts[c] += 1;
+                for (j, &v) in x.row(i).iter().enumerate() {
+                    sums[c * d + j] += v as f64;
+                }
+            }
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster with a random row.
+                    let r = rng.gen_range(0..n);
+                    centroids[c * d..(c + 1) * d].copy_from_slice(x.row(r));
+                    continue;
+                }
+                for j in 0..d {
+                    centroids[c * d + j] = (sums[c * d + j] / counts[c] as f64) as f32;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let inertia: f64 = (0..n)
+            .map(|i| nearest(&centroids, d, x.row(i)).1)
+            .sum();
+        KMeansResult {
+            k: self.k,
+            assignment,
+            centroids,
+            dims: d,
+            inertia,
+        }
+    }
+
+    /// k-means++ seeding: first center uniform, subsequent centers drawn
+    /// proportionally to squared distance from the nearest chosen center.
+    fn init_plus_plus(&self, x: &DenseMatrix, rng: &mut ChaCha8Rng) -> Vec<f32> {
+        let n = x.n_rows();
+        let d = x.n_cols();
+        let mut centroids = Vec::with_capacity(self.k * d);
+        let first = rng.gen_range(0..n);
+        centroids.extend_from_slice(x.row(first));
+
+        let mut dist2 = vec![0f64; n];
+        for c in 1..self.k {
+            let mut total = 0f64;
+            for i in 0..n {
+                let (_, d2) = nearest(&centroids, d, x.row(i));
+                dist2[i] = d2;
+                total += d2;
+            }
+            let pick = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut roll = rng.gen_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, &d2) in dist2.iter().enumerate() {
+                    if roll < d2 {
+                        chosen = i;
+                        break;
+                    }
+                    roll -= d2;
+                }
+                chosen
+            };
+            centroids.extend_from_slice(x.row(pick));
+            let _ = c;
+        }
+        centroids
+    }
+}
+
+fn nearest(centroids: &[f32], d: usize, row: &[f32]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, centroid) in centroids.chunks_exact(d).enumerate() {
+        let mut acc = 0f64;
+        for (a, b) in row.iter().zip(centroid) {
+            let diff = (*a - *b) as f64;
+            acc += diff * diff;
+        }
+        if acc < best.1 {
+            best = (c, acc);
+        }
+    }
+    best
+}
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Number of clusters.
+    pub k: usize,
+    /// Cluster index of every input row.
+    pub assignment: Vec<usize>,
+    /// Flattened `k x dims` centroid matrix.
+    pub centroids: Vec<f32>,
+    /// Feature dimensionality.
+    pub dims: usize,
+    /// Sum of squared distances to the assigned centroids.
+    pub inertia: f64,
+}
+
+impl KMeansResult {
+    /// Row indices belonging to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+
+    /// Centroid of cluster `c`.
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dims..(c + 1) * self.dims]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> DenseMatrix {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 5) as f32 * 0.01;
+            let center = match i % 3 {
+                0 => (0.0, 0.0),
+                1 => (10.0, 10.0),
+                _ => (-10.0, 5.0),
+            };
+            rows.push(vec![center.0 + jitter, center.1 - jitter]);
+        }
+        DenseMatrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let x = three_blobs();
+        let result = KMeans::new(3, 7).fit(&x);
+        // All rows from the same blob share a cluster.
+        for i in 0..30 {
+            for j in 0..30 {
+                if i % 3 == j % 3 {
+                    assert_eq!(result.assignment[i], result.assignment[j]);
+                } else {
+                    assert_ne!(result.assignment[i], result.assignment[j]);
+                }
+            }
+        }
+        assert!(result.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = three_blobs();
+        let a = KMeans::new(3, 1).fit(&x);
+        let b = KMeans::new(3, 1).fit(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn members_partition_rows() {
+        let x = three_blobs();
+        let result = KMeans::new(3, 9).fit(&x);
+        let total: usize = (0..3).map(|c| result.members(c).len()).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]);
+        let result = KMeans::new(3, 3).fit(&x);
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "k=5 exceeds")]
+    fn k_larger_than_rows_panics() {
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let _ = KMeans::new(5, 0).fit(&x);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let x = three_blobs();
+        let one = KMeans::new(1, 0).fit(&x);
+        let three = KMeans::new(3, 0).fit(&x);
+        assert!(three.inertia < one.inertia);
+    }
+}

@@ -1,0 +1,114 @@
+//! k-nearest-neighbour regression — one of the baselines the paper's
+//! XGBoost model outperformed.
+
+use crate::dataset::DenseMatrix;
+use crate::scaler::StandardScaler;
+use crate::Regressor;
+
+/// Brute-force kNN regressor with standardized Euclidean distance and
+/// inverse-distance weighting.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    x: DenseMatrix,
+    y: Vec<f32>,
+    scaler: StandardScaler,
+}
+
+impl KnnRegressor {
+    /// Memorizes the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is 0, `x` is empty, or `x`/`y` lengths differ.
+    pub fn fit(x: &DenseMatrix, y: &[f32], k: usize) -> Self {
+        assert!(k >= 1, "k must be >= 1");
+        assert!(!x.is_empty(), "cannot fit on empty matrix");
+        assert_eq!(x.n_rows(), y.len(), "x/y length mismatch");
+        let scaler = StandardScaler::fit(x);
+        Self {
+            k: k.min(x.n_rows()),
+            x: scaler.transform(x),
+            y: y.to_vec(),
+            scaler,
+        }
+    }
+
+    /// The effective neighbour count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut query = row.to_vec();
+        self.scaler.transform_row(&mut query);
+
+        // Collect (distance², target) and select the k smallest.
+        let mut dists: Vec<(f64, f32)> = self
+            .x
+            .rows()
+            .zip(&self.y)
+            .map(|(r, &t)| {
+                let d2: f64 = r
+                    .iter()
+                    .zip(&query)
+                    .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                    .sum();
+                (d2, t)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        dists.truncate(self.k);
+
+        // Inverse-distance weights; exact matches dominate.
+        let mut wsum = 0f64;
+        let mut acc = 0f64;
+        for (d2, t) in dists {
+            let w = 1.0 / (d2.sqrt() + 1e-9);
+            wsum += w;
+            acc += w * t as f64;
+        }
+        (acc / wsum) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_returns_training_target() {
+        let x = DenseMatrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0], vec![-5.0, 3.0]]);
+        let y = vec![1.0, 2.0, 3.0];
+        let knn = KnnRegressor::fit(&x, &y, 1);
+        assert!((knn.predict_row(&[10.0, 10.0]) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let knn = KnnRegressor::fit(&x, &[5.0, 7.0], 10);
+        assert_eq!(knn.k(), 2);
+        let p = knn.predict_row(&[0.5]);
+        assert!(p > 5.0 && p < 7.0);
+    }
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 10.0]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..100).map(|i| (i as f32 / 10.0) * 2.0).collect();
+        let knn = KnnRegressor::fit(&x, &y, 3);
+        let p = knn.predict_row(&[5.05]);
+        assert!((p - 10.1).abs() < 0.3, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        let x = DenseMatrix::from_rows(&[vec![0.0]]);
+        let _ = KnnRegressor::fit(&x, &[1.0], 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # gdcm-ml — from-scratch ML toolkit for the cost-model study
+//!
+//! Everything the paper borrows from the Python ML ecosystem,
+//! reimplemented in safe Rust with no external ML dependencies:
+//!
+//! * [`gbdt`] — histogram-based gradient-boosted regression trees with
+//!   XGBoost-style second-order gains (the paper's regressor of choice).
+//! * [`forest`], [`knn`], [`linear`], [`mlp`] — the baseline regressors the
+//!   paper compared against.
+//! * [`metrics`] — R², RMSE, MAE, MAPE, Pearson and Spearman correlation.
+//! * [`kmeans`] — k-means++ clustering (device/network clusters, Fig. 4/6).
+//! * [`mutual_info`] — binned mutual-information estimation (MIS, Alg. 1).
+//!
+//! All estimators are deterministic given their seed.
+
+#![warn(missing_docs)]
+
+mod binning;
+mod dataset;
+pub mod forest;
+pub mod gbdt;
+pub mod kmeans;
+pub mod knn;
+pub mod linear;
+pub mod metrics;
+pub mod mlp;
+pub mod mutual_info;
+mod scaler;
+mod split;
+mod tree;
+
+pub use binning::{BinnedMatrix, MAX_BINS};
+pub use dataset::DenseMatrix;
+pub use forest::RandomForestRegressor;
+pub use gbdt::{GbdtParams, GbdtRegressor};
+pub use kmeans::{KMeans, KMeansResult};
+pub use knn::KnnRegressor;
+pub use linear::RidgeRegressor;
+pub use mlp::{MlpParams, MlpRegressor};
+pub use scaler::StandardScaler;
+pub use split::train_test_split;
+pub use tree::{Tree, TreeParams};
+
+/// A fitted regression model that can score feature rows.
+///
+/// Implemented by every regressor in this crate so evaluation code can be
+/// written once.
+pub trait Regressor {
+    /// Predicts the target for a single feature row.
+    fn predict_row(&self, row: &[f32]) -> f32;
+
+    /// Predicts targets for every row of `x`.
+    fn predict(&self, x: &DenseMatrix) -> Vec<f32> {
+        (0..x.n_rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+}

@@ -1,0 +1,173 @@
+//! Ridge (L2-regularized linear) regression via normal equations.
+
+use crate::dataset::DenseMatrix;
+use crate::scaler::StandardScaler;
+use crate::Regressor;
+
+/// Ridge regressor: standardizes features, centers the target, and solves
+/// `(XᵀX + αI) w = Xᵀy` by Cholesky decomposition.
+#[derive(Debug, Clone)]
+pub struct RidgeRegressor {
+    weights: Vec<f64>,
+    intercept: f64,
+    scaler: StandardScaler,
+}
+
+impl RidgeRegressor {
+    /// Fits with regularization strength `alpha` (0 = ordinary least
+    /// squares; a small positive alpha keeps the system well-conditioned).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is empty, lengths differ, or `alpha < 0`.
+    pub fn fit(x: &DenseMatrix, y: &[f32], alpha: f64) -> Self {
+        assert!(!x.is_empty(), "cannot fit on empty matrix");
+        assert_eq!(x.n_rows(), y.len(), "x/y length mismatch");
+        assert!(alpha >= 0.0, "alpha must be >= 0");
+
+        let scaler = StandardScaler::fit(x);
+        let xs = scaler.transform(x);
+        let n = xs.n_rows();
+        let d = xs.n_cols();
+        let y_mean = y.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+
+        // Gram matrix and moment vector.
+        let mut gram = vec![0f64; d * d];
+        let mut moment = vec![0f64; d];
+        for (i, row) in xs.rows().enumerate() {
+            let yc = y[i] as f64 - y_mean;
+            for a in 0..d {
+                let ra = row[a] as f64;
+                moment[a] += ra * yc;
+                for b in a..d {
+                    gram[a * d + b] += ra * row[b] as f64;
+                }
+            }
+        }
+        // Mirror and regularize. A tiny jitter keeps Cholesky stable even
+        // at alpha = 0 with collinear columns.
+        let jitter = 1e-8 * n as f64;
+        for a in 0..d {
+            for b in 0..a {
+                gram[a * d + b] = gram[b * d + a];
+            }
+            gram[a * d + a] += alpha + jitter;
+        }
+
+        let weights = cholesky_solve(&mut gram, &moment, d);
+        Self {
+            weights,
+            intercept: y_mean,
+            scaler,
+        }
+    }
+
+    /// Fitted coefficient vector (in standardized feature space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Regressor for RidgeRegressor {
+    fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut r = row.to_vec();
+        self.scaler.transform_row(&mut r);
+        let dot: f64 = r
+            .iter()
+            .zip(&self.weights)
+            .map(|(&a, &w)| a as f64 * w)
+            .sum();
+        (dot + self.intercept) as f32
+    }
+}
+
+/// Solves `A w = b` for symmetric positive-definite `A` (destroyed in
+/// place) via Cholesky factorization.
+fn cholesky_solve(a: &mut [f64], b: &[f64], d: usize) -> Vec<f64> {
+    // Factorize A = L Lᵀ (lower triangle stored in `a`).
+    for j in 0..d {
+        for k in 0..j {
+            let ljk = a[j * d + k];
+            for i in j..d {
+                a[i * d + j] -= a[i * d + k] * ljk;
+            }
+        }
+        let diag = a[j * d + j].max(1e-12).sqrt();
+        a[j * d + j] = diag;
+        for i in j + 1..d {
+            a[i * d + j] /= diag;
+        }
+    }
+    // Forward solve L z = b.
+    let mut z = b.to_vec();
+    for i in 0..d {
+        for k in 0..i {
+            z[i] -= a[i * d + k] * z[k];
+        }
+        z[i] /= a[i * d + i];
+    }
+    // Back solve Lᵀ w = z.
+    let mut w = z;
+    for i in (0..d).rev() {
+        for k in i + 1..d {
+            w[i] -= a[k * d + i] * w[k];
+        }
+        w[i] /= a[i * d + i];
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn recovers_linear_function() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let a = (i % 13) as f32;
+            let b = ((i * 7) % 11) as f32;
+            rows.push(vec![a, b]);
+            y.push(2.0 * a - 3.0 * b + 5.0);
+        }
+        let x = DenseMatrix::from_rows(&rows);
+        let model = RidgeRegressor::fit(&x, &y, 1e-6);
+        let r2 = r2_score(&y, &model.predict(&x));
+        assert!(r2 > 0.999, "r2 = {r2}");
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let rows: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..50).map(|i| i as f32 * 4.0).collect();
+        let loose = RidgeRegressor::fit(&x, &y, 0.0);
+        let tight = RidgeRegressor::fit(&x, &y, 1000.0);
+        assert!(tight.weights()[0].abs() < loose.weights()[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_do_not_explode() {
+        // Two identical columns; the jitter keeps the solve finite.
+        let rows: Vec<Vec<f32>> = (0..30).map(|i| vec![i as f32, i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..30).map(|i| i as f32).collect();
+        let model = RidgeRegressor::fit(&x, &y, 0.0);
+        for w in model.weights() {
+            assert!(w.is_finite());
+        }
+        let r2 = r2_score(&y, &model.predict(&x));
+        assert!(r2 > 0.99);
+    }
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] -> w = [1.75, 1.5]
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        let w = cholesky_solve(&mut a, &[10.0, 8.0], 2);
+        assert!((w[0] - 1.75).abs() < 1e-9);
+        assert!((w[1] - 1.5).abs() < 1e-9);
+    }
+}

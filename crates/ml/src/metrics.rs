@@ -1,0 +1,236 @@
+//! Regression and correlation metrics.
+
+/// Coefficient of determination `R²` — the paper's headline metric.
+///
+/// Returns `1.0` for a perfect fit; can be arbitrarily negative for a fit
+/// worse than predicting the mean. Returns `0.0` when the targets have
+/// zero variance (degenerate case).
+///
+/// ```
+/// let r2 = gdcm_ml::metrics::r2_score(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+/// assert!((r2 - 1.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths or are empty.
+pub fn r2_score(actual: &[f32], predicted: &[f32]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty input");
+    let n = actual.len() as f64;
+    let mean = actual.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let ss_tot: f64 = actual.iter().map(|&v| (v as f64 - mean).powi(2)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a as f64 - p as f64).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Root-mean-square error — the paper's training loss.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths or are empty.
+pub fn rmse(actual: &[f32], predicted: &[f32]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty input");
+    let mse: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a as f64 - p as f64).powi(2))
+        .sum::<f64>()
+        / actual.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths or are empty.
+pub fn mae(actual: &[f32], predicted: &[f32]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty input");
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a as f64 - p as f64).abs())
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Mean absolute percentage error (skips zero-valued actuals).
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths or are empty.
+pub fn mape(actual: &[f32], predicted: &[f32]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty input");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a != 0.0 {
+            total += ((a as f64 - p as f64) / a as f64).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64 * 100.0
+    }
+}
+
+/// Pearson product-moment correlation coefficient.
+///
+/// Returns `0.0` when either input has zero variance.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths or are empty.
+pub fn pearson(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(!x.is_empty(), "empty input");
+    let n = x.len() as f64;
+    let mx = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let my = y.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let da = a as f64 - mx;
+        let db = b as f64 - my;
+        cov += da * db;
+        vx += da * da;
+        vy += db * db;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Fractional ranks with ties receiving their average rank — the rank
+/// transform under Spearman correlation.
+pub fn average_ranks(values: &[f32]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    let mut ranks = vec![0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // ranks are 1-based; ties share the average of their positions.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation coefficient (Pearson on average ranks),
+/// used by the SCCS signature-selection algorithm.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths or are empty.
+pub fn spearman(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(!x.is_empty(), "empty input");
+    let rx: Vec<f32> = average_ranks(x).into_iter().map(|v| v as f32).collect();
+    let ry: Vec<f32> = average_ranks(y).into_iter().map(|v| v as f32).collect();
+    pearson(&rx, &ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_perfect_and_mean_baseline() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert!((r2_score(&y, &y) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5f32; 4];
+        assert!(r2_score(&y, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_worse_than_mean_is_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let bad = [3.0, 2.0, 1.0];
+        assert!(r2_score(&y, &bad) < 0.0);
+    }
+
+    #[test]
+    fn r2_zero_variance_target() {
+        assert_eq!(r2_score(&[2.0, 2.0], &[1.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let p = [1.0, -1.0, 1.0, -1.0];
+        assert!((rmse(&a, &p) - 1.0).abs() < 1e-12);
+        assert!((mae(&a, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zeros() {
+        let a = [0.0, 100.0];
+        let p = [5.0, 110.0];
+        assert!((mape(&a, &p) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_linear_relationship() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &yneg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform() {
+        let x: [f32; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f32> = x.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        let ydec: Vec<f32> = x.iter().map(|v| 1.0 / v).collect();
+        assert!((spearman(&x, &ydec) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_ranks_with_ties() {
+        let ranks = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = r2_score(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Small multi-layer perceptron regressor.
+//!
+//! The paper evaluated an LSTM-encoder + fully-connected model and simple
+//! MLPs (as used by ProxylessNAS / Once-for-All latency predictors)
+//! before settling on XGBoost. This MLP reproduces that baseline: two
+//! ReLU hidden layers trained with Adam on standardized features and a
+//! standardized target.
+
+use rand::Rng;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::DenseMatrix;
+use crate::scaler::StandardScaler;
+use crate::Regressor;
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlpParams {
+    /// Width of the first hidden layer.
+    pub hidden1: usize,
+    /// Width of the second hidden layer.
+    pub hidden2: usize,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        Self {
+            hidden1: 64,
+            hidden2: 32,
+            epochs: 200,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// One dense layer with Adam state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    w: Vec<f32>, // out x in
+    b: Vec<f32>,
+    n_in: usize,
+    n_out: usize,
+    mw: Vec<f32>,
+    vw: Vec<f32>,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut ChaCha8Rng) -> Self {
+        let scale = (2.0 / n_in as f32).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let z: f32 = row.iter().zip(x).map(|(&w, &v)| w * v).sum::<f32>() + self.b[o];
+            out.push(z);
+        }
+    }
+
+    /// Accumulates gradients for one sample and returns dL/dx.
+    fn backward(
+        &self,
+        x: &[f32],
+        dz: &[f32],
+        gw: &mut [f32],
+        gb: &mut [f32],
+    ) -> Vec<f32> {
+        let mut dx = vec![0f32; self.n_in];
+        for o in 0..self.n_out {
+            gb[o] += dz[o];
+            let row = o * self.n_in;
+            for i in 0..self.n_in {
+                gw[row + i] += dz[o] * x[i];
+                dx[i] += self.w[row + i] * dz[o];
+            }
+        }
+        dx
+    }
+
+    fn adam_step(&mut self, gw: &[f32], gb: &[f32], lr: f32, t: i32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        let bias1 = 1.0 - B1.powi(t);
+        let bias2 = 1.0 - B2.powi(t);
+        for i in 0..self.w.len() {
+            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * gw[i];
+            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * gw[i] * gw[i];
+            self.w[i] -= lr * (self.mw[i] / bias1) / ((self.vw[i] / bias2).sqrt() + EPS);
+        }
+        for i in 0..self.b.len() {
+            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * gb[i];
+            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * gb[i] * gb[i];
+            self.b[i] -= lr * (self.mb[i] / bias1) / ((self.vb[i] / bias2).sqrt() + EPS);
+        }
+    }
+}
+
+/// A fitted two-hidden-layer MLP regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpRegressor {
+    l1: Layer,
+    l2: Layer,
+    l3: Layer,
+    scaler: StandardScaler,
+    y_mean: f32,
+    y_std: f32,
+}
+
+impl MlpRegressor {
+    /// Trains the network with Adam on mean-squared error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is empty or `x`/`y` lengths differ.
+    pub fn fit(x: &DenseMatrix, y: &[f32], params: &MlpParams) -> Self {
+        assert!(!x.is_empty(), "cannot fit on empty matrix");
+        assert_eq!(x.n_rows(), y.len(), "x/y length mismatch");
+
+        let scaler = StandardScaler::fit(x);
+        let xs = scaler.transform(x);
+        let n = xs.n_rows();
+        let d = xs.n_cols();
+
+        let y_mean = y.iter().sum::<f32>() / n as f32;
+        let y_var = y.iter().map(|&v| (v - y_mean).powi(2)).sum::<f32>() / n as f32;
+        let y_std = y_var.sqrt().max(1e-6);
+        let yn: Vec<f32> = y.iter().map(|&v| (v - y_mean) / y_std).collect();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+        let mut l1 = Layer::new(d, params.hidden1, &mut rng);
+        let mut l2 = Layer::new(params.hidden1, params.hidden2, &mut rng);
+        let mut l3 = Layer::new(params.hidden2, 1, &mut rng);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t = 0i32;
+        let (mut z1, mut z2, mut z3) = (Vec::new(), Vec::new(), Vec::new());
+
+        for _ in 0..params.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(params.batch_size.max(1)) {
+                t += 1;
+                let mut gw1 = vec![0f32; l1.w.len()];
+                let mut gb1 = vec![0f32; l1.b.len()];
+                let mut gw2 = vec![0f32; l2.w.len()];
+                let mut gb2 = vec![0f32; l2.b.len()];
+                let mut gw3 = vec![0f32; l3.w.len()];
+                let mut gb3 = vec![0f32; l3.b.len()];
+
+                for &i in batch {
+                    let input = xs.row(i);
+                    l1.forward(input, &mut z1);
+                    let a1: Vec<f32> = z1.iter().map(|&v| v.max(0.0)).collect();
+                    l2.forward(&a1, &mut z2);
+                    let a2: Vec<f32> = z2.iter().map(|&v| v.max(0.0)).collect();
+                    l3.forward(&a2, &mut z3);
+                    let pred = z3[0];
+
+                    let scale = 2.0 / batch.len() as f32;
+                    let dout = vec![(pred - yn[i]) * scale];
+                    let da2 = l3.backward(&a2, &dout, &mut gw3, &mut gb3);
+                    let dz2: Vec<f32> = da2
+                        .iter()
+                        .zip(&z2)
+                        .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
+                        .collect();
+                    let da1 = l2.backward(&a1, &dz2, &mut gw2, &mut gb2);
+                    let dz1: Vec<f32> = da1
+                        .iter()
+                        .zip(&z1)
+                        .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
+                        .collect();
+                    let _ = l1.backward(input, &dz1, &mut gw1, &mut gb1);
+                }
+                l1.adam_step(&gw1, &gb1, params.learning_rate, t);
+                l2.adam_step(&gw2, &gb2, params.learning_rate, t);
+                l3.adam_step(&gw3, &gb3, params.learning_rate, t);
+            }
+        }
+
+        Self {
+            l1,
+            l2,
+            l3,
+            scaler,
+            y_mean,
+            y_std,
+        }
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut input = row.to_vec();
+        self.scaler.transform_row(&mut input);
+        let (mut z1, mut z2, mut z3) = (Vec::new(), Vec::new(), Vec::new());
+        self.l1.forward(&input, &mut z1);
+        let a1: Vec<f32> = z1.iter().map(|&v| v.max(0.0)).collect();
+        self.l2.forward(&a1, &mut z2);
+        let a2: Vec<f32> = z2.iter().map(|&v| v.max(0.0)).collect();
+        self.l3.forward(&a2, &mut z3);
+        z3[0] * self.y_std + self.y_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn fits_smooth_nonlinear_function() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i as f32 / 200.0) * 4.0 - 2.0;
+            rows.push(vec![a]);
+            y.push(a * a);
+        }
+        let x = DenseMatrix::from_rows(&rows);
+        let model = MlpRegressor::fit(
+            &x,
+            &y,
+            &MlpParams {
+                epochs: 300,
+                ..MlpParams::default()
+            },
+        );
+        let r2 = r2_score(&y, &model.predict(&x));
+        assert!(r2 > 0.9, "r2 = {r2}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rows: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let p = MlpParams {
+            epochs: 10,
+            ..MlpParams::default()
+        };
+        let a = MlpRegressor::fit(&x, &y, &p);
+        let b = MlpRegressor::fit(&x, &y, &p);
+        assert_eq!(a.predict_row(&[25.0]), b.predict_row(&[25.0]));
+    }
+
+    #[test]
+    fn output_unstandardized_to_target_scale() {
+        // Targets far from zero: the model must learn the offset.
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..100).map(|i| 1000.0 + i as f32).collect();
+        let model = MlpRegressor::fit(
+            &x,
+            &y,
+            &MlpParams {
+                epochs: 100,
+                ..MlpParams::default()
+            },
+        );
+        let p = model.predict_row(&[50.0]);
+        assert!((p - 1050.0).abs() < 30.0, "p = {p}");
+    }
+}

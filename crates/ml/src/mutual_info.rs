@@ -1,0 +1,155 @@
+//! Binned mutual-information estimation for continuous variables.
+//!
+//! The MIS signature-selection algorithm (paper Alg. 1) needs
+//! `I(X; Y)` between pairs of network latency vectors observed across the
+//! training devices. With only tens of samples, the standard estimator is
+//! a quantile-binned plug-in histogram: discretize both variables into
+//! equal-frequency bins and compute the discrete mutual information.
+
+use crate::metrics::average_ranks;
+
+/// Discretizes `values` into `bins` equal-frequency (quantile) bins,
+/// returning a bin label per value. Ties share labels via average ranks,
+/// so identical values always land in the same bin.
+pub fn quantile_discretize(values: &[f32], bins: usize) -> Vec<usize> {
+    assert!(bins >= 1, "bins must be >= 1");
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let ranks = average_ranks(values);
+    ranks
+        .into_iter()
+        .map(|r| {
+            // r in [1, n] -> bin in [0, bins-1]
+            let b = ((r - 0.5) / n as f64 * bins as f64).floor() as usize;
+            b.min(bins - 1)
+        })
+        .collect()
+}
+
+/// Discrete mutual information (natural log) between two label sequences.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths or are empty.
+pub fn discrete_mutual_information(x: &[usize], y: &[usize]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(!x.is_empty(), "empty input");
+    let n = x.len() as f64;
+    let kx = x.iter().max().unwrap() + 1;
+    let ky = y.iter().max().unwrap() + 1;
+
+    let mut joint = vec![0f64; kx * ky];
+    let mut px = vec![0f64; kx];
+    let mut py = vec![0f64; ky];
+    for (&a, &b) in x.iter().zip(y) {
+        joint[a * ky + b] += 1.0;
+        px[a] += 1.0;
+        py[b] += 1.0;
+    }
+    let mut mi = 0f64;
+    for a in 0..kx {
+        for b in 0..ky {
+            let pab = joint[a * ky + b] / n;
+            if pab > 0.0 {
+                mi += pab * (pab / (px[a] / n * py[b] / n)).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Mutual information between two continuous samples via quantile binning.
+///
+/// `bins = 0` selects an automatic bin count of `ceil(sqrt(n / 2))`
+/// clamped to `[2, 16]`, a common plug-in heuristic for small samples.
+///
+/// ```
+/// // A deterministic monotone relationship carries high information.
+/// let x: Vec<f32> = (0..64).map(|i| i as f32).collect();
+/// let y: Vec<f32> = x.iter().map(|v| v * v).collect();
+/// let hi = gdcm_ml::mutual_info::mutual_information(&x, &y, 0);
+/// let noise: Vec<f32> = (0..64).map(|i| ((i * 37) % 64) as f32).collect();
+/// let lo = gdcm_ml::mutual_info::mutual_information(&x, &noise, 0);
+/// assert!(hi > lo);
+/// ```
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths or are empty.
+pub fn mutual_information(x: &[f32], y: &[f32], bins: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(!x.is_empty(), "empty input");
+    let bins = if bins == 0 {
+        (((x.len() as f64 / 2.0).sqrt()).ceil() as usize).clamp(2, 16)
+    } else {
+        bins
+    };
+    let dx = quantile_discretize(x, bins);
+    let dy = quantile_discretize(y, bins);
+    discrete_mutual_information(&dx, &dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_variables_reach_entropy() {
+        let x: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let mi = mutual_information(&x, &x, 4);
+        // I(X;X) = H(X) = ln(4) for 4 equal-frequency bins.
+        assert!((mi - 4f64.ln()).abs() < 0.05, "mi = {mi}");
+    }
+
+    #[test]
+    fn independent_variables_near_zero() {
+        // A pseudo-random pairing decorrelates the bins.
+        let x: Vec<f32> = (0..400).map(|i| i as f32).collect();
+        let y: Vec<f32> = (0..400).map(|i| ((i * 193) % 400) as f32).collect();
+        let mi = mutual_information(&x, &y, 4);
+        assert!(mi < 0.15, "mi = {mi}");
+    }
+
+    #[test]
+    fn mi_is_symmetric() {
+        let x: Vec<f32> = (0..50).map(|i| (i as f32).sin()).collect();
+        let y: Vec<f32> = (0..50).map(|i| (i as f32 * 0.7).cos()).collect();
+        let a = mutual_information(&x, &y, 5);
+        let b = mutual_information(&y, &x, 5);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_nonnegative() {
+        let x: Vec<f32> = (0..30).map(|i| ((i * 7) % 13) as f32).collect();
+        let y: Vec<f32> = (0..30).map(|i| ((i * 11) % 17) as f32).collect();
+        assert!(mutual_information(&x, &y, 4) >= 0.0);
+    }
+
+    #[test]
+    fn quantile_bins_are_balanced() {
+        let x: Vec<f32> = (0..80).map(|i| i as f32).collect();
+        let labels = quantile_discretize(&x, 4);
+        for b in 0..4 {
+            let count = labels.iter().filter(|&&l| l == b).count();
+            assert_eq!(count, 20, "bin {b}");
+        }
+    }
+
+    #[test]
+    fn ties_share_bins() {
+        let x = vec![1.0f32; 10];
+        let labels = quantile_discretize(&x, 4);
+        assert!(labels.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn auto_bin_count_clamped() {
+        let x: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        // Should not panic and should produce a finite value.
+        let mi = mutual_information(&x, &x, 0);
+        assert!(mi.is_finite());
+    }
+}

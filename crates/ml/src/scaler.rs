@@ -1,0 +1,122 @@
+//! Feature standardization (zero mean, unit variance).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::DenseMatrix;
+
+/// Per-column standardizer fitted on training data and applied to both
+/// train and test rows, used by distance- and gradient-based models
+/// (kNN, ridge, MLP).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations per column. Zero-variance
+    /// columns receive a std of 1 so transforming them is a no-op shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` has no rows.
+    pub fn fit(x: &DenseMatrix) -> Self {
+        assert!(!x.is_empty(), "cannot fit scaler on empty matrix");
+        let n = x.n_rows() as f64;
+        let d = x.n_cols();
+        let mut means = vec![0f64; d];
+        for row in x.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v as f64;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0f64; d];
+        for row in x.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                let dlt = v as f64 - means[j];
+                vars[j] += dlt * dlt;
+            }
+        }
+        let stds: Vec<f32> = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s as f32
+                }
+            })
+            .collect();
+        Self {
+            means: means.into_iter().map(|m| m as f32).collect(),
+            stds,
+        }
+    }
+
+    /// Standardizes one row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row length differs from the fitted width.
+    pub fn transform_row(&self, row: &mut [f32]) {
+        assert_eq!(row.len(), self.means.len(), "row width mismatch");
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.means[j]) / self.stds[j];
+        }
+    }
+
+    /// Returns a standardized copy of the matrix.
+    pub fn transform(&self, x: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::with_capacity(x.n_rows(), x.n_cols());
+        let mut buf = vec![0f32; x.n_cols()];
+        for row in x.rows() {
+            buf.copy_from_slice(row);
+            self.transform_row(&mut buf);
+            out.push_row(&buf);
+        }
+        out
+    }
+
+    /// Number of fitted columns.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_columns_have_zero_mean_unit_var() {
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ]);
+        let scaler = StandardScaler::fit(&x);
+        let t = scaler.transform(&x);
+        for j in 0..2 {
+            let col = t.column(j);
+            let mean: f32 = col.iter().sum::<f32>() / col.len() as f32;
+            let var: f32 = col.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / col.len() as f32;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_safe() {
+        let x = DenseMatrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]);
+        let scaler = StandardScaler::fit(&x);
+        let t = scaler.transform(&x);
+        for r in t.rows() {
+            assert_eq!(r[0], 0.0);
+        }
+    }
+}

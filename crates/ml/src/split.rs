@@ -1,0 +1,69 @@
+//! Seeded train/test splitting.
+
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Splits `0..n` into shuffled `(train, test)` index sets with
+/// `test_fraction` of items in the test set (at least one in each side
+/// when `n >= 2`). Deterministic given `seed` — the paper's 70/30 device
+/// split corresponds to `test_fraction = 0.3`.
+///
+/// ```
+/// let (train, test) = gdcm_ml::train_test_split(10, 0.3, 42);
+/// assert_eq!(train.len(), 7);
+/// assert_eq!(test.len(), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `test_fraction` is outside `(0, 1)` or `n < 2`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0, 1)"
+    );
+    assert!(n >= 2, "need at least 2 items to split");
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let n_test = ((n as f64 * test_fraction).round() as usize).clamp(1, n - 1);
+    let test = indices.split_off(n - n_test);
+    (indices, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions_indices() {
+        let (train, test) = train_test_split(105, 0.3, 7);
+        assert_eq!(train.len() + test.len(), 105);
+        let all: HashSet<_> = train.iter().chain(test.iter()).collect();
+        assert_eq!(all.len(), 105);
+        // 30% of 105 rounds to 32.
+        assert_eq!(test.len(), 32);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(train_test_split(50, 0.3, 1), train_test_split(50, 0.3, 1));
+        assert_ne!(train_test_split(50, 0.3, 1), train_test_split(50, 0.3, 2));
+    }
+
+    #[test]
+    fn both_sides_nonempty_for_extreme_fractions() {
+        let (train, test) = train_test_split(3, 0.01, 0);
+        assert!(!train.is_empty() && !test.is_empty());
+        let (train, test) = train_test_split(3, 0.99, 0);
+        assert!(!train.is_empty() && !test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn fraction_of_one_panics() {
+        let _ = train_test_split(10, 1.0, 0);
+    }
+}

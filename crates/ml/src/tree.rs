@@ -1,0 +1,452 @@
+//! Histogram-based regression tree with second-order (XGBoost-style) gains.
+//!
+//! The learner consumes a [`BinnedMatrix`] plus per-row gradient/hessian
+//! pairs, so the same code serves gradient boosting (g = prediction −
+//! target, h = 1 for squared error) and random forests (g = −target,
+//! h = 1, λ = 0, which makes each leaf the mean of its targets).
+
+use serde::{Deserialize, Serialize};
+
+use crate::binning::BinnedMatrix;
+
+/// Hyper-parameters of a single tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum summed hessian required in each child.
+    pub min_child_weight: f64,
+    /// L2 regularization on leaf weights (XGBoost λ).
+    pub lambda: f64,
+    /// Minimum gain required to split (XGBoost γ).
+    pub gamma: f64,
+    /// Minimum number of rows in each child.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 3,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_samples_leaf: 1,
+        }
+    }
+}
+
+/// One node of a fitted tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// Internal split: rows with `row[feature] <= threshold` go to `left`.
+    Split {
+        /// Feature column index.
+        feature: usize,
+        /// Raw-value split threshold.
+        threshold: f32,
+        /// Index of the left child in the node arena.
+        left: usize,
+        /// Index of the right child in the node arena.
+        right: usize,
+    },
+    /// Leaf carrying a prediction weight.
+    Leaf {
+        /// The leaf value (already includes any shrinkage applied by the
+        /// ensemble).
+        weight: f32,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// Fits a tree to `(grad, hess)` over the given training rows.
+    ///
+    /// `active_features` restricts split search (used for column
+    /// subsampling); pass all feature indices for a full search.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grad`/`hess` lengths differ from the binned matrix's
+    /// row count.
+    pub fn fit(
+        binned: &BinnedMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        active_features: &[usize],
+        params: &TreeParams,
+    ) -> Self {
+        assert_eq!(grad.len(), binned.n_rows(), "grad length mismatch");
+        assert_eq!(hess.len(), binned.n_rows(), "hess length mismatch");
+        let mut tree = Tree { nodes: Vec::new() };
+        let mut rows = rows.to_vec();
+        tree.grow(binned, grad, hess, &mut rows, active_features, params, 0);
+        tree
+    }
+
+    /// Recursively grows the subtree over `rows`, returning its node index.
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &mut self,
+        binned: &BinnedMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &mut [usize],
+        active_features: &[usize],
+        params: &TreeParams,
+        depth: usize,
+    ) -> usize {
+        let g_sum: f64 = rows.iter().map(|&r| grad[r]).sum();
+        let h_sum: f64 = rows.iter().map(|&r| hess[r]).sum();
+
+        let make_leaf = |nodes: &mut Vec<TreeNode>| {
+            let weight = (-g_sum / (h_sum + params.lambda)) as f32;
+            nodes.push(TreeNode::Leaf { weight });
+            nodes.len() - 1
+        };
+
+        if depth >= params.max_depth || rows.len() < 2 * params.min_samples_leaf {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let best = find_best_split(binned, grad, hess, rows, active_features, params, g_sum, h_sum);
+        let Some(split) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        // Partition rows in place: left block first.
+        let codes = binned.feature_codes(split.feature);
+        let mut mid = 0;
+        for i in 0..rows.len() {
+            if codes[rows[i]] <= split.bin {
+                rows.swap(i, mid);
+                mid += 1;
+            }
+        }
+        debug_assert!(mid > 0 && mid < rows.len(), "degenerate split survived checks");
+
+        let node_idx = self.nodes.len();
+        self.nodes.push(TreeNode::Leaf { weight: 0.0 }); // placeholder
+        let (left_rows, right_rows) = rows.split_at_mut(mid);
+        let left = self.grow(binned, grad, hess, left_rows, active_features, params, depth + 1);
+        let right = self.grow(binned, grad, hess, right_rows, active_features, params, depth + 1);
+        self.nodes[node_idx] = TreeNode::Split {
+            feature: split.feature,
+            threshold: binned.threshold(split.feature, split.bin),
+            left,
+            right,
+        };
+        node_idx
+    }
+
+    /// Predicts the tree output for one raw feature row.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut idx = 0;
+        loop {
+            match self.nodes[idx] {
+                TreeNode::Leaf { weight } => return weight,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Scales every leaf weight by `factor` (ensemble shrinkage).
+    pub fn scale_leaves(&mut self, factor: f32) {
+        for n in &mut self.nodes {
+            if let TreeNode::Leaf { weight } = n {
+                *weight *= factor;
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of leaf nodes.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Features used by splits, for feature-importance accounting.
+    pub fn split_features(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes.iter().filter_map(|n| match n {
+            TreeNode::Split { feature, .. } => Some(*feature),
+            TreeNode::Leaf { .. } => None,
+        })
+    }
+}
+
+struct SplitCandidate {
+    feature: usize,
+    bin: u8,
+    gain: f64,
+}
+
+/// XGBoost structure score of a node: `G² / (H + λ)`.
+fn score(g: f64, h: f64, lambda: f64) -> f64 {
+    g * g / (h + lambda)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn find_best_split(
+    binned: &BinnedMatrix,
+    grad: &[f64],
+    hess: &[f64],
+    rows: &[usize],
+    active_features: &[usize],
+    params: &TreeParams,
+    g_sum: f64,
+    h_sum: f64,
+) -> Option<SplitCandidate> {
+    let parent_score = score(g_sum, h_sum, params.lambda);
+    let mut best: Option<SplitCandidate> = None;
+
+    let mut hist_g = [0f64; 256];
+    let mut hist_h = [0f64; 256];
+    let mut hist_c = [0u32; 256];
+
+    for &f in active_features {
+        if binned.is_constant(f) {
+            continue;
+        }
+        let n_bins = binned.n_bins(f);
+        hist_g[..n_bins].fill(0.0);
+        hist_h[..n_bins].fill(0.0);
+        hist_c[..n_bins].fill(0);
+
+        let codes = binned.feature_codes(f);
+        for &r in rows {
+            let b = codes[r] as usize;
+            hist_g[b] += grad[r];
+            hist_h[b] += hess[r];
+            hist_c[b] += 1;
+        }
+
+        let mut gl = 0f64;
+        let mut hl = 0f64;
+        let mut cl = 0u32;
+        // The last bin can never be a split point (right side empty).
+        for b in 0..n_bins - 1 {
+            gl += hist_g[b];
+            hl += hist_h[b];
+            cl += hist_c[b];
+            let cr = rows.len() as u32 - cl;
+            if cl == 0 {
+                continue;
+            }
+            if cr == 0 {
+                break;
+            }
+            if (cl as usize) < params.min_samples_leaf || (cr as usize) < params.min_samples_leaf {
+                continue;
+            }
+            let gr = g_sum - gl;
+            let hr = h_sum - hl;
+            if hl < params.min_child_weight || hr < params.min_child_weight {
+                continue;
+            }
+            let gain = 0.5 * (score(gl, hl, params.lambda) + score(gr, hr, params.lambda)
+                - parent_score)
+                - params.gamma;
+            if gain > 1e-12 && best.as_ref().is_none_or(|b2| gain > b2.gain) {
+                best = Some(SplitCandidate {
+                    feature: f,
+                    bin: b as u8,
+                    gain,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DenseMatrix;
+
+    /// Fits a tree directly to targets (forest-style: g = -y, h = 1, λ=0).
+    fn fit_to_targets(x: &DenseMatrix, y: &[f32], params: TreeParams) -> Tree {
+        let binned = BinnedMatrix::from_matrix(x, 64);
+        let grad: Vec<f64> = y.iter().map(|&v| -v as f64).collect();
+        let hess = vec![1.0; y.len()];
+        let rows: Vec<usize> = (0..y.len()).collect();
+        let feats: Vec<usize> = (0..x.n_cols()).collect();
+        Tree::fit(&binned, &grad, &hess, &rows, &feats, &params)
+    }
+
+    #[test]
+    fn single_split_recovers_step_function() {
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let params = TreeParams {
+            lambda: 0.0,
+            ..TreeParams::default()
+        };
+        let tree = fit_to_targets(&x, &y, params);
+        assert!((tree.predict_row(&[10.0]) - 1.0).abs() < 1e-4);
+        assert!((tree.predict_row(&[90.0]) - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn depth_zero_gives_mean_leaf() {
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let params = TreeParams {
+            max_depth: 0,
+            lambda: 0.0,
+            ..TreeParams::default()
+        };
+        let tree = fit_to_targets(&x, &y, params);
+        assert_eq!(tree.len(), 1);
+        assert!((tree.predict_row(&[1.5]) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn respects_max_depth_leaf_budget() {
+        let rows: Vec<Vec<f32>> = (0..256).map(|i| vec![i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..256).map(|i| (i % 7) as f32).collect();
+        let tree = fit_to_targets(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 3,
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        assert!(tree.n_leaves() <= 8, "depth 3 allows at most 8 leaves");
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        // One outlier; without the constraint the tree would isolate it.
+        let mut y = vec![0.0f32; 20];
+        y[19] = 100.0;
+        let tree = fit_to_targets(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 6,
+                lambda: 0.0,
+                min_samples_leaf: 5,
+                ..TreeParams::default()
+            },
+        );
+        // The outlier's leaf has >= 5 rows, so its value is diluted.
+        assert!(tree.predict_row(&[19.0]) <= 25.0);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let rows: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32, (i * 3) as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y = vec![3.5f32; 50];
+        let tree = fit_to_targets(
+            &x,
+            &y,
+            TreeParams {
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        assert_eq!(tree.len(), 1, "no split should have positive gain");
+        assert!((tree.predict_row(&[25.0, 75.0]) - 3.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lambda_shrinks_leaves() {
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let y = vec![10.0f32, 10.0];
+        let t0 = fit_to_targets(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 0,
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        let t1 = fit_to_targets(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 0,
+                lambda: 2.0,
+                ..TreeParams::default()
+            },
+        );
+        assert!(t1.predict_row(&[0.0]) < t0.predict_row(&[0.0]));
+    }
+
+    #[test]
+    fn scale_leaves_scales_predictions() {
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let y = vec![4.0f32, 4.0];
+        let mut tree = fit_to_targets(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 0,
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        let before = tree.predict_row(&[0.0]);
+        tree.scale_leaves(0.5);
+        assert!((tree.predict_row(&[0.0]) - before * 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ignores_inactive_features() {
+        // Feature 0 is pure signal, feature 1 is noise; restrict to 1.
+        let rows: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![i as f32, ((i * 17) % 5) as f32])
+            .collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..40).map(|i| if i < 20 { 0.0 } else { 10.0 }).collect();
+        let binned = BinnedMatrix::from_matrix(&x, 64);
+        let grad: Vec<f64> = y.iter().map(|&v| -v as f64).collect();
+        let hess = vec![1.0; y.len()];
+        let all_rows: Vec<usize> = (0..40).collect();
+        let tree = Tree::fit(
+            &binned,
+            &grad,
+            &hess,
+            &all_rows,
+            &[1],
+            &TreeParams {
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        assert!(tree.split_features().all(|f| f == 1));
+    }
+}

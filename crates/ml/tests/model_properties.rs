@@ -1,0 +1,128 @@
+//! Property-based tests of the ML toolkit's core invariants.
+
+use gdcm_ml::metrics::{average_ranks, mae, mape, r2_score, rmse};
+use gdcm_ml::mutual_info::quantile_discretize;
+use gdcm_ml::{
+    BinnedMatrix, DenseMatrix, GbdtParams, GbdtRegressor, KMeans, Regressor, StandardScaler,
+};
+use proptest::prelude::*;
+
+fn target_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e3f32..1e3, n..n + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Binning codes respect value order within every feature.
+    #[test]
+    fn binning_is_monotone(values in prop::collection::vec(-1e6f32..1e6, 4..120)) {
+        let rows: Vec<Vec<f32>> = values.iter().map(|&v| vec![v]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let binned = BinnedMatrix::from_matrix(&x, 32);
+        let codes = binned.feature_codes(0);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] < values[j] {
+                    prop_assert!(codes[i] <= codes[j],
+                        "values {} < {} but codes {} > {}",
+                        values[i], values[j], codes[i], codes[j]);
+                }
+            }
+        }
+    }
+
+    /// GBDT predictions on training rows always stay within the convex
+    /// hull of the targets (depth-limited trees average leaf targets;
+    /// shrinkage keeps partial sums inside the hull up to base score).
+    #[test]
+    fn gbdt_predictions_bounded(ys in target_vec(40)) {
+        prop_assume!(ys.iter().any(|&v| v != ys[0]));
+        let rows: Vec<Vec<f32>> = (0..ys.len()).map(|i| vec![i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let model = GbdtRegressor::fit(&x, &ys, &GbdtParams {
+            n_estimators: 30,
+            ..GbdtParams::default()
+        });
+        let lo = ys.iter().cloned().fold(f32::MAX, f32::min);
+        let hi = ys.iter().cloned().fold(f32::MIN, f32::max);
+        let margin = (hi - lo) * 0.05 + 1e-3;
+        for i in 0..ys.len() {
+            let p = model.predict_row(x.row(i));
+            prop_assert!(p >= lo - margin && p <= hi + margin,
+                "prediction {p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Metrics are consistent with each other: RMSE ≥ MAE, R² of the
+    /// prediction equals 1 - SSE/SST, MAPE non-negative.
+    #[test]
+    fn metric_consistency(
+        actual in target_vec(25),
+        noise in prop::collection::vec(-10f32..10.0, 25..26),
+    ) {
+        prop_assume!(actual.iter().any(|&v| (v - actual[0]).abs() > 1e-3));
+        let predicted: Vec<f32> = actual.iter().zip(&noise).map(|(a, n)| a + n).collect();
+        prop_assert!(rmse(&actual, &predicted) + 1e-9 >= mae(&actual, &predicted));
+        prop_assert!(mape(&actual, &predicted) >= 0.0);
+        let r2 = r2_score(&actual, &predicted);
+        prop_assert!(r2 <= 1.0 + 1e-12);
+    }
+
+    /// Average ranks are a permutation-equivariant bijection onto
+    /// [1, n] sums: total rank mass is always n(n+1)/2.
+    #[test]
+    fn rank_mass_is_conserved(values in prop::collection::vec(-1e4f32..1e4, 2..80)) {
+        let ranks = average_ranks(&values);
+        let total: f64 = ranks.iter().sum();
+        let n = values.len() as f64;
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Quantile discretization puts equal values in equal bins and
+    /// respects order.
+    #[test]
+    fn discretization_respects_order(values in prop::collection::vec(-1e4f32..1e4, 4..60)) {
+        let labels = quantile_discretize(&values, 4);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] == values[j] {
+                    prop_assert_eq!(labels[i], labels[j]);
+                }
+                if values[i] < values[j] {
+                    prop_assert!(labels[i] <= labels[j]);
+                }
+            }
+        }
+    }
+
+    /// The standard scaler is idempotent on already-standardized data.
+    #[test]
+    fn scaler_idempotent(values in prop::collection::vec(-1e3f32..1e3, 8..40)) {
+        prop_assume!(values.iter().any(|&v| (v - values[0]).abs() > 1e-3));
+        let rows: Vec<Vec<f32>> = values.iter().map(|&v| vec![v]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let s1 = StandardScaler::fit(&x);
+        let t1 = s1.transform(&x);
+        let s2 = StandardScaler::fit(&t1);
+        let t2 = s2.transform(&t1);
+        for (a, b) in t1.rows().zip(t2.rows()) {
+            prop_assert!((a[0] - b[0]).abs() < 1e-3);
+        }
+    }
+
+    /// k-means inertia never increases when k grows (with shared seeds
+    /// and enough restarts, more clusters can only fit tighter).
+    #[test]
+    fn kmeans_inertia_monotone_in_k(seed in 0u64..500) {
+        let rows: Vec<Vec<f32>> = (0..24)
+            .map(|i| vec![(i % 6) as f32 * 10.0, (i / 6) as f32 * 3.0])
+            .collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let one = KMeans::new(1, seed).fit(&x).inertia;
+        let three = KMeans::new(3, seed).fit(&x).inertia;
+        let six = KMeans::new(6, seed).fit(&x).inertia;
+        prop_assert!(three <= one + 1e-6);
+        prop_assert!(six <= three + 1e-6);
+    }
+}

@@ -1,0 +1,362 @@
+//! Catalog of mobile big-core microarchitectures.
+//!
+//! The 22 core families mirror the paper's Fig. 3 histogram, spanning
+//! almost a decade of mobile CPUs: from the in-order Cortex-A7/A53 to the
+//! out-of-order, dot-product-capable Cortex-A77 / Kryo 585. Peak int8
+//! MAC throughput and memory parameters are drawn from published
+//! microarchitecture references; the *base efficiency* captures how well
+//! int8 inference kernels typically exploit each core generation.
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A mobile CPU core family (microarchitecture + cache configuration).
+///
+/// Families are catalog constants; serialization round-trips through the
+/// family *name*, which is looked up in [`CORE_CATALOG`] on the way back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreFamily {
+    /// Marketing name, e.g. `"Cortex-A53"` or `"Kryo-260-Gold"`.
+    pub name: &'static str,
+    /// Year of first silicon — correlates with DRAM speed and process node.
+    pub year: u16,
+    /// Whether the core executes out of order.
+    pub out_of_order: bool,
+    /// Peak 8-bit multiply-accumulates per cycle (NEON; cores with the
+    /// SDOT/UDOT extension reach 2-4x the older multiply-add sequences).
+    pub peak_int8_macs_per_cycle: f64,
+    /// SIMD element-wise int8 operations per cycle (activations, adds).
+    pub simd_elems_per_cycle: f64,
+    /// Fraction of peak a well-tuned inference runtime typically sustains
+    /// on this generation (older in-order cores sustain far less).
+    pub base_efficiency: f64,
+    /// Last-level (L2/L3) cache reachable by one big core, in KiB.
+    pub l2_kib: u32,
+    /// Supported big-core frequency range in GHz.
+    pub freq_range_ghz: (f64, f64),
+    /// Typical DRAM bandwidth range for SoCs using this core, GB/s.
+    pub dram_bw_range: (f64, f64),
+}
+
+/// The 22 core families of the device population (paper Fig. 3).
+pub const CORE_CATALOG: [CoreFamily; 22] = [
+    CoreFamily {
+        name: "Cortex-A7",
+        year: 2012,
+        out_of_order: false,
+        peak_int8_macs_per_cycle: 4.0,
+        simd_elems_per_cycle: 8.0,
+        base_efficiency: 0.333,
+        l2_kib: 512,
+        freq_range_ghz: (1.0, 1.5),
+        dram_bw_range: (2.0, 4.0),
+    },
+    CoreFamily {
+        name: "Cortex-A17",
+        year: 2014,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 8.0,
+        simd_elems_per_cycle: 8.0,
+        base_efficiency: 0.347,
+        l2_kib: 1024,
+        freq_range_ghz: (1.4, 1.8),
+        dram_bw_range: (3.0, 6.0),
+    },
+    CoreFamily {
+        name: "Cortex-A53",
+        year: 2014,
+        out_of_order: false,
+        peak_int8_macs_per_cycle: 8.0,
+        simd_elems_per_cycle: 8.0,
+        base_efficiency: 0.358,
+        l2_kib: 512,
+        freq_range_ghz: (1.2, 2.0),
+        dram_bw_range: (3.0, 7.0),
+    },
+    CoreFamily {
+        name: "Cortex-A55",
+        year: 2018,
+        out_of_order: false,
+        peak_int8_macs_per_cycle: 12.0,
+        simd_elems_per_cycle: 16.0,
+        base_efficiency: 0.371,
+        l2_kib: 512,
+        freq_range_ghz: (1.6, 2.0),
+        dram_bw_range: (6.0, 12.0),
+    },
+    CoreFamily {
+        name: "Cortex-A57",
+        year: 2015,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 12.0,
+        simd_elems_per_cycle: 16.0,
+        base_efficiency: 0.32,
+        l2_kib: 2048,
+        freq_range_ghz: (1.8, 2.1),
+        dram_bw_range: (5.0, 10.0),
+    },
+    CoreFamily {
+        name: "Cortex-A72",
+        year: 2016,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 12.0,
+        simd_elems_per_cycle: 16.0,
+        base_efficiency: 0.347,
+        l2_kib: 2048,
+        freq_range_ghz: (1.8, 2.5),
+        dram_bw_range: (6.0, 12.0),
+    },
+    CoreFamily {
+        name: "Cortex-A73",
+        year: 2017,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 12.0,
+        simd_elems_per_cycle: 16.0,
+        base_efficiency: 0.358,
+        l2_kib: 2048,
+        freq_range_ghz: (1.9, 2.5),
+        dram_bw_range: (8.0, 14.0),
+    },
+    CoreFamily {
+        name: "Cortex-A75",
+        year: 2018,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 14.0,
+        simd_elems_per_cycle: 24.0,
+        base_efficiency: 0.512,
+        l2_kib: 2048,
+        freq_range_ghz: (2.2, 2.8),
+        dram_bw_range: (10.0, 17.0),
+    },
+    CoreFamily {
+        name: "Cortex-A76",
+        year: 2019,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 16.0,
+        simd_elems_per_cycle: 32.0,
+        base_efficiency: 0.486,
+        l2_kib: 4096,
+        freq_range_ghz: (2.2, 2.9),
+        dram_bw_range: (14.0, 25.0),
+    },
+    CoreFamily {
+        name: "Cortex-A77",
+        year: 2020,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 16.0,
+        simd_elems_per_cycle: 32.0,
+        base_efficiency: 0.512,
+        l2_kib: 4096,
+        freq_range_ghz: (2.6, 3.1),
+        dram_bw_range: (18.0, 30.0),
+    },
+    CoreFamily {
+        name: "Kryo",
+        year: 2016,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 12.0,
+        simd_elems_per_cycle: 16.0,
+        base_efficiency: 0.32,
+        l2_kib: 1536,
+        freq_range_ghz: (1.8, 2.4),
+        dram_bw_range: (6.0, 12.0),
+    },
+    CoreFamily {
+        name: "Kryo-250-Gold",
+        year: 2017,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 12.0,
+        simd_elems_per_cycle: 16.0,
+        base_efficiency: 0.347,
+        l2_kib: 1024,
+        freq_range_ghz: (1.8, 2.2),
+        dram_bw_range: (7.0, 12.0),
+    },
+    CoreFamily {
+        name: "Kryo-260-Gold",
+        year: 2017,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 12.0,
+        simd_elems_per_cycle: 16.0,
+        base_efficiency: 0.358,
+        l2_kib: 1024,
+        freq_range_ghz: (1.8, 2.2),
+        dram_bw_range: (7.0, 13.0),
+    },
+    CoreFamily {
+        name: "Kryo-280",
+        year: 2017,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 12.0,
+        simd_elems_per_cycle: 16.0,
+        base_efficiency: 0.384,
+        l2_kib: 2048,
+        freq_range_ghz: (2.2, 2.5),
+        dram_bw_range: (9.0, 15.0),
+    },
+    CoreFamily {
+        name: "Kryo-360-Gold",
+        year: 2018,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 14.0,
+        simd_elems_per_cycle: 24.0,
+        base_efficiency: 0.474,
+        l2_kib: 1024,
+        freq_range_ghz: (1.9, 2.3),
+        dram_bw_range: (10.0, 15.0),
+    },
+    CoreFamily {
+        name: "Kryo-385-Gold",
+        year: 2018,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 14.0,
+        simd_elems_per_cycle: 24.0,
+        base_efficiency: 0.486,
+        l2_kib: 2048,
+        freq_range_ghz: (2.5, 2.8),
+        dram_bw_range: (12.0, 18.0),
+    },
+    CoreFamily {
+        name: "Kryo-460-Gold",
+        year: 2019,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 16.0,
+        simd_elems_per_cycle: 32.0,
+        base_efficiency: 0.461,
+        l2_kib: 2048,
+        freq_range_ghz: (2.0, 2.4),
+        dram_bw_range: (12.0, 20.0),
+    },
+    CoreFamily {
+        name: "Kryo-485-Gold",
+        year: 2019,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 16.0,
+        simd_elems_per_cycle: 32.0,
+        base_efficiency: 0.486,
+        l2_kib: 2048,
+        freq_range_ghz: (2.4, 2.96),
+        dram_bw_range: (14.0, 25.0),
+    },
+    CoreFamily {
+        name: "Kryo-495-Gold",
+        year: 2020,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 16.0,
+        simd_elems_per_cycle: 32.0,
+        base_efficiency: 0.499,
+        l2_kib: 2048,
+        freq_range_ghz: (2.2, 2.4),
+        dram_bw_range: (14.0, 25.0),
+    },
+    CoreFamily {
+        name: "Kryo-585",
+        year: 2020,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 16.0,
+        simd_elems_per_cycle: 32.0,
+        base_efficiency: 0.512,
+        l2_kib: 4096,
+        freq_range_ghz: (2.84, 3.1),
+        dram_bw_range: (20.0, 34.0),
+    },
+    CoreFamily {
+        name: "Exynos-M3",
+        year: 2018,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 14.0,
+        simd_elems_per_cycle: 24.0,
+        base_efficiency: 0.436,
+        l2_kib: 4096,
+        freq_range_ghz: (2.5, 2.9),
+        dram_bw_range: (10.0, 17.0),
+    },
+    CoreFamily {
+        name: "Exynos-M4",
+        year: 2019,
+        out_of_order: true,
+        peak_int8_macs_per_cycle: 18.0,
+        simd_elems_per_cycle: 32.0,
+        base_efficiency: 0.474,
+        l2_kib: 4096,
+        freq_range_ghz: (2.6, 2.9),
+        dram_bw_range: (13.0, 22.0),
+    },
+];
+
+impl Serialize for CoreFamily {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.name)
+    }
+}
+
+impl<'de> Deserialize<'de> for CoreFamily {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let name = String::deserialize(deserializer)?;
+        CoreFamily::by_name(&name)
+            .copied()
+            .ok_or_else(|| D::Error::custom(format!("unknown core family {name:?}")))
+    }
+}
+
+impl CoreFamily {
+    /// Looks a family up by name.
+    pub fn by_name(name: &str) -> Option<&'static CoreFamily> {
+        CORE_CATALOG.iter().find(|f| f.name == name)
+    }
+
+    /// Index of this family within [`CORE_CATALOG`] (one-hot position for
+    /// the static hardware representation).
+    pub fn index(&self) -> usize {
+        CORE_CATALOG
+            .iter()
+            .position(|f| f.name == self.name)
+            .expect("family comes from the catalog")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_has_22_unique_families() {
+        let names: HashSet<_> = CORE_CATALOG.iter().map(|f| f.name).collect();
+        assert_eq!(names.len(), 22);
+    }
+
+    #[test]
+    fn ranges_are_sane() {
+        for f in &CORE_CATALOG {
+            assert!(f.freq_range_ghz.0 <= f.freq_range_ghz.1, "{}", f.name);
+            assert!(f.dram_bw_range.0 <= f.dram_bw_range.1, "{}", f.name);
+            assert!(f.peak_int8_macs_per_cycle >= 4.0, "{}", f.name);
+            assert!(
+                f.base_efficiency > 0.1 && f.base_efficiency < 1.0,
+                "{}",
+                f.name
+            );
+            assert!((2010..=2021).contains(&f.year), "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn newer_cores_are_faster_per_cycle() {
+        let a53 = CoreFamily::by_name("Cortex-A53").unwrap();
+        let a77 = CoreFamily::by_name("Cortex-A77").unwrap();
+        assert!(
+            a77.peak_int8_macs_per_cycle * a77.base_efficiency
+                > 2.0 * a53.peak_int8_macs_per_cycle * a53.base_efficiency
+        );
+    }
+
+    #[test]
+    fn lookup_by_name_and_index_roundtrip() {
+        for (i, f) in CORE_CATALOG.iter().enumerate() {
+            assert_eq!(f.index(), i);
+            assert_eq!(CoreFamily::by_name(f.name).unwrap().name, f.name);
+        }
+        assert!(CoreFamily::by_name("Pentium-III").is_none());
+    }
+}

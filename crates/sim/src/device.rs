@@ -1,0 +1,286 @@
+//! Devices: public specifications plus hidden execution state.
+
+use gdcm_dnn::OpKind;
+use serde::{Deserialize, Serialize};
+
+use crate::core_model::CoreFamily;
+
+/// Dense identifier of a device within a population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub usize);
+
+impl DeviceId {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Operator classes with distinct kernel implementations on mobile CPUs.
+///
+/// Each class has its own hidden per-device efficiency factor: real
+/// devices differ in which kernels their runtime build, scheduler, and
+/// cache behaviour favour (e.g. depthwise convolutions are notoriously
+/// uneven across devices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Dense and grouped convolutions (im2col/winograd GEMM kernels).
+    Conv,
+    /// Depthwise convolutions.
+    Depthwise,
+    /// Fully-connected layers (GEMV).
+    Gemm,
+    /// Spatial and global pooling.
+    Pool,
+    /// Activations, element-wise adds/multiplies, concatenation.
+    Elementwise,
+}
+
+impl OpClass {
+    /// All classes, in hidden-state vector order.
+    pub const ALL: [OpClass; 5] = [
+        OpClass::Conv,
+        OpClass::Depthwise,
+        OpClass::Gemm,
+        OpClass::Pool,
+        OpClass::Elementwise,
+    ];
+
+    /// Stable index into per-class arrays.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("listed")
+    }
+
+    /// Maps a graph operator kind to its kernel class.
+    pub fn from_kind(kind: OpKind) -> OpClass {
+        match kind {
+            OpKind::Conv2d => OpClass::Conv,
+            OpKind::DepthwiseConv2d => OpClass::Depthwise,
+            OpKind::FullyConnected => OpClass::Gemm,
+            OpKind::MaxPool2d | OpKind::AvgPool2d | OpKind::GlobalAvgPool => OpClass::Pool,
+            OpKind::Input
+            | OpKind::Activation
+            | OpKind::Add
+            | OpKind::Multiply
+            | OpKind::Concat => OpClass::Elementwise,
+        }
+    }
+
+    /// Baseline fraction of a core's peak throughput that this kernel
+    /// class sustains on a well-behaved device. Depthwise kernels are
+    /// structurally unable to keep MAC units busy; GEMV is bandwidth-bound.
+    pub fn base_utilization(self) -> f64 {
+        match self {
+            OpClass::Conv => 0.80,
+            OpClass::Depthwise => 0.20,
+            OpClass::Gemm => 0.45,
+            OpClass::Pool => 0.60,
+            OpClass::Elementwise => 0.70,
+        }
+    }
+}
+
+/// The per-device execution state *not* visible in public specifications.
+///
+/// These factors are sampled once per device and fixed thereafter; they
+/// are what the signature set measures indirectly and what static-spec
+/// models cannot see.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HiddenState {
+    /// Global software-stack efficiency multiplier (vendor kernels,
+    /// scheduler behaviour, background load, binary build flags).
+    pub global_efficiency: f64,
+    /// Per-[`OpClass`] kernel efficiency multipliers.
+    pub class_efficiency: [f64; 5],
+    /// Memory-system effectiveness multiplier (DRAM timings, memory
+    /// controller configuration, cache partitioning).
+    pub memory_efficiency: f64,
+    /// Per-layer interpreter dispatch overhead, in microseconds.
+    pub dispatch_overhead_us: f64,
+    /// Sustained thermal-throttle slowdown (>= 1.0).
+    pub throttle: f64,
+    /// Per-run multiplicative measurement noise, log-stddev.
+    pub run_noise_sigma: f64,
+    /// Sustained big-core clock as a fraction of the advertised maximum.
+    /// Real phones rarely hold their marketed frequency: the governor,
+    /// thermal envelope and vendor tuning pin the sustained clock anywhere
+    /// from ~55% to 100% of spec — one of the main reasons the paper's
+    /// Fig. 5 shows a 2.5x latency spread at identical spec frequency.
+    pub sustained_freq_factor: f64,
+    /// Per-(device, network) idiosyncrasy, log-stddev: a *fixed* factor
+    /// per network capturing layout/cache-alignment/operator-tiling luck
+    /// on this particular device. Unlike run noise it does not average
+    /// out over repeated runs — it is what keeps even signature-based
+    /// models from perfect prediction, as in the paper's R² ≈ 0.94.
+    pub pair_sigma: f64,
+}
+
+impl HiddenState {
+    /// A neutral hidden state (useful in tests): every multiplier is 1
+    /// and noise is zero.
+    pub fn neutral() -> Self {
+        Self {
+            global_efficiency: 1.0,
+            class_efficiency: [1.0; 5],
+            memory_efficiency: 1.0,
+            dispatch_overhead_us: 10.0,
+            throttle: 1.0,
+            run_noise_sigma: 0.0,
+            pair_sigma: 0.0,
+            sustained_freq_factor: 1.0,
+        }
+    }
+}
+
+/// A simulated mobile device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Dense population index.
+    pub id: DeviceId,
+    /// Phone model string (e.g. `"Redmi Note 5 Pro"`).
+    pub model: String,
+    /// Core family of the big CPU cluster.
+    pub core: CoreFamily,
+    /// Big-core frequency in GHz (public spec).
+    pub freq_ghz: f64,
+    /// Main memory size in GB (public spec).
+    pub dram_gb: u32,
+    /// DRAM bandwidth in GB/s (not in the public spec vector).
+    pub dram_bw_gbps: f64,
+    /// Hidden execution state.
+    pub hidden: HiddenState,
+}
+
+impl Device {
+    /// The sustained big-core frequency in GHz (spec x governor factor).
+    pub fn sustained_freq_ghz(&self) -> f64 {
+        self.freq_ghz * self.hidden.sustained_freq_factor
+    }
+
+    /// Effective sustained int8 MAC throughput for a kernel class, in
+    /// MACs per second.
+    pub fn effective_macs_per_sec(&self, class: OpClass) -> f64 {
+        self.sustained_freq_ghz()
+            * 1e9
+            * self.core.peak_int8_macs_per_cycle
+            * self.core.base_efficiency
+            * class.base_utilization()
+            * self.hidden.global_efficiency
+            * self.hidden.class_efficiency[class.index()]
+    }
+
+    /// Effective element-wise int8 throughput in elements per second.
+    pub fn effective_elems_per_sec(&self) -> f64 {
+        self.sustained_freq_ghz()
+            * 1e9
+            * self.core.simd_elems_per_cycle
+            * self.core.base_efficiency
+            * self.hidden.global_efficiency
+            * self.hidden.class_efficiency[OpClass::Elementwise.index()]
+    }
+
+    /// Effective streaming bandwidth in bytes per second for a working
+    /// set of the given size: fits-in-L2 traffic streams several times
+    /// faster than DRAM-resident traffic.
+    pub fn effective_bandwidth(&self, working_set_bytes: u64) -> f64 {
+        let l2_bytes = self.core.l2_kib as u64 * 1024;
+        let dram = self.dram_bw_gbps * 1e9 * 0.6; // single-core streaming share
+        let bw = if working_set_bytes <= l2_bytes {
+            // L2 bandwidth scales with frequency; ~8 bytes/cycle sustained.
+            (self.sustained_freq_ghz() * 1e9 * 8.0).max(dram)
+        } else {
+            dram
+        };
+        bw * self.hidden.memory_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_model::CORE_CATALOG;
+
+    fn test_device() -> Device {
+        Device {
+            id: DeviceId(0),
+            model: "test".into(),
+            core: CORE_CATALOG[2], // Cortex-A53
+            freq_ghz: 1.8,
+            dram_gb: 3,
+            dram_bw_gbps: 5.0,
+            hidden: HiddenState::neutral(),
+        }
+    }
+
+    #[test]
+    fn op_class_mapping_covers_all_kinds() {
+        for kind in OpKind::ALL {
+            let _ = OpClass::from_kind(kind); // must not panic
+        }
+        assert_eq!(OpClass::from_kind(OpKind::Conv2d), OpClass::Conv);
+        assert_eq!(
+            OpClass::from_kind(OpKind::DepthwiseConv2d),
+            OpClass::Depthwise
+        );
+        assert_eq!(OpClass::from_kind(OpKind::GlobalAvgPool), OpClass::Pool);
+        assert_eq!(OpClass::from_kind(OpKind::Add), OpClass::Elementwise);
+    }
+
+    #[test]
+    fn class_indices_stable() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn throughput_scales_with_frequency() {
+        let slow = test_device();
+        let mut fast = test_device();
+        fast.freq_ghz = 3.6;
+        assert!(
+            fast.effective_macs_per_sec(OpClass::Conv)
+                > 1.9 * slow.effective_macs_per_sec(OpClass::Conv)
+        );
+    }
+
+    #[test]
+    fn depthwise_sustains_less_than_dense() {
+        let d = test_device();
+        assert!(
+            d.effective_macs_per_sec(OpClass::Depthwise)
+                < 0.5 * d.effective_macs_per_sec(OpClass::Conv)
+        );
+    }
+
+    #[test]
+    fn cache_resident_traffic_is_faster() {
+        let d = test_device();
+        let small = d.effective_bandwidth(64 * 1024);
+        let large = d.effective_bandwidth(64 * 1024 * 1024);
+        assert!(small > large);
+    }
+
+    #[test]
+    fn hidden_factors_scale_throughput() {
+        let base = test_device();
+        let mut tuned = test_device();
+        tuned.hidden.global_efficiency = 2.0;
+        assert!(
+            (tuned.effective_macs_per_sec(OpClass::Conv)
+                / base.effective_macs_per_sec(OpClass::Conv)
+                - 2.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn a53_effective_gmacs_is_realistic() {
+        // TFLite int8 on a Cortex-A53 big cluster sustains roughly
+        // 1-4 GMAC/s; the neutral-device model should land there.
+        let d = test_device();
+        let gmacs = d.effective_macs_per_sec(OpClass::Conv) / 1e9;
+        assert!((1.0..8.0).contains(&gmacs), "got {gmacs} GMAC/s");
+    }
+}

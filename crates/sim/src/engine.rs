@@ -1,0 +1,293 @@
+//! Roofline latency engine: network × device → milliseconds.
+
+use gdcm_dnn::{Network, OpKind};
+use serde::{Deserialize, Serialize};
+
+use crate::device::{Device, OpClass};
+
+/// Timing of a single graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// Node index within the network.
+    pub node: usize,
+    /// Kernel class the node executed as.
+    pub class: OpClass,
+    /// Compute-bound time in milliseconds.
+    pub compute_ms: f64,
+    /// Memory-bound time in milliseconds.
+    pub memory_ms: f64,
+    /// Dispatch overhead in milliseconds.
+    pub overhead_ms: f64,
+}
+
+impl LayerTiming {
+    /// The node's total contribution: roofline max plus dispatch.
+    pub fn total_ms(&self) -> f64 {
+        self.compute_ms.max(self.memory_ms) + self.overhead_ms
+    }
+
+    /// Whether the node is memory-bound under the roofline.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_ms > self.compute_ms
+    }
+}
+
+/// Full latency decomposition of one inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Per-node timings in topological order (input node excluded).
+    pub layers: Vec<LayerTiming>,
+    /// End-to-end single-threaded latency in milliseconds (including the
+    /// device's sustained thermal throttle).
+    pub total_ms: f64,
+}
+
+impl LatencyBreakdown {
+    /// Sums the per-class compute+memory time, in milliseconds.
+    pub fn class_totals(&self) -> [f64; 5] {
+        let mut totals = [0f64; 5];
+        for l in &self.layers {
+            totals[l.class.index()] += l.total_ms();
+        }
+        totals
+    }
+}
+
+/// The deterministic latency model.
+///
+/// Each node runs for `max(compute, memory) + dispatch` where compute
+/// time uses the device's sustained per-class MAC/element throughput and
+/// memory time uses the working-set-dependent streaming bandwidth; the
+/// network total is scaled by the device's thermal throttle. All hidden
+/// device factors enter through [`Device`]; the engine itself has no
+/// state, so one engine serves every device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyEngine {
+    _private: (),
+}
+
+impl LatencyEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the noise-free latency decomposition of `network` on
+    /// `device`.
+    pub fn breakdown(&self, network: &Network, device: &Device) -> LatencyBreakdown {
+        let cost = network.cost();
+        let mut layers = Vec::with_capacity(network.len());
+        let overhead_ms = device.hidden.dispatch_overhead_us / 1e3;
+
+        for (node, _inputs) in network.layers() {
+            let kind = node.op.kind();
+            let class = OpClass::from_kind(kind);
+            let lc = cost.per_node[node.id.index()];
+
+            // Compute time: MAC work at the class's sustained rate plus
+            // element-wise work at SIMD rate. Grouped (non-depthwise)
+            // convolutions lose some GEMM efficiency to fragmentation.
+            let mut macs_rate = device.effective_macs_per_sec(class);
+            if let gdcm_dnn::Op::Conv2d(p) = &node.op {
+                if p.groups > 1 {
+                    macs_rate *= 0.6;
+                }
+            }
+            let elem_ops = lc.flops.saturating_sub(2 * lc.macs);
+            let compute_s = if lc.macs > 0 {
+                lc.macs as f64 / macs_rate
+            } else {
+                0.0
+            } + elem_ops as f64 / device.effective_elems_per_sec();
+
+            // Memory time: total traffic at working-set-dependent bandwidth.
+            let bytes = lc.total_bytes();
+            let memory_s = if bytes > 0 {
+                bytes as f64 / device.effective_bandwidth(bytes)
+            } else {
+                0.0
+            };
+
+            // Concat and input are free in fused runtimes apart from the
+            // copy, which the byte model already covers.
+            let overhead = if kind == OpKind::Concat {
+                overhead_ms * 0.25
+            } else {
+                overhead_ms
+            };
+
+            layers.push(LayerTiming {
+                node: node.id.index(),
+                class,
+                compute_ms: compute_s * 1e3,
+                memory_ms: memory_s * 1e3,
+                overhead_ms: overhead,
+            });
+        }
+
+        let raw: f64 = layers.iter().map(LayerTiming::total_ms).sum();
+        LatencyBreakdown {
+            layers,
+            total_ms: raw * device.hidden.throttle,
+        }
+    }
+
+    /// Noise-free end-to-end latency in milliseconds.
+    pub fn latency_ms(&self, network: &Network, device: &Device) -> f64 {
+        self.breakdown(network, device).total_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_model::{CoreFamily, CORE_CATALOG};
+    use crate::device::{DeviceId, HiddenState};
+    use gdcm_gen::zoo;
+
+    fn device(core: &CoreFamily, freq: f64) -> Device {
+        Device {
+            id: DeviceId(0),
+            model: "test".into(),
+            core: *core,
+            freq_ghz: freq,
+            dram_gb: 4,
+            dram_bw_gbps: (core.dram_bw_range.0 + core.dram_bw_range.1) / 2.0,
+            hidden: HiddenState::neutral(),
+        }
+    }
+
+    #[test]
+    fn mobilenet_v2_latencies_match_field_reports() {
+        let net = zoo::mobilenet_v2(1.0).unwrap();
+        let engine = LatencyEngine::new();
+
+        // Budget A53 phone ~1.8 GHz: field TFLite int8 reports >= 100 ms.
+        let slow = device(CoreFamily::by_name("Cortex-A53").unwrap(), 1.8);
+        let ms_slow = engine.latency_ms(&net, &slow);
+        assert!((60.0..400.0).contains(&ms_slow), "A53: {ms_slow} ms");
+
+        // Flagship A77-class: tens of milliseconds.
+        let fast = device(CoreFamily::by_name("Cortex-A77").unwrap(), 2.8);
+        let ms_fast = engine.latency_ms(&net, &fast);
+        assert!((4.0..60.0).contains(&ms_fast), "A77: {ms_fast} ms");
+
+        assert!(ms_slow > 3.0 * ms_fast);
+    }
+
+    #[test]
+    fn latency_decreases_with_frequency() {
+        let net = zoo::mobilenet_v2(1.0).unwrap();
+        let engine = LatencyEngine::new();
+        let core = CoreFamily::by_name("Cortex-A73").unwrap();
+        let lo = engine.latency_ms(&net, &device(core, 1.5));
+        let hi = engine.latency_ms(&net, &device(core, 2.5));
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let net = zoo::mobilenet_v3_small().unwrap();
+        let engine = LatencyEngine::new();
+        let d = device(CoreFamily::by_name("Kryo-280").unwrap(), 2.3);
+        let b = engine.breakdown(&net, &d);
+        let sum: f64 = b.layers.iter().map(LayerTiming::total_ms).sum();
+        assert!((sum * d.hidden.throttle - b.total_ms).abs() < 1e-9);
+        assert_eq!(b.layers.len(), net.layer_count());
+    }
+
+    #[test]
+    fn bigger_network_takes_longer() {
+        let small = zoo::mobilenet_v3_small().unwrap();
+        let big = zoo::mobilenet_v1(1.0).unwrap();
+        let engine = LatencyEngine::new();
+        let d = device(CoreFamily::by_name("Cortex-A72").unwrap(), 2.0);
+        assert!(engine.latency_ms(&big, &d) > engine.latency_ms(&small, &d));
+    }
+
+    #[test]
+    fn hidden_state_moves_latency() {
+        let net = zoo::mobilenet_v2(1.0).unwrap();
+        let engine = LatencyEngine::new();
+        let core = CoreFamily::by_name("Cortex-A72").unwrap();
+        let base = device(core, 2.0);
+        let mut slowed = device(core, 2.0);
+        slowed.hidden.global_efficiency = 0.5;
+        slowed.hidden.throttle = 1.3;
+        let r = engine.latency_ms(&net, &slowed) / engine.latency_ms(&net, &base);
+        assert!(r > 1.8, "hidden state should dominate: ratio {r}");
+    }
+
+    #[test]
+    fn depthwise_heavy_network_is_relatively_slower_when_dw_kernels_bad() {
+        let engine = LatencyEngine::new();
+        let core = CoreFamily::by_name("Cortex-A73").unwrap();
+        let dw_heavy = zoo::mobilenet_v1(1.0).unwrap();
+        let conv_heavy = zoo::squeezenet_v1_1().unwrap();
+
+        let good = device(core, 2.2);
+        let mut bad_dw = device(core, 2.2);
+        bad_dw.hidden.class_efficiency[OpClass::Depthwise.index()] = 0.4;
+
+        let ratio_dw =
+            engine.latency_ms(&dw_heavy, &bad_dw) / engine.latency_ms(&dw_heavy, &good);
+        let ratio_conv =
+            engine.latency_ms(&conv_heavy, &bad_dw) / engine.latency_ms(&conv_heavy, &good);
+        assert!(
+            ratio_dw > ratio_conv,
+            "dw-heavy {ratio_dw} vs conv-heavy {ratio_conv}"
+        );
+    }
+
+    #[test]
+    fn all_catalog_cores_produce_finite_positive_latency() {
+        let net = zoo::mobilenet_v2(1.0).unwrap();
+        let engine = LatencyEngine::new();
+        for core in &CORE_CATALOG {
+            let d = device(core, core.freq_range_ghz.1);
+            let ms = engine.latency_ms(&net, &d);
+            assert!(ms.is_finite() && ms > 0.0, "{}: {ms}", core.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod class_totals_tests {
+    use super::*;
+    use crate::device::{DeviceId, HiddenState, OpClass};
+    use crate::core_model::CoreFamily;
+    use gdcm_gen::zoo;
+
+    #[test]
+    fn class_totals_partition_the_breakdown() {
+        let net = zoo::mobilenet_v2(1.0).unwrap();
+        let device = crate::Device {
+            id: DeviceId(0),
+            model: "t".into(),
+            core: *CoreFamily::by_name("Cortex-A73").unwrap(),
+            freq_ghz: 2.2,
+            dram_gb: 4,
+            dram_bw_gbps: 10.0,
+            hidden: HiddenState::neutral(),
+        };
+        let b = LatencyEngine::new().breakdown(&net, &device);
+        let totals = b.class_totals();
+        let sum: f64 = totals.iter().sum();
+        let direct: f64 = b.layers.iter().map(LayerTiming::total_ms).sum();
+        assert!((sum - direct).abs() < 1e-9);
+        // MobileNetV2 is conv+depthwise dominated.
+        assert!(totals[OpClass::Conv.index()] > 0.0);
+        assert!(totals[OpClass::Depthwise.index()] > 0.0);
+    }
+
+    #[test]
+    fn memory_bound_flag_is_consistent() {
+        let net = zoo::mobilenet_v2(1.0).unwrap();
+        let device = crate::DevicePopulation::sample(1, 0).devices.remove(0);
+        let b = LatencyEngine::new().breakdown(&net, &device);
+        for layer in &b.layers {
+            assert_eq!(layer.memory_bound(), layer.memory_ms > layer.compute_ms);
+            assert!(layer.total_ms() >= layer.overhead_ms);
+        }
+    }
+}

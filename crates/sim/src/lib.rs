@@ -1,0 +1,47 @@
+//! # gdcm-sim — analytical mobile-CPU latency simulator
+//!
+//! Stands in for the paper's measurement substrate: 118 int8 TFLite
+//! networks executed on the single big core of 105 crowd-sourced Android
+//! phones, each latency averaged over 30 runs.
+//!
+//! The simulator's causal structure encodes the paper's central empirical
+//! finding. A device's latency is a roofline-style function of
+//!
+//! * **public specifications** — core family, frequency, DRAM size — the
+//!   features a software developer can query, and
+//! * **hidden state** — per-operator-class kernel efficiency, memory-system
+//!   effectiveness, dispatch overhead and thermal throttling — the
+//!   microarchitectural and software-stack factors that are *not*
+//!   queryable and that the paper shows dominate real-device variance
+//!   (devices with identical CPU model, frequency, and DRAM differed by
+//!   over 2.5x; the same CPU appears in all three speed clusters).
+//!
+//! Consequently, models trained on static specs predict poorly while
+//! models given measured signature-set latencies (which observe the
+//! hidden state directly) predict well — the paper's Fig. 8 vs Fig. 9.
+//!
+//! ```
+//! use gdcm_sim::{DevicePopulation, LatencyEngine};
+//! use gdcm_gen::zoo;
+//!
+//! let devices = DevicePopulation::paper(7).devices;
+//! assert_eq!(devices.len(), 105);
+//! let net = zoo::mobilenet_v2(1.0).unwrap();
+//! let engine = LatencyEngine::default();
+//! let ms = engine.latency_ms(&net, &devices[0]);
+//! assert!(ms > 1.0 && ms < 2000.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod core_model;
+mod device;
+mod engine;
+mod measure;
+mod population;
+
+pub use core_model::{CoreFamily, CORE_CATALOG};
+pub use device::{Device, DeviceId, HiddenState, OpClass};
+pub use engine::{LatencyBreakdown, LatencyEngine, LayerTiming};
+pub use measure::{measure, LatencyDb, Measurement, MeasurementCache, MeasurementConfig};
+pub use population::{DevicePopulation, PAPER_DEVICE_COUNT};

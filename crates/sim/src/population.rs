@@ -1,0 +1,305 @@
+//! Sampling the crowd-sourced device population.
+//!
+//! Reproduces the shape of the paper's Fig. 3 histogram: a long tail of
+//! Cortex-A53 budget phones, a broad middle of Cortex-A7x / Kryo
+//! mid-rangers, and a small set of recent flagships. Every device draws
+//! its public specs from its core family's ranges and its hidden state
+//! from fixed log-normal priors — two devices with identical public specs
+//! will still differ, exactly as the paper observed (over 2.5x at equal
+//! frequency and DRAM).
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::core_model::{CoreFamily, CORE_CATALOG};
+use crate::device::{Device, DeviceId, HiddenState};
+
+/// The paper's population size.
+pub const PAPER_DEVICE_COUNT: usize = 105;
+
+/// Sampling weight per catalog family, mirroring Fig. 3's histogram.
+const FAMILY_WEIGHTS: [u32; 22] = [
+    0,  // Cortex-A7 (catalog-only: predates the paper's fleet)
+    0,  // Cortex-A17 (catalog-only: predates the paper's fleet)
+    24, // Cortex-A53 — dominant budget core
+    8,  // Cortex-A55
+    3,  // Cortex-A57
+    8,  // Cortex-A72
+    9,  // Cortex-A73
+    5,  // Cortex-A75
+    6,  // Cortex-A76
+    2,  // Cortex-A77
+    4,  // Kryo
+    3,  // Kryo-250-Gold
+    6,  // Kryo-260-Gold
+    7,  // Kryo-280
+    4,  // Kryo-360-Gold
+    3,  // Kryo-385-Gold
+    3,  // Kryo-460-Gold
+    3,  // Kryo-485-Gold
+    1,  // Kryo-495-Gold
+    2,  // Kryo-585
+    2,  // Exynos-M3
+    2,  // Exynos-M4
+];
+
+/// Hidden-state priors (log-stddevs of log-normal multipliers).
+mod priors {
+    /// Global software-stack efficiency spread. Large by design: the paper
+    /// found the same CPU model in all three speed clusters.
+    pub const GLOBAL_EFF_SIGMA: f64 = 0.42;
+    /// Per-operator-class kernel spread.
+    pub const CLASS_EFF_SIGMA: f64 = 0.28;
+    /// Memory-system effectiveness spread.
+    pub const MEM_EFF_SIGMA: f64 = 0.27;
+    /// Range of the per-(device, network) idiosyncrasy log-stddev.
+    pub const PAIR_SIGMA_RANGE: (f64, f64) = (0.08, 0.16);
+    /// Dispatch overhead: median 12 us with a wide spread.
+    pub const OVERHEAD_MEDIAN_US: f64 = 12.0;
+    pub const OVERHEAD_SIGMA: f64 = 0.5;
+    /// Thermal throttle half-normal scale.
+    pub const THROTTLE_SCALE: f64 = 0.15;
+}
+
+/// Standard normal via Box-Muller.
+fn randn(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal multiplier with median 1.
+fn lognormal(rng: &mut ChaCha8Rng, sigma: f64) -> f64 {
+    (sigma * randn(rng)).exp()
+}
+
+/// Log-normal multiplier truncated to `[lo, hi]` — keeps a heavy but
+/// bounded spread so no single device sits unreachably outside the rest
+/// of the fleet's latency range.
+fn lognormal_clamped(rng: &mut ChaCha8Rng, sigma: f64, lo: f64, hi: f64) -> f64 {
+    lognormal(rng, sigma).clamp(lo, hi)
+}
+
+/// A sampled device fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DevicePopulation {
+    /// The devices, with dense ids `0..n`.
+    pub devices: Vec<Device>,
+}
+
+impl DevicePopulation {
+    /// Samples the paper's 105-device population. The fleet always
+    /// contains the case-study device `"Redmi Note 5 Pro"` (Kryo 260
+    /// Gold) used in Section V.
+    pub fn paper(seed: u64) -> Self {
+        Self::sample(PAPER_DEVICE_COUNT, seed)
+    }
+
+    /// Samples `n` devices deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is 0.
+    pub fn sample(n: usize, seed: u64) -> Self {
+        assert!(n >= 1, "population needs at least one device");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let total_weight: u32 = FAMILY_WEIGHTS.iter().sum();
+
+        let mut devices = Vec::with_capacity(n);
+        // Device 0 is always the Section V case-study phone.
+        devices.push(Self::sample_device(
+            DeviceId(0),
+            "Redmi Note 5 Pro".to_string(),
+            CoreFamily::by_name("Kryo-260-Gold").expect("catalog entry"),
+            Some(1.8),
+            Some(4),
+            &mut rng,
+        ));
+
+        for i in 1..n {
+            let mut roll = rng.gen_range(0..total_weight);
+            let mut family = &CORE_CATALOG[0];
+            for (f, &w) in CORE_CATALOG.iter().zip(&FAMILY_WEIGHTS) {
+                if roll < w {
+                    family = f;
+                    break;
+                }
+                roll -= w;
+            }
+            let model = format!("{}-Phone-{:03}", family.name, i);
+            devices.push(Self::sample_device(
+                DeviceId(i),
+                model,
+                family,
+                None,
+                None,
+                &mut rng,
+            ));
+        }
+        Self { devices }
+    }
+
+    fn sample_device(
+        id: DeviceId,
+        model: String,
+        core: &CoreFamily,
+        fixed_freq: Option<f64>,
+        fixed_dram: Option<u32>,
+        rng: &mut ChaCha8Rng,
+    ) -> Device {
+        let freq_ghz = fixed_freq.unwrap_or_else(|| {
+            let (lo, hi) = core.freq_range_ghz;
+            // Snap to 0.1 GHz steps, as marketed frequencies are.
+            (rng.gen_range(lo..=hi) * 10.0).round() / 10.0
+        });
+        let dram_gb = fixed_dram.unwrap_or_else(|| {
+            let choices: &[u32] = match core.year {
+                ..=2015 => &[1, 2, 3],
+                2016..=2017 => &[2, 3, 4],
+                2018 => &[3, 4, 6],
+                _ => &[4, 6, 8, 12],
+            };
+            choices[rng.gen_range(0..choices.len())]
+        });
+        let (bw_lo, bw_hi) = core.dram_bw_range;
+        let dram_bw_gbps = rng.gen_range(bw_lo..=bw_hi) * lognormal(rng, 0.10);
+
+        // The two scale-like hidden factors. Their combined spread (with
+        // the kernel-class factors) is deliberately comparable to the
+        // spec-explained spread: the paper found devices with identical
+        // specs differing by over 2.5x and the same CPU model in all
+        // three speed clusters.
+        let global_efficiency = lognormal_clamped(rng, priors::GLOBAL_EFF_SIGMA, 0.4, 2.4);
+        let sustained_freq_factor: f64 = rng.gen_range(0.55..1.0);
+        let hidden = HiddenState {
+            global_efficiency,
+            class_efficiency: [
+                lognormal(rng, priors::CLASS_EFF_SIGMA),
+                lognormal(rng, priors::CLASS_EFF_SIGMA),
+                lognormal(rng, priors::CLASS_EFF_SIGMA),
+                lognormal(rng, priors::CLASS_EFF_SIGMA),
+                lognormal(rng, priors::CLASS_EFF_SIGMA),
+            ],
+            memory_efficiency: lognormal(rng, priors::MEM_EFF_SIGMA),
+            dispatch_overhead_us: priors::OVERHEAD_MEDIAN_US
+                * lognormal(rng, priors::OVERHEAD_SIGMA),
+            throttle: 1.0 + (randn(rng) * priors::THROTTLE_SCALE).abs().min(0.4),
+            run_noise_sigma: rng.gen_range(0.02..0.08),
+            sustained_freq_factor,
+            pair_sigma: rng.gen_range(priors::PAIR_SIGMA_RANGE.0..priors::PAIR_SIGMA_RANGE.1),
+        };
+
+        Device {
+            id,
+            model,
+            core: *core,
+            freq_ghz,
+            dram_gb,
+            dram_bw_gbps,
+            hidden,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the population is empty (never true after sampling).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Finds a device by model name.
+    pub fn device_by_model(&self, model: &str) -> Option<&Device> {
+        self.devices.iter().find(|d| d.model == model)
+    }
+
+    /// Histogram of core-family names, descending by count — the data
+    /// behind Fig. 3.
+    pub fn family_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = CORE_CATALOG
+            .iter()
+            .map(|f| {
+                (
+                    f.name,
+                    self.devices.iter().filter(|d| d.core.name == f.name).count(),
+                )
+            })
+            .collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_population_has_105_devices() {
+        let pop = DevicePopulation::paper(7);
+        assert_eq!(pop.len(), 105);
+        for (i, d) in pop.devices.iter().enumerate() {
+            assert_eq!(d.id.index(), i);
+            assert!(d.freq_ghz > 0.5 && d.freq_ghz < 4.0);
+            assert!(d.dram_gb >= 1);
+            assert!(d.hidden.global_efficiency > 0.1 && d.hidden.global_efficiency < 10.0);
+            assert!(d.hidden.throttle >= 1.0);
+        }
+    }
+
+    #[test]
+    fn case_study_device_present() {
+        let pop = DevicePopulation::paper(7);
+        let d = pop.device_by_model("Redmi Note 5 Pro").unwrap();
+        assert_eq!(d.core.name, "Kryo-260-Gold");
+        assert_eq!(d.freq_ghz, 1.8);
+        assert_eq!(d.dram_gb, 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(DevicePopulation::paper(3), DevicePopulation::paper(3));
+        assert_ne!(DevicePopulation::paper(3), DevicePopulation::paper(4));
+    }
+
+    #[test]
+    fn histogram_dominated_by_a53() {
+        let pop = DevicePopulation::paper(42);
+        let hist = pop.family_histogram();
+        assert_eq!(hist.iter().map(|(_, c)| c).sum::<usize>(), 105);
+        // Cortex-A53 carries the largest weight and should be near the top.
+        let a53 = hist.iter().find(|(n, _)| *n == "Cortex-A53").unwrap().1;
+        assert!(a53 >= 10, "expected many A53 devices, got {a53}");
+        // Diversity: at least 12 distinct families present.
+        let present = hist.iter().filter(|(_, c)| *c > 0).count();
+        assert!(present >= 12, "only {present} families present");
+    }
+
+    #[test]
+    fn same_specs_different_hidden_state() {
+        // Two devices with the same family can differ substantially in
+        // hidden efficiency — the premise of the whole study.
+        let pop = DevicePopulation::sample(400, 11);
+        let a53: Vec<_> = pop
+            .devices
+            .iter()
+            .filter(|d| d.core.name == "Cortex-A53")
+            .collect();
+        assert!(a53.len() >= 20);
+        let effs: Vec<f64> = a53.iter().map(|d| d.hidden.global_efficiency).collect();
+        let max = effs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = effs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 2.0, "hidden spread too small: {min}..{max}");
+    }
+
+    #[test]
+    fn small_population_works() {
+        let pop = DevicePopulation::sample(1, 0);
+        assert_eq!(pop.len(), 1);
+        assert_eq!(pop.devices[0].model, "Redmi Note 5 Pro");
+    }
+}

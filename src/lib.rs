@@ -1,0 +1,21 @@
+//! # Generalizable DNN Cost Models for Mobile Devices
+//!
+//! Umbrella crate for the IISWC 2020 reproduction. Re-exports every
+//! workspace crate under a stable prefix so examples and downstream users
+//! can depend on a single package:
+//!
+//! * [`dnn`] — the network graph IR ([`gdcm_dnn`]).
+//! * [`gen`] — random generator and model zoo ([`gdcm_gen`]).
+//! * [`sim`] — the mobile-device latency simulator ([`gdcm_sim`]).
+//! * [`ml`] — gradient boosting and friends ([`gdcm_ml`]).
+//! * [`core`] — representations, signature sets, pipeline, collaboration
+//!   ([`gdcm_core`]).
+//!
+//! See the repository `README.md` for the full tour and `DESIGN.md` for
+//! the paper-to-module map.
+
+pub use gdcm_core as core;
+pub use gdcm_dnn as dnn;
+pub use gdcm_gen as gen;
+pub use gdcm_ml as ml;
+pub use gdcm_sim as sim;

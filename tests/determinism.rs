@@ -1,0 +1,84 @@
+//! Reproducibility guarantees: every artifact in the study regenerates
+//! bit-for-bit from its seed — the property that lets `EXPERIMENTS.md` be
+//! regenerated and audited.
+
+use generalizable_dnn_cost_models::core::CostDataset;
+use generalizable_dnn_cost_models::gen::benchmark_suite;
+use generalizable_dnn_cost_models::sim::{
+    measure, DevicePopulation, LatencyEngine, MeasurementConfig,
+};
+
+#[test]
+fn paper_scale_dataset_regenerates_identically() {
+    let a = CostDataset::paper(2020);
+    let b = CostDataset::paper(2020);
+    assert_eq!(a.db, b.db);
+    assert_eq!(a.encodings, b.encodings);
+    assert_eq!(a.devices, b.devices);
+    assert_eq!(a.suite.len(), 118);
+    assert_eq!(a.devices.len(), 105);
+    assert_eq!(a.db.len(), 12_390);
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let a = CostDataset::paper(2020);
+    let b = CostDataset::paper(2021);
+    assert_ne!(a.db, b.db);
+}
+
+#[test]
+fn measurement_order_does_not_matter() {
+    // The noise stream is keyed per (device, network) cell, so measuring
+    // a single cell in isolation equals the value inside a full sweep.
+    let suite = benchmark_suite(7);
+    let devices = DevicePopulation::sample(6, 8).devices;
+    let engine = LatencyEngine::new();
+    let cfg = MeasurementConfig { runs: 30, seed: 7 };
+    let db = generalizable_dnn_cost_models::sim::LatencyDb::collect(
+        &engine, &suite, &devices, &cfg,
+    );
+    // Probe three scattered cells out of order.
+    for (d, n) in [(5usize, 100usize), (0, 3), (3, 57)] {
+        let m = measure(&engine, &suite[n], &devices[d], &cfg);
+        assert_eq!(db.latency(d, n), m.mean_ms, "cell ({d}, {n})");
+    }
+}
+
+#[test]
+fn suite_composition_matches_the_paper() {
+    let suite = benchmark_suite(2020);
+    assert_eq!(suite.len(), 118);
+    assert_eq!(suite.iter().filter(|n| n.predesigned).count(), 18);
+    assert_eq!(suite.iter().filter(|n| !n.predesigned).count(), 100);
+    // The zoo's flagship members are present by name.
+    for name in [
+        "mobilenet_v1_1.0",
+        "mobilenet_v2_1.0",
+        "mobilenet_v3_large",
+        "mobilenet_v3_small",
+        "squeezenet_v1.1",
+        "mnasnet_a1",
+        "proxyless_mobile",
+        "fbnet_c",
+        "single_path_nas",
+        "efficientnet_b0",
+        "shufflenet_v2_1.0",
+    ] {
+        assert!(
+            suite.iter().any(|n| n.name() == name),
+            "{name} missing from the suite"
+        );
+    }
+}
+
+#[test]
+fn fleet_contains_the_case_study_device() {
+    let data = CostDataset::paper(2020);
+    let idx = data
+        .device_index("Redmi Note 5 Pro")
+        .expect("Section V case-study device must exist");
+    let device = &data.devices[idx];
+    assert_eq!(device.core.name, "Kryo-260-Gold");
+    assert_eq!(device.freq_ghz, 1.8);
+}

@@ -1,0 +1,101 @@
+//! End-to-end integration: generator → simulator → encoder → signature
+//! selection → GBDT → evaluation, across all five crates.
+
+use generalizable_dnn_cost_models::core::signature::{
+    MutualInfoSelector, RandomSelector, SpearmanSelector,
+};
+use generalizable_dnn_cost_models::core::{CostDataset, CostModelPipeline, PipelineConfig};
+use generalizable_dnn_cost_models::ml::GbdtParams;
+
+fn fast_config(signature_size: usize) -> PipelineConfig {
+    PipelineConfig {
+        signature_size,
+        gbdt: GbdtParams {
+            n_estimators: 50,
+            ..GbdtParams::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn signature_model_predicts_unseen_devices() {
+    let data = CostDataset::tiny(11, 22, 30);
+    let pipeline = CostModelPipeline::new(&data, fast_config(5));
+    let report = pipeline.run_signature(&MutualInfoSelector::default());
+    assert!(
+        report.r2 > 0.6,
+        "MIS signature model should predict unseen devices: R² {:.3}",
+        report.r2
+    );
+    // Every prediction is a finite, positive latency.
+    for &p in &report.predicted_ms {
+        assert!(p.is_finite());
+        assert!(p > 0.0, "negative latency predicted: {p}");
+    }
+}
+
+#[test]
+fn signature_representation_beats_static_specs() {
+    let data = CostDataset::tiny(11, 22, 30);
+    let pipeline = CostModelPipeline::new(&data, fast_config(5));
+    let static_r2 = pipeline.run_static().r2;
+    for report in [
+        pipeline.run_signature(&MutualInfoSelector::default()),
+        pipeline.run_signature(&SpearmanSelector::default()),
+    ] {
+        assert!(
+            report.r2 > static_r2,
+            "{} ({:.3}) should beat static ({static_r2:.3})",
+            report.method,
+            report.r2
+        );
+    }
+}
+
+#[test]
+fn larger_signatures_do_not_hurt_much() {
+    // Fig. 11's saturation: going from 5 to 10 networks should not
+    // meaningfully degrade accuracy.
+    let data = CostDataset::tiny(13, 22, 30);
+    let five = CostModelPipeline::new(&data, fast_config(5))
+        .run_signature(&MutualInfoSelector::default())
+        .r2;
+    let ten = CostModelPipeline::new(&data, fast_config(10))
+        .run_signature(&MutualInfoSelector::default())
+        .r2;
+    assert!(
+        ten > five - 0.1,
+        "size 10 ({ten:.3}) collapsed vs size 5 ({five:.3})"
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let data = CostDataset::tiny(5, 10, 12);
+        let pipeline = CostModelPipeline::new(&data, fast_config(3));
+        pipeline.run_signature(&RandomSelector::new(4))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "two identical runs must agree bit-for-bit");
+}
+
+#[test]
+fn report_metrics_are_consistent() {
+    let data = CostDataset::tiny(5, 12, 14);
+    let pipeline = CostModelPipeline::new(&data, fast_config(4));
+    let report = pipeline.run_signature(&MutualInfoSelector::default());
+    // Recompute R² from the stored scatter and compare.
+    let r2 = generalizable_dnn_cost_models::ml::metrics::r2_score(
+        &report.actual_ms,
+        &report.predicted_ms,
+    );
+    assert!((r2 - report.r2).abs() < 1e-12);
+    let rmse = generalizable_dnn_cost_models::ml::metrics::rmse(
+        &report.actual_ms,
+        &report.predicted_ms,
+    );
+    assert!((rmse - report.rmse_ms).abs() < 1e-9);
+}

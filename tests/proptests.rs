@@ -1,0 +1,106 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! seed, not just the experiment seeds.
+
+use generalizable_dnn_cost_models::core::{EncoderConfig, NetworkEncoder};
+use generalizable_dnn_cost_models::dnn::TensorShape;
+use generalizable_dnn_cost_models::gen::{RandomNetworkGenerator, SearchSpace};
+use generalizable_dnn_cost_models::ml::metrics::{pearson, r2_score, spearman};
+use generalizable_dnn_cost_models::ml::mutual_info::mutual_information;
+use generalizable_dnn_cost_models::sim::{DevicePopulation, LatencyEngine};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every network the generator emits is valid, has positive cost, and
+    /// ends in the configured classifier.
+    #[test]
+    fn random_networks_are_always_valid(seed in 0u64..10_000) {
+        let mut generator = RandomNetworkGenerator::new(SearchSpace::tiny(), seed);
+        let net = generator.generate("prop").unwrap();
+        let cost = net.cost();
+        prop_assert!(cost.total_macs > 0);
+        prop_assert!(cost.total_params > 0);
+        prop_assert_eq!(net.output().output_shape, TensorShape::vector(10));
+        // Shape inference holds at every node: outputs are non-empty.
+        for node in net.nodes() {
+            prop_assert!(node.output_shape.elements() > 0);
+        }
+    }
+
+    /// Encoded vectors always have the fitted length, for any network.
+    #[test]
+    fn encoder_length_is_invariant(seed in 0u64..10_000) {
+        let mut generator = RandomNetworkGenerator::new(SearchSpace::tiny(), seed);
+        let nets: Vec<_> = (0..4).map(|i| generator.generate(format!("n{i}")).unwrap()).collect();
+        let encoder = NetworkEncoder::fit(nets.iter(), EncoderConfig::default());
+        for net in &nets {
+            let v = encoder.encode(net);
+            prop_assert_eq!(v.len(), encoder.len());
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+        }
+        // A fresh network (possibly deeper) still encodes to the same length.
+        let fresh = generator.generate("fresh").unwrap();
+        prop_assert_eq!(encoder.encode(&fresh).len(), encoder.len());
+    }
+
+    /// Simulated latency is finite, positive, and monotone in the
+    /// device's hidden slowdown.
+    #[test]
+    fn simulator_latency_is_positive_and_monotone(seed in 0u64..10_000) {
+        let mut generator = RandomNetworkGenerator::new(SearchSpace::tiny(), seed);
+        let net = generator.generate("n").unwrap();
+        let device = DevicePopulation::sample(1, seed).devices.remove(0);
+        let engine = LatencyEngine::new();
+        let base = engine.latency_ms(&net, &device);
+        prop_assert!(base.is_finite() && base > 0.0);
+
+        let mut slower = device.clone();
+        slower.hidden.global_efficiency *= 0.5;
+        prop_assert!(engine.latency_ms(&net, &slower) > base);
+    }
+
+    /// Population devices always carry physically sane parameters.
+    #[test]
+    fn population_devices_are_sane(seed in 0u64..10_000, n in 1usize..40) {
+        let pop = DevicePopulation::sample(n, seed);
+        prop_assert_eq!(pop.len(), n);
+        for d in &pop.devices {
+            prop_assert!(d.freq_ghz > 0.5 && d.freq_ghz < 4.0);
+            prop_assert!(d.hidden.sustained_freq_factor > 0.5
+                && d.hidden.sustained_freq_factor <= 1.0);
+            prop_assert!(d.hidden.throttle >= 1.0);
+            prop_assert!(d.hidden.global_efficiency > 0.3
+                && d.hidden.global_efficiency < 3.0);
+            prop_assert!(d.dram_bw_gbps > 1.0);
+        }
+    }
+
+    /// Metric invariants: R² of identity is 1; Pearson/Spearman bounded;
+    /// MI non-negative and symmetric.
+    #[test]
+    fn metric_invariants(values in prop::collection::vec(-1e4f32..1e4, 5..60)) {
+        prop_assume!(values.iter().any(|&v| v != values[0]));
+        prop_assert!((r2_score(&values, &values) - 1.0).abs() < 1e-9);
+        let reversed: Vec<f32> = values.iter().rev().copied().collect();
+        let p = pearson(&values, &reversed);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&p));
+        let s = spearman(&values, &reversed);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        let mi_ab = mutual_information(&values, &reversed, 4);
+        let mi_ba = mutual_information(&reversed, &values, 4);
+        prop_assert!(mi_ab >= 0.0);
+        prop_assert!((mi_ab - mi_ba).abs() < 1e-9);
+    }
+
+    /// Spearman is invariant under strictly monotone transforms.
+    #[test]
+    fn spearman_monotone_invariance(values in prop::collection::vec(0.1f32..1e3, 5..50)) {
+        prop_assume!(values.iter().any(|&v| v != values[0]));
+        let probe: Vec<f32> = (0..values.len()).map(|i| i as f32).collect();
+        let transformed: Vec<f32> = values.iter().map(|v| v.ln() * 3.0 + 7.0).collect();
+        let a = spearman(&probe, &values);
+        let b = spearman(&probe, &transformed);
+        prop_assert!((a - b).abs() < 1e-6);
+    }
+}

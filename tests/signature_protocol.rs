@@ -1,0 +1,110 @@
+//! Protocol invariants of §IV-A: what signature selection may see and
+//! which rows reach the model.
+
+use generalizable_dnn_cost_models::core::signature::{
+    MutualInfoSelector, RandomSelector, SignatureSelector, SpearmanSelector,
+};
+use generalizable_dnn_cost_models::core::{CostDataset, CostModelPipeline, PipelineConfig};
+use generalizable_dnn_cost_models::ml::GbdtParams;
+use std::collections::HashSet;
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        signature_size: 4,
+        gbdt: GbdtParams {
+            n_estimators: 30,
+            ..GbdtParams::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn selectors_only_observe_training_devices() {
+    // Device sampling is sequential and measurement noise is keyed per
+    // (device, network) cell, so two datasets of different fleet sizes
+    // share their common prefix of devices exactly. Selecting on the
+    // shared prefix must therefore give identical signatures — proof that
+    // the devices beyond the given subset are never read.
+    let small = CostDataset::tiny(9, 16, 12);
+    let large = CostDataset::tiny(9, 16, 20);
+    let train: Vec<usize> = (0..12).collect();
+    for selector in [
+        Box::new(MutualInfoSelector::default()) as Box<dyn SignatureSelector>,
+        Box::new(SpearmanSelector::default()),
+        Box::new(RandomSelector::new(3)),
+    ] {
+        let a = selector.select(&small.db, &train, 5);
+        let b = selector.select(&large.db, &train, 5);
+        assert_eq!(a, b, "{} read beyond the training devices", selector.name());
+    }
+}
+
+#[test]
+fn signature_networks_never_appear_as_rows() {
+    let data = CostDataset::tiny(9, 16, 20);
+    let pipeline = CostModelPipeline::new(&data, config());
+    for selector in [
+        Box::new(RandomSelector::new(2)) as Box<dyn SignatureSelector>,
+        Box::new(MutualInfoSelector::default()),
+        Box::new(SpearmanSelector::default()),
+    ] {
+        let report = pipeline.run_signature(selector.as_ref());
+        let (train, test) = pipeline.device_split();
+        let expected_rows =
+            (data.n_networks() - report.signature.len()) * train.len();
+        assert_eq!(report.n_train_rows, expected_rows, "{}", report.method);
+        let expected_test =
+            (data.n_networks() - report.signature.len()) * test.len();
+        assert_eq!(report.actual_ms.len(), expected_test, "{}", report.method);
+    }
+}
+
+#[test]
+fn split_devices_are_disjoint_and_complete() {
+    let data = CostDataset::tiny(9, 8, 21);
+    let pipeline = CostModelPipeline::new(&data, config());
+    let (train, test) = pipeline.device_split();
+    let all: HashSet<usize> = train.iter().chain(test.iter()).copied().collect();
+    assert_eq!(all.len(), data.n_devices());
+    assert_eq!(train.len() + test.len(), data.n_devices());
+    // 30% of 21 rounds to 6 test devices.
+    assert_eq!(test.len(), 6);
+}
+
+#[test]
+fn three_selectors_produce_distinct_but_valid_sets() {
+    let data = CostDataset::tiny(9, 20, 24);
+    let devices: Vec<usize> = (0..16).collect();
+    let rs = RandomSelector::new(0).select(&data.db, &devices, 8);
+    let mis = MutualInfoSelector::default().select(&data.db, &devices, 8);
+    let sccs = SpearmanSelector::default().select(&data.db, &devices, 8);
+    for (name, sig) in [("RS", &rs), ("MIS", &mis), ("SCCS", &sccs)] {
+        let unique: HashSet<_> = sig.iter().collect();
+        assert_eq!(unique.len(), 8, "{name} produced duplicates: {sig:?}");
+        assert!(sig.iter().all(|&n| n < data.n_networks()), "{name}");
+    }
+    // The deterministic methods should usually disagree with RS.
+    assert!(
+        mis != rs || sccs != rs,
+        "all three selectors agreeing exactly is vanishingly unlikely"
+    );
+}
+
+#[test]
+fn cluster_splits_cover_every_device_once() {
+    // The Table-I style adversarial split must partition the fleet.
+    let data = CostDataset::tiny(9, 10, 18);
+    let pipeline = CostModelPipeline::new(&data, config());
+    let train: Vec<usize> = (0..12).collect();
+    let test: Vec<usize> = (12..18).collect();
+    let report = pipeline.run_signature_with_split(
+        &MutualInfoSelector::default(),
+        &train,
+        &test,
+    );
+    assert_eq!(
+        report.actual_ms.len(),
+        test.len() * (data.n_networks() - report.signature.len())
+    );
+}
