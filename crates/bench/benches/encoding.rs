@@ -21,7 +21,7 @@ fn bench_encoding(c: &mut Criterion) {
         b.iter(|| encoder.encode(&mnv3));
     });
     group.bench_function("encode_whole_zoo", |b| {
-        b.iter(|| nets.iter().map(|n| encoder.encode(n)).count());
+        b.iter(|| nets.iter().map(|n| encoder.encode(n).len()).sum::<usize>());
     });
     group.bench_function("static_spec_encode", |b| {
         b.iter(|| StaticSpecEncoder::encode(&device));

@@ -1,0 +1,60 @@
+//! Overhead of the gdcm-obs instrumentation on GBDT training.
+//!
+//! Fits the same boosting ensemble with the event sink disabled
+//! (`GDCM_OBS` unset / `off` — the production default) and with the
+//! JSON-lines sink active. The `off` path must stay within noise of an
+//! uninstrumented build: instrumentation there is one relaxed atomic
+//! load per fit plus stage-granularity registry updates.
+//!
+//! ```sh
+//! cargo bench -p gdcm-bench --bench obs_overhead
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor};
+
+/// Deterministic synthetic regression task (same generator family as the
+/// gdcm-ml unit tests).
+fn synthetic(n: usize) -> (DenseMatrix, Vec<f32>) {
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut state = 98765u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (u32::MAX as f32) * 2.0 - 1.0) * 3.0
+    };
+    for _ in 0..n {
+        let (a, b, c) = (next(), next(), next());
+        rows.push(vec![a, b, c]);
+        y.push(3.0 * a + b * b - 2.0 * c);
+    }
+    (DenseMatrix::from_rows(&rows), y)
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let (x, y) = synthetic(400);
+    let params = GbdtParams {
+        n_estimators: 40,
+        ..GbdtParams::default()
+    };
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("gbdt_fit/off", |b| {
+        gdcm_obs::force_mode(gdcm_obs::Mode::Off);
+        b.iter(|| black_box(GbdtRegressor::fit(&x, &y, &params)));
+    });
+    group.bench_function("gbdt_fit/json", |b| {
+        // JSON-lines events land on stderr; that serialization and write
+        // cost is exactly what this variant measures.
+        gdcm_obs::force_mode(gdcm_obs::Mode::Json);
+        b.iter(|| black_box(GbdtRegressor::fit(&x, &y, &params)));
+    });
+    group.finish();
+    gdcm_obs::force_mode(gdcm_obs::Mode::Off);
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -21,7 +21,7 @@ use gdcm_ml::{
 };
 
 fn main() {
-    let start = std::time::Instant::now();
+    let mut run_report = gdcm_obs::RunReport::new("ablation_models");
     let data = CostDataset::paper(DATASET_SEED);
     let pipeline = CostModelPipeline::new(&data, PipelineConfig::default());
     let (train_devices, test_devices) = pipeline.device_split();
@@ -58,7 +58,11 @@ fn main() {
 
     let t = std::time::Instant::now();
     let forest = RandomForestRegressor::fit(&x_train, &y_train, 100, 10, 0);
-    row("random forest (100 x depth 10)", forest.predict(&x_test), t.elapsed());
+    row(
+        "random forest (100 x depth 10)",
+        forest.predict(&x_test),
+        t.elapsed(),
+    );
 
     let t = std::time::Instant::now();
     let knn = KnnRegressor::fit(&x_train, &y_train, 5);
@@ -79,12 +83,25 @@ fn main() {
             ..MlpParams::default()
         },
     );
-    row("MLP (64-32, paper: LSTM+FC / MLP)", mlp.predict(&x_test), t.elapsed());
+    row(
+        "MLP (64-32, paper: LSTM+FC / MLP)",
+        mlp.predict(&x_test),
+        t.elapsed(),
+    );
 
     rank.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     println!(
         "\nBest model: {} (paper: XGBoost wins the same comparison).",
         rank[0].0
     );
-    eprintln!("[ablation_models completed in {:?}]", start.elapsed());
+    run_report.set_dim("train_rows", x_train.n_rows() as u64);
+    run_report.set_dim("test_rows", x_test.n_rows() as u64);
+    run_report.set_dim("features", x_train.n_cols() as u64);
+    for (name, r2) in &rank {
+        run_report.set_metric(&format!("r2/{name}"), *r2);
+    }
+    match run_report.finalize_and_write() {
+        Ok(path) => eprintln!("[ablation_models done; report: {}]", path.display()),
+        Err(err) => eprintln!("[ablation_models done; report write failed: {err}]"),
+    }
 }

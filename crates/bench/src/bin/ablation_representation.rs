@@ -16,9 +16,7 @@
 
 use gdcm_bench::DATASET_SEED;
 use gdcm_core::signature::MutualInfoSelector;
-use gdcm_core::{
-    CostDataset, CostModelPipeline, EncoderConfig, NetworkEncoder, PipelineConfig,
-};
+use gdcm_core::{CostDataset, CostModelPipeline, EncoderConfig, NetworkEncoder, PipelineConfig};
 use gdcm_gen::benchmark_suite;
 use gdcm_ml::DenseMatrix;
 use gdcm_sim::{DevicePopulation, MeasurementConfig};
@@ -47,7 +45,7 @@ fn dataset_with(config: EncoderConfig) -> CostDataset {
 }
 
 fn main() {
-    let start = std::time::Instant::now();
+    let mut run_report = gdcm_obs::RunReport::new("ablation_representation");
     println!("## Ablation — representation and target-scale choices\n");
     println!("| variant | features | test R² | RMSE (ms) |");
     println!("|---|---|---|---|");
@@ -101,5 +99,9 @@ fn main() {
          that the *hardware* representation, not the network representation, is\n\
          the decisive design choice."
     );
-    eprintln!("[ablation_representation completed in {:?}]", start.elapsed());
+    run_report.set_metric("baseline_r2", base_r2);
+    match run_report.finalize_and_write() {
+        Ok(path) => eprintln!("[ablation_representation done; report: {}]", path.display()),
+        Err(err) => eprintln!("[ablation_representation done; report write failed: {err}]"),
+    }
 }

@@ -3,12 +3,13 @@
 //! Prints the experiment's Markdown section; run `all_experiments` to
 //! regenerate the full `EXPERIMENTS.md`.
 
-use gdcm_bench::{experiments, DATASET_SEED};
+use gdcm_bench::{experiments, record_dataset_dims, run_reported, DATASET_SEED};
 use gdcm_core::CostDataset;
 
 fn main() {
-    let start = std::time::Instant::now();
-    let data = CostDataset::paper(DATASET_SEED);
-    println!("{}", experiments::fig05(&data));
-    eprintln!("[fig05_latency_vs_frequency completed in {:?}]", start.elapsed());
+    run_reported("fig05_latency_vs_frequency", |report| {
+        let data = CostDataset::paper(DATASET_SEED);
+        record_dataset_dims(report, &data);
+        experiments::fig05(&data)
+    });
 }

@@ -48,7 +48,10 @@ pub fn fig12(data: &CostDataset) -> String {
     for &cp in &checkpoints {
         let mut row = format!("| {cp} |");
         for curve in &curves {
-            let point = curve.iter().find(|p| p.n_devices == cp).expect("eval_every = 1");
+            let point = curve
+                .iter()
+                .find(|p| p.n_devices == cp)
+                .expect("eval_every = 1");
             let _ = write!(row, " {:.3} |", point.avg_r2);
         }
         let _ = writeln!(out, "{row}");
@@ -116,9 +119,10 @@ pub fn fig13(data: &CostDataset) -> String {
     );
     let _ = writeln!(out, "| own measurements (isolated) | R² |");
     let _ = writeln!(out, "|---|---|");
-    for p in curve.iter().filter(|p| {
-        [1, 5, 10, 20, 40, 60, 80, 100, data.n_networks()].contains(&p.n_networks)
-    }) {
+    for p in curve
+        .iter()
+        .filter(|p| [1, 5, 10, 20, 40, 60, 80, 100, data.n_networks()].contains(&p.n_networks))
+    {
         let _ = writeln!(out, "| {} | {:.3} |", p.n_networks, p.r2);
     }
     let _ = writeln!(

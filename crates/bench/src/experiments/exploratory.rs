@@ -16,7 +16,11 @@ pub fn fig02(data: &CostDataset) -> String {
         .collect();
 
     let mut out = String::new();
-    let _ = writeln!(out, "## Fig. 2 — FLOPs distribution of the {} networks\n", macs.len());
+    let _ = writeln!(
+        out,
+        "## Fig. 2 — FLOPs distribution of the {} networks\n",
+        macs.len()
+    );
     let _ = writeln!(
         out,
         "Paper: the suite spans the mobile regime (~hundreds of millions of MACs)."
@@ -53,7 +57,11 @@ pub fn fig03(data: &CostDataset) -> String {
     rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
 
     let mut out = String::new();
-    let _ = writeln!(out, "## Fig. 3 — CPU histogram of the {} devices\n", data.n_devices());
+    let _ = writeln!(
+        out,
+        "## Fig. 3 — CPU histogram of the {} devices\n",
+        data.n_devices()
+    );
     let _ = writeln!(
         out,
         "Paper: large diversity — 22 unique core families, Cortex-A53 dominant."
@@ -86,7 +94,10 @@ pub fn fig04(data: &CostDataset) -> String {
          some CPUs appear in multiple clusters, but for most devices (80/105)\n\
          the CPU uniquely determines the cluster.\n"
     );
-    let _ = writeln!(out, "| cluster | devices | mean latency (ms) | paper (ms) |");
+    let _ = writeln!(
+        out,
+        "| cluster | devices | mean latency (ms) | paper (ms) |"
+    );
     let _ = writeln!(out, "|---|---|---|---|");
     for (c, paper) in [(0, 50.0), (1, 115.0), (2, 235.0)] {
         let _ = writeln!(
@@ -102,7 +113,9 @@ pub fn fig04(data: &CostDataset) -> String {
     // CPU family -> set of clusters it appears in (the Venn diagram).
     let mut family_clusters: BTreeMap<&str, [bool; 3]> = BTreeMap::new();
     for (d, &c) in clusters.assignment.iter().enumerate() {
-        family_clusters.entry(data.devices[d].core.name).or_default()[c] = true;
+        family_clusters
+            .entry(data.devices[d].core.name)
+            .or_default()[c] = true;
     }
     let overlapping: Vec<&str> = family_clusters
         .iter()
@@ -134,18 +147,21 @@ pub fn fig04(data: &CostDataset) -> String {
         data.n_devices()
     );
 
-    let _ = writeln!(out, "\nPer-cluster latency distribution (violin-plot summary):\n");
+    let _ = writeln!(
+        out,
+        "\nPer-cluster latency distribution (violin-plot summary):\n"
+    );
     let _ = writeln!(out, "| cluster | p10 | median | p90 |");
     let _ = writeln!(out, "|---|---|---|---|");
-    for c in 0..3 {
-        let all: Vec<f64> = clusters.members[c]
+    for (name, members) in names.iter().zip(&clusters.members) {
+        let all: Vec<f64> = members
             .iter()
             .flat_map(|&d| data.db.device_vector(d).to_vec())
             .collect();
         let _ = writeln!(
             out,
             "| {} | {:.0} ms | {:.0} ms | {:.0} ms |",
-            names[c],
+            name,
             percentile(&all, 10.0),
             percentile(&all, 50.0),
             percentile(&all, 90.0)
@@ -161,13 +177,19 @@ pub fn fig05(data: &CostDataset) -> String {
         .expect("suite contains MobileNetV2");
 
     let mut out = String::new();
-    let _ = writeln!(out, "## Fig. 5 — MobileNetV2 latency vs CPU frequency and DRAM\n");
+    let _ = writeln!(
+        out,
+        "## Fig. 5 — MobileNetV2 latency vs CPU frequency and DRAM\n"
+    );
     let _ = writeln!(
         out,
         "Paper: latency trends down with frequency/DRAM, but devices at the same\n\
          1.8 GHz / 3 GB operating point still spread over 2.5x (120–300 ms).\n"
     );
-    let _ = writeln!(out, "| frequency bucket | devices | mean (ms) | min–max (ms) |");
+    let _ = writeln!(
+        out,
+        "| frequency bucket | devices | mean (ms) | min–max (ms) |"
+    );
     let _ = writeln!(out, "|---|---|---|---|");
     let mut bucket_means = Vec::new();
     for bucket in [(1.0, 1.6), (1.6, 2.0), (2.0, 2.4), (2.4, 2.8), (2.8, 3.2)] {
@@ -242,15 +264,19 @@ pub fn fig06(data: &CostDataset) -> String {
     let _ = writeln!(out, "| network \\ device | fast | medium | slow |");
     let _ = writeln!(out, "|---|---|---|---|");
     let mut cells = [[(0f64, 0f64, 0f64); 3]; 3]; // (p10, mean, p90)
-    for nc in 0..3 {
+    for (nc, row_cells) in cells.iter_mut().enumerate() {
         let mut row = format!("| {} |", net_names[nc]);
-        for dc in 0..3 {
+        for (dc, slot) in row_cells.iter_mut().enumerate() {
             let lats: Vec<f64> = dev.members[dc]
                 .iter()
                 .flat_map(|&d| net.members[nc].iter().map(move |&n| data.db.latency(d, n)))
                 .collect();
-            let cell = (percentile(&lats, 10.0), mean(&lats), percentile(&lats, 90.0));
-            cells[nc][dc] = cell;
+            let cell = (
+                percentile(&lats, 10.0),
+                mean(&lats),
+                percentile(&lats, 90.0),
+            );
+            *slot = cell;
             let _ = write!(row, " {:.0} ({:.0}–{:.0}) ms |", cell.1, cell.0, cell.2);
         }
         let _ = writeln!(out, "{row}");
@@ -261,10 +287,10 @@ pub fn fig06(data: &CostDataset) -> String {
     // cluster when the faster cluster's p90 exceeds the slower's p10.
     let mut overlaps = 0;
     let mut pairs = 0;
-    for nc in 0..3 {
+    for row_cells in &cells {
         for dc in 0..2 {
             pairs += 1;
-            if cells[nc][dc].2 > cells[nc][dc + 1].0 {
+            if row_cells[dc].2 > row_cells[dc + 1].0 {
                 overlaps += 1;
             }
         }

@@ -10,10 +10,13 @@ pub use representation::{fig08, fig09, fig10, fig11, table1};
 
 use gdcm_core::CostDataset;
 
+/// An experiment runner: takes the shared dataset, returns a Markdown section.
+pub type ExperimentFn = fn(&CostDataset) -> String;
+
 /// All experiments in paper order, as `(id, runner)` pairs.
-pub fn all() -> Vec<(&'static str, fn(&CostDataset) -> String)> {
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("fig02", fig02 as fn(&CostDataset) -> String),
+        ("fig02", fig02 as ExperimentFn),
         ("fig03", fig03),
         ("fig04", fig04),
         ("fig05", fig05),

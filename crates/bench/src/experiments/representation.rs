@@ -34,7 +34,10 @@ fn scatter_summary(report: &EvalReport) -> String {
 pub fn fig08(data: &CostDataset) -> String {
     let report = pipeline(data).run_static();
     let mut out = String::new();
-    let _ = writeln!(out, "## Fig. 8 — static hardware representation (baseline)\n");
+    let _ = writeln!(
+        out,
+        "## Fig. 8 — static hardware representation (baseline)\n"
+    );
     let _ = writeln!(
         out,
         "Hardware = one-hot CPU model + frequency + DRAM size; XGBoost-style GBDT\n\
@@ -78,7 +81,10 @@ pub fn fig09(data: &CostDataset) -> String {
         "Hardware = measured latencies of 10 signature networks (selected on\n\
          training devices only; signature networks excluded from train/test rows).\n"
     );
-    let _ = writeln!(out, "| method | paper R² | measured R² | RMSE (ms) | scatter |");
+    let _ = writeln!(
+        out,
+        "| method | paper R² | measured R² | RMSE (ms) | scatter |"
+    );
     let _ = writeln!(out, "|---|---|---|---|---|");
     for (paper, r) in &reports {
         let _ = writeln!(
@@ -126,11 +132,7 @@ pub fn fig10(data: &CostDataset) -> String {
         "| worst sample | ≈ 0.875 | {:.3} |",
         percentile(&r2s, 0.0)
     );
-    let _ = writeln!(
-        out,
-        "| best sample | — | {:.3} |",
-        percentile(&r2s, 100.0)
-    );
+    let _ = writeln!(out, "| best sample | — | {:.3} |", percentile(&r2s, 100.0));
     let _ = writeln!(out, "| std over samples | — | {:.3} |", std_dev(&r2s));
     let below = r2s.iter().filter(|&&r| r < 0.875).count();
     let _ = writeln!(
@@ -143,7 +145,12 @@ pub fn fig10(data: &CostDataset) -> String {
     let _ = writeln!(out, "\n| decile | R² |");
     let _ = writeln!(out, "|---|---|");
     for d in 0..=10 {
-        let _ = writeln!(out, "| p{} | {:.3} |", d * 10, percentile(&r2s, d as f64 * 10.0));
+        let _ = writeln!(
+            out,
+            "| p{} | {:.3} |",
+            d * 10,
+            percentile(&r2s, d as f64 * 10.0)
+        );
     }
     out
 }
@@ -169,8 +176,10 @@ pub fn fig11(data: &CostDataset) -> String {
     let _ = writeln!(out, "|---|---|---|---|");
     let mut mis_curve = Vec::new();
     for &m in sizes {
-        let mut cfg = PipelineConfig::default();
-        cfg.signature_size = m;
+        let cfg = PipelineConfig {
+            signature_size: m,
+            ..PipelineConfig::default()
+        };
         let pm = CostModelPipeline::new(data, cfg);
         let rs = mean(
             &(0..rs_samples)
@@ -183,14 +192,16 @@ pub fn fig11(data: &CostDataset) -> String {
         let _ = writeln!(out, "| {m} | {rs:.3} | {mis:.3} | {sccs:.3} |");
     }
     let _ = p;
-    let saturated = mis_curve
-        .windows(2)
-        .all(|w| (w[1] - w[0]).abs() < 0.05);
+    let saturated = mis_curve.windows(2).all(|w| (w[1] - w[0]).abs() < 0.05);
     let _ = writeln!(
         out,
         "\nMIS curve {} beyond small sizes (paper: saturates at 5–10 networks, a\n\
          4–8% sampling ratio of the 118-network suite).",
-        if saturated { "saturates" } else { "still moves" }
+        if saturated {
+            "saturates"
+        } else {
+            "still moves"
+        }
     );
     out
 }
@@ -205,7 +216,10 @@ pub fn table1(data: &CostDataset) -> String {
     ];
 
     let mut out = String::new();
-    let _ = writeln!(out, "## Table I — train on two device clusters, test on the third\n");
+    let _ = writeln!(
+        out,
+        "## Table I — train on two device clusters, test on the third\n"
+    );
     let _ = writeln!(
         out,
         "Adversarial split: the test cluster's speed regime is unseen in training.\n\
@@ -232,13 +246,8 @@ pub fn table1(data: &CostDataset) -> String {
                 .collect();
             let r = p.run_signature_with_split(selector.as_ref(), &train, &test);
             measured[si][test_cluster] = r.r2;
-            rank[si][test_cluster] =
-                gdcm_ml::metrics::spearman(&r.actual_ms, &r.predicted_ms);
-            let _ = write!(
-                row,
-                " {:.3} (paper {:.3}) |",
-                r.r2, paper[si][test_cluster]
-            );
+            rank[si][test_cluster] = gdcm_ml::metrics::spearman(&r.actual_ms, &r.predicted_ms);
+            let _ = write!(row, " {:.3} (paper {:.3}) |", r.r2, paper[si][test_cluster]);
         }
         let _ = writeln!(out, "{row}");
     }
@@ -261,7 +270,11 @@ pub fn table1(data: &CostDataset) -> String {
         out,
         "\nFast cluster is the hardest test target: {} (paper: yes — flagship\n\
          microarchitectures are unlike the mid/low tiers, so training diversity matters).",
-        if fast_hardest { "reproduced" } else { "not reproduced" }
+        if fast_hardest {
+            "reproduced"
+        } else {
+            "not reproduced"
+        }
     );
     let _ = writeln!(
         out,

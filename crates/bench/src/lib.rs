@@ -27,3 +27,39 @@ pub const DATASET_SEED: u64 = 2020;
 pub fn fast_mode() -> bool {
     std::env::var("GDCM_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
 }
+
+/// Runs one experiment binary under the observability harness.
+///
+/// Builds a [`gdcm_obs::RunReport`] for `binary`, runs `body` (which
+/// returns the experiment's Markdown section and may record dataset
+/// dimensions and final metrics on the report), prints the section to
+/// stdout — EXPERIMENTS.md generation depends on stdout staying pure
+/// Markdown — and finalizes the report into `target/reports/<binary>.json`
+/// with whatever the global span/metric registries accumulated.
+pub fn run_reported(binary: &str, body: impl FnOnce(&mut gdcm_obs::RunReport) -> String) {
+    let start = std::time::Instant::now();
+    let mut report = gdcm_obs::RunReport::new(binary);
+    let section = body(&mut report);
+    println!("{section}");
+    match report.finalize_and_write() {
+        Ok(path) => eprintln!(
+            "[{binary} completed in {:.2?}; report: {}]",
+            start.elapsed(),
+            path.display()
+        ),
+        Err(err) => eprintln!(
+            "[{binary} completed in {:.2?}; report write failed: {err}]",
+            start.elapsed()
+        ),
+    }
+}
+
+/// Records the shared dataset's dimensions on a run report.
+pub fn record_dataset_dims(report: &mut gdcm_obs::RunReport, data: &gdcm_core::CostDataset) {
+    report.set_dim("devices", data.n_devices() as u64);
+    report.set_dim("networks", data.n_networks() as u64);
+    report.set_dim(
+        "latency_cells",
+        (data.n_devices() * data.n_networks()) as u64,
+    );
+}

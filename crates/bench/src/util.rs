@@ -1,22 +1,43 @@
 //! Shared statistics and clustering helpers for the experiment drivers.
+//!
+//! Empty-input policy: [`mean`], [`std_dev`], and [`percentile`] all
+//! **panic** on an empty slice. An empty aggregate in an experiment
+//! driver is always an upstream bug, and a silently returned 0.0 would
+//! flow into the Markdown tables unnoticed. Callers that can legitimately
+//! see an empty slice (e.g. a degenerate k-means cluster) must guard
+//! before calling.
 
 use gdcm_core::CostDataset;
 use gdcm_ml::{DenseMatrix, KMeans};
 
 /// Mean of a slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice (see the module-level empty-input policy).
 pub fn mean(values: &[f64]) -> f64 {
-    values.iter().sum::<f64>() / values.len().max(1) as f64
+    assert!(!values.is_empty(), "mean of an empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
 }
 
 /// Population standard deviation.
+///
+/// # Panics
+///
+/// Panics on an empty slice (see the module-level empty-input policy).
 pub fn std_dev(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "std_dev of an empty slice");
     let m = mean(values);
-    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len().max(1) as f64).sqrt()
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
 }
 
 /// Linear-interpolated percentile (`q` in 0..=100).
+///
+/// # Panics
+///
+/// Panics on an empty slice (see the module-level empty-input policy).
 pub fn percentile(values: &[f64], q: f64) -> f64 {
-    assert!(!values.is_empty(), "empty input");
+    assert!(!values.is_empty(), "percentile of an empty slice");
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let pos = q / 100.0 * (sorted.len() - 1) as f64;
@@ -41,10 +62,7 @@ pub struct OrderedClusters {
 }
 
 impl OrderedClusters {
-    fn from_kmeans(
-        raw_assignment: &[usize],
-        latency_of: impl Fn(usize) -> f64,
-    ) -> OrderedClusters {
+    fn from_kmeans(raw_assignment: &[usize], latency_of: impl Fn(usize) -> f64) -> OrderedClusters {
         let mut stats: Vec<(usize, f64)> = (0..3)
             .map(|c| {
                 let members: Vec<usize> = raw_assignment
@@ -52,7 +70,13 @@ impl OrderedClusters {
                     .enumerate()
                     .filter_map(|(i, &a)| (a == c).then_some(i))
                     .collect();
-                let m = mean(&members.iter().map(|&i| latency_of(i)).collect::<Vec<_>>());
+                // A k-means cluster can come back empty on degenerate
+                // data; label it fastest (mean 0) instead of panicking.
+                let m = if members.is_empty() {
+                    0.0
+                } else {
+                    mean(&members.iter().map(|&i| latency_of(i)).collect::<Vec<_>>())
+                };
                 (c, m)
             })
             .collect();
@@ -130,6 +154,24 @@ mod tests {
         assert_eq!(percentile(&v, 25.0), 2.0);
         assert_eq!(mean(&v), 3.0);
         assert!((std_dev(&v) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of an empty slice")]
+    fn mean_panics_on_empty() {
+        let _ = mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "std_dev of an empty slice")]
+    fn std_dev_panics_on_empty() {
+        let _ = std_dev(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of an empty slice")]
+    fn percentile_panics_on_empty() {
+        let _ = percentile(&[], 50.0);
     }
 
     #[test]

@@ -87,9 +87,13 @@ pub fn simulate_collaborative(
         "contribution fraction must be in (0, 1]"
     );
 
+    let _span = gdcm_obs::span!("collaborative/simulate");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let signature =
-        MutualInfoSelector::default().select(&data.db, &(0..data.n_devices()).collect::<Vec<_>>(), config.signature_size);
+    let signature = MutualInfoSelector::default().select(
+        &data.db,
+        &(0..data.n_devices()).collect::<Vec<_>>(),
+        config.signature_size,
+    );
     let open_networks: Vec<usize> = (0..data.n_networks())
         .filter(|n| !signature.contains(n))
         .collect();
@@ -126,6 +130,20 @@ pub fn simulate_collaborative(
             y_train.push(data.db.latency(device, n) as f32);
         }
         enrolled.push((device, hw));
+        gdcm_obs::counter("collaborative/enrollments").incr();
+        gdcm_obs::gauge("collaborative/repository_devices").set(enrolled.len() as f64);
+        gdcm_obs::gauge("collaborative/repository_rows").set(y_train.len() as f64);
+        if gdcm_obs::emitting() {
+            gdcm_obs::event(
+                "onboard",
+                "collaborative/device",
+                &[
+                    ("device", gdcm_obs::FieldValue::U64(device as u64)),
+                    ("enrolled", gdcm_obs::FieldValue::U64(enrolled.len() as u64)),
+                    ("rows", gdcm_obs::FieldValue::U64(y_train.len() as u64)),
+                ],
+            );
+        }
 
         let is_last = i + 1 == order.len();
         if (i + 1) % config.eval_every != 0 && !is_last {
@@ -134,6 +152,9 @@ pub fn simulate_collaborative(
 
         let model = GbdtRegressor::fit(&x_train, &y_train, &config.gbdt);
         let avg_r2 = average_device_r2(data, &model, &enrolled, &open_networks);
+        if gdcm_obs::emitting() {
+            gdcm_obs::series("collaborative/avg_r2").push(avg_r2);
+        }
         curve.push(CollaborativePoint {
             n_devices: i + 1,
             avg_r2,

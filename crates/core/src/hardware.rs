@@ -95,7 +95,10 @@ mod tests {
             assert_eq!(v[CORE_CATALOG.len()], d.freq_ghz as f32);
             assert_eq!(v[CORE_CATALOG.len() + 1], d.dram_gb as f32);
         }
-        assert_eq!(StaticSpecEncoder::feature_names().len(), StaticSpecEncoder::LEN);
+        assert_eq!(
+            StaticSpecEncoder::feature_names().len(),
+            StaticSpecEncoder::LEN
+        );
     }
 
     #[test]

@@ -50,6 +50,4 @@ pub use hardware::{HardwareRepr, StaticSpecEncoder};
 pub use pipeline::{CostModelPipeline, EvalReport, PipelineConfig};
 pub use predictor::CostModel;
 pub use repository::{CollaborativeRepository, RepositoryConfig};
-pub use signature::{
-    MutualInfoSelector, RandomSelector, SignatureSelector, SpearmanSelector,
-};
+pub use signature::{MutualInfoSelector, RandomSelector, SignatureSelector, SpearmanSelector};

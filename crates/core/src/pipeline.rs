@@ -109,7 +109,20 @@ impl<'a> CostModelPipeline<'a> {
         train_devices: &[usize],
         test_devices: &[usize],
     ) -> EvalReport {
-        let signature = selector.select(&self.data.db, train_devices, self.config.signature_size);
+        let signature = {
+            let _span = gdcm_obs::span!("pipeline/select");
+            selector.select(&self.data.db, train_devices, self.config.signature_size)
+        };
+        if gdcm_obs::emitting() {
+            gdcm_obs::event(
+                "select",
+                selector.name(),
+                &[(
+                    "signature_size",
+                    gdcm_obs::FieldValue::U64(signature.len() as u64),
+                )],
+            );
+        }
         self.run_with_split(
             &HardwareRepr::Signature(signature),
             train_devices,
@@ -124,7 +137,12 @@ impl<'a> CostModelPipeline<'a> {
         train_devices: &[usize],
         test_devices: &[usize],
     ) -> EvalReport {
-        self.run_with_split(&HardwareRepr::StaticSpec, train_devices, test_devices, "static")
+        self.run_with_split(
+            &HardwareRepr::StaticSpec,
+            train_devices,
+            test_devices,
+            "static",
+        )
     }
 
     fn run_with_split(
@@ -144,15 +162,24 @@ impl<'a> CostModelPipeline<'a> {
             .filter(|n| !signature.contains(n))
             .collect();
 
-        let (x_train, y_train) = self.build_rows(repr, train_devices, &networks);
-        let (x_test, y_test) = self.build_rows(repr, test_devices, &networks);
+        let (x_train, y_train, x_test, y_test) = {
+            let _span = gdcm_obs::span!("pipeline/encode");
+            let (x_train, y_train) = self.build_rows(repr, train_devices, &networks);
+            let (x_test, y_test) = self.build_rows(repr, test_devices, &networks);
+            (x_train, y_train, x_test, y_test)
+        };
 
         let train_target: Vec<f32> = if self.config.log_target {
             y_train.iter().map(|v| v.ln_1p()).collect()
         } else {
             y_train.clone()
         };
-        let model = GbdtRegressor::fit(&x_train, &train_target, &self.config.gbdt);
+        let model = {
+            let _span = gdcm_obs::span!("pipeline/train");
+            GbdtRegressor::fit(&x_train, &train_target, &self.config.gbdt)
+        };
+
+        let _span = gdcm_obs::span!("pipeline/eval");
         let mut predicted = model.predict(&x_test);
         if self.config.log_target {
             for p in &mut predicted {
@@ -160,7 +187,7 @@ impl<'a> CostModelPipeline<'a> {
             }
         }
 
-        EvalReport {
+        let report = EvalReport {
             method: method.to_string(),
             r2: r2_score(&y_test, &predicted),
             rmse_ms: rmse(&y_test, &predicted),
@@ -169,7 +196,26 @@ impl<'a> CostModelPipeline<'a> {
             predicted_ms: predicted,
             n_train_rows: x_train.n_rows(),
             signature,
+        };
+        gdcm_obs::counter("pipeline/runs").incr();
+        gdcm_obs::gauge(&format!("pipeline/r2/{method}")).set(report.r2);
+        gdcm_obs::gauge(&format!("pipeline/rmse_ms/{method}")).set(report.rmse_ms);
+        if gdcm_obs::emitting() {
+            gdcm_obs::event(
+                "eval",
+                method,
+                &[
+                    ("r2", gdcm_obs::FieldValue::F64(report.r2)),
+                    ("rmse_ms", gdcm_obs::FieldValue::F64(report.rmse_ms)),
+                    ("mape_pct", gdcm_obs::FieldValue::F64(report.mape_pct)),
+                    (
+                        "train_rows",
+                        gdcm_obs::FieldValue::U64(report.n_train_rows as u64),
+                    ),
+                ],
+            );
         }
+        report
     }
 
     /// Builds `(features, targets)` for the cross product of the given
@@ -269,8 +315,7 @@ mod tests {
         let pipeline = CostModelPipeline::new(&data, cfg);
         let report = pipeline.run_signature(&RandomSelector::new(3));
         // Predictions must be on the millisecond scale, not log-ms.
-        let mean_actual: f32 =
-            report.actual_ms.iter().sum::<f32>() / report.actual_ms.len() as f32;
+        let mean_actual: f32 = report.actual_ms.iter().sum::<f32>() / report.actual_ms.len() as f32;
         let mean_pred: f32 =
             report.predicted_ms.iter().sum::<f32>() / report.predicted_ms.len() as f32;
         assert!(
@@ -286,9 +331,6 @@ mod tests {
         let train: Vec<usize> = (0..7).collect();
         let test: Vec<usize> = (7..10).collect();
         let report = pipeline.run_static_with_split(&train, &test);
-        assert_eq!(
-            report.actual_ms.len(),
-            test.len() * data.n_networks()
-        );
+        assert_eq!(report.actual_ms.len(), test.len() * data.n_networks());
     }
 }

@@ -180,10 +180,8 @@ mod tests {
             4,
             &fast_gbdt(),
         );
-        let mut generator = gdcm_gen::RandomNetworkGenerator::new(
-            gdcm_gen::SearchSpace::tiny(),
-            987,
-        );
+        let mut generator =
+            gdcm_gen::RandomNetworkGenerator::new(gdcm_gen::SearchSpace::tiny(), 987);
         let sig: Vec<f64> = model
             .signature()
             .iter()

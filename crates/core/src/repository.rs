@@ -273,7 +273,9 @@ mod tests {
         let mut repo = build_repo(&data, &sig);
 
         // Enroll 20 devices; each contributes 8 measurements.
-        let open: Vec<usize> = (0..data.n_networks()).filter(|n| !sig.contains(n)).collect();
+        let open: Vec<usize> = (0..data.n_networks())
+            .filter(|n| !sig.contains(n))
+            .collect();
         for d in 0..20 {
             let lat: Vec<f64> = sig.iter().map(|&n| data.db.latency(d, n)).collect();
             let name = data.devices[d].model.clone();

@@ -75,15 +75,13 @@ impl SignatureSelector for RandomSelector {
 /// the training devices (the multivariate set objective of Alg. 1 is not
 /// estimable from ~70 samples; this pairwise surrogate keeps the greedy
 /// structure and the submodular intuition).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MutualInfoSelector {
     /// Histogram bins for the MI estimator; 0 = automatic.
     pub bins: usize,
     /// Seed for the random initial network.
     pub seed: u64,
 }
-
 
 impl MutualInfoSelector {
     /// Pairwise MI matrix between all network latency vectors over the
@@ -320,11 +318,11 @@ mod tests {
         let data = setup();
         let devices: Vec<usize> = (0..10).collect();
         let mi = MutualInfoSelector::default().mi_matrix(&data.db, &devices);
-        let n = data.n_networks();
-        for i in 0..n {
-            for j in 0..n {
-                assert!((mi[i][j] - mi[j][i]).abs() < 1e-12);
-                assert!(mi[i][j] >= 0.0);
+        assert_eq!(mi.len(), data.n_networks());
+        for (i, row) in mi.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - mi[j][i]).abs() < 1e-12);
+                assert!(v >= 0.0);
             }
         }
     }

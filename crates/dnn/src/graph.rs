@@ -148,6 +148,7 @@ impl Network {
 
     /// Computes MAC/FLOP/parameter/byte totals and the per-node breakdown.
     pub fn cost(&self) -> NetworkCost {
+        gdcm_obs::counter("dnn/cost_evals").incr();
         let per_node = self
             .nodes
             .iter()
@@ -248,7 +249,10 @@ pub fn infer_shape(op: &Op, inputs: &[TensorShape]) -> Result<TensorShape, DnnEr
             if !x.c.is_multiple_of(p.groups) {
                 return Err(DnnError::InvalidParameter {
                     kind,
-                    detail: format!("input channels {} not divisible by groups {}", x.c, p.groups),
+                    detail: format!(
+                        "input channels {} not divisible by groups {}",
+                        x.c, p.groups
+                    ),
                 });
             }
             let oh = window_output(x.h, p.kernel, p.stride, p.padding);

@@ -46,7 +46,5 @@ pub use builder::NetworkBuilder;
 pub use cost::{LayerCost, NetworkCost};
 pub use error::DnnError;
 pub use graph::{Network, Node, NodeId};
-pub use op::{
-    Activation, Conv2dParams, DepthwiseConv2dParams, Op, OpKind, Padding, PoolParams,
-};
+pub use op::{Activation, Conv2dParams, DepthwiseConv2dParams, Op, OpKind, Padding, PoolParams};
 pub use tensor::TensorShape;

@@ -263,13 +263,15 @@ impl Op {
             })
         };
         match self {
-            Op::Input { shape }
-                if shape.elements() == 0 => {
-                    return err(format!("input shape {shape} has zero elements"));
-                }
+            Op::Input { shape } if shape.elements() == 0 => {
+                return err(format!("input shape {shape} has zero elements"));
+            }
             Op::Conv2d(p) => {
                 if p.kernel == 0 || p.stride == 0 {
-                    return err(format!("kernel {} / stride {} must be >= 1", p.kernel, p.stride));
+                    return err(format!(
+                        "kernel {} / stride {} must be >= 1",
+                        p.kernel, p.stride
+                    ));
                 }
                 if p.out_channels == 0 {
                     return err("out_channels must be >= 1".into());
@@ -286,20 +288,24 @@ impl Op {
             }
             Op::DepthwiseConv2d(p) => {
                 if p.kernel == 0 || p.stride == 0 {
-                    return err(format!("kernel {} / stride {} must be >= 1", p.kernel, p.stride));
+                    return err(format!(
+                        "kernel {} / stride {} must be >= 1",
+                        p.kernel, p.stride
+                    ));
                 }
                 if p.multiplier == 0 {
                     return err("multiplier must be >= 1".into());
                 }
             }
-            Op::FullyConnected { out_features, .. }
-                if *out_features == 0 => {
-                    return err("out_features must be >= 1".into());
-                }
-            Op::MaxPool2d(p) | Op::AvgPool2d(p)
-                if (p.kernel == 0 || p.stride == 0) => {
-                    return err(format!("kernel {} / stride {} must be >= 1", p.kernel, p.stride));
-                }
+            Op::FullyConnected { out_features, .. } if *out_features == 0 => {
+                return err("out_features must be >= 1".into());
+            }
+            Op::MaxPool2d(p) | Op::AvgPool2d(p) if (p.kernel == 0 || p.stride == 0) => {
+                return err(format!(
+                    "kernel {} / stride {} must be >= 1",
+                    p.kernel, p.stride
+                ));
+            }
             _ => {}
         }
         Ok(())
@@ -420,7 +426,9 @@ mod tests {
         assert!(Op::DepthwiseConv2d(DepthwiseConv2dParams::new(5, 1))
             .validate_params()
             .is_ok());
-        assert!(Op::MaxPool2d(PoolParams::new(2, 2)).validate_params().is_ok());
+        assert!(Op::MaxPool2d(PoolParams::new(2, 2))
+            .validate_params()
+            .is_ok());
     }
 
     #[test]

@@ -156,9 +156,12 @@ impl RandomNetworkGenerator {
                 // stride == 1 and in/out channels match), so the skip
                 // probability is expressed by sometimes forcing a different
                 // output width.
-                let keep_skip =
-                    self.rng.gen_range(0..100) < space.skip_probability_pct as u32;
-                let out_c = if keep_skip && stride == 1 { cur.c } else { width };
+                let keep_skip = self.rng.gen_range(0..100) < space.skip_probability_pct as u32;
+                let out_c = if keep_skip && stride == 1 {
+                    cur.c
+                } else {
+                    width
+                };
                 b.inverted_bottleneck(x, expansion, out_c, kernel, stride, act, se)
             }
             BlockKind::MaxPool | BlockKind::AvgPool => {

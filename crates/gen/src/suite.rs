@@ -56,6 +56,7 @@ pub fn benchmark_suite_with(
     space: SearchSpace,
     random_count: usize,
 ) -> Vec<NamedNetwork> {
+    let _span = gdcm_obs::span!("gen/benchmark_suite");
     let mut suite = Vec::with_capacity(PREDESIGNED_COUNT + random_count);
     for (index, network) in zoo::all().into_iter().enumerate() {
         suite.push(NamedNetwork {
@@ -68,6 +69,7 @@ pub fn benchmark_suite_with(
     // The paper's generator targets the mobile regime (Fig. 2): networks
     // far outside it are re-drawn, keeping the suite comparable.
     const MAX_SUITE_MACS: u64 = 1_000_000_000;
+    let mut rejected = 0u64;
     for i in 0..random_count {
         let network = loop {
             let candidate = generator
@@ -76,6 +78,7 @@ pub fn benchmark_suite_with(
             if candidate.cost().total_macs <= MAX_SUITE_MACS {
                 break candidate;
             }
+            rejected += 1;
         };
         suite.push(NamedNetwork {
             index: PREDESIGNED_COUNT + i,
@@ -83,6 +86,8 @@ pub fn benchmark_suite_with(
             predesigned: false,
         });
     }
+    gdcm_obs::counter("gen/networks_generated").add(suite.len() as u64);
+    gdcm_obs::counter("gen/networks_rejected").add(rejected);
     suite
 }
 

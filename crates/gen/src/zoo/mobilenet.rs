@@ -101,13 +101,26 @@ fn v3(kernel: usize, expanded: usize, out: usize, se: bool, hs: bool, stride: us
     }
 }
 
-fn build_v3(name: &str, stem: usize, blocks: Vec<V3Block>, last_conv: usize, fc: usize) -> Result<Network, DnnError> {
+fn build_v3(
+    name: &str,
+    stem: usize,
+    blocks: Vec<V3Block>,
+    last_conv: usize,
+    fc: usize,
+) -> Result<Network, DnnError> {
     let mut b = NetworkBuilder::new(name);
     let x = b.input(INPUT);
     let mut x = b.conv2d_act(x, stem, 3, 2, Activation::HSwish)?;
     for blk in &blocks {
         x = mbconv_channels(
-            &mut b, x, blk.expanded, blk.out, blk.kernel, blk.stride, blk.act, blk.se,
+            &mut b,
+            x,
+            blk.expanded,
+            blk.out,
+            blk.kernel,
+            blk.stride,
+            blk.act,
+            blk.se,
         )?;
     }
     x = b.conv2d_act(x, last_conv, 1, 1, Activation::HSwish)?;

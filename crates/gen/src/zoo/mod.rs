@@ -13,9 +13,7 @@ mod shufflenet;
 mod squeezenet;
 
 pub use efficientnet::{efficientnet_b0, efficientnet_lite0};
-pub use mobilenet::{
-    mobilenet_v1, mobilenet_v2, mobilenet_v3_large, mobilenet_v3_small,
-};
+pub use mobilenet::{mobilenet_v1, mobilenet_v2, mobilenet_v3_large, mobilenet_v3_small};
 pub use nas::{fbnet_c, mnasnet_a1, mnasnet_b1, mnasnet_small, proxyless_mobile, single_path_nas};
 pub use shufflenet::shufflenet_v2;
 pub use squeezenet::squeezenet_v1_1;
@@ -38,6 +36,7 @@ pub(crate) fn round_channels(channels: f64, divisor: usize) -> usize {
 
 /// MBConv block parameterized by *absolute* expanded channels (the
 /// MobileNetV3 convention) rather than an expansion ratio.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn mbconv_channels(
     b: &mut NetworkBuilder,
     x: NodeId,

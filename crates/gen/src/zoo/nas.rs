@@ -18,7 +18,14 @@ struct Stage {
     se: bool,
 }
 
-fn st(expansion: usize, out: usize, repeats: usize, stride: usize, kernel: usize, se: bool) -> Stage {
+fn st(
+    expansion: usize,
+    out: usize,
+    repeats: usize,
+    stride: usize,
+    kernel: usize,
+    se: bool,
+) -> Stage {
     Stage {
         expansion,
         out,

@@ -8,11 +8,7 @@
 
 use gdcm_dnn::{Activation, DnnError, Network, NetworkBuilder, NodeId, TensorShape};
 
-fn unit_stride1(
-    b: &mut NetworkBuilder,
-    x: NodeId,
-    channels: usize,
-) -> Result<NodeId, DnnError> {
+fn unit_stride1(b: &mut NetworkBuilder, x: NodeId, channels: usize) -> Result<NodeId, DnnError> {
     let half = channels / 2;
     // Branch 1: identity half (modeled as a cheap pointwise projection).
     let b1 = b.conv2d(x, half, 1, 1)?;
@@ -23,11 +19,7 @@ fn unit_stride1(
     b.concat(&[b1, b2])
 }
 
-fn unit_stride2(
-    b: &mut NetworkBuilder,
-    x: NodeId,
-    channels: usize,
-) -> Result<NodeId, DnnError> {
+fn unit_stride2(b: &mut NetworkBuilder, x: NodeId, channels: usize) -> Result<NodeId, DnnError> {
     let half = channels / 2;
     // Branch 1: dw/2 -> pw.
     let y = b.depthwise(x, 3, 2)?;

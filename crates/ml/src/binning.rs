@@ -195,7 +195,15 @@ mod tests {
     #[test]
     fn code_for_binary_search_matches_linear() {
         let cuts = vec![1.0, 3.0, 7.0];
-        for (v, want) in [(0.5, 0), (1.0, 0), (2.0, 1), (3.0, 1), (5.0, 2), (7.0, 2), (9.0, 3)] {
+        for (v, want) in [
+            (0.5, 0),
+            (1.0, 0),
+            (2.0, 1),
+            (3.0, 1),
+            (5.0, 2),
+            (7.0, 2),
+            (9.0, 3),
+        ] {
             assert_eq!(code_for(&cuts, v), want, "v={v}");
         }
     }

@@ -1,8 +1,8 @@
 //! Random-forest regression — another baseline from the paper's model
 //! comparison.
 
-use rand::Rng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -46,7 +46,9 @@ impl RandomForestRegressor {
             min_samples_leaf: 2,
         };
 
-        let active: Vec<usize> = (0..x.n_cols()).filter(|&f| !binned.is_constant(f)).collect();
+        let active: Vec<usize> = (0..x.n_cols())
+            .filter(|&f| !binned.is_constant(f))
+            .collect();
         let m_features = ((active.len() as f64).sqrt().ceil() as usize)
             .max(1)
             .min(active.len().max(1));
@@ -75,11 +77,7 @@ impl RandomForestRegressor {
 impl Regressor for RandomForestRegressor {
     fn predict_row(&self, row: &[f32]) -> f32 {
         debug_assert_eq!(row.len(), self.n_features, "feature count mismatch");
-        let sum: f64 = self
-            .trees
-            .iter()
-            .map(|t| t.predict_row(row) as f64)
-            .sum();
+        let sum: f64 = self.trees.iter().map(|t| t.predict_row(row) as f64).sum();
         (sum / self.trees.len() as f64) as f32
     }
 }
@@ -95,7 +93,15 @@ mod tests {
         let x = DenseMatrix::from_rows(&rows);
         let y: Vec<f32> = rows
             .iter()
-            .map(|r| if r[0] < 30.0 { 1.0 } else if r[0] < 70.0 { 5.0 } else { 2.0 })
+            .map(|r| {
+                if r[0] < 30.0 {
+                    1.0
+                } else if r[0] < 70.0 {
+                    5.0
+                } else {
+                    2.0
+                }
+            })
             .collect();
         let forest = RandomForestRegressor::fit(&x, &y, 30, 8, 0);
         let r2 = r2_score(&y, &forest.predict(&x));
@@ -104,7 +110,9 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let rows: Vec<Vec<f32>> = (0..60).map(|i| vec![i as f32, (i * i % 17) as f32]).collect();
+        let rows: Vec<Vec<f32>> = (0..60)
+            .map(|i| vec![i as f32, (i * i % 17) as f32])
+            .collect();
         let x = DenseMatrix::from_rows(&rows);
         let y: Vec<f32> = (0..60).map(|i| (i % 9) as f32).collect();
         let a = RandomForestRegressor::fit(&x, &y, 10, 6, 3);

@@ -9,6 +9,7 @@ use rand::seq::SliceRandom;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 use crate::binning::BinnedMatrix;
 use crate::dataset::DenseMatrix;
@@ -64,12 +65,49 @@ impl Default for GbdtParams {
     }
 }
 
-/// A fitted gradient-boosting ensemble.
+/// Telemetry from one [`GbdtRegressor::fit`] call, kept on the fitted
+/// model.
+///
+/// The per-round RMSE trace is deterministic given the seed; the timing
+/// fields are wall-clock measurements and vary run to run, which is why
+/// [`GbdtRegressor`]'s `PartialEq` ignores the log entirely.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingLog {
+    /// Training-set RMSE after each boosting round.
+    pub round_train_rmse: Vec<f32>,
+    /// Time spent building the binned feature matrix (ms).
+    pub histogram_build_ms: f64,
+    /// Total time spent in tree fitting / split search (ms).
+    pub split_search_ms: f64,
+    /// End-to-end `fit` wall time (ms).
+    pub total_ms: f64,
+}
+
+impl TrainingLog {
+    /// Training RMSE after the final round, if any round ran.
+    pub fn final_train_rmse(&self) -> Option<f32> {
+        self.round_train_rmse.last().copied()
+    }
+}
+
+/// A fitted gradient-boosting ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GbdtRegressor {
     base_score: f32,
     trees: Vec<Tree>,
     n_features: usize,
+    training_log: Option<TrainingLog>,
+}
+
+// Model equality is the learned function only: the training log carries
+// wall-clock timings, so two identical fits would otherwise compare
+// unequal.
+impl PartialEq for GbdtRegressor {
+    fn eq(&self, other: &Self) -> bool {
+        self.base_score == other.base_score
+            && self.n_features == other.n_features
+            && self.trees == other.trees
+    }
 }
 
 impl GbdtRegressor {
@@ -91,8 +129,13 @@ impl GbdtRegressor {
             "colsample_bytree must be in (0, 1]"
         );
 
+        let _span = gdcm_obs::span!("gbdt_fit");
+        let fit_start = Instant::now();
+
         let n = x.n_rows();
+        let hist_start = Instant::now();
         let binned = BinnedMatrix::from_matrix(x, params.max_bins);
+        let histogram_build_ms = hist_start.elapsed().as_secs_f64() * 1e3;
         let base_score = y.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
         let base_score = base_score as f32;
 
@@ -104,7 +147,9 @@ impl GbdtRegressor {
             min_samples_leaf: 1,
         };
 
-        let active: Vec<usize> = (0..x.n_cols()).filter(|&f| !binned.is_constant(f)).collect();
+        let active: Vec<usize> = (0..x.n_cols())
+            .filter(|&f| !binned.is_constant(f))
+            .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
 
         let mut preds = vec![base_score as f64; n];
@@ -112,6 +157,8 @@ impl GbdtRegressor {
         let hess = vec![1f64; n];
         let all_rows: Vec<usize> = (0..n).collect();
         let mut trees = Vec::with_capacity(params.n_estimators);
+        let mut round_train_rmse = Vec::with_capacity(params.n_estimators);
+        let mut split_search_ms = 0.0f64;
 
         for _ in 0..params.n_estimators {
             for i in 0..n {
@@ -138,19 +185,71 @@ impl GbdtRegressor {
                 active.clone()
             };
 
+            // Hot loop: accumulate raw `Instant` deltas locally instead
+            // of opening a span per round (see gdcm-obs docs).
+            let split_start = Instant::now();
             let mut tree = Tree::fit(&binned, &grad, &hess, &rows, &feats, &tree_params);
+            split_search_ms += split_start.elapsed().as_secs_f64() * 1e3;
             tree.scale_leaves(params.learning_rate);
+            let mut sq_err = 0.0f64;
             for i in 0..n {
                 preds[i] += tree.predict_row(x.row(i)) as f64;
+                let residual = preds[i] - y[i] as f64;
+                sq_err += residual * residual;
             }
+            round_train_rmse.push((sq_err / n as f64).sqrt() as f32);
             trees.push(tree);
+        }
+
+        let log = TrainingLog {
+            round_train_rmse,
+            histogram_build_ms,
+            split_search_ms,
+            total_ms: fit_start.elapsed().as_secs_f64() * 1e3,
+        };
+        gdcm_obs::counter("ml/gbdt/fits").incr();
+        gdcm_obs::histogram("ml/gbdt/fit_ms").record(log.total_ms);
+        if gdcm_obs::emitting() {
+            // Successive fits append to one flat series; the
+            // `ml/gbdt/fits` counter gives the fit count and each fit
+            // contributes `n_estimators` values.
+            gdcm_obs::series("ml/gbdt/train_rmse").extend(
+                &log.round_train_rmse
+                    .iter()
+                    .map(|&v| v as f64)
+                    .collect::<Vec<_>>(),
+            );
+            gdcm_obs::event(
+                "train",
+                "ml/gbdt",
+                &[
+                    (
+                        "rounds",
+                        gdcm_obs::FieldValue::U64(log.round_train_rmse.len() as u64),
+                    ),
+                    (
+                        "final_rmse",
+                        gdcm_obs::FieldValue::F64(log.final_train_rmse().unwrap_or(f32::NAN) as f64),
+                    ),
+                    ("hist_ms", gdcm_obs::FieldValue::F64(log.histogram_build_ms)),
+                    ("split_ms", gdcm_obs::FieldValue::F64(log.split_search_ms)),
+                ],
+            );
         }
 
         Self {
             base_score,
             trees,
             n_features: x.n_cols(),
+            training_log: Some(log),
         }
+    }
+
+    /// Telemetry from the `fit` call that produced this model.
+    ///
+    /// `None` on models deserialized from payloads that dropped the log.
+    pub fn training_log(&self) -> Option<&TrainingLog> {
+        self.training_log.as_ref()
     }
 
     /// The number of fitted trees.
@@ -202,7 +301,9 @@ mod tests {
         let mut y = Vec::with_capacity(n);
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (u32::MAX as f32) * 2.0 - 1.0) * 3.0
         };
         for _ in 0..n {
@@ -256,14 +357,7 @@ mod tests {
         let a = GbdtRegressor::fit(&x, &y, &p);
         let b = GbdtRegressor::fit(&x, &y, &p);
         assert_eq!(a, b);
-        let c = GbdtRegressor::fit(
-            &x,
-            &y,
-            &GbdtParams {
-                seed: 6,
-                ..p
-            },
-        );
+        let c = GbdtRegressor::fit(&x, &y, &GbdtParams { seed: 6, ..p });
         assert_ne!(a, c);
     }
 
@@ -309,6 +403,25 @@ mod tests {
         let model = GbdtRegressor::fit(&x, &y, &GbdtParams::default());
         let imp = model.feature_importance();
         assert!(imp[0] > imp[1] * 3, "importance {imp:?}");
+    }
+
+    #[test]
+    fn training_log_records_per_round_rmse() {
+        let (x, y) = synthetic(200);
+        let model = GbdtRegressor::fit(&x, &y, &GbdtParams::default());
+        let log = model.training_log().expect("fit attaches a log");
+        assert_eq!(log.round_train_rmse.len(), 100);
+        // Boosting on a learnable target: error falls as rounds proceed.
+        let first = log.round_train_rmse[0];
+        let last = log.final_train_rmse().unwrap();
+        assert!(last < first * 0.5, "first {first}, last {last}");
+        assert!(log.total_ms >= log.split_search_ms);
+        // The RMSE trace is deterministic even though the timings vary.
+        let again = GbdtRegressor::fit(&x, &y, &GbdtParams::default());
+        assert_eq!(
+            log.round_train_rmse,
+            again.training_log().unwrap().round_train_rmse
+        );
     }
 
     #[test]

@@ -67,18 +67,17 @@ impl KMeans {
 
         for _ in 0..self.max_iter {
             let mut changed = false;
-            for i in 0..n {
+            for (i, slot) in assignment.iter_mut().enumerate() {
                 let (c, _) = nearest(&centroids, d, x.row(i));
-                if assignment[i] != c {
-                    assignment[i] = c;
+                if *slot != c {
+                    *slot = c;
                     changed = true;
                 }
             }
             // Recompute centroids.
             let mut sums = vec![0f64; self.k * d];
             let mut counts = vec![0usize; self.k];
-            for i in 0..n {
-                let c = assignment[i];
+            for (i, &c) in assignment.iter().enumerate() {
                 counts[c] += 1;
                 for (j, &v) in x.row(i).iter().enumerate() {
                     sums[c * d + j] += v as f64;
@@ -100,9 +99,7 @@ impl KMeans {
             }
         }
 
-        let inertia: f64 = (0..n)
-            .map(|i| nearest(&centroids, d, x.row(i)).1)
-            .sum();
+        let inertia: f64 = (0..n).map(|i| nearest(&centroids, d, x.row(i)).1).sum();
         KMeansResult {
             k: self.k,
             assignment,
@@ -124,9 +121,9 @@ impl KMeans {
         let mut dist2 = vec![0f64; n];
         for c in 1..self.k {
             let mut total = 0f64;
-            for i in 0..n {
+            for (i, slot) in dist2.iter_mut().enumerate() {
                 let (_, d2) = nearest(&centroids, d, x.row(i));
-                dist2[i] = d2;
+                *slot = d2;
                 total += d2;
             }
             let pick = if total <= 0.0 {

@@ -51,6 +51,8 @@ pub trait Regressor {
 
     /// Predicts targets for every row of `x`.
     fn predict(&self, x: &DenseMatrix) -> Vec<f32> {
-        (0..x.n_rows()).map(|i| self.predict_row(x.row(i))).collect()
+        (0..x.n_rows())
+            .map(|i| self.predict_row(x.row(i)))
+            .collect()
     }
 }

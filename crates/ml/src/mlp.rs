@@ -6,8 +6,8 @@
 //! ReLU hidden layers trained with Adam on standardized features and a
 //! standardized target.
 
-use rand::Rng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -87,13 +87,7 @@ impl Layer {
     }
 
     /// Accumulates gradients for one sample and returns dL/dx.
-    fn backward(
-        &self,
-        x: &[f32],
-        dz: &[f32],
-        gw: &mut [f32],
-        gb: &mut [f32],
-    ) -> Vec<f32> {
+    fn backward(&self, x: &[f32], dz: &[f32], gw: &mut [f32], gb: &mut [f32]) -> Vec<f32> {
         let mut dx = vec![0f32; self.n_in];
         for o in 0..self.n_out {
             gb[o] += dz[o];
@@ -112,14 +106,14 @@ impl Layer {
         const EPS: f32 = 1e-8;
         let bias1 = 1.0 - B1.powi(t);
         let bias2 = 1.0 - B2.powi(t);
-        for i in 0..self.w.len() {
-            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * gw[i];
-            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * gw[i] * gw[i];
+        for (i, &g) in gw.iter().enumerate() {
+            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * g;
+            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * g * g;
             self.w[i] -= lr * (self.mw[i] / bias1) / ((self.vw[i] / bias2).sqrt() + EPS);
         }
-        for i in 0..self.b.len() {
-            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * gb[i];
-            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * gb[i] * gb[i];
+        for (i, &g) in gb.iter().enumerate() {
+            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * g;
+            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * g * g;
             self.b[i] -= lr * (self.mb[i] / bias1) / ((self.vb[i] / bias2).sqrt() + EPS);
         }
     }

@@ -115,7 +115,16 @@ impl Tree {
             return make_leaf(&mut self.nodes);
         }
 
-        let best = find_best_split(binned, grad, hess, rows, active_features, params, g_sum, h_sum);
+        let best = find_best_split(
+            binned,
+            grad,
+            hess,
+            rows,
+            active_features,
+            params,
+            g_sum,
+            h_sum,
+        );
         let Some(split) = best else {
             return make_leaf(&mut self.nodes);
         };
@@ -129,13 +138,32 @@ impl Tree {
                 mid += 1;
             }
         }
-        debug_assert!(mid > 0 && mid < rows.len(), "degenerate split survived checks");
+        debug_assert!(
+            mid > 0 && mid < rows.len(),
+            "degenerate split survived checks"
+        );
 
         let node_idx = self.nodes.len();
         self.nodes.push(TreeNode::Leaf { weight: 0.0 }); // placeholder
         let (left_rows, right_rows) = rows.split_at_mut(mid);
-        let left = self.grow(binned, grad, hess, left_rows, active_features, params, depth + 1);
-        let right = self.grow(binned, grad, hess, right_rows, active_features, params, depth + 1);
+        let left = self.grow(
+            binned,
+            grad,
+            hess,
+            left_rows,
+            active_features,
+            params,
+            depth + 1,
+        );
+        let right = self.grow(
+            binned,
+            grad,
+            hess,
+            right_rows,
+            active_features,
+            params,
+            depth + 1,
+        );
         self.nodes[node_idx] = TreeNode::Split {
             feature: split.feature,
             threshold: binned.threshold(split.feature, split.bin),
@@ -157,7 +185,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    idx = if row[feature] <= threshold { left } else { right };
+                    idx = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -268,8 +300,8 @@ fn find_best_split(
             if hl < params.min_child_weight || hr < params.min_child_weight {
                 continue;
             }
-            let gain = 0.5 * (score(gl, hl, params.lambda) + score(gr, hr, params.lambda)
-                - parent_score)
+            let gain = 0.5
+                * (score(gl, hl, params.lambda) + score(gr, hr, params.lambda) - parent_score)
                 - params.gamma;
             if gain > 1e-12 && best.as_ref().is_none_or(|b2| gain > b2.gain) {
                 best = Some(SplitCandidate {

@@ -1,0 +1,303 @@
+//! # gdcm-obs — observability for the cost-model pipeline
+//!
+//! A from-scratch instrumentation layer (the dependency policy sanctions
+//! only `std` + `parking_lot` + `serde`/`serde_json`) giving every stage
+//! of the pipeline — suite generation, latency simulation, signature
+//! selection, GBDT training, collaborative evolution — structured
+//! visibility:
+//!
+//! * **Spans** ([`span!`]): RAII guards timing a named scope with
+//!   `std::time::Instant`. Nesting is tracked per thread, so a span
+//!   opened inside another records under the hierarchical path
+//!   `outer/inner`. Aggregate statistics (count, total, min, max) land
+//!   in a global registry regardless of sink mode; per-span events are
+//!   emitted only when a sink is active.
+//! * **Metrics** ([`counter`], [`gauge`], [`histogram`], [`series`]):
+//!   named counters/gauges, log-binned latency histograms with
+//!   p50/p95/p99 summaries, and append-only numeric series (e.g.
+//!   per-boosting-round train RMSE).
+//! * **Sinks** (`GDCM_OBS` env var): `off` (default — event emission is
+//!   gated by one relaxed atomic load), `pretty` (human-readable
+//!   stderr), `json` (JSON-lines events on stderr), `trace` (buffers
+//!   spans and exports Chrome trace-event JSON for `chrome://tracing`).
+//! * **Run reports** ([`report::RunReport`]): experiment binaries
+//!   snapshot the registry plus their own dataset dimensions and final
+//!   metrics into `target/reports/<bin>.json`.
+//!
+//! ```no_run
+//! let _run = gdcm_obs::span!("train");
+//! gdcm_obs::counter("rows").add(128);
+//! gdcm_obs::histogram("fit_ms").record(3.2);
+//! let mut report = gdcm_obs::report::RunReport::new("example");
+//! report.set_metric("rmse", 0.12);
+//! report.finalize_and_write().unwrap();
+//! ```
+
+pub mod metrics;
+pub mod report;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{counter, gauge, histogram, series};
+pub use report::RunReport;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
+/// Sink selected by the `GDCM_OBS` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// No event emission (default). Metrics and span aggregates are
+    /// still collected for run reports; only per-event sinks are off.
+    Off,
+    /// Human-readable event lines on stderr.
+    Pretty,
+    /// One JSON object per event on stderr (JSON-lines).
+    Json,
+    /// Buffer spans in memory for Chrome trace-event export.
+    Trace,
+}
+
+impl Mode {
+    /// Parses a `GDCM_OBS` value. Unknown values fall back to `Off` so a
+    /// typo can never break an experiment run.
+    pub fn parse(value: Option<&str>) -> Mode {
+        match value.map(str::trim) {
+            Some(v) if v.eq_ignore_ascii_case("pretty") => Mode::Pretty,
+            Some(v) if v.eq_ignore_ascii_case("json") => Mode::Json,
+            Some(v) if v.eq_ignore_ascii_case("trace") => Mode::Trace,
+            _ => Mode::Off,
+        }
+    }
+}
+
+const MODE_UNINIT: u8 = 0;
+const MODE_OFF: u8 = 1;
+const MODE_PRETTY: u8 = 2;
+const MODE_JSON: u8 = 3;
+const MODE_TRACE: u8 = 4;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+fn init_mode() -> u8 {
+    let encoded = match Mode::parse(std::env::var("GDCM_OBS").ok().as_deref()) {
+        Mode::Off => MODE_OFF,
+        Mode::Pretty => MODE_PRETTY,
+        Mode::Json => MODE_JSON,
+        Mode::Trace => MODE_TRACE,
+    };
+    // A racing thread may store the same value; both read the same env.
+    MODE.store(encoded, Ordering::Relaxed);
+    encoded
+}
+
+/// Current sink mode (reads `GDCM_OBS` once, then caches).
+pub fn mode() -> Mode {
+    let encoded = match MODE.load(Ordering::Relaxed) {
+        MODE_UNINIT => init_mode(),
+        m => m,
+    };
+    match encoded {
+        MODE_PRETTY => Mode::Pretty,
+        MODE_JSON => Mode::Json,
+        MODE_TRACE => Mode::Trace,
+        _ => Mode::Off,
+    }
+}
+
+/// Overrides the cached sink mode, bypassing `GDCM_OBS`.
+///
+/// Intended for tests and benchmarks that must compare modes within one
+/// process (the overhead benchmark measures `Off` vs `Json` back to
+/// back); production code should let the environment variable decide.
+pub fn force_mode(mode: Mode) {
+    let encoded = match mode {
+        Mode::Off => MODE_OFF,
+        Mode::Pretty => MODE_PRETTY,
+        Mode::Json => MODE_JSON,
+        Mode::Trace => MODE_TRACE,
+    };
+    MODE.store(encoded, Ordering::Relaxed);
+}
+
+/// Whether any event sink is active. The fast path for instrumented hot
+/// code: a single relaxed atomic load once the mode is cached.
+#[inline]
+pub fn emitting() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_UNINIT => init_mode() != MODE_OFF,
+        m => m != MODE_OFF,
+    }
+}
+
+/// Monotonic microseconds since the first observability call in this
+/// process; the timebase for event timestamps and Chrome traces.
+pub fn timestamp_us() -> u64 {
+    use std::sync::OnceLock;
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// A typed field on an emitted event.
+#[derive(Debug, Clone)]
+pub enum FieldValue {
+    /// Floating-point payload (durations, metrics).
+    F64(f64),
+    /// Integer payload (counts, sizes).
+    U64(u64),
+    /// Text payload (names, labels).
+    Str(String),
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Emits a structured event to the active sink. A no-op when
+/// `GDCM_OBS` is `off` or `trace` (traces only record spans).
+pub fn event(kind: &str, name: &str, fields: &[(&str, FieldValue)]) {
+    match mode() {
+        Mode::Off | Mode::Trace => {}
+        Mode::Pretty => {
+            let mut line = format!(
+                "[obs {:>10.3}ms] {kind:<9} {name}",
+                timestamp_us() as f64 / 1e3
+            );
+            for (key, value) in fields {
+                use std::fmt::Write as _;
+                match value {
+                    FieldValue::F64(v) => {
+                        let _ = write!(line, " {key}={v:.4}");
+                    }
+                    FieldValue::U64(v) => {
+                        let _ = write!(line, " {key}={v}");
+                    }
+                    FieldValue::Str(v) => {
+                        let _ = write!(line, " {key}={v}");
+                    }
+                }
+            }
+            eprintln!("{line}");
+        }
+        Mode::Json => {
+            use std::fmt::Write as _;
+            let mut line = String::with_capacity(96);
+            line.push_str("{\"ts_us\":");
+            let _ = write!(line, "{}", timestamp_us());
+            line.push_str(",\"kind\":");
+            json_escape(&mut line, kind);
+            line.push_str(",\"name\":");
+            json_escape(&mut line, name);
+            for (key, value) in fields {
+                line.push(',');
+                json_escape(&mut line, key);
+                line.push(':');
+                match value {
+                    FieldValue::F64(v) if v.is_finite() => {
+                        let _ = write!(line, "{v}");
+                    }
+                    FieldValue::F64(_) => line.push_str("null"),
+                    FieldValue::U64(v) => {
+                        let _ = write!(line, "{v}");
+                    }
+                    FieldValue::Str(v) => json_escape(&mut line, v),
+                }
+            }
+            line.push('}');
+            eprintln!("{line}");
+        }
+    }
+}
+
+/// Clears all registered metrics, span aggregates, and buffered trace
+/// events. Intended for tests and for binaries running several
+/// independent experiments in one process.
+pub fn reset() {
+    metrics::reset();
+    span::reset();
+    trace::reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing_accepts_known_sinks() {
+        assert_eq!(Mode::parse(None), Mode::Off);
+        assert_eq!(Mode::parse(Some("off")), Mode::Off);
+        assert_eq!(Mode::parse(Some("pretty")), Mode::Pretty);
+        assert_eq!(Mode::parse(Some("PRETTY")), Mode::Pretty);
+        assert_eq!(Mode::parse(Some("json")), Mode::Json);
+        assert_eq!(Mode::parse(Some(" json ")), Mode::Json);
+        assert_eq!(Mode::parse(Some("trace")), Mode::Trace);
+        assert_eq!(Mode::parse(Some("bogus")), Mode::Off);
+        assert_eq!(Mode::parse(Some("")), Mode::Off);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let a = timestamp_us();
+        let b = timestamp_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn field_values_convert() {
+        assert!(matches!(FieldValue::from(1.5f64), FieldValue::F64(_)));
+        assert!(matches!(FieldValue::from(3usize), FieldValue::U64(3)));
+        assert!(matches!(FieldValue::from("x"), FieldValue::Str(_)));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        let mut out = String::new();
+        json_escape(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

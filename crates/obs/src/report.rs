@@ -1,0 +1,267 @@
+//! Machine-readable run reports.
+//!
+//! Every experiment binary builds one [`RunReport`]: dataset dimensions
+//! and final metrics are set explicitly; stage timings, counters,
+//! gauges, histogram summaries, and series are snapshotted from the
+//! global registries at [`RunReport::finalize_and_write`] time. Reports
+//! land in `target/reports/<binary>.json` (override the directory with
+//! `GDCM_REPORT_DIR`); in `GDCM_OBS=trace` mode a Chrome trace
+//! `target/reports/<binary>.trace.json` is written alongside.
+
+use crate::metrics::HistogramSummary;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Aggregate timing of one span path, as embedded in reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Hierarchical span path (`pipeline/train`).
+    pub path: String,
+    /// Completions observed.
+    pub count: u64,
+    /// Total milliseconds across completions.
+    pub total_ms: f64,
+    /// Mean milliseconds per completion.
+    pub mean_ms: f64,
+    /// Fastest completion (ms).
+    pub min_ms: f64,
+    /// Slowest completion (ms).
+    pub max_ms: f64,
+}
+
+/// A named numeric series (e.g. per-boosting-round train RMSE).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesEntry {
+    /// Series name.
+    pub name: String,
+    /// Values in append order.
+    pub values: Vec<f64>,
+}
+
+/// The machine-readable result of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Name of the producing binary (also the report file stem).
+    pub binary: String,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+    /// Total wall time from construction to finalization (ms).
+    pub wall_time_ms: f64,
+    /// Dataset dimensions (`devices`, `networks`, `rows`, ...).
+    pub dataset: Vec<(String, u64)>,
+    /// Final scalar results (`rmse`, `spearman`, ...).
+    pub metrics: Vec<(String, f64)>,
+    /// Span aggregates snapshotted at finalization.
+    pub stages: Vec<StageTiming>,
+    /// Counter values snapshotted at finalization.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values snapshotted at finalization.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram percentile summaries snapshotted at finalization.
+    pub histograms: Vec<HistogramSummary>,
+    /// Numeric series snapshotted at finalization.
+    pub series: Vec<SeriesEntry>,
+    /// Free-form annotations.
+    pub notes: Vec<String>,
+}
+
+impl RunReport {
+    /// Starts a report for `binary`; the wall-time clock starts now.
+    pub fn new(binary: &str) -> RunReport {
+        let started_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        START_TIMES
+            .write()
+            .get_or_insert_with(Vec::new)
+            .push((binary.to_string(), Instant::now()));
+        RunReport {
+            binary: binary.to_string(),
+            started_unix_ms,
+            wall_time_ms: 0.0,
+            dataset: Vec::new(),
+            metrics: Vec::new(),
+            stages: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Records a dataset dimension (`devices`, `networks`, `rows`, ...).
+    pub fn set_dim(&mut self, name: &str, value: u64) {
+        upsert(&mut self.dataset, name, value);
+    }
+
+    /// Records a final scalar metric (`rmse`, `spearman`, ...).
+    pub fn set_metric(&mut self, name: &str, value: f64) {
+        upsert(&mut self.metrics, name, value);
+    }
+
+    /// Appends a free-form note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Looks up a previously-set metric.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Snapshots the global registries (spans, counters, gauges,
+    /// histograms, series) into this report and stamps the wall time.
+    pub fn collect(&mut self) {
+        self.wall_time_ms = {
+            let starts = START_TIMES.read();
+            starts
+                .iter()
+                .flatten()
+                .rev()
+                .find(|(name, _)| *name == self.binary)
+                .map(|(_, t)| t.elapsed().as_secs_f64() * 1e3)
+                .unwrap_or(0.0)
+        };
+        self.stages = crate::span::snapshot()
+            .into_iter()
+            .map(|(path, s)| StageTiming {
+                path,
+                count: s.count,
+                total_ms: s.total_ms,
+                mean_ms: s.mean_ms(),
+                min_ms: if s.min_ms.is_finite() { s.min_ms } else { 0.0 },
+                max_ms: s.max_ms,
+            })
+            .collect();
+        self.counters = crate::metrics::counters_snapshot();
+        self.gauges = crate::metrics::gauges_snapshot();
+        self.histograms = crate::metrics::histogram_snapshot();
+        self.series = crate::metrics::series_snapshot()
+            .into_iter()
+            .map(|(name, values)| SeriesEntry { name, values })
+            .collect();
+    }
+
+    /// Directory reports are written to: `GDCM_REPORT_DIR`, else
+    /// `$CARGO_TARGET_DIR/reports`, else `target/reports`.
+    pub fn report_dir() -> PathBuf {
+        if let Ok(dir) = std::env::var("GDCM_REPORT_DIR") {
+            return PathBuf::from(dir);
+        }
+        let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+        PathBuf::from(target).join("reports")
+    }
+
+    /// [`collect`](Self::collect)s and writes `<dir>/<binary>.json`
+    /// (pretty-printed). In trace mode the Chrome trace is exported to
+    /// `<dir>/<binary>.trace.json` too. Returns the report path.
+    pub fn finalize_and_write(&mut self) -> io::Result<PathBuf> {
+        self.collect();
+        let dir = Self::report_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.binary));
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::other(format!("report serialization failed: {e}")))?;
+        std::fs::write(&path, json)?;
+        if crate::mode() == crate::Mode::Trace {
+            let trace_path = dir.join(format!("{}.trace.json", self.binary));
+            crate::trace::write_chrome_trace(&trace_path)?;
+        }
+        crate::event(
+            "report",
+            &self.binary,
+            &[
+                ("path", crate::FieldValue::Str(path.display().to_string())),
+                ("wall_ms", crate::FieldValue::F64(self.wall_time_ms)),
+            ],
+        );
+        Ok(path)
+    }
+}
+
+fn upsert<T: Copy>(entries: &mut Vec<(String, T)>, name: &str, value: T) {
+    match entries.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => *v = value,
+        None => entries.push((name.to_string(), value)),
+    }
+}
+
+// Wall-time clocks keyed by binary name; kept outside the serializable
+// struct so reports stay plain data.
+static START_TIMES: parking_lot::RwLock<Option<Vec<(String, Instant)>>> =
+    parking_lot::RwLock::new(None);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_and_metrics_upsert() {
+        let mut r = RunReport::new("r_test_upsert");
+        r.set_dim("devices", 10);
+        r.set_dim("devices", 12);
+        r.set_metric("rmse", 0.5);
+        r.set_metric("rmse", 0.4);
+        assert_eq!(r.dataset, vec![("devices".to_string(), 12)]);
+        assert_eq!(r.metric("rmse"), Some(0.4));
+        assert_eq!(r.metric("absent"), None);
+    }
+
+    #[test]
+    fn collect_picks_up_registry_state() {
+        crate::counter("r_test_counter").add(7);
+        crate::series("r_test_series").extend(&[1.0, 2.0]);
+        {
+            let _s = crate::span!("r_test_stage");
+        }
+        let mut r = RunReport::new("r_test_collect");
+        r.collect();
+        assert!(r
+            .counters
+            .iter()
+            .any(|(n, v)| n == "r_test_counter" && *v >= 7));
+        assert!(r
+            .series
+            .iter()
+            .any(|s| s.name == "r_test_series" && s.values.len() >= 2));
+        assert!(r.stages.iter().any(|s| s.path == "r_test_stage"));
+        assert!(r.wall_time_ms >= 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = RunReport::new("r_test_roundtrip");
+        r.set_dim("networks", 118);
+        r.set_metric("rmse", 1.25);
+        r.note("hello");
+        r.collect();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn write_creates_report_file() {
+        let dir = std::env::temp_dir().join("gdcm_obs_report_test");
+        // GDCM_REPORT_DIR is read per-write; scope the override.
+        std::env::set_var("GDCM_REPORT_DIR", &dir);
+        let mut r = RunReport::new("r_test_write");
+        r.set_metric("x", 1.0);
+        let path = r.finalize_and_write().unwrap();
+        std::env::remove_var("GDCM_REPORT_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            v.get("binary").and_then(|b| b.as_str()),
+            Some("r_test_write")
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,232 @@
+//! Hierarchical timed spans.
+//!
+//! [`SpanGuard::enter`] (usually via the [`span!`](crate::span!) macro)
+//! pushes the span's name onto a thread-local stack and starts an
+//! `Instant`. On drop it records the elapsed time under the full
+//! `parent/child` path in a global registry, emits a `span` event to the
+//! active sink, and — in `trace` mode — buffers a Chrome trace event.
+//!
+//! Aggregation into the registry happens in every mode (it is what run
+//! reports read); spans are therefore meant for *stage*-granularity
+//! scopes, not per-row inner loops. Hot loops should accumulate raw
+//! `Instant` deltas locally instead (see `gdcm-ml`'s GBDT training log).
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::FieldValue;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+static REGISTRY: RwLock<Option<HashMap<String, SpanStats>>> = RwLock::new(None);
+
+/// Aggregate timing statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Total time across all completions, in milliseconds.
+    pub total_ms: f64,
+    /// Fastest completion, in milliseconds.
+    pub min_ms: f64,
+    /// Slowest completion, in milliseconds.
+    pub max_ms: f64,
+}
+
+impl SpanStats {
+    fn record(&mut self, ms: f64) {
+        self.count += 1;
+        self.total_ms += ms;
+        self.min_ms = self.min_ms.min(ms);
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// Mean completion time in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms / self.count as f64
+        }
+    }
+}
+
+/// An RAII guard timing a named scope. Created by [`span!`](crate::span!).
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct SpanGuard {
+    path: String,
+    depth: usize,
+    start: Instant,
+    start_us: u64,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`, nested under any span already open on
+    /// this thread.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let (path, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let mut path = String::with_capacity(32);
+            for part in stack.iter() {
+                path.push_str(part);
+                path.push('/');
+            }
+            path.push_str(name);
+            let depth = stack.len();
+            stack.push(name);
+            (path, depth)
+        });
+        SpanGuard {
+            path,
+            depth,
+            start: Instant::now(),
+            start_us: crate::timestamp_us(),
+        }
+    }
+
+    /// Full hierarchical path (`parent/child`) of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let ms = elapsed.as_secs_f64() * 1e3;
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+
+        {
+            let mut registry = REGISTRY.write();
+            registry
+                .get_or_insert_with(HashMap::new)
+                .entry(self.path.clone())
+                .or_insert(SpanStats {
+                    count: 0,
+                    total_ms: 0.0,
+                    min_ms: f64::INFINITY,
+                    max_ms: 0.0,
+                })
+                .record(ms);
+        }
+
+        match crate::mode() {
+            crate::Mode::Off => {}
+            crate::Mode::Trace => {
+                crate::trace::record_span(&self.path, self.start_us, elapsed.as_micros() as u64);
+            }
+            _ => crate::event(
+                "span",
+                &self.path,
+                &[
+                    ("dur_ms", FieldValue::F64(ms)),
+                    ("depth", FieldValue::U64(self.depth as u64)),
+                ],
+            ),
+        }
+    }
+}
+
+/// Times a named scope: `let _guard = span!("train_gbdt");`.
+///
+/// The guard must be bound (not `let _ = ...`, which drops immediately).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+/// Snapshot of all span aggregates, sorted by path.
+pub fn snapshot() -> Vec<(String, SpanStats)> {
+    let registry = REGISTRY.read();
+    let mut entries: Vec<(String, SpanStats)> = registry
+        .as_ref()
+        .map(|m| m.iter().map(|(k, v)| (k.clone(), *v)).collect())
+        .unwrap_or_default();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+/// Aggregate stats for one span path, if it has completed at least once.
+pub fn stats(path: &str) -> Option<SpanStats> {
+    REGISTRY.read().as_ref().and_then(|m| m.get(path).copied())
+}
+
+/// Clears all span aggregates (the thread-local stacks are untouched:
+/// open spans still pop correctly, but their timings land in the fresh
+/// registry).
+pub fn reset() {
+    *REGISTRY.write() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unique(name: &'static str) -> &'static str {
+        // Tests run concurrently against one process-global registry, so
+        // every test uses distinct span names.
+        name
+    }
+
+    #[test]
+    fn nested_spans_record_hierarchical_paths() {
+        {
+            let outer = SpanGuard::enter(unique("t_outer"));
+            assert_eq!(outer.path(), "t_outer");
+            {
+                let inner = SpanGuard::enter(unique("t_inner"));
+                assert_eq!(inner.path(), "t_outer/t_inner");
+            }
+        }
+        assert_eq!(stats("t_outer").unwrap().count, 1);
+        assert_eq!(stats("t_outer/t_inner").unwrap().count, 1);
+    }
+
+    #[test]
+    fn span_timing_is_monotone_and_nested_time_is_contained() {
+        {
+            let _outer = SpanGuard::enter(unique("t_mono_outer"));
+            {
+                let _inner = SpanGuard::enter(unique("t_mono_inner"));
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+        let outer = stats("t_mono_outer").unwrap();
+        let inner = stats("t_mono_outer/t_mono_inner").unwrap();
+        assert!(inner.total_ms >= 5.0, "slept 5ms, saw {}", inner.total_ms);
+        // The parent encloses the child, so it cannot be faster.
+        assert!(outer.total_ms >= inner.total_ms);
+    }
+
+    #[test]
+    fn stats_accumulate_across_completions() {
+        for _ in 0..3 {
+            let _s = SpanGuard::enter(unique("t_accum"));
+        }
+        let s = stats("t_accum").unwrap();
+        assert_eq!(s.count, 3);
+        assert!(s.min_ms <= s.max_ms);
+        assert!(s.total_ms >= s.max_ms);
+        assert!((s.mean_ms() - s.total_ms / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        {
+            let _a = SpanGuard::enter(unique("t_sib_a"));
+        }
+        {
+            let b = SpanGuard::enter(unique("t_sib_b"));
+            assert_eq!(b.path(), "t_sib_b");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Chrome trace-event export.
+//!
+//! In `GDCM_OBS=trace` mode every completed span is buffered as a
+//! "complete" event (`ph: "X"`); [`write_chrome_trace`] serializes the
+//! buffer in the Trace Event Format that `chrome://tracing` and Perfetto
+//! load directly. Timestamps are microseconds on the shared
+//! [`crate::timestamp_us`] timebase; thread ids are small per-process
+//! ordinals so lanes stay readable.
+
+use parking_lot::RwLock;
+use std::cell::Cell;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    name: String,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+}
+
+static EVENTS: RwLock<Option<Vec<TraceEvent>>> = RwLock::new(None);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_ordinal() -> u64 {
+    TID.with(|tid| {
+        if tid.get() == 0 {
+            tid.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        tid.get()
+    })
+}
+
+/// Buffers one completed span. Called from span guards in trace mode.
+pub(crate) fn record_span(name: &str, ts_us: u64, dur_us: u64) {
+    let event = TraceEvent {
+        name: name.to_string(),
+        ts_us,
+        dur_us,
+        tid: thread_ordinal(),
+    };
+    EVENTS.write().get_or_insert_with(Vec::new).push(event);
+}
+
+/// Number of buffered trace events.
+pub fn buffered_events() -> usize {
+    EVENTS.read().as_ref().map_or(0, Vec::len)
+}
+
+/// Writes the buffered spans as Chrome Trace Event Format JSON and
+/// returns the path. The buffer is left intact (a later write sees the
+/// same plus newer events).
+pub fn write_chrome_trace(path: &Path) -> io::Result<PathBuf> {
+    use std::fmt::Write as _;
+
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut body = String::from("{\"traceEvents\":[");
+    {
+        let events = EVENTS.read();
+        for (i, e) in events.iter().flatten().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str("{\"name\":");
+            crate::json_escape(&mut body, &e.name);
+            let _ = write!(
+                body,
+                ",\"cat\":\"gdcm\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                e.ts_us, e.dur_us, e.tid
+            );
+        }
+    }
+    body.push_str("],\"displayTimeUnit\":\"ms\"}");
+    std::fs::write(path, body)?;
+    Ok(path.to_path_buf())
+}
+
+/// Clears the trace buffer.
+pub fn reset() {
+    *EVENTS.write() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_export_is_valid_chrome_format() {
+        record_span("tr_stage_a", 10, 500);
+        record_span("tr_stage_a/tr_sub", 20, 100);
+        assert!(buffered_events() >= 2);
+
+        let dir = std::env::temp_dir().join("gdcm_obs_trace_test");
+        let path = dir.join("trace.json");
+        let written = write_chrome_trace(&path).unwrap();
+        let text = std::fs::read_to_string(written).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = value.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert!(events.len() >= 2);
+        let first = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("tr_stage_a"))
+            .unwrap();
+        assert_eq!(first.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert_eq!(first.get("dur").and_then(|d| d.as_u64()), Some(500));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

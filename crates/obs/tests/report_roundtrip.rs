@@ -1,0 +1,115 @@
+//! Property test: any `RunReport` survives a `serde_json` round trip
+//! bit-for-bit (finite values — JSON has no NaN/Inf representation).
+
+use gdcm_obs::metrics::HistogramSummary;
+use gdcm_obs::report::{RunReport, SeriesEntry, StageTiming};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // Names exercise the escaper: slashes, spaces, quotes, newlines.
+    prop::sample::select(vec![
+        "pipeline/train".to_string(),
+        "sim latency (ms)".to_string(),
+        "quoted \"stage\"".to_string(),
+        "line\nbreak".to_string(),
+        "plain".to_string(),
+        "väldigt_unicode_⏱".to_string(),
+    ])
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    // Mix magnitudes so both integral-looking and fractional floats are
+    // exercised through the JSON number formatter.
+    (-1e9f64..1e9).prop_map(|v| if v.abs() < 1e-3 { 0.0 } else { v })
+}
+
+fn stage_strategy() -> impl Strategy<Value = StageTiming> {
+    (name_strategy(), 0u64..1000, finite_f64(), finite_f64()).prop_map(
+        |(path, count, total, max)| StageTiming {
+            path,
+            count,
+            total_ms: total.abs(),
+            mean_ms: if count == 0 {
+                0.0
+            } else {
+                total.abs() / count as f64
+            },
+            min_ms: 0.0,
+            max_ms: max.abs(),
+        },
+    )
+}
+
+fn histogram_strategy() -> impl Strategy<Value = HistogramSummary> {
+    (name_strategy(), 0u64..100_000, finite_f64(), finite_f64()).prop_map(|(name, count, a, b)| {
+        let (lo, hi) = if a.abs() <= b.abs() {
+            (a.abs(), b.abs())
+        } else {
+            (b.abs(), a.abs())
+        };
+        HistogramSummary {
+            name,
+            count,
+            mean: (lo + hi) / 2.0,
+            p50: lo,
+            p95: hi,
+            p99: hi,
+            min: lo,
+            max: hi,
+        }
+    })
+}
+
+fn series_strategy() -> impl Strategy<Value = SeriesEntry> {
+    (name_strategy(), prop::collection::vec(finite_f64(), 0..20))
+        .prop_map(|(name, values)| SeriesEntry { name, values })
+}
+
+fn report_strategy() -> impl Strategy<Value = RunReport> {
+    (
+        name_strategy(),
+        0u64..u64::MAX / 2,
+        prop::collection::vec((name_strategy(), 0u64..1_000_000), 0..6),
+        prop::collection::vec((name_strategy(), finite_f64()), 0..6),
+        prop::collection::vec(stage_strategy(), 0..6),
+        prop::collection::vec(histogram_strategy(), 0..4),
+        prop::collection::vec(series_strategy(), 0..4),
+        prop::collection::vec(name_strategy(), 0..4),
+    )
+        .prop_map(
+            |(binary, started, dims, metrics, stages, histograms, series, notes)| {
+                let mut report = RunReport::new(&binary);
+                report.started_unix_ms = started;
+                report.wall_time_ms = 12.5;
+                report.dataset = dims;
+                report.metrics = metrics;
+                report.stages = stages;
+                report.counters = vec![("events".to_string(), 3)];
+                report.gauges = vec![("repo_size".to_string(), 7.0)];
+                report.histograms = histograms;
+                report.series = series;
+                report.notes = notes;
+                report
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compact JSON round trip preserves every field exactly.
+    #[test]
+    fn run_report_round_trips_compact(report in report_strategy()) {
+        let json = serde_json::to_string(&report).expect("serializes");
+        let back: RunReport = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(back, report);
+    }
+
+    /// Pretty-printed JSON parses back to the same report.
+    #[test]
+    fn run_report_round_trips_pretty(report in report_strategy()) {
+        let json = serde_json::to_string_pretty(&report).expect("serializes");
+        let back: RunReport = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(back, report);
+    }
+}

@@ -229,8 +229,7 @@ mod tests {
         let mut bad_dw = device(core, 2.2);
         bad_dw.hidden.class_efficiency[OpClass::Depthwise.index()] = 0.4;
 
-        let ratio_dw =
-            engine.latency_ms(&dw_heavy, &bad_dw) / engine.latency_ms(&dw_heavy, &good);
+        let ratio_dw = engine.latency_ms(&dw_heavy, &bad_dw) / engine.latency_ms(&dw_heavy, &good);
         let ratio_conv =
             engine.latency_ms(&conv_heavy, &bad_dw) / engine.latency_ms(&conv_heavy, &good);
         assert!(
@@ -254,8 +253,8 @@ mod tests {
 #[cfg(test)]
 mod class_totals_tests {
     use super::*;
-    use crate::device::{DeviceId, HiddenState, OpClass};
     use crate::core_model::CoreFamily;
+    use crate::device::{DeviceId, HiddenState, OpClass};
     use gdcm_gen::zoo;
 
     #[test]

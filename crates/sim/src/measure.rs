@@ -88,6 +88,12 @@ pub fn measure(
     let n = samples.len() as f64;
     let mean = samples.iter().sum::<f64>() / n;
     let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+
+    gdcm_obs::counter("sim/measurements").incr();
+    gdcm_obs::counter("sim/noise_runs").add(config.runs.max(1) as u64);
+    gdcm_obs::counter(&format!("sim/measurements/device_{:03}", device.id.index())).incr();
+    gdcm_obs::histogram("sim/measured_ms").record(mean);
+
     Measurement {
         mean_ms: mean,
         std_ms: var.sqrt(),
@@ -126,12 +132,30 @@ impl LatencyDb {
         devices: &[Device],
         config: &MeasurementConfig,
     ) -> Self {
+        let _span = gdcm_obs::span!("latency_db_collect");
+        let start = std::time::Instant::now();
         let mut mean_ms = Vec::with_capacity(devices.len() * networks.len());
         for device in devices {
             for network in networks {
                 mean_ms.push(measure(engine, network, device, config).mean_ms);
             }
         }
+        let cells = mean_ms.len();
+        let elapsed = start.elapsed().as_secs_f64();
+        gdcm_obs::gauge("sim/db/devices").set(devices.len() as f64);
+        gdcm_obs::gauge("sim/db/networks").set(networks.len() as f64);
+        // Engine throughput: measured (network, device) cells per second.
+        if elapsed > 0.0 {
+            gdcm_obs::gauge("sim/engine/cells_per_sec").set(cells as f64 / elapsed);
+        }
+        gdcm_obs::event(
+            "collect",
+            "sim/latency_db",
+            &[
+                ("cells", gdcm_obs::FieldValue::U64(cells as u64)),
+                ("wall_s", gdcm_obs::FieldValue::F64(elapsed)),
+            ],
+        );
         Self {
             n_devices: devices.len(),
             n_networks: networks.len(),
@@ -223,8 +247,10 @@ impl MeasurementCache {
     pub fn measure(&self, network: &NamedNetwork, device: &Device) -> Measurement {
         let key = (device.id.index(), network.index);
         if let Some(m) = self.cells.read().get(&key) {
+            gdcm_obs::counter("sim/cache/hits").incr();
             return *m;
         }
+        gdcm_obs::counter("sim/cache/misses").incr();
         let m = measure(&self.engine, network, device, &self.config);
         self.cells.write().insert(key, m);
         m
@@ -258,12 +284,21 @@ mod tests {
     fn measurement_is_near_truth_and_positive() {
         let (nets, devices) = tiny_setup();
         let engine = LatencyEngine::new();
-        let m = measure(&engine, &nets[0], &devices[0], &MeasurementConfig::default());
+        let m = measure(
+            &engine,
+            &nets[0],
+            &devices[0],
+            &MeasurementConfig::default(),
+        );
         let truth = engine.latency_ms(&nets[0].network, &devices[0]);
         assert!(m.mean_ms > 0.0);
         // Pair idiosyncrasy (σ ≤ 0.16) plus averaged run noise keeps the
         // reported mean within ~50% of the noise-free roofline value.
-        assert!((m.mean_ms - truth).abs() / truth < 0.5, "{} vs {truth}", m.mean_ms);
+        assert!(
+            (m.mean_ms - truth).abs() / truth < 0.5,
+            "{} vs {truth}",
+            m.mean_ms
+        );
         assert!(m.std_ms >= 0.0);
         assert_eq!(m.runs, 30);
     }
@@ -330,6 +365,24 @@ mod tests {
         let db = LatencyDb::collect(&engine, &nets, &devices, &cfg);
         let m = measure(&engine, &nets[2], &devices[3], &cfg);
         assert_eq!(db.latency(3, 2), m.mean_ms);
+    }
+
+    #[test]
+    fn measurement_counters_accumulate() {
+        // Counters are process-global and tests run concurrently, so only
+        // assert on deltas from this test's own calls.
+        let (nets, devices) = tiny_setup();
+        let engine = LatencyEngine::new();
+        let before = gdcm_obs::counter("sim/measurements").get();
+        let runs_before = gdcm_obs::counter("sim/noise_runs").get();
+        let _ = measure(
+            &engine,
+            &nets[0],
+            &devices[1],
+            &MeasurementConfig::default(),
+        );
+        assert!(gdcm_obs::counter("sim/measurements").get() > before);
+        assert!(gdcm_obs::counter("sim/noise_runs").get() >= runs_before + 30);
     }
 
     #[test]

@@ -225,7 +225,10 @@ impl DevicePopulation {
             .map(|f| {
                 (
                     f.name,
-                    self.devices.iter().filter(|d| d.core.name == f.name).count(),
+                    self.devices
+                        .iter()
+                        .filter(|d| d.core.name == f.name)
+                        .count(),
                 )
             })
             .collect();

@@ -6,9 +6,7 @@
 //! ```
 
 use generalizable_dnn_cost_models::core::signature::{MutualInfoSelector, SignatureSelector};
-use generalizable_dnn_cost_models::core::{
-    CollaborativeRepository, CostDataset, RepositoryConfig,
-};
+use generalizable_dnn_cost_models::core::{CollaborativeRepository, CostDataset, RepositoryConfig};
 use generalizable_dnn_cost_models::ml::metrics::r2_score;
 
 fn main() {
@@ -42,10 +40,7 @@ fn main() {
         .collect();
     for d in 0..40 {
         let device = &data.devices[d];
-        let sig_lat: Vec<f64> = signature
-            .iter()
-            .map(|&n| data.db.latency(d, n))
-            .collect();
+        let sig_lat: Vec<f64> = signature.iter().map(|&n| data.db.latency(d, n)).collect();
         repo.onboard_device(device.model.clone(), &sig_lat)
             .expect("signature length matches");
         for &n in open.iter().cycle().skip(d * 7).step_by(9).take(12) {
@@ -90,7 +85,10 @@ fn main() {
     );
 
     println!("\nsample predictions for the newcomer:");
-    println!("  {:<22} {:>10} {:>10}", "network", "pred (ms)", "true (ms)");
+    println!(
+        "  {:<22} {:>10} {:>10}",
+        "network", "pred (ms)", "true (ms)"
+    );
     for &n in open.iter().take(8) {
         let p = repo
             .predict_for_new_device(&sig_lat, &data.suite[n].network)

@@ -6,12 +6,14 @@
 //! ```
 
 use generalizable_dnn_cost_models::core::signature::{
-    MutualInfoSelector, RandomSelector, SignatureSelector, SpearmanSelector,
+    MutualInfoSelector, RandomSelector, SpearmanSelector,
 };
 use generalizable_dnn_cost_models::core::{CostDataset, CostModelPipeline, PipelineConfig};
 use generalizable_dnn_cost_models::ml::GbdtParams;
+use generalizable_dnn_cost_models::obs;
 
 fn main() {
+    let mut run_report = obs::RunReport::new("example_device_onboarding");
     println!("building the measured dataset ...");
     let data = CostDataset::paper(2020);
 
@@ -19,10 +21,7 @@ fn main() {
         "\nonboarding cost = one latency measurement per signature network\n\
          (30 runs each, a few minutes on-device). Accuracy on unseen devices:\n"
     );
-    println!(
-        "{:<6} {:>12} {:>12} {:>12}",
-        "size", "RS", "MIS", "SCCS"
-    );
+    println!("{:<6} {:>12} {:>12} {:>12}", "size", "RS", "MIS", "SCCS");
 
     for m in [2usize, 5, 10, 15] {
         let config = PipelineConfig {
@@ -54,4 +53,12 @@ fn main() {
         "\nmodel quality with this kit: R² = {:.3}, RMSE = {:.1} ms, MAPE = {:.1}%",
         report.r2, report.rmse_ms, report.mape_pct
     );
+
+    run_report.set_dim("devices", data.n_devices() as u64);
+    run_report.set_dim("networks", data.n_networks() as u64);
+    run_report.set_metric("r2_mis_m10", report.r2);
+    run_report.set_metric("rmse_ms_mis_m10", report.rmse_ms);
+    if let Ok(path) = run_report.finalize_and_write() {
+        eprintln!("[run report: {}]", path.display());
+    }
 }

@@ -11,11 +11,11 @@ use generalizable_dnn_cost_models::core::signature::{MutualInfoSelector, Signatu
 use generalizable_dnn_cost_models::core::{
     CostDataset, CostModelPipeline, EncoderConfig, NetworkEncoder, PipelineConfig,
 };
-use generalizable_dnn_cost_models::ml::DenseMatrix;
+use generalizable_dnn_cost_models::gen::NamedNetwork;
 use generalizable_dnn_cost_models::gen::{RandomNetworkGenerator, SearchSpace};
 use generalizable_dnn_cost_models::ml::metrics::spearman;
+use generalizable_dnn_cost_models::ml::DenseMatrix;
 use generalizable_dnn_cost_models::ml::{GbdtRegressor, Regressor};
-use generalizable_dnn_cost_models::gen::NamedNetwork;
 use generalizable_dnn_cost_models::sim::{measure, LatencyEngine, MeasurementConfig};
 
 fn main() {
@@ -42,8 +42,7 @@ fn main() {
     let pipeline = CostModelPipeline::new(&data, PipelineConfig::default());
 
     let (train_devices, test_devices) = pipeline.device_split();
-    let signature =
-        MutualInfoSelector::default().select(&data.db, &train_devices, 10);
+    let signature = MutualInfoSelector::default().select(&data.db, &train_devices, 10);
     let repr = HardwareRepr::Signature(signature.clone());
     let networks: Vec<usize> = (0..data.n_networks())
         .filter(|n| !signature.contains(n))
@@ -86,13 +85,14 @@ fn main() {
     let predicted: Vec<f32> = candidates.iter().map(|c| c.1 as f32).collect();
     let actual: Vec<f32> = candidates.iter().map(|c| c.2 as f32).collect();
     let rho = spearman(&actual, &predicted);
-    println!(
-        "\nranked 200 unseen candidates; Spearman(predicted, actual) = {rho:.3}"
-    );
+    println!("\nranked 200 unseen candidates; Spearman(predicted, actual) = {rho:.3}");
 
     candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
     println!("\nfastest 5 candidates by *predicted* latency:");
-    println!("  {:<10} {:>10} {:>10} {:>9}", "candidate", "pred (ms)", "true (ms)", "MACs (M)");
+    println!(
+        "  {:<10} {:>10} {:>10} {:>9}",
+        "candidate", "pred (ms)", "true (ms)", "MACs (M)"
+    );
     for (named, pred, actual) in candidates.iter().take(5) {
         println!(
             "  {:<10} {:>10.1} {:>10.1} {:>9.0}",

@@ -10,6 +10,8 @@
 //! * [`ml`] — gradient boosting and friends ([`gdcm_ml`]).
 //! * [`core`] — representations, signature sets, pipeline, collaboration
 //!   ([`gdcm_core`]).
+//! * [`obs`] — structured tracing, metrics, and run reports
+//!   ([`gdcm_obs`]).
 //!
 //! See the repository `README.md` for the full tour and `DESIGN.md` for
 //! the paper-to-module map.
@@ -18,4 +20,5 @@ pub use gdcm_core as core;
 pub use gdcm_dnn as dnn;
 pub use gdcm_gen as gen;
 pub use gdcm_ml as ml;
+pub use gdcm_obs as obs;
 pub use gdcm_sim as sim;

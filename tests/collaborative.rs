@@ -4,9 +4,7 @@ use generalizable_dnn_cost_models::core::collaborative::{
     collaborative_for_device, isolated_curve, simulate_collaborative, CollaborativeConfig,
 };
 use generalizable_dnn_cost_models::core::signature::{MutualInfoSelector, SignatureSelector};
-use generalizable_dnn_cost_models::core::{
-    CollaborativeRepository, CostDataset, RepositoryConfig,
-};
+use generalizable_dnn_cost_models::core::{CollaborativeRepository, CostDataset, RepositoryConfig};
 use generalizable_dnn_cost_models::ml::GbdtParams;
 
 fn fast_gbdt() -> GbdtParams {
@@ -71,7 +69,10 @@ fn isolated_curve_is_learnable_and_saturates_high() {
     let sizes = [3, 15, 42];
     let curve = isolated_curve(&data, 2, &sizes, &fast_gbdt(), 9);
     assert_eq!(curve.len(), 3);
-    assert!(curve[2].r2 > 0.8, "full isolated model should fit: {curve:?}");
+    assert!(
+        curve[2].r2 > 0.8,
+        "full isolated model should fit: {curve:?}"
+    );
 }
 
 #[test]

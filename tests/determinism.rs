@@ -35,9 +35,8 @@ fn measurement_order_does_not_matter() {
     let devices = DevicePopulation::sample(6, 8).devices;
     let engine = LatencyEngine::new();
     let cfg = MeasurementConfig { runs: 30, seed: 7 };
-    let db = generalizable_dnn_cost_models::sim::LatencyDb::collect(
-        &engine, &suite, &devices, &cfg,
-    );
+    let db =
+        generalizable_dnn_cost_models::sim::LatencyDb::collect(&engine, &suite, &devices, &cfg);
     // Probe three scattered cells out of order.
     for (d, n) in [(5usize, 100usize), (0, 3), (3, 57)] {
         let m = measure(&engine, &suite[n], &devices[d], &cfg);

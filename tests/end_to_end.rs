@@ -93,9 +93,7 @@ fn report_metrics_are_consistent() {
         &report.predicted_ms,
     );
     assert!((r2 - report.r2).abs() < 1e-12);
-    let rmse = generalizable_dnn_cost_models::ml::metrics::rmse(
-        &report.actual_ms,
-        &report.predicted_ms,
-    );
+    let rmse =
+        generalizable_dnn_cost_models::ml::metrics::rmse(&report.actual_ms, &report.predicted_ms);
     assert!((rmse - report.rmse_ms).abs() < 1e-9);
 }

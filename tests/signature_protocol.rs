@@ -51,11 +51,9 @@ fn signature_networks_never_appear_as_rows() {
     ] {
         let report = pipeline.run_signature(selector.as_ref());
         let (train, test) = pipeline.device_split();
-        let expected_rows =
-            (data.n_networks() - report.signature.len()) * train.len();
+        let expected_rows = (data.n_networks() - report.signature.len()) * train.len();
         assert_eq!(report.n_train_rows, expected_rows, "{}", report.method);
-        let expected_test =
-            (data.n_networks() - report.signature.len()) * test.len();
+        let expected_test = (data.n_networks() - report.signature.len()) * test.len();
         assert_eq!(report.actual_ms.len(), expected_test, "{}", report.method);
     }
 }
@@ -98,11 +96,7 @@ fn cluster_splits_cover_every_device_once() {
     let pipeline = CostModelPipeline::new(&data, config());
     let train: Vec<usize> = (0..12).collect();
     let test: Vec<usize> = (12..18).collect();
-    let report = pipeline.run_signature_with_split(
-        &MutualInfoSelector::default(),
-        &train,
-        &test,
-    );
+    let report = pipeline.run_signature_with_split(&MutualInfoSelector::default(), &train, &test);
     assert_eq!(
         report.actual_ms.len(),
         test.len() * (data.n_networks() - report.signature.len())

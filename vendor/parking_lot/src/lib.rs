@@ -1,0 +1,143 @@
+//! Vendored `parking_lot` facade.
+//!
+//! Wraps `std::sync` primitives behind the non-poisoning `parking_lot`
+//! API surface the workspace uses ([`RwLock`], [`Mutex`]). A poisoned
+//! lock (a panic while held) is recovered rather than propagated, which
+//! matches `parking_lot` semantics closely enough for this workspace's
+//! cache and metrics registries.
+
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// A reader-writer lock with the `parking_lot` (non-poisoning) API.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked `RwLock`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns a mutable reference to the inner value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock")
+            .field("data", &&*self.read())
+            .finish()
+    }
+}
+
+/// A mutual-exclusion lock with the `parking_lot` (non-poisoning) API.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked `Mutex`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns a mutable reference to the inner value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex")
+            .field("data", &&*self.lock())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rwlock_round_trip() {
+        let lock = RwLock::new(5);
+        assert_eq!(*lock.read(), 5);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 6);
+        assert_eq!(lock.into_inner(), 6);
+    }
+
+    #[test]
+    fn mutex_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let lock = Arc::new(RwLock::new(1));
+        let inner = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = inner.write();
+            panic!("poison it");
+        })
+        .join();
+        // parking_lot semantics: the lock stays usable.
+        assert_eq!(*lock.read(), 1);
+    }
+}

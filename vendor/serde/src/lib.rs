@@ -1,0 +1,583 @@
+//! Vendored serde core.
+//!
+//! This workspace builds hermetically (no crates.io), so the real serde
+//! is replaced by a small local implementation that keeps the public
+//! trait *shape* — `Serialize`, `Deserialize<'de>`, `Serializer`,
+//! `Deserializer<'de>`, `ser::Error`, `de::Error`, and the
+//! `#[derive(Serialize, Deserialize)]` macros — while collapsing the
+//! data model to a JSON-shaped content tree ([`__private::Content`]).
+//!
+//! Every `Serializer` forwards through [`Serializer::serialize_content`];
+//! the single concrete serializer lives in `__private` and is what
+//! `serde_json` (also vendored) drives. Hand-written impls in the
+//! workspace only use `serialize_str`, `String::deserialize`, and
+//! `Error::custom`, all of which behave exactly like upstream.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization error handling.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Trait all serializer error types implement.
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error handling.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Trait all deserializer error types implement.
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can serialize any data structure supported by this
+/// vendored serde.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+
+    /// Accepts a fully-built content tree. All other methods funnel here.
+    fn serialize_content(self, content: __private::Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::Bool(v))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::I64(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::U64(v))
+    }
+
+    /// Serializes a floating-point number.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::F64(v))
+    }
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::Str(v.to_string()))
+    }
+
+    /// Serializes a unit value (`null` in JSON formats).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(__private::Content::Null)
+    }
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A data format that can deserialize any supported data structure.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Yields the input as a fully-parsed content tree.
+    fn deserialize_content(self) -> Result<__private::Content, Self::Error>;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// Implementation plumbing shared by the derive macros and `serde_json`.
+///
+/// Public for macro hygiene only; not part of the supported API.
+pub mod __private {
+    use super::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+    use std::fmt::Display;
+
+    /// The JSON-shaped content tree all (de)serialization funnels through.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        /// `null`.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// A signed integer.
+        I64(i64),
+        /// An unsigned integer (used when a value exceeds `i64::MAX`).
+        U64(u64),
+        /// A floating-point number.
+        F64(f64),
+        /// A string.
+        Str(String),
+        /// An ordered sequence.
+        Seq(Vec<Content>),
+        /// An ordered string-keyed map (struct fields, enum payloads).
+        Map(Vec<(String, Content)>),
+    }
+
+    impl Content {
+        /// Human-readable kind name for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Content::Null => "null",
+                Content::Bool(_) => "bool",
+                Content::I64(_) | Content::U64(_) => "integer",
+                Content::F64(_) => "float",
+                Content::Str(_) => "string",
+                Content::Seq(_) => "sequence",
+                Content::Map(_) => "map",
+            }
+        }
+    }
+
+    /// Error type used while building or destructuring content trees.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ContentError(pub String);
+
+    impl Display for ContentError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ContentError {}
+
+    impl ser::Error for ContentError {
+        fn custom<T: Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    impl de::Error for ContentError {
+        fn custom<T: Display>(msg: T) -> Self {
+            ContentError(msg.to_string())
+        }
+    }
+
+    /// The one concrete serializer: captures the content tree.
+    pub struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = ContentError;
+
+        fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+            Ok(content)
+        }
+    }
+
+    /// Serializes any value into a content tree.
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+        value.serialize(ContentSerializer)
+    }
+
+    /// A deserializer that replays a content tree, generic over the error
+    /// type expected by the caller.
+    pub struct ContentDeserializer<E> {
+        content: Content,
+        _marker: std::marker::PhantomData<fn() -> E>,
+    }
+
+    impl<E> ContentDeserializer<E> {
+        /// Wraps a content tree for deserialization.
+        pub fn new(content: Content) -> Self {
+            Self {
+                content,
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+        type Error = E;
+
+        fn deserialize_content(self) -> Result<Content, E> {
+            Ok(self.content)
+        }
+    }
+
+    /// Deserializes any value out of a content tree.
+    pub fn from_content<'de, T, E>(content: Content) -> Result<T, E>
+    where
+        T: Deserialize<'de>,
+        E: de::Error,
+    {
+        T::deserialize(ContentDeserializer::<E>::new(content))
+    }
+
+    /// Destructures map content, naming `what` in errors.
+    pub fn into_map<E: de::Error>(
+        content: Content,
+        what: &str,
+    ) -> Result<Vec<(String, Content)>, E> {
+        match content {
+            Content::Map(m) => Ok(m),
+            other => Err(E::custom(format!(
+                "expected a map for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Destructures sequence content, naming `what` in errors.
+    pub fn into_seq<E: de::Error>(content: Content, what: &str) -> Result<Vec<Content>, E> {
+        match content {
+            Content::Seq(s) => Ok(s),
+            other => Err(E::custom(format!(
+                "expected a sequence for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Removes and deserializes a struct field by name.
+    pub fn take_field<'de, T, E>(map: &mut Vec<(String, Content)>, key: &str) -> Result<T, E>
+    where
+        T: Deserialize<'de>,
+        E: de::Error,
+    {
+        match map.iter().position(|(k, _)| k == key) {
+            Some(idx) => from_content(map.swap_remove(idx).1),
+            None => Err(E::custom(format!("missing field `{key}`"))),
+        }
+    }
+}
+
+use __private::Content;
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types used by the workspace.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_unit(),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn seq_to_content<'a, T, S, I>(items: I) -> Result<Content, S::Error>
+where
+    T: Serialize + 'a,
+    S: Serializer,
+    I: Iterator<Item = &'a T>,
+{
+    let items: Result<Vec<Content>, _> = items.map(__private::to_content).collect();
+    Ok(Content::Seq(items.map_err(ser::Error::custom)?))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_to_content::<T, S, _>(self.iter())?)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_to_content::<T, S, _>(self.iter())?)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_to_content::<T, S, _>(self.iter())?)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(__private::to_content(&self.$idx).map_err(ser::Error::custom)?,)+
+                ];
+                serializer.serialize_content(Content::Seq(items))
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types used by the workspace.
+// ---------------------------------------------------------------------------
+
+fn unexpected<E: de::Error>(expected: &str, found: &Content) -> E {
+    E::custom(format!("expected {expected}, found {}", found.kind()))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)
+                        ))),
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(unexpected(stringify!($t), &other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    other => Err(unexpected(stringify!($t), &other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => Err(unexpected("null", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => __private::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let seq = __private::into_seq::<D::Error>(deserializer.deserialize_content()?, "Vec")?;
+        seq.into_iter().map(__private::from_content).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        <[T; N]>::try_from(items).map_err(|_| {
+            <D::Error as de::Error>::custom(format!(
+                "expected an array of {N} elements, found {len}"
+            ))
+        })
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($($len:literal => ($($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                let seq = __private::into_seq::<__D::Error>(
+                    deserializer.deserialize_content()?,
+                    "tuple",
+                )?;
+                if seq.len() != $len {
+                    return Err(de::Error::custom(format!(
+                        "expected a tuple of {} elements, found {}", $len, seq.len()
+                    )));
+                }
+                let mut iter = seq.into_iter();
+                Ok((
+                    $({
+                        let _ = stringify!($name);
+                        __private::from_content(iter.next().expect("length checked"))?
+                    },)+
+                ))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    1 => (A)
+    2 => (A, B)
+    3 => (A, B, C)
+    4 => (A, B, C, D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::__private::{from_content, to_content, Content, ContentError};
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let c = to_content(&42u32).unwrap();
+        assert_eq!(c, Content::U64(42));
+        let back: u32 = from_content::<u32, ContentError>(c).unwrap();
+        assert_eq!(back, 42);
+
+        let c = to_content(&-7i64).unwrap();
+        assert_eq!(from_content::<i64, ContentError>(c).unwrap(), -7);
+
+        let c = to_content(&1.5f32).unwrap();
+        assert_eq!(from_content::<f32, ContentError>(c).unwrap(), 1.5);
+
+        let c = to_content(&"hi".to_string()).unwrap();
+        assert_eq!(from_content::<String, ContentError>(c).unwrap(), "hi");
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let c = to_content(&v).unwrap();
+        let back: Vec<(usize, f64)> = from_content::<_, ContentError>(c).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(to_content(&None::<u8>).unwrap(), Content::Null);
+        let c = to_content(&Some(3u8)).unwrap();
+        assert_eq!(
+            from_content::<Option<u8>, ContentError>(c).unwrap(),
+            Some(3)
+        );
+        assert_eq!(
+            from_content::<Option<u8>, ContentError>(Content::Null).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        let err = from_content::<u8, ContentError>(Content::I64(300));
+        assert!(err.is_err());
+        let err = from_content::<u32, ContentError>(Content::I64(-1));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn type_mismatch_reports_kinds() {
+        let err = from_content::<String, ContentError>(Content::Bool(true)).unwrap_err();
+        assert!(err.0.contains("expected string"), "{}", err.0);
+    }
+}

@@ -1,0 +1,467 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Built directly on `proc_macro` (the hermetic build has no `syn` /
+//! `quote`): a small token-walker extracts the item shape — struct with
+//! named fields, tuple struct, unit struct, or enum with unit / tuple /
+//! struct variants — and emits impls against the vendored `serde`
+//! content-tree data model. Externally-tagged enum encoding matches
+//! upstream serde's JSON layout (`"Variant"`, `{"Variant": ...}`).
+//!
+//! Unsupported (not used by this workspace): generic type parameters,
+//! `#[serde(...)]` attributes, unions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of a struct body or an enum variant's payload.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Skips `#[...]` attribute groups starting at `i`; returns the next index.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub` / `pub(...)` visibility starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level comma-separated segments (tuple fields). Tracks angle
+/// brackets so `Foo<A, B>` counts as one field; `()`/`[]`/`{}` arrive as
+/// opaque groups and need no tracking.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut in_segment = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                in_segment = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !in_segment {
+            fields += 1;
+            in_segment = true;
+        }
+    }
+    fields
+}
+
+/// Extracts field names from a named-field body `{ a: T, b: U }`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_visibility(&tokens, skip_attributes(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        names.push(name);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(i) {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => {
+                return Err(format!(
+                    "unsupported token `{other}` after variant `{name}` \
+                     (explicit discriminants are not supported)"
+                ))
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_visibility(&tokens, skip_attributes(&tokens, 0));
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found `{other:?}`")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: `{other:?}`")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body: `{other:?}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+const TO_CONTENT: &str = "::serde::__private::to_content";
+const FROM_CONTENT: &str = "::serde::__private::from_content";
+const CONTENT: &str = "::serde::__private::Content";
+
+fn ser_custom(generic: &str) -> String {
+    format!("<{generic}::Error as ::serde::ser::Error>::custom")
+}
+
+fn de_custom(generic: &str) -> String {
+    format!("<{generic}::Error as ::serde::de::Error>::custom")
+}
+
+/// Emits an expression building the `Content` map for named fields, with
+/// each value expression produced by `value_of(field)`.
+fn named_fields_content(fields: &[String], value_of: impl Fn(&str) -> String) -> String {
+    let mut out = format!(
+        "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, {CONTENT})> = \
+         ::std::vec::Vec::with_capacity({}); ",
+        fields.len()
+    );
+    for field in fields {
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from({field:?}), {}.map_err({})?)); ",
+            value_of(field),
+            ser_custom("__S")
+        ));
+    }
+    out.push_str(&format!("{CONTENT}::Map(__fields) }}"));
+    out
+}
+
+fn tuple_content(bindings: &[String]) -> String {
+    let items: Vec<String> = bindings
+        .iter()
+        .map(|b| format!("{TO_CONTENT}({b}).map_err({})?", ser_custom("__S")))
+        .collect();
+    format!("{CONTENT}::Seq(::std::vec![{}])", items.join(", "))
+}
+
+fn expand_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "__serializer.serialize_unit()".to_string(),
+                Fields::Tuple(1) => {
+                    "::serde::Serialize::serialize(&self.0, __serializer)".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let bindings: Vec<String> = (0..*n).map(|i| format!("&self.{i}")).collect();
+                    format!(
+                        "__serializer.serialize_content({})",
+                        tuple_content(&bindings)
+                    )
+                }
+                Fields::Named(fields) => {
+                    let map = named_fields_content(fields, |f| format!("{TO_CONTENT}(&self.{f})"));
+                    format!("__serializer.serialize_content({map})")
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_str({vname:?}),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            format!("{TO_CONTENT}(__f0).map_err({})?", ser_custom("__S"))
+                        } else {
+                            tuple_content(&bindings)
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ let __payload = {payload}; \
+                             __serializer.serialize_content({CONTENT}::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), __payload)])) }},\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inner = named_fields_content(fields, |f| format!("{TO_CONTENT}({f})"));
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ let __payload = {inner}; \
+                             __serializer.serialize_content({CONTENT}::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), __payload)])) }},\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Emits statements + constructor expression deserializing `fields` out of
+/// content held in `content_var`, constructing `ctor`.
+fn fields_from_content(ctor: &str, fields: &Fields, content_var: &str, what: &str) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match {content_var} {{ \
+               {CONTENT}::Null => ::core::result::Result::Ok({ctor}), \
+               __other => ::core::result::Result::Err({}(::std::format!(\
+                 \"expected null for {what}, found {{}}\", __other.kind()))) }}",
+            de_custom("__D")
+        ),
+        Fields::Tuple(n) => {
+            let mut out = format!(
+                "{{ let __seq = ::serde::__private::into_seq::<__D::Error>({content_var}, {what:?})?; \
+                 if __seq.len() != {n} {{ return ::core::result::Result::Err({}(::std::format!(\
+                   \"expected {n} elements for {what}, found {{}}\", __seq.len()))); }} \
+                 let mut __iter = __seq.into_iter(); ",
+                de_custom("__D")
+            );
+            let args: Vec<String> = (0..*n)
+                .map(|_| format!("{FROM_CONTENT}(__iter.next().expect(\"length checked\"))?"))
+                .collect();
+            out.push_str(&format!(
+                "::core::result::Result::Ok({ctor}({})) }}",
+                args.join(", ")
+            ));
+            out
+        }
+        Fields::Named(fields) => {
+            let mut out = format!(
+                "{{ let mut __map = \
+                 ::serde::__private::into_map::<__D::Error>({content_var}, {what:?})?; "
+            );
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::take_field(&mut __map, {f:?})?"))
+                .collect();
+            out.push_str(&format!(
+                "::core::result::Result::Ok({ctor} {{ {} }}) }}",
+                inits.join(", ")
+            ));
+            out
+        }
+    }
+}
+
+fn expand_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}(\
+                     ::serde::Deserialize::deserialize(__deserializer)?))"
+                ),
+                other => {
+                    let inner = fields_from_content(name, other, "__content", name);
+                    format!("let __content = __deserializer.deserialize_content()?; {inner}")
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let what = format!("{name}::{vname}");
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                         {FROM_CONTENT}(__value)?)),\n"
+                    )),
+                    other => {
+                        let inner = fields_from_content(
+                            &format!("{name}::{vname}"),
+                            other,
+                            "__value",
+                            &what,
+                        );
+                        payload_arms.push_str(&format!("{vname:?} => {inner},\n"));
+                    }
+                }
+            }
+            let custom = de_custom("__D");
+            let body = format!(
+                "let __content = __deserializer.deserialize_content()?;\n\
+                 match __content {{\n\
+                   {CONTENT}::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::core::result::Result::Err({custom}(::std::format!(\
+                       \"unknown unit variant `{{}}` of {name}\", __other))),\n\
+                   }},\n\
+                   {CONTENT}::Map(mut __m) if __m.len() == 1 => {{\n\
+                     let (__key, __value) = __m.pop().expect(\"length checked\");\n\
+                     match __key.as_str() {{\n\
+                       {payload_arms}\
+                       __other => ::core::result::Result::Err({custom}(::std::format!(\
+                         \"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }}\n\
+                   }},\n\
+                   __other => ::core::result::Result::Err({custom}(::std::format!(\
+                     \"expected enum {name}, found {{}}\", __other.kind()))),\n\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Derives `serde::Serialize` for non-generic structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => expand_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde derive emitted bad tokens: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` for non-generic structs and enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => expand_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde derive emitted bad tokens: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}

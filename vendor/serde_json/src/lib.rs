@@ -1,0 +1,592 @@
+//! Vendored JSON serialization for the hermetic build.
+//!
+//! Drives the vendored serde's content tree: serialization renders
+//! [`serde::__private::Content`] as JSON text, deserialization parses JSON
+//! text into a content tree and replays it. Supports the subset of JSON
+//! this workspace produces: objects, arrays, strings (with full escape
+//! handling incl. `\uXXXX` surrogate pairs), integers, floats, booleans,
+//! and `null`. Rust's shortest-round-trip float formatting stands in for
+//! the `float_roundtrip` feature of the real crate.
+
+use serde::__private::{from_content, to_content, Content};
+use serde::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt::{self, Display, Write as _};
+
+/// Error produced by JSON serialization or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's Display uses shortest round-trip formatting; integral
+        // values print without a fraction, which parses back as an
+        // integer content node that float deserialization accepts.
+        let _ = write!(out, "{v}");
+    } else {
+        // Match serde_json's Value behavior: non-finite floats become null.
+        out.push_str("null");
+    }
+}
+
+fn write_compact(out: &mut String, content: &Content) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                write_compact(out, value);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, content: &Content, indent: usize) {
+    const STEP: &str = "  ";
+    match content {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=indent {
+                    out.push_str(STEP);
+                }
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str(STEP);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=indent {
+                    out.push_str(STEP);
+                }
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_pretty(out, value, indent + 1);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str(STEP);
+            }
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = to_content(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write_compact(&mut out, &content);
+    Ok(out)
+}
+
+/// Serializes a value to a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = to_content(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write_pretty(&mut out, &content, 0);
+    Ok(out)
+}
+
+/// Serializes a value as compact JSON into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error(format!("io error: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Display) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Content) -> Result<Content> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("invalid literal, expected `{literal}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: a low surrogate must follow.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let second = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| self.err("invalid unicode escape"))?;
+        let value =
+            u32::from_str_radix(text, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Content> {
+        if depth > 128 {
+            return Err(self.err("recursion depth exceeded"));
+        }
+        self.skip_whitespace();
+        match self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?
+        {
+            b'n' => self.parse_literal("null", Content::Null),
+            b't' => self.parse_literal("true", Content::Bool(true)),
+            b'f' => self.parse_literal("false", Content::Bool(false)),
+            b'"' => self.parse_string().map(Content::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.parse_string()?;
+                    self.skip_whitespace();
+                    self.expect(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    entries.push((key, value));
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(self.err(format!("unexpected byte `{}`", other as char))),
+        }
+    }
+}
+
+fn parse_document(input: &str) -> Result<Content> {
+    let mut parser = Parser::new(input);
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<'de, T: Deserialize<'de>>(input: &str) -> Result<T> {
+    from_content(parse_document(input)?)
+}
+
+// ---------------------------------------------------------------------------
+// Value: a dynamically-typed JSON document (subset of the real crate's).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document with accessors, for tests and generic tooling.
+#[derive(Debug, Clone, PartialEq)]
+#[repr(transparent)]
+pub struct Value(Content);
+
+impl Value {
+    /// Looks up an object field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match &self.0 {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| Self::from_content_ref(v)),
+            _ => None,
+        }
+    }
+
+    fn from_content_ref(content: &Content) -> &Value {
+        // SAFETY: `Value` is `#[repr(transparent)]` over `Content`.
+        unsafe { &*(content as *const Content as *const Value) }
+    }
+
+    /// Returns the string payload, if this is a JSON string.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.0 {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is any JSON number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            Content::F64(v) => Some(v),
+            Content::I64(v) => Some(v as f64),
+            Content::U64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a JSON bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.0 {
+            Content::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements, if this is a JSON array.
+    pub fn as_array(&self) -> Option<Vec<&Value>> {
+        match &self.0 {
+            Content::Seq(items) => Some(items.iter().map(Self::from_content_ref).collect()),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self.0, Content::Null)
+    }
+
+    /// Returns object keys in document order, if this is a JSON object.
+    pub fn keys(&self) -> Option<Vec<&str>> {
+        match &self.0 {
+            Content::Map(entries) => Some(entries.iter().map(|(k, _)| k.as_str()).collect()),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.0.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        Ok(Value(deserializer.deserialize_content()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1,2.5],[3,4.5]]");
+        let back: Vec<(usize, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn escapes_and_unescapes_strings() {
+        let s = "line\n\"quoted\"\tok \\ end \u{1F600}".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        let back: String = from_str(r#""A😀""#).unwrap();
+        assert_eq!(back, "A\u{1F600}");
+    }
+
+    #[test]
+    fn numbers_keep_precision() {
+        let json = to_string(&0.1f64).unwrap();
+        let back: f64 = from_str(&json).unwrap();
+        assert_eq!(back, 0.1);
+
+        let back: i64 = from_str("-42").unwrap();
+        assert_eq!(back, -42);
+
+        let back: u64 = from_str("18446744073709551615").unwrap();
+        assert_eq!(back, u64::MAX);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v: Value = from_str(r#"{"a": [1, 2.5], "b": "hi", "c": null}"#).unwrap();
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("hi"));
+        assert!(v.get("c").is_some_and(Value::is_null));
+        let arr = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(v.keys().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses() {
+        let v = vec![vec![1u32, 2], vec![3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<Vec<u32>> = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<f64>("1.2.3").is_err());
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
