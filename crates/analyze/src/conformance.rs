@@ -1,0 +1,311 @@
+//! Pass 4 — search-space conformance.
+//!
+//! Verifies that a (random) network actually lies inside the mobile
+//! search space it was supposedly drawn from. The paper's experiments
+//! depend on the 100 random networks staying inside the mobile regime; a
+//! generator bug that silently leaks an out-of-space network would skew
+//! the training distribution without failing any structural check.
+//!
+//! The check works against [`SpaceBounds`], a closed-form worst case
+//! derived from a [`SearchSpace`]: the generator composes blocks (stem,
+//! separable convolutions, inverted bottlenecks with squeeze-and-excite,
+//! pooling, classifier head), so the bounds account for the channels and
+//! kernels those *blocks* can emit, not just the raw knob lists.
+
+use gdcm_dnn::{Activation, Network, Op, Padding};
+use gdcm_gen::SearchSpace;
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// Worst-case structural bounds derivable from a search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceBounds {
+    /// Legal input resolutions (square).
+    pub resolutions: Vec<usize>,
+    /// Required input channel count.
+    pub input_channels: usize,
+    /// Kernel sizes a convolution may use: the space's kernels plus the
+    /// fixed 3×3 stem and 1×1 pointwise/projection convolutions.
+    pub conv_kernels: Vec<usize>,
+    /// Kernel sizes a depthwise convolution may use.
+    pub depthwise_kernels: Vec<usize>,
+    /// Largest pooling window (the generator clamps pooling kernels to
+    /// the feature map, so any size up to the space maximum can occur).
+    pub max_pool_kernel: usize,
+    /// Largest stride any operator may use.
+    pub max_stride: usize,
+    /// Worst-case channel count any activation may reach (maximum stage
+    /// width after growth, times the maximum expansion ratio).
+    pub max_channels: usize,
+    /// Activations a network may contain: the space's choices plus the
+    /// ReLU / hard-sigmoid pair fixed inside squeeze-and-excite gates.
+    pub activations: Vec<Activation>,
+    /// Classifier width.
+    pub classes: usize,
+    /// Optional total-MAC budget (the suite re-draws above it).
+    pub mac_budget: Option<u64>,
+}
+
+impl SpaceBounds {
+    /// Derives the worst-case bounds from a search space.
+    pub fn from_space(space: &SearchSpace) -> Self {
+        let max_of = |list: &[usize]| list.iter().copied().max().unwrap_or(1);
+
+        // Widest possible trunk: start from the widest base, apply the
+        // strongest growth at every stage past the first, mirroring the
+        // generator's width schedule (growth, floor of +4, round up to a
+        // multiple of 8).
+        let mut width = max_of(&space.base_widths);
+        let growth = max_of(&space.width_growth_pct);
+        for _ in 1..space.stages.1 {
+            width = (width * growth / 100).max(width + 4);
+            width = width.div_ceil(8) * 8;
+        }
+        let expanded = width * max_of(&space.expansions);
+        let max_channels = expanded
+            .max(max_of(&space.stem_channels))
+            .max(space.classes);
+
+        let mut conv_kernels = space.kernels.clone();
+        for fixed in [1, 3] {
+            if !conv_kernels.contains(&fixed) {
+                conv_kernels.push(fixed);
+            }
+        }
+
+        let mut activations = space.activations.clone();
+        for fixed in [Activation::Relu, Activation::HSigmoid] {
+            if !activations.contains(&fixed) {
+                activations.push(fixed);
+            }
+        }
+
+        Self {
+            resolutions: space.input_resolutions.clone(),
+            input_channels: space.input_channels,
+            conv_kernels,
+            depthwise_kernels: space.kernels.clone(),
+            max_pool_kernel: max_of(&space.kernels),
+            max_stride: 2,
+            max_channels,
+            activations,
+            classes: space.classes,
+            mac_budget: None,
+        }
+    }
+
+    /// Same bounds with a total-MAC budget attached (the benchmark-suite
+    /// regime).
+    pub fn with_mac_budget(mut self, budget: u64) -> Self {
+        self.mac_budget = Some(budget);
+        self
+    }
+}
+
+/// Runs the conformance pass, appending findings to `out`.
+///
+/// Assumes the well-formedness pass reported no errors.
+pub fn check(network: &Network, bounds: &SpaceBounds, out: &mut Vec<Diagnostic>) {
+    let name = network.name();
+
+    for node in network.nodes() {
+        match &node.op {
+            Op::Input { shape } => {
+                let square = shape.h == shape.w;
+                if !square
+                    || !bounds.resolutions.contains(&shape.h)
+                    || shape.c != bounds.input_channels
+                {
+                    out.push(Diagnostic::at_node(
+                        DiagCode::ResolutionOutOfSpace,
+                        name,
+                        node.id,
+                        format!(
+                            "input {shape} not a square {:?}x{} image",
+                            bounds.resolutions, bounds.input_channels
+                        ),
+                    ));
+                }
+            }
+            Op::Conv2d(p) => {
+                if !bounds.conv_kernels.contains(&p.kernel) {
+                    out.push(Diagnostic::at_node(
+                        DiagCode::KernelOutOfSpace,
+                        name,
+                        node.id,
+                        format!("conv kernel {} not in {:?}", p.kernel, bounds.conv_kernels),
+                    ));
+                }
+                check_stride(p.stride, bounds, name, node.id, out);
+                check_channels(p.out_channels, bounds, name, node.id, out);
+                if p.groups != 1 || p.padding != Padding::Same {
+                    out.push(Diagnostic::at_node(
+                        DiagCode::OpOutOfSpace,
+                        name,
+                        node.id,
+                        format!(
+                            "space emits only dense SAME-padded convolutions \
+                             (groups {}, padding {:?})",
+                            p.groups, p.padding
+                        ),
+                    ));
+                }
+            }
+            Op::DepthwiseConv2d(p) => {
+                if !bounds.depthwise_kernels.contains(&p.kernel) {
+                    out.push(Diagnostic::at_node(
+                        DiagCode::KernelOutOfSpace,
+                        name,
+                        node.id,
+                        format!(
+                            "depthwise kernel {} not in {:?}",
+                            p.kernel, bounds.depthwise_kernels
+                        ),
+                    ));
+                }
+                check_stride(p.stride, bounds, name, node.id, out);
+                check_channels(node.output_shape.c, bounds, name, node.id, out);
+                if p.multiplier != 1 || p.padding != Padding::Same {
+                    out.push(Diagnostic::at_node(
+                        DiagCode::OpOutOfSpace,
+                        name,
+                        node.id,
+                        format!(
+                            "space emits only multiplier-1 SAME-padded depthwise \
+                             convolutions (multiplier {}, padding {:?})",
+                            p.multiplier, p.padding
+                        ),
+                    ));
+                }
+            }
+            Op::FullyConnected { out_features, .. } => {
+                // Classifier head, or the reduce/expand pair of an SE gate.
+                check_channels(*out_features, bounds, name, node.id, out);
+            }
+            Op::Activation(a) => {
+                if !bounds.activations.contains(a) {
+                    out.push(Diagnostic::at_node(
+                        DiagCode::ActivationOutOfSpace,
+                        name,
+                        node.id,
+                        format!("{a:?} not in {:?}", bounds.activations),
+                    ));
+                }
+            }
+            Op::MaxPool2d(p) | Op::AvgPool2d(p) => {
+                if p.kernel > bounds.max_pool_kernel {
+                    out.push(Diagnostic::at_node(
+                        DiagCode::KernelOutOfSpace,
+                        name,
+                        node.id,
+                        format!(
+                            "pool kernel {} above space maximum {}",
+                            p.kernel, bounds.max_pool_kernel
+                        ),
+                    ));
+                }
+                check_stride(p.stride, bounds, name, node.id, out);
+                if p.padding != Padding::Valid {
+                    out.push(Diagnostic::at_node(
+                        DiagCode::OpOutOfSpace,
+                        name,
+                        node.id,
+                        format!(
+                            "space emits only VALID-padded pooling (padding {:?})",
+                            p.padding
+                        ),
+                    ));
+                }
+            }
+            Op::GlobalAvgPool | Op::Add | Op::Multiply => {}
+            Op::Concat => out.push(Diagnostic::at_node(
+                DiagCode::OpOutOfSpace,
+                name,
+                node.id,
+                "the mobile search space never emits concat",
+            )),
+        }
+    }
+
+    if let Some(budget) = bounds.mac_budget {
+        let macs = network.cost().total_macs;
+        if macs > budget {
+            out.push(Diagnostic::network_level(
+                DiagCode::MacBudgetExceeded,
+                name,
+                format!("{macs} MACs above the {budget} budget"),
+            ));
+        }
+    }
+}
+
+fn check_stride(
+    stride: usize,
+    bounds: &SpaceBounds,
+    name: &str,
+    node: gdcm_dnn::NodeId,
+    out: &mut Vec<Diagnostic>,
+) {
+    if stride == 0 || stride > bounds.max_stride {
+        out.push(Diagnostic::at_node(
+            DiagCode::StrideOutOfSpace,
+            name,
+            node,
+            format!("stride {stride} outside 1..={}", bounds.max_stride),
+        ));
+    }
+}
+
+fn check_channels(
+    channels: usize,
+    bounds: &SpaceBounds,
+    name: &str,
+    node: gdcm_dnn::NodeId,
+    out: &mut Vec<Diagnostic>,
+) {
+    if channels > bounds.max_channels {
+        out.push(Diagnostic::at_node(
+            DiagCode::ChannelOutOfSpace,
+            name,
+            node,
+            format!(
+                "{channels} channels above the space's worst case {}",
+                bounds.max_channels
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdcm_gen::RandomNetworkGenerator;
+
+    #[test]
+    fn bounds_admit_every_generator_output() {
+        for (space, seeds) in [
+            (SearchSpace::mobile(), 0..40u64),
+            (SearchSpace::tiny(), 100..140u64),
+        ] {
+            let bounds = SpaceBounds::from_space(&space);
+            for seed in seeds {
+                let mut g = RandomNetworkGenerator::new(space.clone(), seed);
+                let net = g.generate(format!("s{seed}")).expect("valid sample");
+                let mut out = Vec::new();
+                check(&net, &bounds, &mut out);
+                assert!(out.is_empty(), "seed {seed}: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zoo_network_violates_mobile_bounds() {
+        // EfficientNet-B0's 1280-wide head and SE/Swish internals sit
+        // outside the paper's random-search space — the pass must notice.
+        let bounds = SpaceBounds::from_space(&SearchSpace::mobile());
+        let net = gdcm_gen::zoo::efficientnet_b0().expect("zoo net builds");
+        let mut out = Vec::new();
+        check(&net, &bounds, &mut out);
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! Pass 3 — cost-accounting audit.
+//!
+//! Recomputes per-node MACs, FLOPs, parameters, and byte traffic from the
+//! textbook formulas and compares against a *claimed* [`NetworkCost`]
+//! (normally the one `gdcm_dnn::Network::cost` produced). The formulas
+//! here are derived from the operator definitions — dot-product length ×
+//! output positions for convolutions, fan-in × fan-out for dense layers —
+//! not transcribed from `crates/dnn/src/cost.rs`; the entire value of the
+//! audit is that the two derivations can disagree.
+//!
+//! Conventions audited (and shared with the paper's protocol): int8
+//! weights and activations (1 byte/element), int32 biases (4
+//! bytes/element), one MAC counted as two FLOPs.
+
+use gdcm_dnn::{Activation, Network, NetworkCost, Op, TensorShape};
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// Independently recomputed cost of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditedCost {
+    /// Multiply-accumulates.
+    pub macs: u64,
+    /// Floating-point-equivalent operations.
+    pub flops: u64,
+    /// Trainable parameters.
+    pub params: u64,
+    /// Total bytes moved: weights + biases + input and output activations.
+    pub bytes: u64,
+}
+
+/// Arithmetic work per element of each activation, re-derived from the
+/// operator definitions (clamp = 1; hard sigmoid = clamp+add+shift;
+/// hard swish = hard sigmoid + multiply; sigmoid ≈ 4 LUT-ish ops;
+/// swish = sigmoid + multiply).
+fn activation_ops(a: Activation) -> u64 {
+    match a {
+        Activation::Relu | Activation::Relu6 => 1,
+        Activation::HSigmoid => 3,
+        Activation::HSwish | Activation::Sigmoid => 4,
+        Activation::Swish => 5,
+    }
+}
+
+/// Recomputes the cost of one node from first principles.
+pub fn recompute(op: &Op, inputs: &[TensorShape], output: TensorShape) -> AuditedCost {
+    let act_in: u64 = inputs.iter().map(|s| s.elements() as u64).sum();
+    let act_out = output.elements() as u64;
+    let positions = (output.h * output.w) as u64; // output pixels
+
+    match op {
+        Op::Input { .. } => AuditedCost::default(),
+        Op::Conv2d(p) => {
+            let k = p.kernel as u64;
+            let fan_in_per_group = (inputs[0].c / p.groups) as u64 * k * k;
+            let macs = positions * output.c as u64 * fan_in_per_group;
+            let weights = output.c as u64 * fan_in_per_group;
+            let biases = if p.bias { output.c as u64 } else { 0 };
+            AuditedCost {
+                macs,
+                flops: 2 * macs + biases * positions,
+                params: weights + biases,
+                bytes: weights + 4 * biases + act_in + act_out,
+            }
+        }
+        Op::DepthwiseConv2d(p) => {
+            let k = p.kernel as u64;
+            // One k×k filter per output channel; output channels already
+            // include the multiplier.
+            let macs = positions * output.c as u64 * k * k;
+            let weights = output.c as u64 * k * k;
+            let biases = if p.bias { output.c as u64 } else { 0 };
+            AuditedCost {
+                macs,
+                flops: 2 * macs + biases * positions,
+                params: weights + biases,
+                bytes: weights + 4 * biases + act_in + act_out,
+            }
+        }
+        Op::FullyConnected { out_features, bias } => {
+            let fan_in = inputs[0].elements() as u64;
+            let fan_out = *out_features as u64;
+            let macs = fan_in * fan_out;
+            let biases = if *bias { fan_out } else { 0 };
+            AuditedCost {
+                macs,
+                flops: 2 * macs + biases,
+                params: macs + biases,
+                bytes: macs + 4 * biases + act_in + act_out,
+            }
+        }
+        Op::Activation(a) => AuditedCost {
+            macs: 0,
+            flops: act_out * activation_ops(*a),
+            params: 0,
+            bytes: act_in + act_out,
+        },
+        Op::MaxPool2d(p) | Op::AvgPool2d(p) => AuditedCost {
+            macs: 0,
+            flops: act_out * (p.kernel * p.kernel) as u64,
+            params: 0,
+            bytes: act_in + act_out,
+        },
+        Op::GlobalAvgPool => AuditedCost {
+            macs: 0,
+            // One add per input element plus one divide per channel.
+            flops: act_in + output.c as u64,
+            params: 0,
+            bytes: act_in + act_out,
+        },
+        Op::Add | Op::Multiply => AuditedCost {
+            macs: 0,
+            flops: act_out,
+            params: 0,
+            bytes: act_in + act_out,
+        },
+        Op::Concat => AuditedCost {
+            macs: 0,
+            flops: 0,
+            params: 0,
+            bytes: act_in + act_out,
+        },
+    }
+}
+
+/// Audits a claimed [`NetworkCost`] against an independent recomputation,
+/// appending divergence findings to `out`.
+///
+/// Assumes the well-formedness pass reported no errors.
+pub fn check(network: &Network, claimed: &NetworkCost, out: &mut Vec<Diagnostic>) {
+    let name = network.name();
+    let nodes = network.nodes();
+
+    if claimed.per_node.len() != nodes.len() {
+        out.push(Diagnostic::network_level(
+            DiagCode::TotalsDivergence,
+            name,
+            format!(
+                "claimed cost covers {} nodes, graph has {}",
+                claimed.per_node.len(),
+                nodes.len()
+            ),
+        ));
+        return;
+    }
+
+    let mut sums = AuditedCost::default();
+    let mut claimed_peak = 0u64;
+    for (node, stored) in nodes.iter().zip(&claimed.per_node) {
+        let inputs = network.input_shapes(node);
+        let audited = recompute(&node.op, &inputs, node.output_shape);
+
+        if audited.macs != stored.macs {
+            out.push(Diagnostic::at_node(
+                DiagCode::MacDivergence,
+                name,
+                node.id,
+                format!("claimed {} MACs, audit says {}", stored.macs, audited.macs),
+            ));
+        }
+        if audited.flops != stored.flops {
+            out.push(Diagnostic::at_node(
+                DiagCode::FlopDivergence,
+                name,
+                node.id,
+                format!(
+                    "claimed {} FLOPs, audit says {}",
+                    stored.flops, audited.flops
+                ),
+            ));
+        }
+        if audited.params != stored.params {
+            out.push(Diagnostic::at_node(
+                DiagCode::ParamDivergence,
+                name,
+                node.id,
+                format!(
+                    "claimed {} params, audit says {}",
+                    stored.params, audited.params
+                ),
+            ));
+        }
+        if audited.bytes != stored.total_bytes() {
+            out.push(Diagnostic::at_node(
+                DiagCode::ByteDivergence,
+                name,
+                node.id,
+                format!(
+                    "claimed {} bytes, audit says {}",
+                    stored.total_bytes(),
+                    audited.bytes
+                ),
+            ));
+        }
+
+        sums.macs += stored.macs;
+        sums.flops += stored.flops;
+        sums.params += stored.params;
+        sums.bytes += stored.total_bytes();
+        claimed_peak = claimed_peak.max(stored.output_bytes);
+    }
+
+    // The aggregate must be exactly the fold of the per-node entries.
+    let totals = [
+        ("MACs", claimed.total_macs, sums.macs),
+        ("FLOPs", claimed.total_flops, sums.flops),
+        ("params", claimed.total_params, sums.params),
+        ("bytes", claimed.total_bytes, sums.bytes),
+        ("peak bytes", claimed.peak_activation_bytes, claimed_peak),
+    ];
+    for (what, total, folded) in totals {
+        if total != folded {
+            out.push(Diagnostic::network_level(
+                DiagCode::TotalsDivergence,
+                name,
+                format!("total {what} = {total} but per-node entries fold to {folded}"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdcm_dnn::{Conv2dParams, NetworkBuilder};
+
+    #[test]
+    fn conv_recompute_matches_hand_arithmetic() {
+        let op = Op::Conv2d(Conv2dParams::dense(32, 3, 2));
+        let c = recompute(
+            &op,
+            &[TensorShape::new(224, 224, 3)],
+            TensorShape::new(112, 112, 32),
+        );
+        assert_eq!(c.macs, 112 * 112 * 32 * 27);
+        assert_eq!(c.params, 32 * 27 + 32);
+    }
+
+    #[test]
+    fn audit_accepts_dnn_cost_accounting() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(TensorShape::new(64, 64, 3));
+        let y = b
+            .inverted_bottleneck(x, 6, 24, 5, 2, Activation::HSwish, true)
+            .expect("valid block");
+        let z = b.classifier(y, 10).expect("valid head");
+        let net = b.build(z).expect("valid network");
+        let mut out = Vec::new();
+        check(&net, &net.cost(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn audit_flags_tampered_totals() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(TensorShape::new(32, 32, 3));
+        let y = b.conv2d(x, 8, 3, 1).expect("valid conv");
+        let net = b.build(y).expect("valid network");
+        let mut cost = net.cost();
+        cost.total_macs += 1;
+        let mut out = Vec::new();
+        check(&net, &cost, &mut out);
+        assert!(out.iter().any(|d| d.code == DiagCode::TotalsDivergence));
+    }
+}

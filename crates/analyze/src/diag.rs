@@ -1,0 +1,462 @@
+//! The structured diagnostics model: stable codes, severities, node
+//! anchors, and pretty / JSON rendering.
+//!
+//! Every finding the analyzer can produce has a *stable* code of the form
+//! `GDCM0NN`. The leading digit of `NN` identifies the pass, so codes
+//! double as a map of the analyzer:
+//!
+//! | Range | Pass |
+//! |---|---|
+//! | `GDCM001`–`GDCM009` | graph well-formedness |
+//! | `GDCM010`–`GDCM019` | independent shape re-inference |
+//! | `GDCM020`–`GDCM029` | cost-accounting audit |
+//! | `GDCM030`–`GDCM039` | search-space conformance |
+//! | `GDCM040`–`GDCM049` | encoding invariants |
+//!
+//! Codes are append-only: a released code never changes meaning and is
+//! never reused, so CI logs and suppression lists stay valid across
+//! versions.
+
+use gdcm_dnn::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Suspicious but representable; the network is usable with care.
+    Warning,
+    /// The network would corrupt training data or crash a consumer.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. See the module docs for the numbering scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DiagCode {
+    // --- pass 1: graph well-formedness -------------------------------
+    /// An edge references the node itself or a later node — the only way
+    /// this topologically-ordered IR can encode a cycle.
+    NonTopologicalEdge,
+    /// An edge (or the output anchor) references a node id outside the
+    /// graph.
+    UnknownNodeRef,
+    /// A node is unreachable from the output — its cost and encoding
+    /// contributions are fiction.
+    DeadNode,
+    /// A node has the wrong number of inputs for its operator.
+    BadArity,
+    /// The graph has no input placeholder, or an input placeholder with
+    /// incoming edges.
+    MissingInput,
+    /// An operator's hyper-parameters are invalid in isolation.
+    InvalidParameters,
+    /// A node's stored id disagrees with its position in the node list.
+    MisnumberedNode,
+    // --- pass 2: shape re-inference ----------------------------------
+    /// The independently re-inferred output shape disagrees with the
+    /// shape stored on the node.
+    ShapeMismatch,
+    /// Independent shape re-inference failed outright (e.g. a kernel
+    /// larger than its padded input).
+    ShapeInferenceFailed,
+    // --- pass 3: cost-accounting audit -------------------------------
+    /// Recomputed MAC count diverges from the stored accounting.
+    MacDivergence,
+    /// Recomputed FLOP count diverges from the stored accounting.
+    FlopDivergence,
+    /// Recomputed parameter count diverges from the stored accounting.
+    ParamDivergence,
+    /// Recomputed byte traffic diverges from the stored accounting.
+    ByteDivergence,
+    /// Aggregate totals disagree with the sum of per-node costs.
+    TotalsDivergence,
+    // --- pass 4: search-space conformance ----------------------------
+    /// Input resolution or channel count outside the search space.
+    ResolutionOutOfSpace,
+    /// Kernel size outside the search space.
+    KernelOutOfSpace,
+    /// Stride outside the search space.
+    StrideOutOfSpace,
+    /// Channel count above the space's worst-case width.
+    ChannelOutOfSpace,
+    /// Operator configuration the space cannot produce (grouped
+    /// convolution, concat, non-default padding, …).
+    OpOutOfSpace,
+    /// Activation function outside the search space.
+    ActivationOutOfSpace,
+    /// Total MACs above the configured budget.
+    MacBudgetExceeded,
+    // --- pass 5: encoding invariants ---------------------------------
+    /// Encoded vector length disagrees with the encoder's declared width.
+    EncodingWidthMismatch,
+    /// Encoding the same network twice produced different vectors.
+    EncodingNondeterministic,
+    /// The encoding contains NaN or infinite features.
+    EncodingNonFinite,
+    /// The encoder failed to represent an operator the IR can express.
+    EncodingNotTotal,
+}
+
+impl DiagCode {
+    /// Every code, in numeric order — the source of truth for the
+    /// reference table in the README.
+    pub const ALL: [DiagCode; 25] = [
+        DiagCode::NonTopologicalEdge,
+        DiagCode::UnknownNodeRef,
+        DiagCode::DeadNode,
+        DiagCode::BadArity,
+        DiagCode::MissingInput,
+        DiagCode::InvalidParameters,
+        DiagCode::MisnumberedNode,
+        DiagCode::ShapeMismatch,
+        DiagCode::ShapeInferenceFailed,
+        DiagCode::MacDivergence,
+        DiagCode::FlopDivergence,
+        DiagCode::ParamDivergence,
+        DiagCode::ByteDivergence,
+        DiagCode::TotalsDivergence,
+        DiagCode::ResolutionOutOfSpace,
+        DiagCode::KernelOutOfSpace,
+        DiagCode::StrideOutOfSpace,
+        DiagCode::ChannelOutOfSpace,
+        DiagCode::OpOutOfSpace,
+        DiagCode::ActivationOutOfSpace,
+        DiagCode::MacBudgetExceeded,
+        DiagCode::EncodingWidthMismatch,
+        DiagCode::EncodingNondeterministic,
+        DiagCode::EncodingNonFinite,
+        DiagCode::EncodingNotTotal,
+    ];
+
+    /// The numeric part of the stable code.
+    pub fn number(self) -> u16 {
+        match self {
+            DiagCode::NonTopologicalEdge => 1,
+            DiagCode::UnknownNodeRef => 2,
+            DiagCode::DeadNode => 3,
+            DiagCode::BadArity => 4,
+            DiagCode::MissingInput => 5,
+            DiagCode::InvalidParameters => 6,
+            DiagCode::MisnumberedNode => 7,
+            DiagCode::ShapeMismatch => 10,
+            DiagCode::ShapeInferenceFailed => 11,
+            DiagCode::MacDivergence => 20,
+            DiagCode::FlopDivergence => 21,
+            DiagCode::ParamDivergence => 22,
+            DiagCode::ByteDivergence => 23,
+            DiagCode::TotalsDivergence => 24,
+            DiagCode::ResolutionOutOfSpace => 30,
+            DiagCode::KernelOutOfSpace => 31,
+            DiagCode::StrideOutOfSpace => 32,
+            DiagCode::ChannelOutOfSpace => 33,
+            DiagCode::OpOutOfSpace => 34,
+            DiagCode::ActivationOutOfSpace => 35,
+            DiagCode::MacBudgetExceeded => 36,
+            DiagCode::EncodingWidthMismatch => 40,
+            DiagCode::EncodingNondeterministic => 41,
+            DiagCode::EncodingNonFinite => 42,
+            DiagCode::EncodingNotTotal => 43,
+        }
+    }
+
+    /// The stable `GDCM0NN` identifier.
+    pub fn code(self) -> String {
+        format!("GDCM{:03}", self.number())
+    }
+
+    /// The analyzer pass that can emit this code.
+    pub fn pass(self) -> Pass {
+        match self.number() {
+            0..=9 => Pass::WellFormedness,
+            10..=19 => Pass::Shapes,
+            20..=29 => Pass::Costs,
+            30..=39 => Pass::Conformance,
+            _ => Pass::Encoding,
+        }
+    }
+
+    /// Default severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::MacBudgetExceeded => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line description for the reference table.
+    pub fn description(self) -> &'static str {
+        match self {
+            DiagCode::NonTopologicalEdge => {
+                "edge references the node itself or a later node (cycle)"
+            }
+            DiagCode::UnknownNodeRef => "edge or output anchor references a node outside the graph",
+            DiagCode::DeadNode => "node unreachable from the network output",
+            DiagCode::BadArity => "wrong number of inputs for the operator",
+            DiagCode::MissingInput => "no input placeholder, or input placeholder with inputs",
+            DiagCode::InvalidParameters => "operator hyper-parameters invalid in isolation",
+            DiagCode::MisnumberedNode => "node id disagrees with its position in the node list",
+            DiagCode::ShapeMismatch => "re-inferred output shape disagrees with the stored shape",
+            DiagCode::ShapeInferenceFailed => "independent shape re-inference failed",
+            DiagCode::MacDivergence => "recomputed MACs diverge from stored accounting",
+            DiagCode::FlopDivergence => "recomputed FLOPs diverge from stored accounting",
+            DiagCode::ParamDivergence => "recomputed parameters diverge from stored accounting",
+            DiagCode::ByteDivergence => "recomputed byte traffic diverges from stored accounting",
+            DiagCode::TotalsDivergence => "aggregate totals disagree with per-node sums",
+            DiagCode::ResolutionOutOfSpace => "input resolution/channels outside the search space",
+            DiagCode::KernelOutOfSpace => "kernel size outside the search space",
+            DiagCode::StrideOutOfSpace => "stride outside the search space",
+            DiagCode::ChannelOutOfSpace => "channel count above the space's worst-case width",
+            DiagCode::OpOutOfSpace => "operator configuration the space cannot produce",
+            DiagCode::ActivationOutOfSpace => "activation outside the search space",
+            DiagCode::MacBudgetExceeded => "total MACs above the configured budget",
+            DiagCode::EncodingWidthMismatch => "encoded vector length differs from declared width",
+            DiagCode::EncodingNondeterministic => "encoding the same network twice differed",
+            DiagCode::EncodingNonFinite => "encoding contains NaN or infinite features",
+            DiagCode::EncodingNotTotal => "encoder cannot represent an expressible operator",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GDCM{:03}", self.number())
+    }
+}
+
+/// The five analyzer passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pass {
+    /// Pass 1 — graph well-formedness.
+    WellFormedness,
+    /// Pass 2 — independent shape re-inference.
+    Shapes,
+    /// Pass 3 — cost-accounting audit.
+    Costs,
+    /// Pass 4 — search-space conformance.
+    Conformance,
+    /// Pass 5 — encoding invariants.
+    Encoding,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Pass::WellFormedness => "well-formedness",
+            Pass::Shapes => "shapes",
+            Pass::Costs => "costs",
+            Pass::Conformance => "conformance",
+            Pass::Encoding => "encoding",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One analyzer finding, anchored to a network and (usually) a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: DiagCode,
+    /// Severity (defaults to [`DiagCode::severity`]).
+    pub severity: Severity,
+    /// Name of the offending network.
+    pub network: String,
+    /// Offending node, when the finding anchors to one.
+    pub node: Option<usize>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a network-level diagnostic with the code's default
+    /// severity.
+    pub fn network_level(code: DiagCode, network: &str, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: code.severity(),
+            network: network.to_string(),
+            node: None,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a node-anchored diagnostic with the code's default
+    /// severity.
+    pub fn at_node(
+        code: DiagCode,
+        network: &str,
+        node: NodeId,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            node: Some(node.index()),
+            ..Self::network_level(code, network, message)
+        }
+    }
+
+    /// The stable `GDCM0NN` identifier of this diagnostic.
+    pub fn stable_code(&self) -> String {
+        self.code.code()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}", self.severity, self.code, self.network)?;
+        if let Some(n) = self.node {
+            write!(f, " @ n{n}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// All diagnostics for one analyzed network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Name of the analyzed network.
+    pub network: String,
+    /// Findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report for a network.
+    pub fn new(network: impl Into<String>) -> Self {
+        Self {
+            network: network.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Whether no diagnostics were produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Whether a specific code was emitted.
+    pub fn has(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Emits every finding as a structured `gdcm-obs` event and bumps the
+    /// `analyze/diagnostics` counter, so analyzer output lands in the
+    /// same sinks as the rest of the pipeline.
+    pub fn emit(&self) {
+        for d in &self.diagnostics {
+            gdcm_obs::event(
+                "diag",
+                &d.stable_code(),
+                &[
+                    (
+                        "severity",
+                        gdcm_obs::FieldValue::from(d.severity.to_string()),
+                    ),
+                    ("network", gdcm_obs::FieldValue::from(d.network.clone())),
+                    (
+                        "node",
+                        gdcm_obs::FieldValue::from(d.node.unwrap_or(usize::MAX)),
+                    ),
+                    ("message", gdcm_obs::FieldValue::from(d.message.clone())),
+                ],
+            );
+        }
+        gdcm_obs::counter("analyze/diagnostics").add(self.diagnostics.len() as u64);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            writeln!(f, "{}: clean", self.network)
+        } else {
+            for d in &self.diagnostics {
+                writeln!(f, "{d}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_sorted_and_stable() {
+        let numbers: Vec<u16> = DiagCode::ALL.iter().map(|c| c.number()).collect();
+        let mut sorted = numbers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(numbers, sorted, "codes must be unique and in order");
+        assert_eq!(DiagCode::NonTopologicalEdge.code(), "GDCM001");
+        assert_eq!(DiagCode::ShapeMismatch.code(), "GDCM010");
+        assert_eq!(DiagCode::EncodingNotTotal.code(), "GDCM043");
+    }
+
+    #[test]
+    fn code_ranges_map_to_passes() {
+        for code in DiagCode::ALL {
+            let expected = match code.number() {
+                0..=9 => Pass::WellFormedness,
+                10..=19 => Pass::Shapes,
+                20..=29 => Pass::Costs,
+                30..=39 => Pass::Conformance,
+                _ => Pass::Encoding,
+            };
+            assert_eq!(code.pass(), expected, "{code}");
+        }
+    }
+
+    #[test]
+    fn diagnostic_renders_pretty_and_json() {
+        let d = Diagnostic::at_node(
+            DiagCode::ShapeMismatch,
+            "rand_007",
+            NodeId::from_index(17),
+            "stored 14x14x96, re-inferred 7x7x96",
+        );
+        let pretty = d.to_string();
+        assert!(pretty.contains("error[GDCM010] rand_007 @ n17"), "{pretty}");
+        let json = serde_json::to_string(&d).expect("diagnostics serialize");
+        assert!(json.contains("\"ShapeMismatch\""), "{json}");
+        let back: Diagnostic = serde_json::from_str(&json).expect("diagnostics deserialize");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn report_counts_and_lookup() {
+        let mut r = Report::new("x");
+        assert!(r.is_clean());
+        r.diagnostics.push(Diagnostic::network_level(
+            DiagCode::MacBudgetExceeded,
+            "x",
+            "1.2 GMACs",
+        ));
+        r.diagnostics.push(Diagnostic::network_level(
+            DiagCode::DeadNode,
+            "x",
+            "n3 unreachable",
+        ));
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1); // budget is a warning
+        assert!(r.has(DiagCode::DeadNode));
+        assert!(!r.has(DiagCode::BadArity));
+    }
+}

@@ -1,0 +1,276 @@
+//! Pass 5 — encoding invariants.
+//!
+//! The layer-wise encoder in `gdcm-core` is the bridge between the graph
+//! IR and every learned model: if it silently drops an operator, pads to
+//! the wrong width, or produces NaNs, the cost models train on garbage
+//! with no error anywhere. This pass checks, per network, that encoding
+//! is **fixed-width** (the vector length equals the encoder's declared
+//! length, in fused, node-level, and summary configurations),
+//! **deterministic** (encoding twice is bitwise identical), and
+//! **finite** (no NaN/inf features); and, once per run, that the encoding
+//! is **total** over [`Op`](gdcm_dnn::Op) — a probe network containing
+//! every operator kind and every activation must leave a trace of each in
+//! the feature vector.
+
+use gdcm_core::{EncoderConfig, NetworkEncoder};
+use gdcm_dnn::{Activation, Network, NetworkBuilder, TensorShape};
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// The encoder configurations every network must encode cleanly under.
+fn configs() -> [(&'static str, EncoderConfig); 3] {
+    let base = EncoderConfig::default();
+    [
+        ("fused", base),
+        (
+            "node-level",
+            EncoderConfig {
+                fused: false,
+                ..base
+            },
+        ),
+        (
+            "fused+summary",
+            EncoderConfig {
+                include_summary: true,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Runs the per-network encoding checks, appending findings to `out`.
+///
+/// Assumes the well-formedness pass reported no errors (the encoder walks
+/// edges and would misbehave on a malformed graph).
+pub fn check(network: &Network, out: &mut Vec<Diagnostic>) {
+    let name = network.name();
+    for (label, config) in configs() {
+        let enc = NetworkEncoder::fit([network], config);
+        let first = enc.encode(network);
+        let second = enc.encode(network);
+        check_vectors(label, enc.len(), &first, &second, name, out);
+    }
+}
+
+/// Judges one pair of encodings of the same network against the
+/// fixed-width / deterministic / finite invariants.
+///
+/// `check` drives this over the real encoder; negative tests drive it
+/// directly with corrupted vectors, since the real encoder (correctly)
+/// refuses to produce them.
+pub fn check_vectors(
+    label: &str,
+    declared_len: usize,
+    first: &[f32],
+    second: &[f32],
+    network: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    if first.len() != declared_len {
+        out.push(Diagnostic::network_level(
+            DiagCode::EncodingWidthMismatch,
+            network,
+            format!(
+                "{label}: encoder declares {declared_len} features, produced {}",
+                first.len()
+            ),
+        ));
+    }
+
+    // Bitwise comparison: a NaN that "equals" itself must not hide
+    // nondeterminism, and −0.0 vs 0.0 flips matter to tree models.
+    let identical = first.len() == second.len()
+        && first
+            .iter()
+            .zip(second)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !identical {
+        out.push(Diagnostic::network_level(
+            DiagCode::EncodingNondeterministic,
+            network,
+            format!("{label}: two encodings of the same network differ"),
+        ));
+    }
+
+    if let Some(i) = first.iter().position(|x| !x.is_finite()) {
+        out.push(Diagnostic::network_level(
+            DiagCode::EncodingNonFinite,
+            network,
+            format!("{label}: feature {i} is {}", first[i]),
+        ));
+    }
+}
+
+/// Builds a probe network containing every operator kind the IR can
+/// express and every activation function.
+///
+/// # Panics
+///
+/// Panics if the IR itself rejects the probe — that would be a bug in
+/// this module, not in the code under analysis.
+pub fn op_totality_probe() -> Network {
+    let mut b = NetworkBuilder::new("op-totality-probe");
+    let x = b.input(TensorShape::new(32, 32, 8));
+    let c = b.conv2d(x, 16, 3, 1).expect("probe conv");
+    let c = b.activation(c, Activation::Relu6).expect("probe act");
+    let d = b.depthwise(c, 3, 1).expect("probe depthwise");
+    let d = b.activation(d, Activation::HSwish).expect("probe act");
+    let p = b.conv2d(d, 16, 1, 1).expect("probe pointwise");
+    let r = b.add(p, c).expect("probe residual");
+    let s = b.squeeze_excite(r, 4).expect("probe SE gate");
+    let m = b.max_pool(s, 2, 2).expect("probe max pool");
+    let a = b.avg_pool(s, 2, 2).expect("probe avg pool");
+    let cat = b.concat(&[m, a]).expect("probe concat");
+    let mut g = b.global_avg_pool(cat).expect("probe global pool");
+    for act in Activation::ALL {
+        g = b.activation(g, act).expect("probe activation chain");
+    }
+    let head = b.fully_connected(g, 10).expect("probe head");
+    b.build(head).expect("probe network is valid")
+}
+
+/// Checks that the fused encoding represents every operator kind in the
+/// probe network, appending [`DiagCode::EncodingNotTotal`] findings for
+/// any kind that leaves no trace.
+///
+/// Parametric kinds must fire their one-hot slot; activations, residual
+/// adds, and squeeze-and-excite multiplies are fused into feature slots
+/// and must show up there; the input placeholder and concat have no slot
+/// of their own but must be visible through the shape features of the
+/// layers around them.
+pub fn check_totality(out: &mut Vec<Diagnostic>) {
+    let probe = op_totality_probe();
+    let enc = NetworkEncoder::fit([&probe], EncoderConfig::default());
+    let values = enc.encode(&probe);
+    let names = enc.feature_names();
+    check_probe_traces(&names, &values, probe.name(), out);
+}
+
+/// Judges a named feature vector of the totality probe: every operator
+/// kind the probe contains must leave a trace.
+///
+/// Split out from [`check_totality`] so negative tests can feed a
+/// corrupted vector (e.g. a zeroed one-hot) and watch
+/// [`DiagCode::EncodingNotTotal`] fire.
+pub fn check_probe_traces(
+    names: &[String],
+    values: &[f32],
+    network: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    if values.len() != names.len() {
+        out.push(Diagnostic::network_level(
+            DiagCode::EncodingWidthMismatch,
+            network,
+            format!(
+                "feature names ({}) and features ({}) disagree",
+                names.len(),
+                values.len()
+            ),
+        ));
+        return;
+    }
+    let feature = |suffix: &str, pred: fn(f32) -> bool| {
+        names
+            .iter()
+            .zip(values)
+            .any(|(n, &v)| n.ends_with(suffix) && pred(v))
+    };
+
+    // One-hot slots for the six parametric kinds.
+    for kind in [
+        "Conv2d",
+        "DepthwiseConv2d",
+        "FullyConnected",
+        "MaxPool2d",
+        "AvgPool2d",
+        "GlobalAvgPool",
+    ] {
+        if !feature(&format!("_is_{kind}"), |v| v == 1.0) {
+            out.push(Diagnostic::network_level(
+                DiagCode::EncodingNotTotal,
+                network,
+                format!("probe contains a {kind} node but no {kind} one-hot fired"),
+            ));
+        }
+    }
+
+    // Fused traces of the non-parametric kinds.
+    type Trace = (&'static str, fn(f32) -> bool, &'static str);
+    let traces: [Trace; 3] = [
+        ("_activation", |v| v > 0.0, "Activation"),
+        ("_residual", |v| v == 1.0, "Add"),
+        ("_se", |v| v == 1.0, "Multiply"),
+    ];
+    for (suffix, pred, kind) in traces {
+        if !feature(suffix, pred) {
+            out.push(Diagnostic::network_level(
+                DiagCode::EncodingNotTotal,
+                network,
+                format!("probe contains an {kind} node but no fused {suffix} feature fired"),
+            ));
+        }
+    }
+
+    // Input: the first layer's input shape features must carry the
+    // placeholder's resolution and channels (32x32x8 → 32/224, 8/1000).
+    if !feature("l0_in_h", |v| v > 0.0) || !feature("l0_in_c", |v| v > 0.0) {
+        out.push(Diagnostic::network_level(
+            DiagCode::EncodingNotTotal,
+            network,
+            "probe input shape left no trace in the first layer's features",
+        ));
+    }
+
+    // Concat: the global pool downstream of the concat must see the
+    // *summed* branch channels (16 + 16 = 32 → 0.032), not one branch.
+    if !feature("_in_c", |v| (v - 0.032).abs() < 1e-6) {
+        out.push(Diagnostic::network_level(
+            DiagCode::EncodingNotTotal,
+            network,
+            "probe concat's summed channels left no trace downstream",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdcm_dnn::OpKind;
+
+    #[test]
+    fn probe_contains_every_op_kind_and_activation() {
+        let probe = op_totality_probe();
+        for kind in OpKind::ALL {
+            assert!(
+                probe.nodes().iter().any(|n| n.op.kind() == kind),
+                "probe is missing {kind:?}"
+            );
+        }
+        for act in Activation::ALL {
+            assert!(
+                probe
+                    .nodes()
+                    .iter()
+                    .any(|n| n.op == gdcm_dnn::Op::Activation(act)),
+                "probe is missing {act:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_network_encodes_cleanly() {
+        let net = gdcm_gen::zoo::mobilenet_v3_small().expect("zoo net builds");
+        let mut out = Vec::new();
+        check(&net, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn current_encoder_is_total() {
+        let mut out = Vec::new();
+        check_totality(&mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,184 @@
+//! `gdcm-analyze` — sweep the benchmark population through the static
+//! analyzer and fail loudly on any finding.
+//!
+//! ```text
+//! gdcm-analyze [--random N] [--seed S] [--json PATH]
+//! ```
+//!
+//! Analyzes the 18-network zoo structurally, then `N` (default 200)
+//! seeded random networks from the mobile search space with conformance
+//! checking on top. Pretty-prints every diagnostic, writes the full set
+//! as JSON (default `target/reports/gdcm-analyze-diagnostics.json` —
+//! distinct from the obs run report at `target/reports/gdcm-analyze.json`),
+//! and exits non-zero if *any* diagnostic — error or warning — was
+//! produced.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gdcm_analyze::{encoding, Analyzer, Report};
+use gdcm_gen::{RandomNetworkGenerator, SearchSpace};
+use serde::Serialize;
+
+struct Args {
+    random: usize,
+    seed: u64,
+    json: PathBuf,
+}
+
+const USAGE: &str = "usage: gdcm-analyze [--random N] [--seed S] [--json PATH]
+
+Sweeps the 18-network zoo and N seeded random networks through the
+static analyzer; exits non-zero on any diagnostic.
+
+  --random N   number of random networks to draw and analyze (default 200)
+  --seed S     seed for the random networks (default 42, the suite seed)
+  --json PATH  where to write the JSON diagnostics report
+               (default target/reports/gdcm-analyze-diagnostics.json)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        random: 200,
+        seed: 42,
+        json: PathBuf::from("target/reports/gdcm-analyze-diagnostics.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--random" => {
+                args.random = value("--random")?
+                    .parse()
+                    .map_err(|e| format!("--random: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--json" => args.json = PathBuf::from(value("--json")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The JSON document written next to the pipeline's other run reports.
+#[derive(Serialize)]
+struct SweepReport {
+    seed: u64,
+    networks_analyzed: usize,
+    diagnostics_total: usize,
+    errors_total: usize,
+    reports: Vec<Report>,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _span = gdcm_obs::span!("analyze/sweep");
+
+    let mut reports: Vec<Report> = Vec::new();
+
+    // Once per run: the encoder must be able to represent every operator
+    // the IR can express.
+    let mut totality = Vec::new();
+    encoding::check_totality(&mut totality);
+    if !totality.is_empty() {
+        reports.push(Report {
+            network: "op-totality-probe".to_string(),
+            diagnostics: totality,
+        });
+    }
+
+    // The 18 zoo networks: structural checks only — they are re-created
+    // reference architectures, not samples from the search space.
+    let structural = Analyzer::structural();
+    for network in gdcm_gen::zoo::all() {
+        reports.push(structural.analyze(&network));
+    }
+
+    // N seeded random networks: structural checks plus conformance to the
+    // mobile space they were drawn from.
+    let space = SearchSpace::mobile();
+    let conforming = Analyzer::for_space(&space);
+    let mut generator = RandomNetworkGenerator::new(space, args.seed);
+    for i in 0..args.random {
+        match generator.generate(format!("rand_{i:03}")) {
+            Ok(network) => reports.push(conforming.analyze(&network)),
+            Err(e) => {
+                // A generator that errors out is itself a finding worth
+                // failing on; surface it as a synthetic dirty report.
+                let mut report = Report::new(format!("rand_{i:03}"));
+                report
+                    .diagnostics
+                    .push(gdcm_analyze::Diagnostic::network_level(
+                        gdcm_analyze::DiagCode::InvalidParameters,
+                        &format!("rand_{i:03}"),
+                        format!("generator failed: {e}"),
+                    ));
+                reports.push(report);
+            }
+        }
+    }
+
+    let diagnostics_total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    let errors_total: usize = reports.iter().map(Report::error_count).sum();
+    for report in reports.iter().filter(|r| !r.is_clean()) {
+        print!("{report}");
+    }
+
+    let sweep = SweepReport {
+        seed: args.seed,
+        networks_analyzed: reports.len(),
+        diagnostics_total,
+        errors_total,
+        reports,
+    };
+    if let Err(e) = write_json(&args.json, &sweep) {
+        eprintln!("gdcm-analyze: cannot write {}: {e}", args.json.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut run = gdcm_obs::RunReport::new("gdcm-analyze");
+    run.set_dim("networks_analyzed", sweep.networks_analyzed as u64);
+    run.set_dim("random_networks", args.random as u64);
+    run.set_metric("diagnostics_total", diagnostics_total as f64);
+    run.set_metric("errors_total", errors_total as f64);
+    if let Err(e) = run.finalize_and_write() {
+        eprintln!("gdcm-analyze: cannot write run report: {e}");
+    }
+
+    println!(
+        "gdcm-analyze: {} networks, {} diagnostics ({} errors) -> {}",
+        sweep.networks_analyzed,
+        diagnostics_total,
+        errors_total,
+        args.json.display()
+    );
+    if diagnostics_total > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write_json(path: &PathBuf, sweep: &SweepReport) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    let body = serde_json::to_string_pretty(sweep).map_err(std::io::Error::other)?;
+    file.write_all(body.as_bytes())?;
+    file.write_all(b"\n")
+}

@@ -1,0 +1,179 @@
+//! Pass 2 — independent shape re-inference.
+//!
+//! Re-derives every node's output shape from the TFLite layout rules and
+//! compares against the shape stored on the node. The arithmetic here is
+//! written from the *convention* (TFLite `SAME`/`VALID` semantics, NHWC,
+//! batch 1), not from `gdcm_dnn::graph::infer_shape`, so a bug in either
+//! implementation shows up as a divergence instead of being silently
+//! shared. Checked `u64` arithmetic is used throughout: an overflow is a
+//! failed inference, never a wrapped shape.
+
+use gdcm_dnn::{Network, Node, Op, Padding, TensorShape};
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// Output extent of one spatial dimension of a windowed operator, per the
+/// TFLite convention. `None` means the window cannot be placed at all.
+fn window_extent(input: u64, kernel: u64, stride: u64, padding: Padding) -> Option<u64> {
+    if stride == 0 || kernel == 0 {
+        return None;
+    }
+    let padded = match padding {
+        // SAME pads so that exactly ceil(input / stride) windows fit.
+        Padding::Same => return Some(input.checked_add(stride - 1)? / stride),
+        Padding::Valid => input,
+        Padding::Explicit(p) => input.checked_add(2 * p as u64)?,
+    };
+    if padded < kernel {
+        None
+    } else {
+        Some((padded - kernel) / stride + 1)
+    }
+}
+
+/// Independently re-infers the output shape of one node given the stored
+/// output shapes of its producers.
+///
+/// # Errors
+///
+/// Returns a human-readable description when the operator cannot produce
+/// any output for these inputs.
+pub fn reinfer(op: &Op, inputs: &[TensorShape]) -> Result<TensorShape, String> {
+    let spatial = |p_kernel: usize, p_stride: usize, padding: Padding, x: TensorShape| {
+        let h = window_extent(x.h as u64, p_kernel as u64, p_stride as u64, padding);
+        let w = window_extent(x.w as u64, p_kernel as u64, p_stride as u64, padding);
+        match (h, w) {
+            (Some(h), Some(w)) if h > 0 && w > 0 => Ok((h as usize, w as usize)),
+            _ => Err(format!(
+                "window {p_kernel}x{p_kernel}/{p_stride} cannot be placed on {x}"
+            )),
+        }
+    };
+    match op {
+        Op::Input { shape } => Ok(*shape),
+        Op::Conv2d(p) => {
+            let x = inputs[0];
+            if p.groups == 0 || !x.c.is_multiple_of(p.groups) {
+                return Err(format!(
+                    "{} channels not divisible by {} groups",
+                    x.c, p.groups
+                ));
+            }
+            let (h, w) = spatial(p.kernel, p.stride, p.padding, x)?;
+            Ok(TensorShape::new(h, w, p.out_channels))
+        }
+        Op::DepthwiseConv2d(p) => {
+            let x = inputs[0];
+            let (h, w) = spatial(p.kernel, p.stride, p.padding, x)?;
+            Ok(TensorShape::new(h, w, x.c * p.multiplier))
+        }
+        Op::FullyConnected { out_features, .. } => Ok(TensorShape::vector(*out_features)),
+        Op::Activation(_) => Ok(inputs[0]),
+        Op::MaxPool2d(p) | Op::AvgPool2d(p) => {
+            let x = inputs[0];
+            let (h, w) = spatial(p.kernel, p.stride, p.padding, x)?;
+            Ok(TensorShape::new(h, w, x.c))
+        }
+        Op::GlobalAvgPool => Ok(TensorShape::vector(inputs[0].c)),
+        Op::Add => {
+            if inputs[0] == inputs[1] {
+                Ok(inputs[0])
+            } else {
+                Err(format!("addends {} and {} differ", inputs[0], inputs[1]))
+            }
+        }
+        Op::Multiply => {
+            let (a, b) = (inputs[0], inputs[1]);
+            if a == b || (b.is_vector() && b.c == a.c) {
+                Ok(a)
+            } else if a.is_vector() && a.c == b.c {
+                Ok(b)
+            } else {
+                Err(format!("factors {a} and {b} do not channel-broadcast"))
+            }
+        }
+        Op::Concat => {
+            let (h, w) = (inputs[0].h, inputs[0].w);
+            let mut channels = 0usize;
+            for s in inputs {
+                if (s.h, s.w) != (h, w) {
+                    return Err(format!("concat spatial mismatch: {}, {s}", inputs[0]));
+                }
+                channels += s.c;
+            }
+            Ok(TensorShape::new(h, w, channels))
+        }
+    }
+}
+
+/// Runs the shape re-inference pass, appending findings to `out`.
+///
+/// Assumes the well-formedness pass reported no errors (edges are valid
+/// and strictly backward).
+pub fn check(network: &Network, out: &mut Vec<Diagnostic>) {
+    let name = network.name();
+    for node in network.nodes() {
+        let inputs = network.input_shapes(node);
+        match reinfer(&node.op, &inputs) {
+            Ok(shape) if shape == node.output_shape => {}
+            Ok(shape) => out.push(Diagnostic::at_node(
+                DiagCode::ShapeMismatch,
+                name,
+                node.id,
+                format!("stored {}, re-inferred {shape}", node.output_shape),
+            )),
+            Err(why) => out.push(Diagnostic::at_node(
+                DiagCode::ShapeInferenceFailed,
+                name,
+                node.id,
+                why,
+            )),
+        }
+        check_zero_volume(node, name, out);
+    }
+}
+
+/// A zero-element activation is representable but always wrong: it means
+/// an upstream operator collapsed the tensor away.
+fn check_zero_volume(node: &Node, name: &str, out: &mut Vec<Diagnostic>) {
+    if node.output_shape.elements() == 0 {
+        out.push(Diagnostic::at_node(
+            DiagCode::ShapeInferenceFailed,
+            name,
+            node.id,
+            format!("output shape {} has zero elements", node.output_shape),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdcm_dnn::Conv2dParams;
+
+    #[test]
+    fn window_extent_matches_tflite_convention() {
+        assert_eq!(window_extent(224, 3, 2, Padding::Same), Some(112));
+        assert_eq!(window_extent(7, 3, 2, Padding::Same), Some(4));
+        assert_eq!(window_extent(7, 7, 1, Padding::Valid), Some(1));
+        assert_eq!(window_extent(6, 7, 1, Padding::Valid), None);
+        assert_eq!(window_extent(5, 3, 1, Padding::Explicit(1)), Some(5));
+        assert_eq!(window_extent(5, 3, 0, Padding::Same), None);
+    }
+
+    #[test]
+    fn reinfer_agrees_with_builder_on_a_conv() {
+        let op = Op::Conv2d(Conv2dParams::dense(32, 3, 2));
+        let out = reinfer(&op, &[TensorShape::new(224, 224, 3)]).expect("conv infers");
+        assert_eq!(out, TensorShape::new(112, 112, 32));
+    }
+
+    #[test]
+    fn reinfer_rejects_impossible_windows() {
+        let op = Op::Conv2d(Conv2dParams {
+            padding: Padding::Valid,
+            ..Conv2dParams::dense(8, 7, 1)
+        });
+        assert!(reinfer(&op, &[TensorShape::new(3, 3, 4)]).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Pass 1 — graph well-formedness.
+//!
+//! Checks the properties every other pass (and every consumer of the IR)
+//! silently assumes: node ids match positions, edges point strictly
+//! backwards (the IR stores nodes in topological order, so a self- or
+//! forward-reference is the only way to encode a cycle), every referenced
+//! node exists, arities match the operator, hyper-parameters are valid in
+//! isolation, exactly one kind of source node (the input placeholder)
+//! exists, and every node is reachable from the output.
+//!
+//! When this pass reports any error the later passes are skipped: they
+//! index into the node list along edges and would read garbage (or panic)
+//! on a malformed graph.
+
+use gdcm_dnn::{Network, Op};
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// Runs the well-formedness pass, appending findings to `out`.
+pub fn check(network: &Network, out: &mut Vec<Diagnostic>) {
+    let name = network.name();
+    let nodes = network.nodes();
+
+    if nodes.is_empty() {
+        out.push(Diagnostic::network_level(
+            DiagCode::MissingInput,
+            name,
+            "network has no nodes",
+        ));
+        return;
+    }
+
+    // Output anchor must exist.
+    let output = network.output_id();
+    if output.index() >= nodes.len() {
+        out.push(Diagnostic::network_level(
+            DiagCode::UnknownNodeRef,
+            name,
+            format!(
+                "output anchor n{} outside graph of {} nodes",
+                output.index(),
+                nodes.len()
+            ),
+        ));
+    }
+
+    let mut input_count = 0usize;
+    for (position, node) in nodes.iter().enumerate() {
+        if node.id.index() != position {
+            out.push(Diagnostic::at_node(
+                DiagCode::MisnumberedNode,
+                name,
+                node.id,
+                format!("stored id n{} at position {position}", node.id.index()),
+            ));
+        }
+
+        // Edge targets: exist, and point strictly backwards.
+        for &input in &node.inputs {
+            if input.index() >= nodes.len() {
+                out.push(Diagnostic::at_node(
+                    DiagCode::UnknownNodeRef,
+                    name,
+                    node.id,
+                    format!("input {input} outside graph of {} nodes", nodes.len()),
+                ));
+            } else if input.index() >= position {
+                out.push(Diagnostic::at_node(
+                    DiagCode::NonTopologicalEdge,
+                    name,
+                    node.id,
+                    format!("input {input} is not strictly earlier (cycle)"),
+                ));
+            }
+        }
+
+        // Arity. Variadic ops (Concat) require at least two inputs.
+        match node.op.arity() {
+            Some(expected) if node.inputs.len() != expected => {
+                out.push(Diagnostic::at_node(
+                    DiagCode::BadArity,
+                    name,
+                    node.id,
+                    format!(
+                        "{:?} expects {expected} input(s), has {}",
+                        node.op.kind(),
+                        node.inputs.len()
+                    ),
+                ));
+            }
+            None if node.inputs.len() < 2 => {
+                out.push(Diagnostic::at_node(
+                    DiagCode::BadArity,
+                    name,
+                    node.id,
+                    format!(
+                        "{:?} expects at least 2 inputs, has {}",
+                        node.op.kind(),
+                        node.inputs.len()
+                    ),
+                ));
+            }
+            _ => {}
+        }
+
+        if let Err(e) = node.op.validate_params() {
+            out.push(Diagnostic::at_node(
+                DiagCode::InvalidParameters,
+                name,
+                node.id,
+                e.to_string(),
+            ));
+        }
+
+        if matches!(node.op, Op::Input { .. }) {
+            input_count += 1;
+        }
+    }
+
+    if input_count == 0 {
+        out.push(Diagnostic::network_level(
+            DiagCode::MissingInput,
+            name,
+            "network has no input placeholder",
+        ));
+    }
+
+    // Reachability: walk backwards from the output over valid edges. A
+    // node the walk never visits contributes cost and encoding features
+    // for work that will never execute.
+    if output.index() < nodes.len() {
+        let mut reachable = vec![false; nodes.len()];
+        let mut stack = vec![output.index()];
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut reachable[i], true) {
+                continue;
+            }
+            for &input in &nodes[i].inputs {
+                // Only follow edges pass checks above proved sane.
+                if input.index() < i {
+                    stack.push(input.index());
+                }
+            }
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if !reachable[i] {
+                out.push(Diagnostic::at_node(
+                    DiagCode::DeadNode,
+                    name,
+                    node.id,
+                    format!("{:?} node unreachable from output {output}", node.op.kind()),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdcm_dnn::{Activation, NetworkBuilder, TensorShape};
+
+    fn valid_net() -> Network {
+        let mut b = NetworkBuilder::new("ok");
+        let x = b.input(TensorShape::new(32, 32, 3));
+        let y = b
+            .conv2d_act(x, 8, 3, 1, Activation::Relu)
+            .expect("valid conv");
+        let z = b.classifier(y, 10).expect("valid head");
+        b.build(z).expect("valid network")
+    }
+
+    #[test]
+    fn valid_network_is_clean() {
+        let mut out = Vec::new();
+        check(&valid_net(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn empty_graph_reports_missing_input() {
+        let net = Network::from_raw_parts("empty", Vec::new(), gdcm_dnn::NodeId::from_index(0));
+        let mut out = Vec::new();
+        check(&net, &mut out);
+        assert!(out.iter().any(|d| d.code == DiagCode::MissingInput));
+    }
+
+    #[test]
+    fn out_of_range_output_reports_unknown_ref() {
+        let (name, nodes, _) = valid_net().into_raw_parts();
+        let net = Network::from_raw_parts(name, nodes, gdcm_dnn::NodeId::from_index(999));
+        let mut out = Vec::new();
+        check(&net, &mut out);
+        assert!(out.iter().any(|d| d.code == DiagCode::UnknownNodeRef));
+    }
+}

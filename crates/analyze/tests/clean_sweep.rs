@@ -1,0 +1,53 @@
+//! Positive-path sweep: every network the pipeline legitimately produces
+//! — all 18 zoo architectures and any seeded random draw — must pass all
+//! analyzer passes with zero diagnostics.
+
+use gdcm_analyze::Analyzer;
+use gdcm_gen::{RandomNetworkGenerator, SearchSpace};
+use proptest::prelude::*;
+
+#[test]
+fn all_zoo_networks_are_clean() {
+    let analyzer = Analyzer::structural();
+    for network in gdcm_gen::zoo::all() {
+        let report = analyzer.analyze(&network);
+        assert!(report.is_clean(), "{}:\n{report}", network.name());
+    }
+}
+
+#[test]
+fn verified_suite_admits_every_candidate() {
+    // With a correct generator the analyzer gate never rejects, so the
+    // verified suite is byte-identical to the plain one.
+    let space = SearchSpace::tiny();
+    let verified = gdcm_analyze::verified_benchmark_suite_with(42, space.clone(), 8);
+    let plain = gdcm_gen::benchmark_suite_with(42, space, 8);
+    assert_eq!(verified, plain);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any seed, mobile space: all five passes clean.
+    #[test]
+    fn random_mobile_networks_are_clean(seed in 0u64..100_000) {
+        let space = SearchSpace::mobile();
+        let analyzer = Analyzer::for_space(&space);
+        let mut generator = RandomNetworkGenerator::new(space, seed);
+        let net = generator.generate("prop").expect("generator emits valid networks");
+        let report = analyzer.analyze(&net);
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+
+    /// Any seed, tiny space: all five passes clean (exercises the small
+    /// resolutions and widths the mobile space never hits).
+    #[test]
+    fn random_tiny_networks_are_clean(seed in 0u64..100_000) {
+        let space = SearchSpace::tiny();
+        let analyzer = Analyzer::for_space(&space);
+        let mut generator = RandomNetworkGenerator::new(space, seed);
+        let net = generator.generate("prop").expect("generator emits valid networks");
+        let report = analyzer.analyze(&net);
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+}

@@ -1,0 +1,299 @@
+//! Negative-path tests: every analyzer pass must flag a hand-built
+//! malformed graph with its documented stable code.
+//!
+//! Corruptions go through [`Network::from_raw_parts`] /
+//! [`Network::into_raw_parts`] — the validated builder (correctly)
+//! refuses to construct these graphs, which is exactly why the analyzer
+//! needs an escape hatch to represent them.
+
+use gdcm_analyze::{costs, encoding, Analyzer, DiagCode, Severity};
+use gdcm_dnn::{
+    Activation, Conv2dParams, Network, NetworkBuilder, NodeId, Op, PoolParams, TensorShape,
+};
+use gdcm_gen::SearchSpace;
+
+/// A small valid network: input → conv+relu → depthwise → classifier.
+fn valid_net() -> Network {
+    let mut b = NetworkBuilder::new("victim");
+    let x = b.input(TensorShape::new(32, 32, 3));
+    let y = b.conv2d_act(x, 8, 3, 1, Activation::Relu).expect("conv");
+    let z = b.depthwise(y, 3, 2).expect("depthwise");
+    let w = b.classifier(z, 10).expect("head");
+    b.build(w).expect("valid network")
+}
+
+/// Applies `corrupt` to the raw node list of [`valid_net`].
+fn corrupted(corrupt: impl FnOnce(&mut Vec<gdcm_dnn::Node>)) -> Network {
+    let (name, mut nodes, output) = valid_net().into_raw_parts();
+    corrupt(&mut nodes);
+    Network::from_raw_parts(name, nodes, output)
+}
+
+// ---- pass 1: well-formedness (GDCM001..GDCM007) -------------------------
+
+#[test]
+fn gdcm001_cycle_via_forward_edge() {
+    let net = corrupted(|nodes| {
+        let last = nodes.len() - 1;
+        nodes[1].inputs = vec![NodeId::from_index(last)];
+    });
+    let report = Analyzer::structural().analyze(&net);
+    assert!(report.has(DiagCode::NonTopologicalEdge), "{report}");
+}
+
+#[test]
+fn gdcm002_dangling_node_reference() {
+    let net = corrupted(|nodes| {
+        nodes[1].inputs = vec![NodeId::from_index(999)];
+    });
+    let report = Analyzer::structural().analyze(&net);
+    assert!(report.has(DiagCode::UnknownNodeRef), "{report}");
+}
+
+#[test]
+fn gdcm003_dead_node() {
+    let net = corrupted(|nodes| {
+        // Append a conv no one consumes.
+        let mut orphan = nodes[1].clone();
+        orphan.id = NodeId::from_index(nodes.len());
+        nodes.push(orphan);
+    });
+    let report = Analyzer::structural().analyze(&net);
+    assert!(report.has(DiagCode::DeadNode), "{report}");
+}
+
+#[test]
+fn gdcm004_wrong_arity() {
+    let net = corrupted(|nodes| {
+        // A convolution with two inputs.
+        let input = nodes[1].inputs[0];
+        nodes[1].inputs = vec![input, input];
+    });
+    let report = Analyzer::structural().analyze(&net);
+    assert!(report.has(DiagCode::BadArity), "{report}");
+}
+
+#[test]
+fn gdcm005_missing_input_placeholder() {
+    let net = corrupted(|nodes| {
+        // No Input node anywhere.
+        nodes[0].op = Op::Activation(Activation::Relu);
+    });
+    let report = Analyzer::structural().analyze(&net);
+    assert!(report.has(DiagCode::MissingInput), "{report}");
+}
+
+#[test]
+fn gdcm006_invalid_operator_parameters() {
+    let net = corrupted(|nodes| {
+        nodes[1].op = Op::Conv2d(Conv2dParams::dense(8, 0, 1)); // kernel 0
+    });
+    let report = Analyzer::structural().analyze(&net);
+    assert!(report.has(DiagCode::InvalidParameters), "{report}");
+}
+
+#[test]
+fn gdcm007_misnumbered_node() {
+    let net = corrupted(|nodes| {
+        nodes[2].id = NodeId::from_index(5);
+    });
+    let report = Analyzer::structural().analyze(&net);
+    assert!(report.has(DiagCode::MisnumberedNode), "{report}");
+}
+
+// ---- pass 2: shape re-inference (GDCM010..GDCM011) ----------------------
+
+#[test]
+fn gdcm010_stored_shape_disagrees_with_reinference() {
+    let net = corrupted(|nodes| {
+        nodes[1].output_shape = TensorShape::new(32, 32, 9); // conv says 8
+    });
+    let report = Analyzer::structural().analyze(&net);
+    assert!(report.has(DiagCode::ShapeMismatch), "{report}");
+}
+
+#[test]
+fn gdcm011_impossible_window() {
+    let mut b = NetworkBuilder::new("pool");
+    let x = b.input(TensorShape::new(8, 8, 4));
+    let p = b.avg_pool(x, 3, 1).expect("pool");
+    let net = b.build(p).expect("valid network");
+    let (name, mut nodes, output) = net.into_raw_parts();
+    // A 9x9 VALID window cannot be placed on an 8x8 map.
+    nodes[1].op = Op::AvgPool2d(PoolParams::new(9, 1));
+    let net = Network::from_raw_parts(name, nodes, output);
+    let report = Analyzer::structural().analyze(&net);
+    assert!(report.has(DiagCode::ShapeInferenceFailed), "{report}");
+}
+
+// ---- pass 3: cost audit (GDCM020..GDCM024) ------------------------------
+
+#[test]
+fn gdcm020_to_024_tampered_cost_accounting() {
+    let net = valid_net();
+    type Tamper = (DiagCode, fn(&mut gdcm_dnn::NetworkCost));
+    let tamper: [Tamper; 5] = [
+        (DiagCode::MacDivergence, |c| c.per_node[1].macs += 1),
+        (DiagCode::FlopDivergence, |c| c.per_node[1].flops += 1),
+        (DiagCode::ParamDivergence, |c| c.per_node[1].params += 1),
+        (DiagCode::ByteDivergence, |c| {
+            c.per_node[1].weight_bytes += 1
+        }),
+        (DiagCode::TotalsDivergence, |c| c.total_macs += 1),
+    ];
+    for (code, corrupt) in tamper {
+        let mut claimed = net.cost();
+        corrupt(&mut claimed);
+        let mut out = Vec::new();
+        costs::check(&net, &claimed, &mut out);
+        assert!(out.iter().any(|d| d.code == code), "{code}: {out:?}");
+    }
+}
+
+// ---- pass 4: search-space conformance (GDCM030..GDCM036) ----------------
+
+/// Builds a network in the mobile space except for one planted violation.
+fn mobile_net_with(build: impl FnOnce(&mut NetworkBuilder, NodeId) -> NodeId) -> Network {
+    let mut b = NetworkBuilder::new("escapee");
+    let x = b.input(TensorShape::new(224, 224, 3));
+    let y = build(&mut b, x);
+    let z = b.classifier(y, 1000).expect("head");
+    b.build(z).expect("valid network")
+}
+
+fn mobile_report(net: &Network) -> gdcm_analyze::Report {
+    Analyzer::for_space(&SearchSpace::mobile()).analyze(net)
+}
+
+#[test]
+fn gdcm030_resolution_out_of_space() {
+    let mut b = NetworkBuilder::new("escapee");
+    let x = b.input(TensorShape::new(100, 100, 3)); // mobile space is 224
+    let y = b.conv2d(x, 16, 3, 2).expect("conv");
+    let z = b.classifier(y, 1000).expect("head");
+    let net = b.build(z).expect("valid network");
+    let report = mobile_report(&net);
+    assert!(report.has(DiagCode::ResolutionOutOfSpace), "{report}");
+}
+
+#[test]
+fn gdcm031_kernel_out_of_space() {
+    let net = mobile_net_with(|b, x| b.conv2d(x, 16, 11, 2).expect("conv"));
+    let report = mobile_report(&net);
+    assert!(report.has(DiagCode::KernelOutOfSpace), "{report}");
+}
+
+#[test]
+fn gdcm032_stride_out_of_space() {
+    let net = mobile_net_with(|b, x| b.conv2d(x, 16, 3, 4).expect("conv"));
+    let report = mobile_report(&net);
+    assert!(report.has(DiagCode::StrideOutOfSpace), "{report}");
+}
+
+#[test]
+fn gdcm033_channels_out_of_space() {
+    let net = mobile_net_with(|b, x| {
+        let y = b.conv2d(x, 16, 3, 2).expect("stem");
+        b.conv2d(y, 20_000, 1, 2).expect("wide conv") // worst case is 12288
+    });
+    let report = mobile_report(&net);
+    assert!(report.has(DiagCode::ChannelOutOfSpace), "{report}");
+}
+
+#[test]
+fn gdcm034_op_out_of_space() {
+    let net = mobile_net_with(|b, x| {
+        let y = b.conv2d(x, 16, 3, 2).expect("stem");
+        b.grouped_conv2d(y, 32, 3, 1, 4).expect("grouped conv")
+    });
+    let report = mobile_report(&net);
+    assert!(report.has(DiagCode::OpOutOfSpace), "{report}");
+}
+
+#[test]
+fn gdcm035_activation_out_of_space() {
+    let net = mobile_net_with(|b, x| b.conv2d_act(x, 16, 3, 2, Activation::Swish).expect("conv"));
+    let report = mobile_report(&net);
+    assert!(report.has(DiagCode::ActivationOutOfSpace), "{report}");
+}
+
+#[test]
+fn gdcm036_mac_budget_is_a_warning() {
+    let net = mobile_net_with(|b, x| b.conv2d(x, 16, 3, 2).expect("conv"));
+    let report = Analyzer::for_space(&SearchSpace::mobile())
+        .with_mac_budget(1)
+        .analyze(&net);
+    assert!(report.has(DiagCode::MacBudgetExceeded), "{report}");
+    let budget = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == DiagCode::MacBudgetExceeded)
+        .expect("just asserted");
+    assert_eq!(budget.severity, Severity::Warning);
+    // A warning alone must not count as an error (gates key off errors).
+    assert_eq!(report.error_count(), 0, "{report}");
+}
+
+// ---- pass 5: encoding invariants (GDCM040..GDCM043) ---------------------
+
+#[test]
+fn gdcm040_width_mismatch() {
+    let mut out = Vec::new();
+    encoding::check_vectors("test", 10, &[0.0; 7], &[0.0; 7], "enc", &mut out);
+    assert!(
+        out.iter()
+            .any(|d| d.code == DiagCode::EncodingWidthMismatch),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn gdcm041_nondeterministic_encoding() {
+    let mut out = Vec::new();
+    encoding::check_vectors("test", 2, &[1.0, 2.0], &[1.0, 2.5], "enc", &mut out);
+    assert!(
+        out.iter()
+            .any(|d| d.code == DiagCode::EncodingNondeterministic),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn gdcm042_non_finite_features() {
+    let v = [1.0, f32::NAN];
+    let mut out = Vec::new();
+    encoding::check_vectors("test", 2, &v, &v, "enc", &mut out);
+    assert!(
+        out.iter().any(|d| d.code == DiagCode::EncodingNonFinite),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn gdcm043_encoder_dropping_an_op_is_caught() {
+    use gdcm_core::{EncoderConfig, NetworkEncoder};
+    let probe = encoding::op_totality_probe();
+    let enc = NetworkEncoder::fit([&probe], EncoderConfig::default());
+    let names = enc.feature_names();
+    let mut values = enc.encode(&probe);
+    // Simulate an encoder that silently drops depthwise convolutions.
+    for (name, value) in names.iter().zip(values.iter_mut()) {
+        if name.ends_with("_is_DepthwiseConv2d") {
+            *value = 0.0;
+        }
+    }
+    let mut out = Vec::new();
+    encoding::check_probe_traces(&names, &values, "enc", &mut out);
+    assert!(
+        out.iter().any(|d| d.code == DiagCode::EncodingNotTotal),
+        "{out:?}"
+    );
+}
+
+// ---- the suite gate ------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "contradicts the search space")]
+fn gate_that_rejects_everything_panics_rather_than_spinning() {
+    let _ = gdcm_gen::benchmark_suite_gated(1, SearchSpace::tiny(), 1, &|_| false);
+}

@@ -14,6 +14,8 @@
 //!
 //! Set `GDCM_FAST=1` to cut replication counts (smoke-test mode).
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod util;
 

@@ -337,9 +337,9 @@ mod tests {
 
     fn nets() -> Vec<Network> {
         vec![
-            zoo::mobilenet_v2(1.0).unwrap(),
-            zoo::mobilenet_v3_small().unwrap(),
-            zoo::squeezenet_v1_1().unwrap(),
+            zoo::mobilenet_v2(1.0).expect("zoo network builds"),
+            zoo::mobilenet_v3_small().expect("zoo network builds"),
+            zoo::squeezenet_v1_1().expect("zoo network builds"),
         ]
     }
 
@@ -366,7 +366,7 @@ mod tests {
         let shallow = nets
             .iter()
             .min_by_key(|n| extract_layers(n, true).len())
-            .unwrap();
+            .expect("nets() is non-empty");
         let v = enc.encode(shallow);
         let depth = extract_layers(shallow, true).len();
         let per_layer = FUSED_KINDS.len() + PARAM_FEATURES;
@@ -391,7 +391,7 @@ mod tests {
 
     #[test]
     fn fused_mode_marks_se_and_residual() {
-        let net = zoo::mobilenet_v3_small().unwrap(); // has SE + residuals
+        let net = zoo::mobilenet_v3_small().expect("zoo network builds"); // has SE + residuals
         let layers = extract_layers(&net, true);
         assert!(layers.iter().any(|l| l.has_se == 1.0));
         assert!(layers.iter().any(|l| l.has_residual == 1.0));
@@ -400,7 +400,7 @@ mod tests {
 
     #[test]
     fn node_level_mode_is_longer() {
-        let net = zoo::mobilenet_v2(1.0).unwrap();
+        let net = zoo::mobilenet_v2(1.0).expect("zoo network builds");
         let fused = extract_layers(&net, true).len();
         let full = extract_layers(&net, false).len();
         assert!(fused <= full);

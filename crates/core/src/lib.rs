@@ -33,6 +33,8 @@
 //! println!("test R² = {:.3}", report.r2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod collaborative;

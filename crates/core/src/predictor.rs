@@ -188,7 +188,9 @@ mod tests {
             .map(|&n| data.db.latency(16, n))
             .collect();
         for i in 0..5 {
-            let net = generator.generate(format!("fresh{i}")).unwrap();
+            let net = generator
+                .generate(format!("fresh{i}"))
+                .expect("generator emits only valid networks");
             let p = model.predict_ms(&net, &sig);
             assert!(p.is_finite() && p > 0.0, "fresh{i}: {p}");
         }

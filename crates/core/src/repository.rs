@@ -279,14 +279,16 @@ mod tests {
         for d in 0..20 {
             let lat: Vec<f64> = sig.iter().map(|&n| data.db.latency(d, n)).collect();
             let name = data.devices[d].model.clone();
-            repo.onboard_device(name.clone(), &lat).unwrap();
+            repo.onboard_device(name.clone(), &lat)
+                .expect("signature length matches the repository");
             for &n in open.iter().skip(d % 5).step_by(4).take(8) {
                 repo.contribute(&name, &data.suite[n].network, data.db.latency(d, n))
-                    .unwrap();
+                    .expect("device was onboarded above");
             }
         }
         assert_eq!(repo.n_devices(), 20);
-        repo.fit().unwrap();
+        repo.fit()
+            .expect("20 devices x 8 contributions is enough data");
         assert!(repo.is_fitted());
 
         // Predict every open network on a *new* 21st device from its
@@ -299,7 +301,7 @@ mod tests {
             actual.push(data.db.latency(target, n) as f32);
             predicted.push(
                 repo.predict_for_new_device(&lat, &data.suite[n].network)
-                    .unwrap() as f32,
+                    .expect("repository is fitted") as f32,
             );
         }
         let r2 = r2_score(&actual, &predicted);
@@ -329,7 +331,8 @@ mod tests {
             repo.predict_for_new_device(&[1.0, 2.0, 3.0], &data.suite[0].network),
             Err(RepositoryError::NotFitted)
         ));
-        repo.onboard_device("real", &[10.0, 20.0, 30.0]).unwrap();
+        repo.onboard_device("real", &[10.0, 20.0, 30.0])
+            .expect("signature length matches the repository");
         assert!(matches!(
             repo.predict("ghost", &data.suite[0].network),
             Err(RepositoryError::UnknownDevice(_))

@@ -20,6 +20,15 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Creates a node id from a raw dense index.
+    ///
+    /// Intended for analysis tooling (e.g. `gdcm-analyze`) that must be
+    /// able to *represent* ill-formed graphs — ordinary construction goes
+    /// through [`crate::NetworkBuilder`], which hands out ids itself.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
 }
 
 impl fmt::Display for NodeId {
@@ -78,6 +87,36 @@ impl Network {
             nodes,
             output,
         })
+    }
+
+    /// Assembles a network from raw parts **without structural
+    /// validation**.
+    ///
+    /// This is the escape hatch for verification tooling: a static
+    /// analyzer has to be able to hold an *ill-formed* graph (cycle,
+    /// dangling reference, corrupted shape) in order to diagnose it, and
+    /// its negative tests have to be able to build one. Everything else
+    /// must go through [`crate::NetworkBuilder`], which validates every
+    /// node; a `Network` produced here carries none of the soundness
+    /// guarantees the rest of this crate documents.
+    pub fn from_raw_parts(name: impl Into<String>, nodes: Vec<Node>, output: NodeId) -> Self {
+        Self {
+            name: name.into(),
+            nodes,
+            output,
+        }
+    }
+
+    /// Decomposes the network into `(name, nodes, output)` — the inverse
+    /// of [`Network::from_raw_parts`], letting analysis tooling corrupt a
+    /// valid graph in a controlled way and reassemble it.
+    pub fn into_raw_parts(self) -> (String, Vec<Node>, NodeId) {
+        (self.name, self.nodes, self.output)
+    }
+
+    /// Id of the node producing the network output.
+    pub fn output_id(&self) -> NodeId {
+        self.output
     }
 
     /// Human-readable network name (e.g. `"mobilenet_v2"` or `"rand_042"`).

@@ -13,6 +13,8 @@
 //! assert_eq!(suite.len(), 118);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 mod random;
@@ -23,6 +25,6 @@ pub mod zoo;
 pub use random::RandomNetworkGenerator;
 pub use space::{BlockKind, SearchSpace};
 pub use suite::{
-    benchmark_suite, benchmark_suite_with, NamedNetwork, PREDESIGNED_COUNT, RANDOM_COUNT,
-    SUITE_SIZE,
+    benchmark_suite, benchmark_suite_gated, benchmark_suite_with, NamedNetwork, PREDESIGNED_COUNT,
+    RANDOM_COUNT, SUITE_SIZE,
 };

@@ -56,6 +56,29 @@ pub fn benchmark_suite_with(
     space: SearchSpace,
     random_count: usize,
 ) -> Vec<NamedNetwork> {
+    benchmark_suite_gated(seed, space, random_count, &|_| true)
+}
+
+/// Builds a suite with an additional structural *gate* applied to every
+/// random candidate.
+///
+/// The gate is how external verification tooling (the `gdcm-analyze`
+/// static analyzer) hooks into suite generation without creating a
+/// dependency cycle: a candidate the gate rejects is discarded and
+/// re-drawn, exactly like a candidate outside the MAC budget. Rejections
+/// are counted under `gen/networks_rejected_by_gate`.
+///
+/// # Panics
+///
+/// Panics if the gate rejects 1000 consecutive candidates for one slot —
+/// a gate that strict means the gate and the search space disagree, which
+/// is a configuration bug, not a sampling accident.
+pub fn benchmark_suite_gated(
+    seed: u64,
+    space: SearchSpace,
+    random_count: usize,
+    gate: &dyn Fn(&Network) -> bool,
+) -> Vec<NamedNetwork> {
     let _span = gdcm_obs::span!("gen/benchmark_suite");
     let mut suite = Vec::with_capacity(PREDESIGNED_COUNT + random_count);
     for (index, network) in zoo::all().into_iter().enumerate() {
@@ -69,16 +92,29 @@ pub fn benchmark_suite_with(
     // The paper's generator targets the mobile regime (Fig. 2): networks
     // far outside it are re-drawn, keeping the suite comparable.
     const MAX_SUITE_MACS: u64 = 1_000_000_000;
+    const MAX_GATE_REJECTIONS: u64 = 1000;
     let mut rejected = 0u64;
+    let mut gate_rejected = 0u64;
     for i in 0..random_count {
+        let mut slot_gate_rejections = 0u64;
         let network = loop {
             let candidate = generator
                 .generate(format!("rand_{i:03}"))
                 .expect("generator emits only valid networks");
-            if candidate.cost().total_macs <= MAX_SUITE_MACS {
+            if candidate.cost().total_macs > MAX_SUITE_MACS {
+                rejected += 1;
+                continue;
+            }
+            if gate(&candidate) {
                 break candidate;
             }
-            rejected += 1;
+            gate_rejected += 1;
+            slot_gate_rejections += 1;
+            assert!(
+                slot_gate_rejections < MAX_GATE_REJECTIONS,
+                "suite gate rejected {MAX_GATE_REJECTIONS} consecutive candidates \
+                 for rand_{i:03}; the gate contradicts the search space"
+            );
         };
         suite.push(NamedNetwork {
             index: PREDESIGNED_COUNT + i,
@@ -88,6 +124,7 @@ pub fn benchmark_suite_with(
     }
     gdcm_obs::counter("gen/networks_generated").add(suite.len() as u64);
     gdcm_obs::counter("gen/networks_rejected").add(rejected);
+    gdcm_obs::counter("gen/networks_rejected_by_gate").add(gate_rejected);
     suite
 }
 

@@ -13,6 +13,8 @@
 //!
 //! All estimators are deterministic given their seed.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 mod binning;

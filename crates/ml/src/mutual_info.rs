@@ -37,8 +37,8 @@ pub fn discrete_mutual_information(x: &[usize], y: &[usize]) -> f64 {
     assert_eq!(x.len(), y.len(), "length mismatch");
     assert!(!x.is_empty(), "empty input");
     let n = x.len() as f64;
-    let kx = x.iter().max().unwrap() + 1;
-    let ky = y.iter().max().unwrap() + 1;
+    let kx = x.iter().max().expect("x is non-empty (asserted above)") + 1;
+    let ky = y.iter().max().expect("y is as long as x (asserted above)") + 1;
 
     let mut joint = vec![0f64; kx * ky];
     let mut px = vec![0f64; kx];

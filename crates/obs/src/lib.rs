@@ -33,6 +33,9 @@
 //! report.finalize_and_write().unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod metrics;
 pub mod report;
 pub mod span;

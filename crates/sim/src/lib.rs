@@ -32,6 +32,8 @@
 //! assert!(ms > 1.0 && ms < 2000.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 mod core_model;

@@ -4,6 +4,7 @@
 //! workspace crate under a stable prefix so examples and downstream users
 //! can depend on a single package:
 //!
+//! * [`analyze`] — multi-pass static IR verifier ([`gdcm_analyze`]).
 //! * [`dnn`] — the network graph IR ([`gdcm_dnn`]).
 //! * [`gen`] — random generator and model zoo ([`gdcm_gen`]).
 //! * [`sim`] — the mobile-device latency simulator ([`gdcm_sim`]).
@@ -16,6 +17,9 @@
 //! See the repository `README.md` for the full tour and `DESIGN.md` for
 //! the paper-to-module map.
 
+#![forbid(unsafe_code)]
+
+pub use gdcm_analyze as analyze;
 pub use gdcm_core as core;
 pub use gdcm_dnn as dnn;
 pub use gdcm_gen as gen;

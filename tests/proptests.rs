@@ -1,6 +1,7 @@
 //! Cross-crate property-based tests: invariants that must hold for *any*
 //! seed, not just the experiment seeds.
 
+use generalizable_dnn_cost_models::analyze::Analyzer;
 use generalizable_dnn_cost_models::core::{EncoderConfig, NetworkEncoder};
 use generalizable_dnn_cost_models::dnn::TensorShape;
 use generalizable_dnn_cost_models::gen::{RandomNetworkGenerator, SearchSpace};
@@ -26,6 +27,19 @@ proptest! {
         for node in net.nodes() {
             prop_assert!(node.output_shape.elements() > 0);
         }
+    }
+
+    /// The static analyzer agrees: any generated network passes all five
+    /// verification passes (well-formedness, shape re-inference, cost
+    /// audit, search-space conformance, encoding invariants).
+    #[test]
+    fn random_networks_pass_static_analysis(seed in 0u64..10_000) {
+        let space = SearchSpace::tiny();
+        let analyzer = Analyzer::for_space(&space);
+        let mut generator = RandomNetworkGenerator::new(space, seed);
+        let net = generator.generate("prop").unwrap();
+        let report = analyzer.analyze(&net);
+        prop_assert!(report.is_clean(), "{}", report);
     }
 
     /// Encoded vectors always have the fitted length, for any network.
