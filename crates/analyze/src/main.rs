@@ -103,34 +103,46 @@ fn main() -> ExitCode {
 
     // The 18 zoo networks: structural checks only — they are re-created
     // reference architectures, not samples from the search space.
+    // Analysis fans out across the gdcm-par pool; reports come back in
+    // network order, so the output (and the JSON document) is identical
+    // at any thread count.
+    let pool = gdcm_par::pool();
     let structural = Analyzer::structural();
-    for network in gdcm_gen::zoo::all() {
-        reports.push(structural.analyze(&network));
-    }
+    let zoo = gdcm_gen::zoo::all();
+    reports.extend(pool.par_map(&zoo, |network| structural.analyze(network)));
 
-    // N seeded random networks: structural checks plus conformance to the
-    // mobile space they were drawn from.
+    // N seeded random networks: generation stays serial (one ChaCha
+    // stream), analysis is parallel with conformance to the mobile space
+    // they were drawn from.
     let space = SearchSpace::mobile();
     let conforming = Analyzer::for_space(&space);
     let mut generator = RandomNetworkGenerator::new(space, args.seed);
-    for i in 0..args.random {
-        match generator.generate(format!("rand_{i:03}")) {
-            Ok(network) => reports.push(conforming.analyze(&network)),
-            Err(e) => {
-                // A generator that errors out is itself a finding worth
-                // failing on; surface it as a synthetic dirty report.
-                let mut report = Report::new(format!("rand_{i:03}"));
-                report
-                    .diagnostics
-                    .push(gdcm_analyze::Diagnostic::network_level(
-                        gdcm_analyze::DiagCode::InvalidParameters,
-                        &format!("rand_{i:03}"),
-                        format!("generator failed: {e}"),
-                    ));
-                reports.push(report);
-            }
+    let drawn: Vec<(usize, Result<gdcm_dnn::Network, String>)> = (0..args.random)
+        .map(|i| {
+            (
+                i,
+                generator
+                    .generate(format!("rand_{i:03}"))
+                    .map_err(|e| e.to_string()),
+            )
+        })
+        .collect();
+    reports.extend(pool.par_map(&drawn, |(i, outcome)| match outcome {
+        Ok(network) => conforming.analyze(network),
+        Err(e) => {
+            // A generator that errors out is itself a finding worth
+            // failing on; surface it as a synthetic dirty report.
+            let mut report = Report::new(format!("rand_{i:03}"));
+            report
+                .diagnostics
+                .push(gdcm_analyze::Diagnostic::network_level(
+                    gdcm_analyze::DiagCode::InvalidParameters,
+                    &format!("rand_{i:03}"),
+                    format!("generator failed: {e}"),
+                ));
+            report
         }
-    }
+    }));
 
     let diagnostics_total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
     let errors_total: usize = reports.iter().map(Report::error_count).sum();
@@ -153,6 +165,7 @@ fn main() -> ExitCode {
     let mut run = gdcm_obs::RunReport::new("gdcm-analyze");
     run.set_dim("networks_analyzed", sweep.networks_analyzed as u64);
     run.set_dim("random_networks", args.random as u64);
+    run.set_dim("threads", pool.threads() as u64);
     run.set_metric("diagnostics_total", diagnostics_total as f64);
     run.set_metric("errors_total", errors_total as f64);
     if let Err(e) = run.finalize_and_write() {

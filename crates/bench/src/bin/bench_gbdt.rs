@@ -1,0 +1,166 @@
+//! Thread-scaling microbenchmark for the `gdcm-par` hot paths.
+//!
+//! Fits a GBDT on a synthetic matrix at 1/2/4 pool threads, times fit
+//! and batch predict (min over repetitions), checks the models are
+//! bit-identical across thread counts, and writes `BENCH_gbdt.json` at
+//! the repo root (or `$GDCM_BENCH_OUT`).
+//!
+//! ```sh
+//! cargo run --release -p gdcm-bench --bin bench_gbdt
+//! GDCM_BENCH_FAST=1 cargo run --release -p gdcm-bench --bin bench_gbdt  # smoke
+//! ```
+//!
+//! On a single-CPU host the >1-thread rows measure scheduling overhead,
+//! not speedup; `cpus_available` records the host parallelism so readers
+//! can interpret the numbers.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor, Regressor};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ThreadSample {
+    threads: usize,
+    fit_ms: f64,
+    predict_ms: f64,
+    fit_speedup_vs_serial: f64,
+    predict_speedup_vs_serial: f64,
+    split_search_busy_ms: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    cpus_available: usize,
+    n_rows: usize,
+    n_features: usize,
+    n_estimators: usize,
+    repetitions: usize,
+    bit_identical_across_threads: bool,
+    samples: Vec<ThreadSample>,
+}
+
+fn synthetic(n_rows: usize, n_cols: usize) -> (DenseMatrix, Vec<f32>) {
+    let rows: Vec<Vec<f32>> = (0..n_rows)
+        .map(|i| {
+            (0..n_cols)
+                .map(|j| ((i * 131 + j * 29) % 251) as f32 / 251.0)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f32> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .map(|(j, v)| v * ((j % 7) as f32 - 3.0))
+                .sum()
+        })
+        .collect();
+    (DenseMatrix::from_rows(&rows), y)
+}
+
+fn main() {
+    let fast = std::env::var("GDCM_BENCH_FAST").is_ok();
+    let (n_rows, n_cols, n_estimators, reps) = if fast {
+        (1000, 32, 10, 2)
+    } else {
+        (10_000, 64, 30, 3)
+    };
+    let (x, y) = synthetic(n_rows, n_cols);
+    let params = GbdtParams {
+        n_estimators,
+        ..GbdtParams::default()
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut run_report = gdcm_obs::RunReport::new("bench_gbdt");
+    let original_threads = gdcm_par::threads();
+
+    let mut samples = Vec::new();
+    let mut reference: Option<GbdtRegressor> = None;
+    let mut bit_identical = true;
+    let mut serial_fit_ms = f64::NAN;
+    let mut serial_predict_ms = f64::NAN;
+    for threads in [1usize, 2, 4] {
+        gdcm_par::set_threads(threads);
+        let mut fit_ms = f64::INFINITY;
+        let mut model = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let fitted = GbdtRegressor::fit(&x, &y, &params);
+            fit_ms = fit_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            model = Some(fitted);
+        }
+        let model = model.expect("reps >= 1");
+        let mut predict_ms = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let preds = model.predict(&x);
+            predict_ms = predict_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(preds);
+        }
+        match &reference {
+            None => {
+                serial_fit_ms = fit_ms;
+                serial_predict_ms = predict_ms;
+                reference = Some(model.clone());
+            }
+            Some(serial_model) => bit_identical &= *serial_model == model,
+        }
+        let busy = model
+            .training_log()
+            .map_or(0.0, |log| log.split_search_busy_ms);
+        eprintln!(
+            "[{threads} threads] fit {fit_ms:.1} ms, predict {predict_ms:.1} ms, \
+             split busy {busy:.1} ms"
+        );
+        samples.push(ThreadSample {
+            threads,
+            fit_ms,
+            predict_ms,
+            fit_speedup_vs_serial: serial_fit_ms / fit_ms,
+            predict_speedup_vs_serial: serial_predict_ms / predict_ms,
+            split_search_busy_ms: busy,
+        });
+    }
+    gdcm_par::set_threads(original_threads);
+
+    let report = BenchReport {
+        bench: "gbdt_par_scaling",
+        cpus_available: cpus,
+        n_rows,
+        n_features: n_cols,
+        n_estimators,
+        repetitions: reps,
+        bit_identical_across_threads: bit_identical,
+        samples,
+    };
+    assert!(
+        report.bit_identical_across_threads,
+        "parallel fit diverged from the serial model"
+    );
+
+    let out = std::env::var("GDCM_BENCH_OUT").unwrap_or_else(|_| "BENCH_gbdt.json".to_string());
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    let mut file = std::fs::File::create(&out).expect("can create bench report");
+    file.write_all(body.as_bytes()).expect("can write report");
+    file.write_all(b"\n").expect("can write report");
+    println!("bench_gbdt: wrote {out} (cpus_available = {cpus})");
+
+    run_report.set_dim("cpus_available", cpus as u64);
+    run_report.set_dim("n_rows", n_rows as u64);
+    run_report.set_metric("serial_fit_ms", serial_fit_ms);
+    run_report.set_metric(
+        "fit_speedup_4t",
+        report
+            .samples
+            .last()
+            .map_or(0.0, |s| s.fit_speedup_vs_serial),
+    );
+    if let Err(e) = run_report.finalize_and_write() {
+        eprintln!("bench_gbdt: cannot write run report: {e}");
+    }
+}

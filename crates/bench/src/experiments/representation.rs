@@ -114,9 +114,12 @@ pub fn fig09(data: &CostDataset) -> String {
 pub fn fig10(data: &CostDataset) -> String {
     let samples = if fast_mode() { 8 } else { 100 };
     let p = pipeline(data);
-    let r2s: Vec<f64> = (0..samples)
-        .map(|seed| p.run_signature(&RandomSelector::new(seed as u64)).r2)
-        .collect();
+    // One independent training run per seed — the experiment's hot loop.
+    // Ordered merge keeps the decile table identical at any thread count.
+    let seeds: Vec<u64> = (0..samples as u64).collect();
+    let r2s: Vec<f64> = gdcm_par::pool().par_map(&seeds, |&seed| {
+        p.run_signature(&RandomSelector::new(seed)).r2
+    });
 
     let mut out = String::new();
     let _ = writeln!(
@@ -174,8 +177,9 @@ pub fn fig11(data: &CostDataset) -> String {
     );
     let _ = writeln!(out, "| size | RS (avg of {rs_samples}) | MIS | SCCS |");
     let _ = writeln!(out, "|---|---|---|---|");
-    let mut mis_curve = Vec::new();
-    for &m in sizes {
+    // The size sweep fans out one task per signature size; each task's
+    // inner RS averaging stays serial so the pool isn't oversubscribed.
+    let size_rows: Vec<(f64, f64, f64)> = gdcm_par::pool().par_map(sizes, |&m| {
         let cfg = PipelineConfig {
             signature_size: m,
             ..PipelineConfig::default()
@@ -188,6 +192,10 @@ pub fn fig11(data: &CostDataset) -> String {
         );
         let mis = pm.run_signature(&MutualInfoSelector::default()).r2;
         let sccs = pm.run_signature(&SpearmanSelector::default()).r2;
+        (rs, mis, sccs)
+    });
+    let mut mis_curve = Vec::new();
+    for (&m, &(rs, mis, sccs)) in sizes.iter().zip(&size_rows) {
         mis_curve.push(mis);
         let _ = writeln!(out, "| {m} | {rs:.3} | {mis:.3} | {sccs:.3} |");
     }
@@ -229,25 +237,42 @@ pub fn table1(data: &CostDataset) -> String {
     let _ = writeln!(out, "|---|---|---|---|");
 
     let p = pipeline(data);
-    let selectors: [(&str, Box<dyn gdcm_core::SignatureSelector>); 3] = [
+    let selectors: [(&str, Box<dyn gdcm_core::SignatureSelector + Sync>); 3] = [
         ("RS", Box::new(RandomSelector::new(1))),
         ("MIS", Box::new(MutualInfoSelector::default())),
         ("SCCS", Box::new(SpearmanSelector::default())),
     ];
+    // All nine (selector, held-out cluster) folds are independent; fan
+    // them out and reassemble the table in fold order.
+    let folds: Vec<(usize, usize)> = (0..selectors.len())
+        .flat_map(|si| (0..3).map(move |tc| (si, tc)))
+        .collect();
+    let fold_results: Vec<(f64, f64)> = gdcm_par::pool().par_map(&folds, |&(si, tc)| {
+        let test = clusters.members[tc].clone();
+        let train: Vec<usize> = (0..3)
+            .filter(|&c| c != tc)
+            .flat_map(|c| clusters.members[c].clone())
+            .collect();
+        let r = p.run_signature_with_split(selectors[si].1.as_ref(), &train, &test);
+        (
+            r.r2,
+            gdcm_ml::metrics::spearman(&r.actual_ms, &r.predicted_ms),
+        )
+    });
     let mut measured = [[0f64; 3]; 3];
     let mut rank = [[0f64; 3]; 3];
-    for (si, (name, selector)) in selectors.iter().enumerate() {
+    for (&(si, tc), &(r2, rho)) in folds.iter().zip(&fold_results) {
+        measured[si][tc] = r2;
+        rank[si][tc] = rho;
+    }
+    for (si, (name, _)) in selectors.iter().enumerate() {
         let mut row = format!("| {name} |");
         for test_cluster in 0..3 {
-            let test = clusters.members[test_cluster].clone();
-            let train: Vec<usize> = (0..3)
-                .filter(|&c| c != test_cluster)
-                .flat_map(|c| clusters.members[c].clone())
-                .collect();
-            let r = p.run_signature_with_split(selector.as_ref(), &train, &test);
-            measured[si][test_cluster] = r.r2;
-            rank[si][test_cluster] = gdcm_ml::metrics::spearman(&r.actual_ms, &r.predicted_ms);
-            let _ = write!(row, " {:.3} (paper {:.3}) |", r.r2, paper[si][test_cluster]);
+            let _ = write!(
+                row,
+                " {:.3} (paper {:.3}) |",
+                measured[si][test_cluster], paper[si][test_cluster]
+            );
         }
         let _ = writeln!(out, "{row}");
     }

@@ -131,6 +131,43 @@ impl<'a> CostModelPipeline<'a> {
         )
     }
 
+    /// Evaluates the selector over many device splits in parallel, one
+    /// fold per `gdcm-par` task, and returns the reports **in fold
+    /// order**. With `GDCM_THREADS=1` this is exactly the sequential
+    /// loop; at any thread count the reports are bit-identical because
+    /// each fold's training run is itself deterministic and the merge
+    /// preserves submission order.
+    ///
+    /// The selector must be `Sync` because folds run concurrently; every
+    /// selector in this crate is stateless or seed-owned, so this is not
+    /// a restriction in practice.
+    pub fn run_signature_folds(
+        &self,
+        selector: &(dyn SignatureSelector + Sync),
+        folds: &[(Vec<usize>, Vec<usize>)],
+    ) -> Vec<EvalReport> {
+        gdcm_par::pool().par_map(folds, |(train, test)| {
+            self.run_signature_with_split(selector, train, test)
+        })
+    }
+
+    /// Leave-one-device-out evaluation (every device becomes the holdout
+    /// exactly once), folds evaluated in parallel. Report `i` corresponds
+    /// to device `i` being held out.
+    pub fn run_leave_device_out(
+        &self,
+        selector: &(dyn SignatureSelector + Sync),
+    ) -> Vec<EvalReport> {
+        let n = self.data.n_devices();
+        let folds: Vec<(Vec<usize>, Vec<usize>)> = (0..n)
+            .map(|held_out| {
+                let train: Vec<usize> = (0..n).filter(|&d| d != held_out).collect();
+                (train, vec![held_out])
+            })
+            .collect();
+        self.run_signature_folds(selector, &folds)
+    }
+
     /// Static run on an explicit device split.
     pub fn run_static_with_split(
         &self,
@@ -322,6 +359,40 @@ mod tests {
             (mean_pred / mean_actual) > 0.3 && (mean_pred / mean_actual) < 3.0,
             "pred {mean_pred} vs actual {mean_actual}"
         );
+    }
+
+    #[test]
+    fn parallel_folds_match_sequential_runs() {
+        let data = CostDataset::tiny(3, 6, 10);
+        let pipeline = CostModelPipeline::new(&data, config());
+        let selector = RandomSelector::new(2);
+        let folds: Vec<(Vec<usize>, Vec<usize>)> = vec![
+            ((0..7).collect(), (7..10).collect()),
+            ((3..10).collect(), (0..3).collect()),
+            ((0..5).collect(), (5..10).collect()),
+        ];
+        let parallel = pipeline.run_signature_folds(&selector, &folds);
+        let sequential: Vec<EvalReport> = folds
+            .iter()
+            .map(|(train, test)| pipeline.run_signature_with_split(&selector, train, test))
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn leave_device_out_covers_every_device() {
+        let data = CostDataset::tiny(3, 6, 8);
+        let pipeline = CostModelPipeline::new(&data, config());
+        let reports = pipeline.run_leave_device_out(&RandomSelector::new(0));
+        assert_eq!(reports.len(), data.n_devices());
+        for report in &reports {
+            // Exactly one held-out device => test rows = one device's
+            // non-signature networks.
+            assert_eq!(
+                report.actual_ms.len(),
+                data.n_networks() - report.signature.len()
+            );
+        }
     }
 
     #[test]

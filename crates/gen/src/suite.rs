@@ -68,6 +68,17 @@ pub fn benchmark_suite_with(
 /// re-drawn, exactly like a candidate outside the MAC budget. Rejections
 /// are counted under `gen/networks_rejected_by_gate`.
 ///
+/// Gate evaluation is parallelised *speculatively*: candidates are drawn
+/// serially from the single ChaCha stream (so the stream order never
+/// depends on the thread count), verdicts are computed in parallel over
+/// a batch, and acceptance is replayed in draw order. Because a
+/// candidate's name is a pure label (it never touches the RNG), accepted
+/// networks are renamed to their final `rand_{slot:03}` slot after the
+/// fact, making the suite bit-identical to the sequential loop at any
+/// `GDCM_THREADS` setting. Batches never exceed the number of still-open
+/// slots, so the stream is consumed exactly as far as the sequential
+/// loop would consume it.
+///
 /// # Panics
 ///
 /// Panics if the gate rejects 1000 consecutive candidates for one slot —
@@ -77,7 +88,7 @@ pub fn benchmark_suite_gated(
     seed: u64,
     space: SearchSpace,
     random_count: usize,
-    gate: &dyn Fn(&Network) -> bool,
+    gate: &(dyn Fn(&Network) -> bool + Sync),
 ) -> Vec<NamedNetwork> {
     let _span = gdcm_obs::span!("gen/benchmark_suite");
     let mut suite = Vec::with_capacity(PREDESIGNED_COUNT + random_count);
@@ -93,34 +104,62 @@ pub fn benchmark_suite_gated(
     // far outside it are re-drawn, keeping the suite comparable.
     const MAX_SUITE_MACS: u64 = 1_000_000_000;
     const MAX_GATE_REJECTIONS: u64 = 1000;
+    let pool = gdcm_par::pool();
     let mut rejected = 0u64;
     let mut gate_rejected = 0u64;
-    for i in 0..random_count {
-        let mut slot_gate_rejections = 0u64;
-        let network = loop {
+    // Gate rejections since the last acceptance — the sequential loop's
+    // per-slot counter, which survives across batches unchanged because
+    // acceptance is replayed in draw order.
+    let mut consecutive_gate_rejections = 0u64;
+    let mut accepted = 0usize;
+    while accepted < random_count {
+        let remaining = random_count - accepted;
+        let batch_target = if pool.threads() <= 1 {
+            1
+        } else {
+            remaining.min(pool.threads() * 2)
+        };
+        // Serial draw: the MAC filter is cheap and must consume the
+        // stream in order, so it stays on this thread.
+        let mut batch = Vec::with_capacity(batch_target);
+        while batch.len() < batch_target {
             let candidate = generator
-                .generate(format!("rand_{i:03}"))
+                .generate(format!("rand_{:03}", accepted + batch.len()))
                 .expect("generator emits only valid networks");
             if candidate.cost().total_macs > MAX_SUITE_MACS {
                 rejected += 1;
                 continue;
             }
-            if gate(&candidate) {
-                break candidate;
+            batch.push(candidate);
+        }
+        // Parallel (potentially expensive) gate verdicts, one per
+        // candidate, merged back in submission order.
+        let verdicts = pool.par_map(&batch, |candidate| gate(candidate));
+        for (candidate, passed) in batch.into_iter().zip(verdicts) {
+            if !passed {
+                gate_rejected += 1;
+                consecutive_gate_rejections += 1;
+                assert!(
+                    consecutive_gate_rejections < MAX_GATE_REJECTIONS,
+                    "suite gate rejected {MAX_GATE_REJECTIONS} consecutive candidates \
+                     for rand_{accepted:03}; the gate contradicts the search space"
+                );
+                continue;
             }
-            gate_rejected += 1;
-            slot_gate_rejections += 1;
-            assert!(
-                slot_gate_rejections < MAX_GATE_REJECTIONS,
-                "suite gate rejected {MAX_GATE_REJECTIONS} consecutive candidates \
-                 for rand_{i:03}; the gate contradicts the search space"
-            );
-        };
-        suite.push(NamedNetwork {
-            index: PREDESIGNED_COUNT + i,
-            network,
-            predesigned: false,
-        });
+            consecutive_gate_rejections = 0;
+            let name = format!("rand_{accepted:03}");
+            let network = if candidate.name() == name {
+                candidate
+            } else {
+                candidate.with_name(name)
+            };
+            suite.push(NamedNetwork {
+                index: PREDESIGNED_COUNT + accepted,
+                network,
+                predesigned: false,
+            });
+            accepted += 1;
+        }
     }
     gdcm_obs::counter("gen/networks_generated").add(suite.len() as u64);
     gdcm_obs::counter("gen/networks_rejected").add(rejected);

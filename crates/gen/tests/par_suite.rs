@@ -1,0 +1,41 @@
+//! Suite generation is bit-identical at any thread budget.
+//!
+//! One `#[test]` only — `gdcm_par::set_threads` is process-global.
+
+use gdcm_gen::{benchmark_suite_gated, benchmark_suite_with, SearchSpace};
+
+#[test]
+fn gated_suite_is_identical_across_thread_counts() {
+    let original = gdcm_par::threads();
+
+    gdcm_par::set_threads(1);
+    let serial = benchmark_suite_with(11, SearchSpace::tiny(), 9);
+    // A selective (but not hostile) gate exercises the speculative
+    // rename path: rejected candidates shift later acceptances into
+    // earlier slots.
+    let gate = |n: &gdcm_dnn::Network| !n.cost().total_macs.is_multiple_of(3);
+    let serial_gated = benchmark_suite_gated(11, SearchSpace::tiny(), 9, &gate);
+
+    for threads in [2usize, 4] {
+        gdcm_par::set_threads(threads);
+        let par = benchmark_suite_with(11, SearchSpace::tiny(), 9);
+        assert_eq!(serial, par, "plain suite differs at {threads} threads");
+        let par_gated = benchmark_suite_gated(11, SearchSpace::tiny(), 9, &gate);
+        assert_eq!(
+            serial_gated, par_gated,
+            "gated suite differs at {threads} threads"
+        );
+    }
+
+    // Slot names stay dense regardless of how many candidates the gate
+    // discarded along the way.
+    for (i, named) in serial_gated
+        .iter()
+        .skip(gdcm_gen::PREDESIGNED_COUNT)
+        .enumerate()
+    {
+        assert_eq!(named.name(), format!("rand_{i:03}"));
+    }
+
+    gdcm_par::set_threads(original);
+}

@@ -1,0 +1,71 @@
+//! Criterion benchmark: thread-count scaling of the parallel hot paths
+//! (GBDT fit, chunked batch prediction, forest fit).
+//!
+//! Set `GDCM_BENCH_FAST=1` to shrink the synthetic matrix for smoke runs
+//! (CI uses this). The bench restores the pool's thread budget when done.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor, RandomForestRegressor, Regressor};
+
+fn synthetic(n_rows: usize, n_cols: usize) -> (DenseMatrix, Vec<f32>) {
+    // Deterministic pseudo-data; no RNG needed for a throughput bench.
+    let rows: Vec<Vec<f32>> = (0..n_rows)
+        .map(|i| {
+            (0..n_cols)
+                .map(|j| ((i * 31 + j * 17) % 97) as f32 / 97.0)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f32> = rows
+        .iter()
+        .map(|r| r.iter().enumerate().map(|(j, v)| v * (j % 5) as f32).sum())
+        .collect();
+    (DenseMatrix::from_rows(&rows), y)
+}
+
+fn bench_par_scaling(c: &mut Criterion) {
+    let fast = std::env::var("GDCM_BENCH_FAST").is_ok();
+    let (n_rows, n_cols) = if fast { (500, 16) } else { (2000, 32) };
+    let (x, y) = synthetic(n_rows, n_cols);
+    let params = GbdtParams {
+        n_estimators: if fast { 10 } else { 30 },
+        ..GbdtParams::default()
+    };
+
+    let original_threads = gdcm_par::threads();
+    let budgets: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= gdcm_par::MAX_THREADS)
+        .collect();
+
+    let mut group = c.benchmark_group("par_scaling");
+    group.sample_size(10);
+    for &threads in &budgets {
+        gdcm_par::set_threads(threads);
+        group.bench_with_input(BenchmarkId::new("gbdt_fit", threads), &threads, |b, _| {
+            b.iter(|| GbdtRegressor::fit(&x, &y, &params));
+        });
+    }
+    let model = GbdtRegressor::fit(&x, &y, &params);
+    for &threads in &budgets {
+        gdcm_par::set_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("gbdt_predict", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| model.predict(&x));
+            },
+        );
+    }
+    for &threads in &budgets {
+        gdcm_par::set_threads(threads);
+        group.bench_with_input(BenchmarkId::new("forest_fit", threads), &threads, |b, _| {
+            b.iter(|| RandomForestRegressor::fit(&x, &y, if fast { 5 } else { 10 }, 6, 0));
+        });
+    }
+    group.finish();
+    gdcm_par::set_threads(original_threads);
+}
+
+criterion_group!(benches, bench_par_scaling);
+criterion_main!(benches);

@@ -2,7 +2,13 @@
 
 use crate::dataset::DenseMatrix;
 
-/// Maximum number of bins a feature may use (fits in a `u8` code).
+/// Maximum number of bins a feature may use.
+///
+/// Bin codes are stored as `u8`, so a budget above 256 would silently
+/// truncate codes and corrupt every histogram built from them.
+/// [`BinnedMatrix::from_matrix`] therefore rejects larger budgets
+/// outright instead of clamping — a caller asking for more bins than
+/// the storage can represent has a configuration bug worth surfacing.
 pub const MAX_BINS: usize = 256;
 
 /// A feature matrix quantized to per-feature quantile bins, stored
@@ -30,7 +36,9 @@ impl BinnedMatrix {
     ///
     /// # Panics
     ///
-    /// Panics when `max_bins` is 0 or exceeds [`MAX_BINS`].
+    /// Panics when `max_bins` is 0 or exceeds [`MAX_BINS`] — codes are
+    /// `u8`, so 257 bins cannot be represented and must not be clamped
+    /// silently (see [`MAX_BINS`]).
     pub fn from_matrix(x: &DenseMatrix, max_bins: usize) -> Self {
         assert!(
             (1..=MAX_BINS).contains(&max_bins),
@@ -86,6 +94,16 @@ impl BinnedMatrix {
     /// Number of bins used by feature `f` (`cuts + 1`).
     pub fn n_bins(&self, f: usize) -> usize {
         self.cuts[f].len() + 1
+    }
+
+    /// Largest per-feature bin count in this matrix (1 when there are no
+    /// features). Tree learners size their histogram scratch buffers to
+    /// this instead of the worst-case [`MAX_BINS`].
+    pub fn max_n_bins(&self) -> usize {
+        (0..self.n_features)
+            .map(|f| self.n_bins(f))
+            .max()
+            .unwrap_or(1)
     }
 
     /// The raw-value threshold corresponding to splitting feature `f`
@@ -213,5 +231,39 @@ mod tests {
     fn zero_bins_panics() {
         let x = DenseMatrix::from_rows(&[vec![1.0]]);
         let _ = BinnedMatrix::from_matrix(&x, 0);
+    }
+
+    #[test]
+    fn exactly_256_bins_is_accepted_and_codes_stay_faithful() {
+        // 300 distinct values under a 256-bin budget: every code must
+        // still round-trip through u8 without truncation.
+        let rows: Vec<Vec<f32>> = (0..300).map(|i| vec![i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let b = BinnedMatrix::from_matrix(&x, MAX_BINS);
+        assert!(b.n_bins(0) <= MAX_BINS);
+        assert!(b.max_n_bins() <= MAX_BINS);
+        let codes = b.feature_codes(0);
+        for w in codes.windows(2) {
+            assert!(w[0] <= w[1], "codes must stay monotone at the boundary");
+        }
+        assert_eq!(codes[0], 0);
+        assert_eq!(codes[299] as usize, b.n_bins(0) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_bins")]
+    fn bins_above_u8_range_are_rejected_not_truncated() {
+        let x = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let _ = BinnedMatrix::from_matrix(&x, MAX_BINS + 1);
+    }
+
+    #[test]
+    fn max_n_bins_tracks_widest_feature() {
+        // Feature 0: 2 distinct values -> 2 bins. Feature 1: many.
+        let rows: Vec<Vec<f32>> = (0..64).map(|i| vec![(i % 2) as f32, i as f32]).collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let b = BinnedMatrix::from_matrix(&x, 32);
+        assert_eq!(b.max_n_bins(), b.n_bins(1));
+        assert!(b.max_n_bins() > b.n_bins(0));
     }
 }

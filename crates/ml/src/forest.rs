@@ -54,14 +54,23 @@ impl RandomForestRegressor {
             .min(active.len().max(1));
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
-        let mut trees = Vec::with_capacity(n_trees);
-        for _ in 0..n_trees {
-            let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-            let mut feats = active.clone();
-            feats.shuffle(&mut rng);
-            feats.truncate(m_features);
-            trees.push(Tree::fit(&binned, &grad, &hess, &rows, &feats, &params));
-        }
+        // Draw every tree's bootstrap rows and feature subset serially
+        // first — the single ChaCha stream must be consumed in the same
+        // order as the old one-loop code — then fit the (now fully
+        // independent) trees in parallel. Results are collected in tree
+        // order, so the forest is bit-identical at any thread count.
+        let samples: Vec<(Vec<usize>, Vec<usize>)> = (0..n_trees)
+            .map(|_| {
+                let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                let mut feats = active.clone();
+                feats.shuffle(&mut rng);
+                feats.truncate(m_features);
+                (rows, feats)
+            })
+            .collect();
+        let trees = gdcm_par::pool().par_map(&samples, |(rows, feats)| {
+            Tree::fit(&binned, &grad, &hess, rows, feats, &params)
+        });
         Self {
             trees,
             n_features: x.n_cols(),
@@ -79,6 +88,26 @@ impl Regressor for RandomForestRegressor {
         debug_assert_eq!(row.len(), self.n_features, "feature count mismatch");
         let sum: f64 = self.trees.iter().map(|t| t.predict_row(row) as f64).sum();
         (sum / self.trees.len() as f64) as f32
+    }
+
+    /// Chunked batch prediction (same contract as the GBDT override:
+    /// flattened per-chunk outputs equal the serial row loop exactly).
+    fn predict(&self, x: &DenseMatrix) -> Vec<f32> {
+        let pool = gdcm_par::pool();
+        let work = x.n_rows().saturating_mul(self.trees.len().max(1));
+        if pool.threads() <= 1 || work < (1 << 15) {
+            return (0..x.n_rows())
+                .map(|i| self.predict_row(x.row(i)))
+                .collect();
+        }
+        pool.par_chunks(x.n_rows(), 256, |range| {
+            range
+                .map(|i| self.predict_row(x.row(i)))
+                .collect::<Vec<f32>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 

@@ -9,12 +9,19 @@ use rand::seq::SliceRandom;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::binning::BinnedMatrix;
 use crate::dataset::DenseMatrix;
-use crate::tree::{Tree, TreeParams};
+use crate::tree::{SharedFit, Tree, TreeParams};
 use crate::Regressor;
+
+/// Minimum `rows × trees` work below which batch prediction stays on
+/// the plain serial loop (chunk dispatch would cost more than it buys).
+const PAR_PREDICT_MIN_WORK: usize = 1 << 15;
+/// Minimum rows per prediction chunk, keeping per-chunk overhead small.
+const PAR_PREDICT_MIN_CHUNK: usize = 256;
 
 /// Hyper-parameters for [`GbdtRegressor`].
 ///
@@ -77,10 +84,21 @@ pub struct TrainingLog {
     pub round_train_rmse: Vec<f32>,
     /// Time spent building the binned feature matrix (ms).
     pub histogram_build_ms: f64,
-    /// Total time spent in tree fitting / split search (ms).
+    /// Total wall time spent in tree fitting / split search (ms).
     pub split_search_ms: f64,
     /// End-to-end `fit` wall time (ms).
     pub total_ms: f64,
+    /// Thread budget of the `gdcm-par` pool during this fit. `1` means
+    /// the exact serial code path ran.
+    pub threads_used: usize,
+    /// Cumulative pool busy time attributable to this fit (ms): the sum
+    /// of time all workers + inline shares spent executing this fit's
+    /// split-search jobs. `busy / wall` approximates the achieved
+    /// parallel speedup of the split phase.
+    pub split_search_busy_ms: f64,
+    /// Wall time of the serial per-round predict/residual update (ms) —
+    /// the portion of `total_ms` that does not parallelize.
+    pub predict_update_ms: f64,
 }
 
 impl TrainingLog {
@@ -134,7 +152,7 @@ impl GbdtRegressor {
 
         let n = x.n_rows();
         let hist_start = Instant::now();
-        let binned = BinnedMatrix::from_matrix(x, params.max_bins);
+        let binned = Arc::new(BinnedMatrix::from_matrix(x, params.max_bins));
         let histogram_build_ms = hist_start.elapsed().as_secs_f64() * 1e3;
         let base_score = y.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
         let base_score = base_score as f32;
@@ -153,17 +171,27 @@ impl GbdtRegressor {
         let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
 
         let mut preds = vec![base_score as f64; n];
-        let mut grad = vec![0f64; n];
-        let hess = vec![1f64; n];
+        let hess = Arc::new(vec![1f64; n]);
         let all_rows: Vec<usize> = (0..n).collect();
         let mut trees = Vec::with_capacity(params.n_estimators);
         let mut round_train_rmse = Vec::with_capacity(params.n_estimators);
         let mut split_search_ms = 0.0f64;
+        let mut predict_update_ms = 0.0f64;
+        let pool = gdcm_par::pool();
+        let threads_used = pool.threads();
+        let pool_busy_at_start_ms = pool.total_busy_ms();
 
         for _ in 0..params.n_estimators {
-            for i in 0..n {
-                grad[i] = preds[i] - y[i] as f64;
-            }
+            // Gradients are rebuilt per round (they depend on the
+            // running predictions) and handed to the split-search jobs
+            // via `Arc` — same values the old in-place update produced.
+            let grad: Arc<Vec<f64>> = Arc::new(
+                preds
+                    .iter()
+                    .zip(y)
+                    .map(|(&p, &target)| p - target as f64)
+                    .collect(),
+            );
 
             let rows: Vec<usize> = if params.subsample < 1.0 {
                 let k = ((n as f32 * params.subsample).round() as usize).max(1);
@@ -187,16 +215,23 @@ impl GbdtRegressor {
 
             // Hot loop: accumulate raw `Instant` deltas locally instead
             // of opening a span per round (see gdcm-obs docs).
+            let shared = SharedFit {
+                binned: Arc::clone(&binned),
+                grad,
+                hess: Arc::clone(&hess),
+            };
             let split_start = Instant::now();
-            let mut tree = Tree::fit(&binned, &grad, &hess, &rows, &feats, &tree_params);
+            let mut tree = Tree::fit_shared(&shared, &rows, &feats, &tree_params);
             split_search_ms += split_start.elapsed().as_secs_f64() * 1e3;
             tree.scale_leaves(params.learning_rate);
+            let update_start = Instant::now();
             let mut sq_err = 0.0f64;
             for i in 0..n {
                 preds[i] += tree.predict_row(x.row(i)) as f64;
                 let residual = preds[i] - y[i] as f64;
                 sq_err += residual * residual;
             }
+            predict_update_ms += update_start.elapsed().as_secs_f64() * 1e3;
             round_train_rmse.push((sq_err / n as f64).sqrt() as f32);
             trees.push(tree);
         }
@@ -206,6 +241,11 @@ impl GbdtRegressor {
             histogram_build_ms,
             split_search_ms,
             total_ms: fit_start.elapsed().as_secs_f64() * 1e3,
+            threads_used,
+            // The global pool is shared; concurrent fits would blur the
+            // attribution, but a fit's own jobs always dominate it.
+            split_search_busy_ms: (pool.total_busy_ms() - pool_busy_at_start_ms).max(0.0),
+            predict_update_ms,
         };
         gdcm_obs::counter("ml/gbdt/fits").incr();
         gdcm_obs::histogram("ml/gbdt/fit_ms").record(log.total_ms);
@@ -233,6 +273,18 @@ impl GbdtRegressor {
                     ),
                     ("hist_ms", gdcm_obs::FieldValue::F64(log.histogram_build_ms)),
                     ("split_ms", gdcm_obs::FieldValue::F64(log.split_search_ms)),
+                    (
+                        "threads",
+                        gdcm_obs::FieldValue::U64(log.threads_used as u64),
+                    ),
+                    (
+                        "split_busy_ms",
+                        gdcm_obs::FieldValue::F64(log.split_search_busy_ms),
+                    ),
+                    (
+                        "predict_update_ms",
+                        gdcm_obs::FieldValue::F64(log.predict_update_ms),
+                    ),
                 ],
             );
         }
@@ -287,6 +339,27 @@ impl Regressor for GbdtRegressor {
             acc += t.predict_row(row) as f64;
         }
         acc as f32
+    }
+
+    /// Chunked batch prediction on the `gdcm-par` pool. Rows are
+    /// independent, so the flattened per-chunk outputs are bit-identical
+    /// to the serial row loop at any thread count.
+    fn predict(&self, x: &DenseMatrix) -> Vec<f32> {
+        let pool = gdcm_par::pool();
+        let work = x.n_rows().saturating_mul(self.trees.len().max(1));
+        if pool.threads() <= 1 || work < PAR_PREDICT_MIN_WORK {
+            return (0..x.n_rows())
+                .map(|i| self.predict_row(x.row(i)))
+                .collect();
+        }
+        pool.par_chunks(x.n_rows(), PAR_PREDICT_MIN_CHUNK, |range| {
+            range
+                .map(|i| self.predict_row(x.row(i)))
+                .collect::<Vec<f32>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 

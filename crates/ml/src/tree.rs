@@ -5,9 +5,63 @@
 //! target, h = 1 for squared error) and random forests (g = −target,
 //! h = 1, λ = 0, which makes each leaf the mean of its targets).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::binning::BinnedMatrix;
+
+/// Reference-counted training state for [`Tree::fit_shared`].
+///
+/// The split search parallelizes over feature groups on the global
+/// `gdcm-par` pool, whose jobs are `'static`; wrapping the binned matrix
+/// and gradient/hessian vectors in `Arc`s lets worker jobs share them
+/// without copying the (large) training data per node.
+#[derive(Debug, Clone)]
+pub struct SharedFit {
+    /// Binned training matrix.
+    pub binned: Arc<BinnedMatrix>,
+    /// Per-row gradients.
+    pub grad: Arc<Vec<f64>>,
+    /// Per-row hessians.
+    pub hess: Arc<Vec<f64>>,
+}
+
+/// Borrowed per-fit context threaded through the recursive `grow`.
+/// `shared` is `Some` only when the caller opted into the parallel
+/// split search via [`Tree::fit_shared`].
+struct FitCtx<'a> {
+    binned: &'a BinnedMatrix,
+    grad: &'a [f64],
+    hess: &'a [f64],
+    shared: Option<&'a SharedFit>,
+}
+
+/// Reusable histogram buffers sized to the matrix's widest feature
+/// (instead of the former hard-coded 256-slot arrays, which silently
+/// relied on bin codes fitting in `u8`).
+struct HistScratch {
+    g: Vec<f64>,
+    h: Vec<f64>,
+    c: Vec<u32>,
+}
+
+impl HistScratch {
+    fn new(max_bins: usize) -> Self {
+        Self {
+            g: vec![0.0; max_bins],
+            h: vec![0.0; max_bins],
+            c: vec![0; max_bins],
+        }
+    }
+}
+
+/// Minimum `rows × features` work below which the parallel split search
+/// is not worth the dispatch overhead and the serial scan runs instead.
+/// The decision depends only on node size, never on thread count, and
+/// both paths produce identical candidates, so this is a pure
+/// performance knob.
+const PAR_SPLIT_MIN_WORK: usize = 1 << 15;
 
 /// Hyper-parameters of a single tree.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,28 +136,67 @@ impl Tree {
         active_features: &[usize],
         params: &TreeParams,
     ) -> Self {
-        assert_eq!(grad.len(), binned.n_rows(), "grad length mismatch");
-        assert_eq!(hess.len(), binned.n_rows(), "hess length mismatch");
+        let ctx = FitCtx {
+            binned,
+            grad,
+            hess,
+            shared: None,
+        };
+        Self::fit_ctx(&ctx, rows, active_features, params)
+    }
+
+    /// Like [`Tree::fit`], but over [`SharedFit`] state so large nodes
+    /// can search split features in parallel on the global `gdcm-par`
+    /// pool. Produces a bit-identical tree to `fit` at any thread count
+    /// (the candidate merge preserves the serial scan's first-best
+    /// tie-break).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grad`/`hess` lengths differ from the binned matrix's
+    /// row count.
+    pub fn fit_shared(
+        shared: &SharedFit,
+        rows: &[usize],
+        active_features: &[usize],
+        params: &TreeParams,
+    ) -> Self {
+        let ctx = FitCtx {
+            binned: &shared.binned,
+            grad: &shared.grad,
+            hess: &shared.hess,
+            shared: Some(shared),
+        };
+        Self::fit_ctx(&ctx, rows, active_features, params)
+    }
+
+    fn fit_ctx(
+        ctx: &FitCtx<'_>,
+        rows: &[usize],
+        active_features: &[usize],
+        params: &TreeParams,
+    ) -> Self {
+        assert_eq!(ctx.grad.len(), ctx.binned.n_rows(), "grad length mismatch");
+        assert_eq!(ctx.hess.len(), ctx.binned.n_rows(), "hess length mismatch");
         let mut tree = Tree { nodes: Vec::new() };
         let mut rows = rows.to_vec();
-        tree.grow(binned, grad, hess, &mut rows, active_features, params, 0);
+        let mut scratch = HistScratch::new(ctx.binned.max_n_bins());
+        tree.grow(ctx, &mut rows, active_features, params, 0, &mut scratch);
         tree
     }
 
     /// Recursively grows the subtree over `rows`, returning its node index.
-    #[allow(clippy::too_many_arguments)]
     fn grow(
         &mut self,
-        binned: &BinnedMatrix,
-        grad: &[f64],
-        hess: &[f64],
+        ctx: &FitCtx<'_>,
         rows: &mut [usize],
         active_features: &[usize],
         params: &TreeParams,
         depth: usize,
+        scratch: &mut HistScratch,
     ) -> usize {
-        let g_sum: f64 = rows.iter().map(|&r| grad[r]).sum();
-        let h_sum: f64 = rows.iter().map(|&r| hess[r]).sum();
+        let g_sum: f64 = rows.iter().map(|&r| ctx.grad[r]).sum();
+        let h_sum: f64 = rows.iter().map(|&r| ctx.hess[r]).sum();
 
         let make_leaf = |nodes: &mut Vec<TreeNode>| {
             let weight = (-g_sum / (h_sum + params.lambda)) as f32;
@@ -115,22 +208,13 @@ impl Tree {
             return make_leaf(&mut self.nodes);
         }
 
-        let best = find_best_split(
-            binned,
-            grad,
-            hess,
-            rows,
-            active_features,
-            params,
-            g_sum,
-            h_sum,
-        );
+        let best = find_best_split(ctx, rows, active_features, params, g_sum, h_sum, scratch);
         let Some(split) = best else {
             return make_leaf(&mut self.nodes);
         };
 
         // Partition rows in place: left block first.
-        let codes = binned.feature_codes(split.feature);
+        let codes = ctx.binned.feature_codes(split.feature);
         let mut mid = 0;
         for i in 0..rows.len() {
             if codes[rows[i]] <= split.bin {
@@ -146,27 +230,11 @@ impl Tree {
         let node_idx = self.nodes.len();
         self.nodes.push(TreeNode::Leaf { weight: 0.0 }); // placeholder
         let (left_rows, right_rows) = rows.split_at_mut(mid);
-        let left = self.grow(
-            binned,
-            grad,
-            hess,
-            left_rows,
-            active_features,
-            params,
-            depth + 1,
-        );
-        let right = self.grow(
-            binned,
-            grad,
-            hess,
-            right_rows,
-            active_features,
-            params,
-            depth + 1,
-        );
+        let left = self.grow(ctx, left_rows, active_features, params, depth + 1, scratch);
+        let right = self.grow(ctx, right_rows, active_features, params, depth + 1, scratch);
         self.nodes[node_idx] = TreeNode::Split {
             feature: split.feature,
-            threshold: binned.threshold(split.feature, split.bin),
+            threshold: ctx.binned.threshold(split.feature, split.bin),
             left,
             right,
         };
@@ -242,8 +310,104 @@ fn score(g: f64, h: f64, lambda: f64) -> f64 {
     g * g / (h + lambda)
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Dispatches between the serial scan and the feature-parallel search.
+/// Parallelism kicks in only for shared-state fits on nodes with enough
+/// `rows × features` work; both paths return the same candidate.
 fn find_best_split(
+    ctx: &FitCtx<'_>,
+    rows: &[usize],
+    active_features: &[usize],
+    params: &TreeParams,
+    g_sum: f64,
+    h_sum: f64,
+    scratch: &mut HistScratch,
+) -> Option<SplitCandidate> {
+    if let Some(shared) = ctx.shared {
+        let pool = gdcm_par::pool();
+        if pool.threads() > 1
+            && active_features.len() >= 2
+            && rows.len().saturating_mul(active_features.len()) >= PAR_SPLIT_MIN_WORK
+        {
+            return find_best_split_parallel(
+                shared,
+                pool,
+                rows,
+                active_features,
+                params,
+                g_sum,
+                h_sum,
+            );
+        }
+    }
+    best_split_over(
+        ctx.binned,
+        ctx.grad,
+        ctx.hess,
+        rows,
+        active_features,
+        params,
+        g_sum,
+        h_sum,
+        scratch,
+    )
+}
+
+/// Feature-parallel split search: `active_features` is cut into
+/// contiguous groups (in the caller's order), each group scanned by a
+/// pool job, and the per-group winners merged **in submission order**
+/// with a strictly-greater comparison. Ties on gain therefore resolve to
+/// the earliest feature in `active_features` — exactly the serial scan's
+/// tie-break — so the result is bit-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+fn find_best_split_parallel(
+    shared: &SharedFit,
+    pool: &gdcm_par::Pool,
+    rows: &[usize],
+    active_features: &[usize],
+    params: &TreeParams,
+    g_sum: f64,
+    h_sum: f64,
+) -> Option<SplitCandidate> {
+    let rows: Arc<Vec<usize>> = Arc::new(rows.to_vec());
+    let groups = pool.threads().min(active_features.len());
+    let group_len = active_features.len().div_ceil(groups);
+    let params = *params;
+    let jobs: Vec<gdcm_par::Job<Option<SplitCandidate>>> = active_features
+        .chunks(group_len)
+        .map(|features| {
+            let features = features.to_vec();
+            let shared = shared.clone();
+            let rows = Arc::clone(&rows);
+            let job: gdcm_par::Job<Option<SplitCandidate>> = Box::new(move || {
+                let mut scratch = HistScratch::new(shared.binned.max_n_bins());
+                best_split_over(
+                    &shared.binned,
+                    &shared.grad,
+                    &shared.hess,
+                    &rows,
+                    &features,
+                    &params,
+                    g_sum,
+                    h_sum,
+                    &mut scratch,
+                )
+            });
+            job
+        })
+        .collect();
+    let mut best: Option<SplitCandidate> = None;
+    for candidate in pool.run(jobs).into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| candidate.gain > b.gain) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// The serial split scan over one list of features — the shared core of
+/// both execution paths.
+#[allow(clippy::too_many_arguments)]
+fn best_split_over(
     binned: &BinnedMatrix,
     grad: &[f64],
     hess: &[f64],
@@ -252,13 +416,14 @@ fn find_best_split(
     params: &TreeParams,
     g_sum: f64,
     h_sum: f64,
+    scratch: &mut HistScratch,
 ) -> Option<SplitCandidate> {
     let parent_score = score(g_sum, h_sum, params.lambda);
     let mut best: Option<SplitCandidate> = None;
 
-    let mut hist_g = [0f64; 256];
-    let mut hist_h = [0f64; 256];
-    let mut hist_c = [0u32; 256];
+    let hist_g = &mut scratch.g;
+    let hist_h = &mut scratch.h;
+    let hist_c = &mut scratch.c;
 
     for &f in active_features {
         if binned.is_constant(f) {
@@ -328,6 +493,29 @@ mod tests {
         let rows: Vec<usize> = (0..y.len()).collect();
         let feats: Vec<usize> = (0..x.n_cols()).collect();
         Tree::fit(&binned, &grad, &hess, &rows, &feats, &params)
+    }
+
+    #[test]
+    fn shared_fit_matches_plain_fit() {
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![i as f32, (i * 7 % 31) as f32, (i % 13) as f32])
+            .collect();
+        let x = DenseMatrix::from_rows(&rows);
+        let y: Vec<f32> = (0..200).map(|i| ((i * 3) % 23) as f32).collect();
+        let binned = BinnedMatrix::from_matrix(&x, 64);
+        let grad: Vec<f64> = y.iter().map(|&v| -v as f64).collect();
+        let hess = vec![1.0; y.len()];
+        let row_idx: Vec<usize> = (0..y.len()).collect();
+        let feats: Vec<usize> = (0..x.n_cols()).collect();
+        let params = TreeParams::default();
+        let plain = Tree::fit(&binned, &grad, &hess, &row_idx, &feats, &params);
+        let shared = SharedFit {
+            binned: Arc::new(binned),
+            grad: Arc::new(grad),
+            hess: Arc::new(hess),
+        };
+        let via_shared = Tree::fit_shared(&shared, &row_idx, &feats, &params);
+        assert_eq!(plain, via_shared);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Parallel-vs-serial determinism: the same model, bit for bit, at any
+//! thread count.
+//!
+//! One `#[test]` only — `gdcm_par::set_threads` is process-global, so
+//! concurrent tests inside this binary would race on the budget.
+
+use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor, RandomForestRegressor, Regressor};
+
+fn synthetic(n_rows: usize, n_cols: usize) -> (DenseMatrix, Vec<f32>) {
+    let rows: Vec<Vec<f32>> = (0..n_rows)
+        .map(|i| {
+            (0..n_cols)
+                .map(|j| ((i * 131 + j * 29) % 251) as f32 / 251.0)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f32> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .map(|(j, v)| v * ((j % 7) as f32 - 3.0))
+                .sum()
+        })
+        .collect();
+    (DenseMatrix::from_rows(&rows), y)
+}
+
+#[test]
+fn models_are_bit_identical_across_thread_counts() {
+    // Big enough that both the split-search and predict parallel paths
+    // actually engage at >1 thread (rows * features >= 2^15).
+    let (x, y) = synthetic(1200, 32);
+    let params = GbdtParams {
+        n_estimators: 12,
+        ..GbdtParams::default()
+    };
+
+    let original = gdcm_par::threads();
+
+    gdcm_par::set_threads(1);
+    let gbdt_serial = GbdtRegressor::fit(&x, &y, &params);
+    let preds_serial = gbdt_serial.predict(&x);
+    let forest_serial = RandomForestRegressor::fit(&x, &y, 8, 6, 42);
+    let forest_preds_serial = forest_serial.predict(&x);
+
+    for threads in [2usize, 4] {
+        gdcm_par::set_threads(threads);
+        let gbdt_par = GbdtRegressor::fit(&x, &y, &params);
+        assert_eq!(
+            gbdt_serial, gbdt_par,
+            "GBDT model differs at {threads} threads"
+        );
+        let preds_par = gbdt_par.predict(&x);
+        let serial_bits: Vec<u32> = preds_serial.iter().map(|v| v.to_bits()).collect();
+        let par_bits: Vec<u32> = preds_par.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            serial_bits, par_bits,
+            "GBDT predictions differ at {threads} threads"
+        );
+
+        let forest_par = RandomForestRegressor::fit(&x, &y, 8, 6, 42);
+        assert_eq!(
+            forest_serial, forest_par,
+            "forest model differs at {threads} threads"
+        );
+        let fserial_bits: Vec<u32> = forest_preds_serial.iter().map(|v| v.to_bits()).collect();
+        let fpar_bits: Vec<u32> = forest_par.predict(&x).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            fserial_bits, fpar_bits,
+            "forest predictions differ at {threads} threads"
+        );
+    }
+
+    // Training telemetry reflects the active budget.
+    gdcm_par::set_threads(4);
+    let logged = GbdtRegressor::fit(&x, &y, &params);
+    let log = logged.training_log().expect("fit always records a log");
+    assert_eq!(log.threads_used, 4);
+
+    gdcm_par::set_threads(original);
+}

@@ -1,0 +1,702 @@
+//! # gdcm-par — deterministic data-parallel runtime
+//!
+//! A from-scratch worker pool on `std::thread` + `parking_lot` (the
+//! dependency policy sanctions nothing heavier; rayon is deliberately
+//! *not* vendored — see `DESIGN.md`). Every primitive in this crate obeys
+//! one contract:
+//!
+//! > **Parallel output is bit-identical to sequential output.**
+//!
+//! The contract is enforced structurally, not by luck:
+//!
+//! * [`Pool::run`] / [`Pool::par_map`] / [`Pool::par_chunks`] return
+//!   results **in submission order**, whatever order the workers finish
+//!   in. A caller that folds those results left-to-right (the argmax
+//!   merge in the GBDT split search, for example) therefore reproduces
+//!   the serial scan exactly, including tie-breaks.
+//! * [`Pool::par_reduce`] chunks its input by a **caller-fixed chunk
+//!   size** — never by thread count — and folds the chunk results
+//!   left-to-right on the calling thread. Non-associative operations
+//!   (floating-point sums) thus produce the same bits at any thread
+//!   count; only the chunk mapping runs in parallel.
+//! * `GDCM_THREADS=1` (or a one-core machine) short-circuits every
+//!   primitive to a plain inline loop on the calling thread — the exact
+//!   pre-pool serial code path, with no channels, spawns, or boxing.
+//!
+//! Thread budget: the `GDCM_THREADS` environment variable, defaulting to
+//! [`std::thread::available_parallelism`]. [`set_threads`] overrides the
+//! cached value at runtime (mirroring `gdcm_obs::force_mode`) so tests
+//! and benchmarks can compare thread counts within one process.
+//!
+//! Observability: the global pool reports a `par/pool_size` gauge, a
+//! `par/jobs` counter, and per-worker `par/workerNN/busy_us` counters
+//! through `gdcm-obs`, so every run report shows how busy the pool was.
+//!
+//! Two execution styles, by job granularity:
+//!
+//! * **Persistent workers** ([`Pool::run`]): `'static` jobs (`Arc` your
+//!   data in) dispatched to long-lived worker threads. This is the hot
+//!   path for fine-grained work like per-node split search, where
+//!   spawning a thread per call would dominate the work itself.
+//! * **Scoped helpers** ([`Pool::par_map`], [`Pool::par_chunks`],
+//!   [`Pool::par_reduce`], [`Pool::scope`]): borrow the caller's data
+//!   via [`std::thread::scope`]. Right for coarse work (an evaluation
+//!   fold, a tree, a batch of predictions) where a handful of spawns is
+//!   noise.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Condvar, OnceLock};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Hard upper bound on the thread budget; a typo like
+/// `GDCM_THREADS=1000000` must not fork-bomb the host.
+pub const MAX_THREADS: usize = 256;
+
+/// A boxed unit of work for [`Pool::run`]: owns its inputs (`'static`),
+/// returns its result by value.
+pub type Job<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// Type-erased job as it travels through the worker queue.
+type QueueJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Per-worker execution statistics, updated after every job.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    busy_us: AtomicU64,
+    jobs: AtomicU64,
+}
+
+/// The job queue workers and callers share. `closed` flips when the
+/// pool is dropped so idle workers wake up and exit.
+struct JobQueue {
+    jobs: VecDeque<QueueJob>,
+    closed: bool,
+}
+
+/// State shared between the pool handle and its worker threads.
+struct PoolShared {
+    /// The lock serializes job *pickup* only — workers never hold it
+    /// while waiting (they wait on `available`) or while executing.
+    queue: Mutex<JobQueue>,
+    /// Signalled once per pushed job and on shutdown.
+    available: Condvar,
+    stats: Mutex<Vec<Arc<WorkerStats>>>,
+}
+
+impl PoolShared {
+    /// Pops a job, blocking on the condvar while the queue is empty and
+    /// open. Returns `None` on shutdown.
+    fn next_job(&self) -> Option<QueueJob> {
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(job) = queue.jobs.pop_front() {
+                return Some(job);
+            }
+            if queue.closed {
+                return None;
+            }
+            // The vendored parking_lot facade hands out genuine
+            // `std::sync::MutexGuard`s, so the std condvar applies; its
+            // poisoning is unreachable (we recover the guard anyway).
+            queue = self
+                .available
+                .wait(queue)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Pops a job only if one is immediately available (caller drain).
+    fn try_next_job(&self) -> Option<QueueJob> {
+        self.queue.lock().jobs.pop_front()
+    }
+}
+
+/// A deterministic worker pool.
+///
+/// Most code uses the process-global instance via [`pool`] / [`threads`]
+/// / [`set_threads`]; tests construct private pools with [`Pool::new`]
+/// to exercise thread counts without touching global state.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    /// Current thread budget (callers + workers). Atomic so
+    /// [`Pool::set_threads`] can retune a live pool.
+    effective: AtomicUsize,
+    /// Busy time of job shares executed inline on calling threads.
+    inline_busy_us: AtomicU64,
+    /// Busy time inside scoped helpers (`par_map` and friends).
+    scoped_busy_us: AtomicU64,
+    /// Only the global pool publishes gauges/counters, so test pools
+    /// cannot fight over the metric names.
+    report_obs: bool,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads())
+            .field("workers_spawned", &self.workers_spawned())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a private pool with an explicit thread budget (clamped to
+    /// `1..=`[`MAX_THREADS`]). Workers are spawned lazily on first use.
+    pub fn new(threads: usize) -> Self {
+        Self::with_reporting(threads, false)
+    }
+
+    /// Creates the pool the process-global [`pool`] uses: budget from
+    /// `GDCM_THREADS` (invalid or `0` falls back to available
+    /// parallelism), obs reporting on.
+    pub fn from_env() -> Self {
+        Self::with_reporting(env_threads(), true)
+    }
+
+    fn with_reporting(threads: usize, report_obs: bool) -> Self {
+        let pool = Self {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(JobQueue {
+                    jobs: VecDeque::new(),
+                    closed: false,
+                }),
+                available: Condvar::new(),
+                stats: Mutex::new(Vec::new()),
+            }),
+            effective: AtomicUsize::new(threads.clamp(1, MAX_THREADS)),
+            inline_busy_us: AtomicU64::new(0),
+            scoped_busy_us: AtomicU64::new(0),
+            report_obs,
+        };
+        if report_obs {
+            gdcm_obs::gauge("par/pool_size").set(pool.threads() as f64);
+        }
+        pool
+    }
+
+    /// Current thread budget (includes the calling thread).
+    pub fn threads(&self) -> usize {
+        self.effective.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the thread budget at runtime (clamped to
+    /// `1..=`[`MAX_THREADS`]).
+    ///
+    /// Already-spawned workers stay alive but idle when the budget
+    /// shrinks; determinism never depends on the budget, so flipping it
+    /// mid-process is safe. Intended for tests and benchmarks comparing
+    /// thread counts in one process; production code should let
+    /// `GDCM_THREADS` decide.
+    pub fn set_threads(&self, threads: usize) {
+        self.effective
+            .store(threads.clamp(1, MAX_THREADS), Ordering::Relaxed);
+        if self.report_obs {
+            gdcm_obs::gauge("par/pool_size").set(self.threads() as f64);
+        }
+    }
+
+    /// Number of worker threads actually spawned so far (grows lazily up
+    /// to `threads() - 1`; the calling thread is the remaining budget).
+    pub fn workers_spawned(&self) -> usize {
+        self.shared.stats.lock().len()
+    }
+
+    /// Per-worker busy time in microseconds, indexed by worker id.
+    pub fn worker_busy_us(&self) -> Vec<u64> {
+        self.shared
+            .stats
+            .lock()
+            .iter()
+            .map(|s| s.busy_us.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total jobs executed by pool workers (excludes inline shares).
+    pub fn jobs_executed(&self) -> u64 {
+        self.shared
+            .stats
+            .lock()
+            .iter()
+            .map(|s| s.jobs.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Cumulative busy time across workers, inline [`Pool::run`] shares,
+    /// and scoped helpers, in milliseconds. Monotone over the pool's
+    /// lifetime; diff two readings to attribute busy time to a phase.
+    pub fn total_busy_ms(&self) -> f64 {
+        let workers: u64 = self.worker_busy_us().iter().sum();
+        let inline = self.inline_busy_us.load(Ordering::Relaxed);
+        let scoped = self.scoped_busy_us.load(Ordering::Relaxed);
+        (workers + inline + scoped) as f64 / 1e3
+    }
+
+    /// Spawns workers until `want` exist (capped at [`MAX_THREADS`]).
+    fn ensure_workers(&self, want: usize) {
+        let mut stats = self.shared.stats.lock();
+        while stats.len() < want.min(MAX_THREADS) {
+            let id = stats.len();
+            let worker = Arc::new(WorkerStats::default());
+            stats.push(Arc::clone(&worker));
+            let shared = Arc::clone(&self.shared);
+            let counter_name = self
+                .report_obs
+                .then(|| format!("par/worker{id:02}/busy_us"));
+            std::thread::Builder::new()
+                .name(format!("gdcm-par-{id}"))
+                .spawn(move || worker_loop(&shared, &worker, counter_name.as_deref()))
+                .expect("spawning a pool worker thread");
+        }
+    }
+
+    /// Executes owned jobs on the pool, returning results **in
+    /// submission order**. The calling thread participates (it runs the
+    /// first job, then drains the queue alongside the workers), so a
+    /// budget of `t` uses at most `t` threads in total.
+    ///
+    /// With a budget of 1 (or zero/one jobs) this is exactly
+    /// `jobs.into_iter().map(|j| j()).collect()` — the serial path.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic payload is re-raised on the calling
+    /// thread after all submitted jobs have reported back (the first
+    /// panicking job in submission order wins).
+    pub fn run<T: Send + 'static>(&self, jobs: Vec<Job<T>>) -> Vec<T> {
+        let n = jobs.len();
+        let threads = self.threads();
+        if threads <= 1 || n <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        self.ensure_workers(threads - 1);
+
+        let (result_tx, result_rx) = channel::<(usize, std::thread::Result<T>)>();
+        let mut jobs = jobs.into_iter();
+        let first = jobs.next().expect("n >= 2");
+        {
+            let mut queue = self.shared.queue.lock();
+            for (offset, job) in jobs.enumerate() {
+                let result_tx = result_tx.clone();
+                queue.jobs.push_back(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    // The receiver outlives this call; a send can only
+                    // fail if the caller already panicked, and then
+                    // nobody is listening anyway.
+                    let _ = result_tx.send((offset + 1, result));
+                }));
+            }
+        }
+        self.shared.available.notify_all();
+        drop(result_tx);
+
+        // The caller runs the first job, then keeps draining the queue
+        // so no submitted job ever waits on a busy worker while the
+        // caller idles.
+        let inline_start = Instant::now();
+        let first_result = catch_unwind(AssertUnwindSafe(first));
+        while let Some(job) = self.shared.try_next_job() {
+            job();
+        }
+        self.inline_busy_us
+            .fetch_add(inline_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+
+        let mut slots: Vec<Option<std::thread::Result<T>>> = (0..n).map(|_| None).collect();
+        slots[0] = Some(first_result);
+        for _ in 1..n {
+            let (index, result) = result_rx
+                .recv()
+                .expect("every queued job sends exactly one result");
+            slots[index] = Some(result);
+        }
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            match slot.expect("all job indices filled") {
+                Ok(value) => out.push(value),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Maps `f` over `items` on scoped threads, returning results in
+    /// item order. Items are split into at most `threads()` contiguous
+    /// chunks; the caller computes the first chunk itself.
+    ///
+    /// Per-element results are independent of the chunking, so the
+    /// output equals `items.iter().map(f).collect()` bit-for-bit.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let threads = self.threads();
+        if threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let groups = threads.min(items.len());
+        let chunk_len = items.len().div_ceil(groups);
+        let f = &f;
+        let mut out = Vec::with_capacity(items.len());
+        let busy_us = std::thread::scope(|scope| {
+            let mut chunks = items.chunks(chunk_len);
+            let first = chunks.next().expect("items is non-empty");
+            let handles: Vec<_> = chunks
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        let mapped: Vec<U> = chunk.iter().map(f).collect();
+                        (mapped, start.elapsed().as_micros() as u64)
+                    })
+                })
+                .collect();
+            let start = Instant::now();
+            out.extend(first.iter().map(f));
+            let mut busy_us = start.elapsed().as_micros() as u64;
+            for handle in handles {
+                let (mapped, us) = handle.join().unwrap_or_else(|e| resume_unwind(e));
+                busy_us += us;
+                out.extend(mapped);
+            }
+            busy_us
+        });
+        self.scoped_busy_us.fetch_add(busy_us, Ordering::Relaxed);
+        out
+    }
+
+    /// Splits `0..len` into at most `threads()` contiguous ranges of at
+    /// least `min_chunk` indices each, applies `f` to every range on
+    /// scoped threads, and returns the per-range results in range order.
+    ///
+    /// The *number* of ranges depends on the thread budget; callers that
+    /// need bit-identical output across budgets must produce per-index
+    /// results inside `f` and flatten (order is preserved), as the
+    /// batch-prediction paths do.
+    pub fn par_chunks<U, F>(&self, len: usize, min_chunk: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Range<usize>) -> U + Sync,
+    {
+        if len == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads();
+        let groups = threads.min(len.div_ceil(min_chunk.max(1))).max(1);
+        if groups <= 1 {
+            return vec![f(0..len)];
+        }
+        let chunk_len = len.div_ceil(groups);
+        let ranges: Vec<Range<usize>> = (0..groups)
+            .map(|g| g * chunk_len..((g + 1) * chunk_len).min(len))
+            .filter(|r| !r.is_empty())
+            .collect();
+        self.par_map(&ranges, |range| f(range.clone()))
+    }
+
+    /// Deterministic parallel reduction: `items` is cut into chunks of
+    /// exactly `chunk_size` (the last may be shorter), `map` turns each
+    /// `(chunk_index, chunk)` into a partial result in parallel, and the
+    /// partials are folded **left-to-right in chunk order** on the
+    /// calling thread. Returns `None` for empty input.
+    ///
+    /// Because the chunk boundaries come from `chunk_size` — never from
+    /// the thread budget — even non-associative reductions (f64 sums)
+    /// are bit-identical at any `GDCM_THREADS`.
+    pub fn par_reduce<T, U, M, R>(
+        &self,
+        items: &[T],
+        chunk_size: usize,
+        map: M,
+        reduce: R,
+    ) -> Option<U>
+    where
+        T: Sync,
+        U: Send,
+        M: Fn(usize, &[T]) -> U + Sync,
+        R: Fn(U, U) -> U,
+    {
+        if items.is_empty() {
+            return None;
+        }
+        let chunks: Vec<(usize, &[T])> = items.chunks(chunk_size.max(1)).enumerate().collect();
+        let partials = self.par_map(&chunks, |&(index, chunk)| map(index, chunk));
+        partials.into_iter().reduce(reduce)
+    }
+
+    /// Runs `f` with a [`Scope`] for structured fork/join on borrowed
+    /// data. With a budget of 1 every [`Scope::spawn`] executes inline
+    /// immediately (submission order), so joining tasks in submission
+    /// order is deterministic across budgets.
+    pub fn scope<'env, T, F>(&self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        if self.threads() <= 1 {
+            return f(&Scope { inner: None });
+        }
+        std::thread::scope(|scope| f(&Scope { inner: Some(scope) }))
+    }
+}
+
+impl Drop for Pool {
+    /// Closes the queue and wakes every idle worker so they exit.
+    /// Outstanding jobs still drain first (`next_job` pops before it
+    /// checks `closed`); the global pool simply never drops.
+    fn drop(&mut self) {
+        self.shared.queue.lock().closed = true;
+        self.shared.available.notify_all();
+    }
+}
+
+/// Structured-concurrency handle passed to [`Pool::scope`] closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    /// `None` means the serial path: spawns run inline.
+    inner: Option<&'scope std::thread::Scope<'scope, 'env>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Starts `task` (on a scoped thread, or inline on the serial path)
+    /// and returns a [`Task`] to join for its result.
+    pub fn spawn<T, F>(&self, task: F) -> Task<'scope, T>
+    where
+        T: Send + 'scope,
+        F: FnOnce() -> T + Send + 'scope,
+    {
+        match self.inner {
+            Some(scope) => Task {
+                inner: TaskInner::Spawned(scope.spawn(task)),
+            },
+            None => Task {
+                inner: TaskInner::Done(task()),
+            },
+        }
+    }
+}
+
+enum TaskInner<'scope, T> {
+    Done(T),
+    Spawned(std::thread::ScopedJoinHandle<'scope, T>),
+}
+
+/// A value being computed by [`Scope::spawn`].
+pub struct Task<'scope, T> {
+    inner: TaskInner<'scope, T>,
+}
+
+impl<T> Task<'_, T> {
+    /// Waits for the task and returns its value.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the task's panic, if any.
+    pub fn join(self) -> T {
+        match self.inner {
+            TaskInner::Done(value) => value,
+            TaskInner::Spawned(handle) => handle.join().unwrap_or_else(|e| resume_unwind(e)),
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, stats: &WorkerStats, counter_name: Option<&str>) {
+    // The loop ends when the pool is dropped (queue closed + drained).
+    while let Some(job) = shared.next_job() {
+        let start = Instant::now();
+        job();
+        let us = start.elapsed().as_micros() as u64;
+        stats.busy_us.fetch_add(us, Ordering::Relaxed);
+        stats.jobs.fetch_add(1, Ordering::Relaxed);
+        if let Some(name) = counter_name {
+            gdcm_obs::counter(name).add(us);
+            gdcm_obs::counter("par/jobs").incr();
+        }
+    }
+}
+
+/// Thread budget from `GDCM_THREADS`; invalid values and `0` fall back
+/// to available parallelism.
+fn env_threads() -> usize {
+    std::env::var("GDCM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .map(|t| t.min(MAX_THREADS))
+        .unwrap_or_else(default_parallelism)
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// The process-global pool. Created on first use from `GDCM_THREADS`.
+pub fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(Pool::from_env)
+}
+
+/// Thread budget of the global pool.
+pub fn threads() -> usize {
+    pool().threads()
+}
+
+/// Overrides the global pool's thread budget (see [`Pool::set_threads`]).
+pub fn set_threads(threads: usize) {
+    pool().set_threads(threads);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_preserves_submission_order() {
+        let pool = Pool::new(4);
+        let jobs: Vec<Job<usize>> = (0..64)
+            .map(|i| {
+                let job: Job<usize> = Box::new(move || i * 3);
+                job
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_serial_budget_needs_no_workers() {
+        let pool = Pool::new(1);
+        let jobs: Vec<Job<u32>> = (0..8)
+            .map(|i| {
+                let job: Job<u32> = Box::new(move || i + 1);
+                job
+            })
+            .collect();
+        assert_eq!(pool.run(jobs), (1..=8).collect::<Vec<_>>());
+        assert_eq!(pool.workers_spawned(), 0, "budget 1 must stay inline");
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<i64> = (0..1000).map(|i| i * 7 - 300).collect();
+        let serial: Vec<i64> = items.iter().map(|v| v * v - 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            assert_eq!(pool.par_map(&items, |v| v * v - 1), serial);
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_every_index_once() {
+        for (len, min_chunk, threads) in [(100, 1, 4), (7, 3, 4), (5, 64, 8), (1, 1, 2)] {
+            let pool = Pool::new(threads);
+            let ranges = pool.par_chunks(len, min_chunk, |r| r);
+            let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+            assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_is_bit_identical_across_budgets() {
+        // A deliberately non-associative f64 reduction: grouping changes
+        // the bits, so equality here proves chunking ignores threads.
+        let items: Vec<f64> = (0..1003).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+        let sum = |pool: &Pool| {
+            pool.par_reduce(&items, 128, |_, c| c.iter().sum::<f64>(), |a, b| a + b)
+                .expect("non-empty")
+        };
+        let serial = sum(&Pool::new(1));
+        for threads in [2, 3, 8] {
+            assert_eq!(sum(&Pool::new(threads)).to_bits(), serial.to_bits());
+        }
+    }
+
+    #[test]
+    fn scope_joins_in_submission_order() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let data = [10u64, 20, 30];
+            let total = pool.scope(|scope| {
+                let tasks: Vec<_> = data.iter().map(|&v| scope.spawn(move || v * 2)).collect();
+                tasks.into_iter().map(Task::join).collect::<Vec<_>>()
+            });
+            assert_eq!(total, vec![20, 40, 60]);
+        }
+    }
+
+    #[test]
+    fn workers_report_busy_time() {
+        let pool = Pool::new(3);
+        let jobs: Vec<Job<u64>> = (0..32)
+            .map(|i| {
+                let job: Job<u64> = Box::new(move || {
+                    // Enough work to register on the microsecond clock.
+                    (0..20_000u64).fold(i, |acc, v| acc.wrapping_mul(31).wrapping_add(v))
+                });
+                job
+            })
+            .collect();
+        let _ = pool.run(jobs);
+        assert!(pool.workers_spawned() >= 1);
+        assert!(pool.total_busy_ms() >= 0.0);
+    }
+
+    #[test]
+    fn set_threads_clamps_and_retunes() {
+        let pool = Pool::new(2);
+        pool.set_threads(0);
+        assert_eq!(pool.threads(), 1);
+        pool.set_threads(MAX_THREADS + 10);
+        assert_eq!(pool.threads(), MAX_THREADS);
+        pool.set_threads(4);
+        let out = pool.par_map(&[1, 2, 3], |v| v + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let out = pool().par_map(&[1u32, 2, 3], |v| v * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "job exploded")]
+    fn run_propagates_panics() {
+        let pool = Pool::new(4);
+        let jobs: Vec<Job<()>> = (0..8)
+            .map(|i| {
+                let job: Job<()> = Box::new(move || {
+                    if i == 5 {
+                        panic!("job exploded");
+                    }
+                });
+                job
+            })
+            .collect();
+        let _ = pool.run(jobs);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapper exploded")]
+    fn par_map_propagates_panics() {
+        let pool = Pool::new(4);
+        let items: Vec<u32> = (0..100).collect();
+        let _ = pool.par_map(&items, |&v| {
+            if v == 77 {
+                panic!("mapper exploded");
+            }
+            v
+        });
+    }
+}

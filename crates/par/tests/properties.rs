@@ -1,0 +1,95 @@
+//! Property-based determinism tests: for *any* input and *any* thread
+//! budget, every pool primitive must reproduce the serial result
+//! bit-for-bit. Private [`Pool`] instances keep the global pool (and its
+//! budget) untouched, so these properties can run concurrently.
+
+use gdcm_par::{Job, Pool};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `run` returns results in submission order at any budget.
+    #[test]
+    fn run_is_ordered(values in prop::collection::vec(-1_000_000i32..1_000_000, 0..80), threads in 1usize..9) {
+        let pool = Pool::new(threads);
+        let jobs: Vec<Job<i64>> = values
+            .iter()
+            .map(|&v| {
+                let job: Job<i64> = Box::new(move || v as i64 * 11 - 5);
+                job
+            })
+            .collect();
+        let expected: Vec<i64> = values.iter().map(|&v| v as i64 * 11 - 5).collect();
+        prop_assert_eq!(pool.run(jobs), expected);
+    }
+
+    /// `par_map` equals the serial map, element for element.
+    #[test]
+    fn par_map_is_serial_map(values in prop::collection::vec(-1e6f32..1e6, 0..200), threads in 1usize..9) {
+        let pool = Pool::new(threads);
+        let parallel = pool.par_map(&values, |&v| (v as f64).to_bits());
+        let serial: Vec<u64> = values.iter().map(|&v| (v as f64).to_bits()).collect();
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// `par_chunks` partitions `0..len` exactly, in order.
+    #[test]
+    fn par_chunks_partitions(len in 0usize..500, min_chunk in 1usize..64, threads in 1usize..9) {
+        let pool = Pool::new(threads);
+        let flat: Vec<usize> = pool
+            .par_chunks(len, min_chunk, |r| r.collect::<Vec<usize>>())
+            .into_iter()
+            .flatten()
+            .collect();
+        prop_assert_eq!(flat, (0..len).collect::<Vec<usize>>());
+    }
+
+    /// `par_reduce` over f64 sums — a non-associative reduction — is
+    /// bit-identical between budget 1 and budget N for a fixed chunk
+    /// size. This is the property the GBDT determinism guarantee rests
+    /// on.
+    #[test]
+    fn par_reduce_bits_match_serial(
+        values in prop::collection::vec(-1e6f64..1e6, 1..400),
+        chunk_size in 1usize..97,
+        threads in 2usize..9,
+    ) {
+        let reduce = |pool: &Pool| {
+            pool.par_reduce(&values, chunk_size, |_, c| c.iter().sum::<f64>(), |a, b| a + b)
+                .expect("input is non-empty")
+        };
+        let serial = reduce(&Pool::new(1));
+        let parallel = reduce(&Pool::new(threads));
+        prop_assert_eq!(parallel.to_bits(), serial.to_bits());
+    }
+
+    /// Ordered argmax merge over chunked candidates (the split-search
+    /// merge shape): first strictly-greatest value wins, independent of
+    /// chunking and budget.
+    #[test]
+    fn ordered_argmax_matches_serial(values in prop::collection::vec(0u32..50, 1..300), threads in 1usize..9) {
+        let serial = values
+            .iter()
+            .enumerate()
+            .fold(None::<(usize, u32)>, |best, (i, &v)| match best {
+                Some((_, bv)) if v <= bv => best,
+                _ => Some((i, v)),
+            });
+        let pool = Pool::new(threads);
+        let per_chunk = pool.par_chunks(values.len(), 7, |r| {
+            r.fold(None::<(usize, u32)>, |best, i| match best {
+                Some((_, bv)) if values[i] <= bv => best,
+                _ => Some((i, values[i])),
+            })
+        });
+        let merged = per_chunk
+            .into_iter()
+            .flatten()
+            .fold(None::<(usize, u32)>, |best, (i, v)| match best {
+                Some((_, bv)) if v <= bv => best,
+                _ => Some((i, v)),
+            });
+        prop_assert_eq!(merged, serial);
+    }
+}

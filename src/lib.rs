@@ -13,6 +13,7 @@
 //!   ([`gdcm_core`]).
 //! * [`obs`] — structured tracing, metrics, and run reports
 //!   ([`gdcm_obs`]).
+//! * [`par`] — deterministic data-parallel runtime ([`gdcm_par`]).
 //!
 //! See the repository `README.md` for the full tour and `DESIGN.md` for
 //! the paper-to-module map.
@@ -25,4 +26,5 @@ pub use gdcm_dnn as dnn;
 pub use gdcm_gen as gen;
 pub use gdcm_ml as ml;
 pub use gdcm_obs as obs;
+pub use gdcm_par as par;
 pub use gdcm_sim as sim;

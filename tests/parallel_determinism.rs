@@ -1,0 +1,66 @@
+//! End-to-end parallel-vs-serial equivalence: the full pipeline, the
+//! verified suite, and fold evaluation produce bit-identical artifacts
+//! at `GDCM_THREADS=1` and at 4 threads.
+//!
+//! One `#[test]` only — `gdcm_par::set_threads` is process-global, so
+//! concurrent tests inside this binary would race on the budget.
+
+use generalizable_dnn_cost_models::analyze::{verified_benchmark_suite_with, Analyzer, Report};
+use generalizable_dnn_cost_models::core::signature::RandomSelector;
+use generalizable_dnn_cost_models::core::{CostDataset, CostModelPipeline, PipelineConfig};
+use generalizable_dnn_cost_models::gen::SearchSpace;
+use generalizable_dnn_cost_models::ml::GbdtParams;
+
+#[test]
+fn pipeline_suite_and_folds_are_identical_across_thread_counts() {
+    let data = CostDataset::tiny(5, 12, 16);
+    let config = PipelineConfig {
+        signature_size: 4,
+        gbdt: GbdtParams {
+            n_estimators: 30,
+            ..GbdtParams::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let pipeline = CostModelPipeline::new(&data, config);
+    let selector = RandomSelector::new(9);
+    let folds: Vec<(Vec<usize>, Vec<usize>)> = vec![
+        ((0..7).collect(), (7..10).collect()),
+        ((3..10).collect(), (0..3).collect()),
+    ];
+
+    let original = generalizable_dnn_cost_models::par::threads();
+
+    // The analyzer sweep's parallel shape: ordered par_map of per-network
+    // diagnostics, exactly what crates/analyze/src/main.rs runs.
+    let analyzer = Analyzer::structural();
+    let sweep = |suite: &[generalizable_dnn_cost_models::gen::NamedNetwork]| -> Vec<Report> {
+        generalizable_dnn_cost_models::par::pool()
+            .par_map(suite, |named| analyzer.analyze(&named.network))
+    };
+
+    generalizable_dnn_cost_models::par::set_threads(1);
+    let report_serial = pipeline.run_signature(&selector);
+    let folds_serial = pipeline.run_signature_folds(&selector, &folds);
+    let suite_serial = verified_benchmark_suite_with(5, SearchSpace::tiny(), 6);
+    let diags_serial = sweep(&suite_serial);
+
+    generalizable_dnn_cost_models::par::set_threads(4);
+    let report_par = pipeline.run_signature(&selector);
+    let folds_par = pipeline.run_signature_folds(&selector, &folds);
+    let suite_par = verified_benchmark_suite_with(5, SearchSpace::tiny(), 6);
+    let diags_par = sweep(&suite_par);
+
+    assert_eq!(report_serial, report_par, "EvalReport differs at 4 threads");
+    assert_eq!(folds_serial, folds_par, "fold reports differ at 4 threads");
+    assert_eq!(
+        suite_serial, suite_par,
+        "verified suite differs at 4 threads"
+    );
+    assert_eq!(
+        diags_serial, diags_par,
+        "analyzer diagnostics differ at 4 threads"
+    );
+
+    generalizable_dnn_cost_models::par::set_threads(original);
+}
