@@ -12,6 +12,14 @@
 //! | `GDCM020`–`GDCM029` | cost-accounting audit |
 //! | `GDCM030`–`GDCM039` | search-space conformance |
 //! | `GDCM040`–`GDCM049` | encoding invariants |
+//! | `GDCM100`–`GDCM119` | trained-ensemble verification (`gdcm-audit`) |
+//! | `GDCM120`–`GDCM129` | dataset lints (`gdcm-audit`) |
+//! | `GDCM130`–`GDCM139` | fold-contamination checks (`gdcm-audit`) |
+//!
+//! The `GDCM1xx` family is emitted by the sibling `gdcm-audit` crate,
+//! which verifies everything *downstream* of the IR (trained ensembles,
+//! feature matrices, fold plans) but shares this diagnostics model so
+//! both code families render into one report format.
 //!
 //! Codes are append-only: a released code never changes meaning and is
 //! never reused, so CI logs and suppression lists stay valid across
@@ -105,12 +113,75 @@ pub enum DiagCode {
     EncodingNonFinite,
     /// The encoder failed to represent an operator the IR can express.
     EncodingNotTotal,
+    // --- audit pass 1: trained-ensemble verification ------------------
+    /// A split node references a feature index at or beyond the model's
+    /// declared feature count.
+    EnsembleFeatureOutOfBounds,
+    /// A split threshold is NaN or infinite.
+    NonFiniteSplitThreshold,
+    /// A leaf weight is NaN or infinite.
+    NonFiniteLeafWeight,
+    /// A split's child index points outside the tree's node arena.
+    TreeChildOutOfBounds,
+    /// Walking the tree from its root revisits a node — the arena encodes
+    /// a cycle or a shared subtree, neither of which `grow` can produce.
+    TreeCycle,
+    /// A node in the arena is unreachable from the tree root.
+    UnreachableTreeNode,
+    /// A root-to-leaf path is deeper than `GbdtParams::max_depth`.
+    TreeDepthExceeded,
+    /// A tree has more reachable leaves than `2^max_depth` allows.
+    TreeLeafBudgetExceeded,
+    /// A split threshold is not one of the bin edges of the
+    /// `BinnedMatrix` the ensemble was trained on (or splits a constant
+    /// feature, which has no bin edges at all).
+    ThresholdOffGrid,
+    /// The ensemble's base score is NaN or infinite.
+    NonFiniteBaseScore,
+    /// The independent reference predictor (naive recursive walk)
+    /// disagrees bit-for-bit with the fast batched predict path.
+    ReferencePredictMismatch,
+    /// Feature importance re-derived from reachable tree structure
+    /// disagrees with the model's reported `feature_importance`.
+    ImportanceMismatch,
+    /// The ensemble contains no trees — every prediction is the base
+    /// score.
+    EmptyEnsemble,
+    // --- audit pass 2: dataset lints ----------------------------------
+    /// A feature cell is NaN or infinite.
+    NonFiniteFeature,
+    /// A label is NaN or infinite.
+    NonFiniteLabel,
+    /// A feature column takes a single value across every row.
+    ConstantFeatureColumn,
+    /// Two feature columns are bitwise identical across every row.
+    DuplicateFeatureColumn,
+    /// Two rows have bitwise-identical feature vectors.
+    DuplicateNetworkRow,
+    /// A label is a robust-z outlier relative to the label distribution.
+    LabelOutlier,
+    /// A column's exact constancy disagrees with the fitted scaler's
+    /// zero-variance freeze mask.
+    ScalerFrozenMismatch,
+    // --- audit pass 3: fold-contamination checks ----------------------
+    /// A signature network appears among the train/eval networks of a
+    /// fold — signature rows must never leak into evaluation.
+    SignatureLeak,
+    /// A device appears in both the train and test sides of a fold.
+    DeviceLeak,
+    /// A fold has an empty train or test side.
+    EmptyFold,
+    /// A fold references a device index outside the population.
+    FoldIndexOutOfRange,
+    /// A leave-device-out plan does not hold each device out exactly
+    /// once.
+    IncompleteCoverage,
 }
 
 impl DiagCode {
     /// Every code, in numeric order — the source of truth for the
     /// reference table in the README.
-    pub const ALL: [DiagCode; 25] = [
+    pub const ALL: [DiagCode; 50] = [
         DiagCode::NonTopologicalEdge,
         DiagCode::UnknownNodeRef,
         DiagCode::DeadNode,
@@ -136,6 +207,31 @@ impl DiagCode {
         DiagCode::EncodingNondeterministic,
         DiagCode::EncodingNonFinite,
         DiagCode::EncodingNotTotal,
+        DiagCode::EnsembleFeatureOutOfBounds,
+        DiagCode::NonFiniteSplitThreshold,
+        DiagCode::NonFiniteLeafWeight,
+        DiagCode::TreeChildOutOfBounds,
+        DiagCode::TreeCycle,
+        DiagCode::UnreachableTreeNode,
+        DiagCode::TreeDepthExceeded,
+        DiagCode::TreeLeafBudgetExceeded,
+        DiagCode::ThresholdOffGrid,
+        DiagCode::NonFiniteBaseScore,
+        DiagCode::ReferencePredictMismatch,
+        DiagCode::ImportanceMismatch,
+        DiagCode::EmptyEnsemble,
+        DiagCode::NonFiniteFeature,
+        DiagCode::NonFiniteLabel,
+        DiagCode::ConstantFeatureColumn,
+        DiagCode::DuplicateFeatureColumn,
+        DiagCode::DuplicateNetworkRow,
+        DiagCode::LabelOutlier,
+        DiagCode::ScalerFrozenMismatch,
+        DiagCode::SignatureLeak,
+        DiagCode::DeviceLeak,
+        DiagCode::EmptyFold,
+        DiagCode::FoldIndexOutOfRange,
+        DiagCode::IncompleteCoverage,
     ];
 
     /// The numeric part of the stable code.
@@ -166,6 +262,31 @@ impl DiagCode {
             DiagCode::EncodingNondeterministic => 41,
             DiagCode::EncodingNonFinite => 42,
             DiagCode::EncodingNotTotal => 43,
+            DiagCode::EnsembleFeatureOutOfBounds => 100,
+            DiagCode::NonFiniteSplitThreshold => 101,
+            DiagCode::NonFiniteLeafWeight => 102,
+            DiagCode::TreeChildOutOfBounds => 103,
+            DiagCode::TreeCycle => 104,
+            DiagCode::UnreachableTreeNode => 105,
+            DiagCode::TreeDepthExceeded => 106,
+            DiagCode::TreeLeafBudgetExceeded => 107,
+            DiagCode::ThresholdOffGrid => 108,
+            DiagCode::NonFiniteBaseScore => 109,
+            DiagCode::ReferencePredictMismatch => 110,
+            DiagCode::ImportanceMismatch => 111,
+            DiagCode::EmptyEnsemble => 112,
+            DiagCode::NonFiniteFeature => 120,
+            DiagCode::NonFiniteLabel => 121,
+            DiagCode::ConstantFeatureColumn => 122,
+            DiagCode::DuplicateFeatureColumn => 123,
+            DiagCode::DuplicateNetworkRow => 124,
+            DiagCode::LabelOutlier => 125,
+            DiagCode::ScalerFrozenMismatch => 126,
+            DiagCode::SignatureLeak => 130,
+            DiagCode::DeviceLeak => 131,
+            DiagCode::EmptyFold => 132,
+            DiagCode::FoldIndexOutOfRange => 133,
+            DiagCode::IncompleteCoverage => 134,
         }
     }
 
@@ -174,21 +295,29 @@ impl DiagCode {
         format!("GDCM{:03}", self.number())
     }
 
-    /// The analyzer pass that can emit this code.
+    /// The analyzer or audit pass that can emit this code.
     pub fn pass(self) -> Pass {
         match self.number() {
             0..=9 => Pass::WellFormedness,
             10..=19 => Pass::Shapes,
             20..=29 => Pass::Costs,
             30..=39 => Pass::Conformance,
-            _ => Pass::Encoding,
+            40..=49 => Pass::Encoding,
+            100..=119 => Pass::Ensemble,
+            120..=129 => Pass::Dataset,
+            _ => Pass::Folds,
         }
     }
 
     /// Default severity of this code.
     pub fn severity(self) -> Severity {
         match self {
-            DiagCode::MacBudgetExceeded => Severity::Warning,
+            DiagCode::MacBudgetExceeded
+            | DiagCode::EmptyEnsemble
+            | DiagCode::ConstantFeatureColumn
+            | DiagCode::DuplicateFeatureColumn
+            | DiagCode::DuplicateNetworkRow
+            | DiagCode::LabelOutlier => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -223,6 +352,43 @@ impl DiagCode {
             DiagCode::EncodingNondeterministic => "encoding the same network twice differed",
             DiagCode::EncodingNonFinite => "encoding contains NaN or infinite features",
             DiagCode::EncodingNotTotal => "encoder cannot represent an expressible operator",
+            DiagCode::EnsembleFeatureOutOfBounds => {
+                "split references a feature index beyond the model's feature count"
+            }
+            DiagCode::NonFiniteSplitThreshold => "split threshold is NaN or infinite",
+            DiagCode::NonFiniteLeafWeight => "leaf weight is NaN or infinite",
+            DiagCode::TreeChildOutOfBounds => "split child index outside the tree's node arena",
+            DiagCode::TreeCycle => "tree walk revisits a node (cycle or shared subtree)",
+            DiagCode::UnreachableTreeNode => "arena node unreachable from the tree root",
+            DiagCode::TreeDepthExceeded => "root-to-leaf path deeper than GbdtParams::max_depth",
+            DiagCode::TreeLeafBudgetExceeded => "more reachable leaves than 2^max_depth allows",
+            DiagCode::ThresholdOffGrid => {
+                "split threshold is not a bin edge of the training BinnedMatrix"
+            }
+            DiagCode::NonFiniteBaseScore => "ensemble base score is NaN or infinite",
+            DiagCode::ReferencePredictMismatch => {
+                "reference predictor disagrees bit-for-bit with batched predict"
+            }
+            DiagCode::ImportanceMismatch => {
+                "re-derived feature importance disagrees with the model's"
+            }
+            DiagCode::EmptyEnsemble => "ensemble contains no trees",
+            DiagCode::NonFiniteFeature => "feature cell is NaN or infinite",
+            DiagCode::NonFiniteLabel => "label is NaN or infinite",
+            DiagCode::ConstantFeatureColumn => "feature column constant across every row",
+            DiagCode::DuplicateFeatureColumn => "two feature columns bitwise identical",
+            DiagCode::DuplicateNetworkRow => "two rows have bitwise-identical feature vectors",
+            DiagCode::LabelOutlier => "label is a robust-z outlier",
+            DiagCode::ScalerFrozenMismatch => {
+                "column constancy disagrees with the scaler's zero-variance freeze mask"
+            }
+            DiagCode::SignatureLeak => "signature network leaked into a fold's train/eval set",
+            DiagCode::DeviceLeak => "device appears in both train and test sides of a fold",
+            DiagCode::EmptyFold => "fold has an empty train or test side",
+            DiagCode::FoldIndexOutOfRange => "fold references a device outside the population",
+            DiagCode::IncompleteCoverage => {
+                "leave-device-out plan does not hold each device out exactly once"
+            }
         }
     }
 }
@@ -233,7 +399,7 @@ impl fmt::Display for DiagCode {
     }
 }
 
-/// The five analyzer passes.
+/// The five analyzer passes plus the three `gdcm-audit` passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Pass {
     /// Pass 1 — graph well-formedness.
@@ -246,6 +412,12 @@ pub enum Pass {
     Conformance,
     /// Pass 5 — encoding invariants.
     Encoding,
+    /// Audit pass 1 — trained-ensemble verification (`gdcm-audit`).
+    Ensemble,
+    /// Audit pass 2 — dataset lints (`gdcm-audit`).
+    Dataset,
+    /// Audit pass 3 — fold-contamination checks (`gdcm-audit`).
+    Folds,
 }
 
 impl fmt::Display for Pass {
@@ -256,21 +428,29 @@ impl fmt::Display for Pass {
             Pass::Costs => "costs",
             Pass::Conformance => "conformance",
             Pass::Encoding => "encoding",
+            Pass::Ensemble => "ensemble",
+            Pass::Dataset => "dataset",
+            Pass::Folds => "folds",
         };
         write!(f, "{name}")
     }
 }
 
-/// One analyzer finding, anchored to a network and (usually) a node.
+/// One finding, anchored to a subject (a network, model, dataset, or
+/// fold plan) and usually to an index within it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Diagnostic {
     /// Stable code.
     pub code: DiagCode,
     /// Severity (defaults to [`DiagCode::severity`]).
     pub severity: Severity,
-    /// Name of the offending network.
+    /// Name of the offending subject. Analyzer codes anchor to a
+    /// network; audit codes anchor to a model, dataset, or fold-plan
+    /// label. (Field name kept for serialized-report stability.)
     pub network: String,
-    /// Offending node, when the finding anchors to one.
+    /// Offending index within the subject, when the finding anchors to
+    /// one: a graph node for analyzer codes; a tree, column, row, or
+    /// fold index for audit codes.
     pub node: Option<usize>,
     /// Human-readable detail.
     pub message: String,
@@ -300,6 +480,22 @@ impl Diagnostic {
         Self {
             node: Some(node.index()),
             ..Self::network_level(code, network, message)
+        }
+    }
+
+    /// Creates a diagnostic anchored to an arbitrary index within its
+    /// subject — a tree, column, row, or fold — with the code's default
+    /// severity. The audit-family counterpart of [`Diagnostic::at_node`],
+    /// which insists on a graph [`NodeId`].
+    pub fn at_index(
+        code: DiagCode,
+        subject: &str,
+        index: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            node: Some(index),
+            ..Self::network_level(code, subject, message)
         }
     }
 
@@ -408,6 +604,9 @@ mod tests {
         assert_eq!(DiagCode::NonTopologicalEdge.code(), "GDCM001");
         assert_eq!(DiagCode::ShapeMismatch.code(), "GDCM010");
         assert_eq!(DiagCode::EncodingNotTotal.code(), "GDCM043");
+        assert_eq!(DiagCode::EnsembleFeatureOutOfBounds.code(), "GDCM100");
+        assert_eq!(DiagCode::NonFiniteFeature.code(), "GDCM120");
+        assert_eq!(DiagCode::IncompleteCoverage.code(), "GDCM134");
     }
 
     #[test]
@@ -418,10 +617,27 @@ mod tests {
                 10..=19 => Pass::Shapes,
                 20..=29 => Pass::Costs,
                 30..=39 => Pass::Conformance,
-                _ => Pass::Encoding,
+                40..=49 => Pass::Encoding,
+                100..=119 => Pass::Ensemble,
+                120..=129 => Pass::Dataset,
+                _ => Pass::Folds,
             };
             assert_eq!(code.pass(), expected, "{code}");
         }
+    }
+
+    #[test]
+    fn audit_diagnostic_anchors_to_index() {
+        let d = Diagnostic::at_index(
+            DiagCode::TreeChildOutOfBounds,
+            "gbdt/RS",
+            3,
+            "split child 99 outside arena of 7 nodes",
+        );
+        assert_eq!(d.node, Some(3));
+        assert_eq!(d.severity, Severity::Error);
+        let pretty = d.to_string();
+        assert!(pretty.contains("error[GDCM103] gbdt/RS @ n3"), "{pretty}");
     }
 
     #[test]

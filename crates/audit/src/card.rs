@@ -1,0 +1,111 @@
+//! Model cards — the audit's durable artifact.
+//!
+//! A [`ModelCard`] pairs the structural summary of one trained ensemble
+//! (trees, features, depth, leaves) with the full diagnostic [`Report`]
+//! the audit produced for it. Cards serialize to JSON for the sweep
+//! binary's report file and pretty-print for terminals.
+
+use gdcm_analyze::Report;
+use gdcm_ml::{GbdtRegressor, TreeNode};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary + verdict for one audited model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCard {
+    /// Audit subject label (e.g. `"gbdt/MIS"`).
+    pub subject: String,
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Declared feature width.
+    pub n_features: usize,
+    /// The ensemble's base score.
+    pub base_score: f32,
+    /// Total leaves across all trees.
+    pub n_leaves: usize,
+    /// Deepest root-to-leaf path across all trees (0 for stump-free
+    /// models is impossible: a lone leaf has depth 0).
+    pub max_depth: usize,
+    /// Rows in the training matrix the audit inspected.
+    pub n_train_rows: usize,
+    /// Every finding the audit produced for this model.
+    pub report: Report,
+}
+
+impl ModelCard {
+    /// Builds a card from a model plus the report its audit produced.
+    /// Tree statistics are derived with the same never-panic discipline
+    /// as the audit itself (out-of-bounds children are not followed).
+    pub fn new(model: &GbdtRegressor, n_train_rows: usize, report: Report) -> Self {
+        let mut n_leaves = 0usize;
+        let mut max_depth = 0usize;
+        for tree in model.trees() {
+            let nodes = tree.nodes();
+            let mut visited = vec![false; nodes.len()];
+            let mut stack = if nodes.is_empty() {
+                vec![]
+            } else {
+                vec![(0usize, 0usize)]
+            };
+            while let Some((n, depth)) = stack.pop() {
+                if visited[n] {
+                    continue;
+                }
+                visited[n] = true;
+                max_depth = max_depth.max(depth);
+                match nodes[n] {
+                    TreeNode::Leaf { .. } => n_leaves += 1,
+                    TreeNode::Split { left, right, .. } => {
+                        for child in [left, right] {
+                            if child < nodes.len() {
+                                stack.push((child, depth + 1));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            subject: report.network.clone(),
+            n_trees: model.trees().len(),
+            n_features: model.n_features(),
+            base_score: model.base_score(),
+            n_leaves,
+            max_depth,
+            n_train_rows,
+            report,
+        }
+    }
+
+    /// Whether the audit found nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+
+    /// Forwards every finding to `gdcm-obs` and records the card's
+    /// headline numbers as gauges.
+    pub fn emit(&self) {
+        self.report.emit();
+        gdcm_obs::counter("audit/models").incr();
+        gdcm_obs::gauge(&format!("audit/diagnostics/{}", self.subject))
+            .set(self.report.diagnostics.len() as f64);
+    }
+}
+
+impl fmt::Display for ModelCard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model card: {} — {} trees, {} features, {} leaves, depth {}, \
+             base score {:.6}, {} training rows",
+            self.subject,
+            self.n_trees,
+            self.n_features,
+            self.n_leaves,
+            self.max_depth,
+            self.base_score,
+            self.n_train_rows,
+        )?;
+        write!(f, "{}", self.report)
+    }
+}

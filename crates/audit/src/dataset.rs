@@ -1,0 +1,370 @@
+//! Audit pass 2 — dataset lints (`GDCM120`–`GDCM129`).
+//!
+//! Scans a feature matrix and its label vector for the silent data
+//! defects that make a cost model look better (or worse) than it is:
+//! non-finite cells, constant and duplicate feature columns, duplicate
+//! rows, label outliers, and a scaler whose frozen-column mask
+//! disagrees with the data it claims to have been fitted on.
+//!
+//! Each defect class yields at most one summary [`Diagnostic`] per
+//! dataset, anchored at the first offending index and listing the total
+//! count plus a few examples — a corrupted 10k-row matrix produces a
+//! readable card, not 10k lines.
+
+use gdcm_analyze::{DiagCode, Diagnostic};
+use gdcm_ml::{DenseMatrix, StandardScaler};
+use std::collections::HashMap;
+
+/// How many offending indices a summary diagnostic spells out before
+/// collapsing to "and N more".
+const EXAMPLE_CAP: usize = 4;
+
+/// Robust-z threshold above which a label counts as an outlier.
+const LABEL_Z_CUTOFF: f64 = 8.0;
+
+/// Tunable lint profile. The paper pipeline pads layer-wise network
+/// encodings to a fixed width, so zero columns (constant *and*
+/// pairwise-duplicate) are present by construction — [`DatasetLints::pipeline`]
+/// tolerates them where [`DatasetLints::strict`] does not.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetLints {
+    /// Flag columns with a single repeated value (`GDCM122`).
+    pub flag_constant_columns: bool,
+    /// Flag bitwise-identical column pairs (`GDCM123`).
+    pub flag_duplicate_columns: bool,
+    /// Flag bitwise-identical row pairs (`GDCM124`).
+    pub flag_duplicate_rows: bool,
+    /// Flag labels with robust z-score above the cutoff (`GDCM125`).
+    pub flag_label_outliers: bool,
+}
+
+impl DatasetLints {
+    /// Everything on: the right profile for hand-built matrices.
+    pub fn strict() -> Self {
+        Self {
+            flag_constant_columns: true,
+            flag_duplicate_columns: true,
+            flag_duplicate_rows: true,
+            flag_label_outliers: true,
+        }
+    }
+
+    /// Profile for padded pipeline encodings: constant and duplicate
+    /// columns are expected (zero padding), so only the defects that
+    /// are never by-design stay on.
+    pub fn pipeline() -> Self {
+        Self {
+            flag_constant_columns: false,
+            flag_duplicate_columns: false,
+            ..Self::strict()
+        }
+    }
+}
+
+/// Runs every dataset lint against `(x, y)`, appending findings to
+/// `out`. `y` may be empty when only the features are of interest;
+/// otherwise its length must match `x.n_rows()` (the caller's contract,
+/// same as `GbdtRegressor::fit`).
+pub fn check_dataset(
+    label: &str,
+    x: &DenseMatrix,
+    y: &[f32],
+    lints: &DatasetLints,
+    out: &mut Vec<Diagnostic>,
+) {
+    check_finite_features(label, x, out);
+    check_finite_labels(label, y, out);
+    if lints.flag_constant_columns {
+        check_constant_columns(label, x, out);
+    }
+    if lints.flag_duplicate_columns {
+        check_duplicate_columns(label, x, out);
+    }
+    if lints.flag_duplicate_rows {
+        check_duplicate_rows(label, x, out);
+    }
+    if lints.flag_label_outliers {
+        check_label_outliers(label, y, out);
+    }
+}
+
+/// Pushes one summary diagnostic for `indices` (row, column, or label
+/// positions depending on the check), or nothing when the list is empty.
+fn summarize(
+    code: DiagCode,
+    label: &str,
+    noun: &str,
+    indices: &[usize],
+    detail: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(&first) = indices.first() else {
+        return;
+    };
+    let shown: Vec<String> = indices
+        .iter()
+        .take(EXAMPLE_CAP)
+        .map(usize::to_string)
+        .collect();
+    let suffix = if indices.len() > EXAMPLE_CAP {
+        format!(" and {} more", indices.len() - EXAMPLE_CAP)
+    } else {
+        String::new()
+    };
+    out.push(Diagnostic::at_index(
+        code,
+        label,
+        first,
+        format!(
+            "{count} {noun}{plural} affected ({list}{suffix}){detail}",
+            count = indices.len(),
+            plural = if indices.len() == 1 { "" } else { "s" },
+            list = shown.join(", "),
+        ),
+    ));
+}
+
+fn check_finite_features(label: &str, x: &DenseMatrix, out: &mut Vec<Diagnostic>) {
+    let mut rows: Vec<usize> = x
+        .rows()
+        .enumerate()
+        .filter(|(_, row)| row.iter().any(|v| !v.is_finite()))
+        .map(|(i, _)| i)
+        .collect();
+    rows.dedup();
+    summarize(
+        DiagCode::NonFiniteFeature,
+        label,
+        "row",
+        &rows,
+        ": feature cells must be finite".into(),
+        out,
+    );
+}
+
+fn check_finite_labels(label: &str, y: &[f32], out: &mut Vec<Diagnostic>) {
+    let bad: Vec<usize> = y
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_finite())
+        .map(|(i, _)| i)
+        .collect();
+    summarize(
+        DiagCode::NonFiniteLabel,
+        label,
+        "label",
+        &bad,
+        ": latency targets must be finite".into(),
+        out,
+    );
+}
+
+fn check_constant_columns(label: &str, x: &DenseMatrix, out: &mut Vec<Diagnostic>) {
+    if x.n_rows() < 2 {
+        return;
+    }
+    let first = x.row(0);
+    let constant: Vec<usize> = (0..x.n_cols())
+        .filter(|&j| {
+            let v = first[j].to_bits();
+            x.rows().all(|row| row[j].to_bits() == v)
+        })
+        .collect();
+    summarize(
+        DiagCode::ConstantFeatureColumn,
+        label,
+        "column",
+        &constant,
+        ": a constant column carries no signal".into(),
+        out,
+    );
+}
+
+fn check_duplicate_columns(label: &str, x: &DenseMatrix, out: &mut Vec<Diagnostic>) {
+    if x.n_rows() == 0 {
+        return;
+    }
+    // Bucket by a cheap bit-pattern hash, then verify equality inside
+    // each bucket so hash collisions cannot produce false positives.
+    let mut buckets: HashMap<u64, Vec<(usize, Vec<u32>)>> = HashMap::new();
+    let mut duplicates: Vec<usize> = Vec::new();
+    for j in 0..x.n_cols() {
+        let bits: Vec<u32> = x.column(j).iter().map(|v| v.to_bits()).collect();
+        let hash = fnv1a(&bits);
+        let bucket = buckets.entry(hash).or_default();
+        if bucket.iter().any(|(_, seen)| *seen == bits) {
+            duplicates.push(j);
+        } else {
+            bucket.push((j, bits));
+        }
+    }
+    summarize(
+        DiagCode::DuplicateFeatureColumn,
+        label,
+        "column",
+        &duplicates,
+        ": bitwise-identical to an earlier column".into(),
+        out,
+    );
+}
+
+fn check_duplicate_rows(label: &str, x: &DenseMatrix, out: &mut Vec<Diagnostic>) {
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut duplicates: Vec<usize> = Vec::new();
+    for (i, row) in x.rows().enumerate() {
+        let bits: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+        let hash = fnv1a(&bits);
+        let bucket = buckets.entry(hash).or_default();
+        if bucket.iter().any(|&k| {
+            x.row(k)
+                .iter()
+                .zip(row)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        }) {
+            duplicates.push(i);
+        } else {
+            bucket.push(i);
+        }
+    }
+    summarize(
+        DiagCode::DuplicateNetworkRow,
+        label,
+        "row",
+        &duplicates,
+        ": bitwise-identical to an earlier row (leaks across folds)".into(),
+        out,
+    );
+}
+
+/// Robust z-score outlier check on the label vector. Latencies are
+/// log-scaled first (when non-negative) so the heavy right tail of real
+/// latency distributions does not flag every large-but-plausible value;
+/// a zero MAD (more than half the labels identical) disables the check
+/// rather than dividing by zero.
+fn check_label_outliers(label: &str, y: &[f32], out: &mut Vec<Diagnostic>) {
+    let finite: Vec<f64> = y
+        .iter()
+        .filter(|v| v.is_finite())
+        .map(|&v| v as f64)
+        .collect();
+    if finite.len() < 8 {
+        return;
+    }
+    let log_scale = finite.iter().all(|&v| v >= 0.0);
+    let values: Vec<f64> = finite
+        .iter()
+        .map(|&v| if log_scale { v.ln_1p() } else { v })
+        .collect();
+    let med = median(&values);
+    let mad = median(&values.iter().map(|v| (v - med).abs()).collect::<Vec<f64>>());
+    if mad == 0.0 {
+        return;
+    }
+    let outliers: Vec<usize> = y
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_finite())
+        .filter(|(_, &v)| {
+            let scaled = if log_scale {
+                (v as f64).ln_1p()
+            } else {
+                v as f64
+            };
+            (0.6745 * (scaled - med) / mad).abs() > LABEL_Z_CUTOFF
+        })
+        .map(|(i, _)| i)
+        .collect();
+    summarize(
+        DiagCode::LabelOutlier,
+        label,
+        "label",
+        &outliers,
+        format!(": robust |z| > {LABEL_Z_CUTOFF} on the log-latency scale"),
+        out,
+    );
+}
+
+fn median(sorted_or_not: &[f64]) -> f64 {
+    let mut v = sorted_or_not.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+fn fnv1a(words: &[u32]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        for byte in w.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Cross-checks a fitted [`StandardScaler`] against the matrix it
+/// claims to describe (`GDCM126`): width must match, every exactly
+/// constant column must be frozen, and every frozen column must have
+/// (near-)zero sample spread. A legacy scaler deserialized without a
+/// frozen mask reports `is_frozen == false` everywhere, which this
+/// check surfaces on constant columns by design.
+pub fn check_scaler(
+    label: &str,
+    scaler: &StandardScaler,
+    x: &DenseMatrix,
+    out: &mut Vec<Diagnostic>,
+) {
+    if scaler.n_features() != x.n_cols() {
+        out.push(Diagnostic::network_level(
+            DiagCode::ScalerFrozenMismatch,
+            label,
+            format!(
+                "scaler fitted on {} features, matrix has {} columns",
+                scaler.n_features(),
+                x.n_cols()
+            ),
+        ));
+        return;
+    }
+    if x.n_rows() < 2 {
+        return;
+    }
+    let n = x.n_rows() as f64;
+    let mut unfrozen_constant: Vec<usize> = Vec::new();
+    let mut frozen_varying: Vec<usize> = Vec::new();
+    for j in 0..x.n_cols() {
+        let col = x.column(j);
+        let constant = col.iter().all(|v| v.to_bits() == col[0].to_bits());
+        if constant && !scaler.is_frozen(j) {
+            unfrozen_constant.push(j);
+            continue;
+        }
+        if scaler.is_frozen(j) {
+            let mean = col.iter().map(|&v| v as f64).sum::<f64>() / n;
+            let var = col.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+            if var.sqrt() > 1e-6 {
+                frozen_varying.push(j);
+            }
+        }
+    }
+    summarize(
+        DiagCode::ScalerFrozenMismatch,
+        label,
+        "column",
+        &unfrozen_constant,
+        ": constant in the data but not frozen by the scaler".into(),
+        out,
+    );
+    summarize(
+        DiagCode::ScalerFrozenMismatch,
+        label,
+        "column",
+        &frozen_varying,
+        ": frozen by the scaler but varies in the data".into(),
+        out,
+    );
+}

@@ -1,0 +1,155 @@
+//! Audit pass 3 — fold-contamination checks (`GDCM130`–`GDCM139`).
+//!
+//! Verifies the experimental protocol itself: a device split must be
+//! non-empty, in range, and disjoint; signature networks must never
+//! appear among the evaluation rows (their latencies are the hardware
+//! representation — evaluating on them is self-prediction); and a
+//! leave-device-out plan must hold every device out exactly once.
+//!
+//! These are the leakage bugs that inflate R² silently: the model still
+//! trains, the metrics still print, and the numbers are wrong.
+
+use gdcm_analyze::{DiagCode, Diagnostic};
+use std::collections::HashSet;
+
+/// Checks one train/test device split over a population of
+/// `n_devices`: both sides non-empty (`GDCM132`), all indices in range
+/// and unique per side (`GDCM133`), and no device on both sides
+/// (`GDCM131`).
+pub fn check_split(
+    label: &str,
+    train_devices: &[usize],
+    test_devices: &[usize],
+    n_devices: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (side, devices) in [("train", train_devices), ("test", test_devices)] {
+        if devices.is_empty() {
+            out.push(Diagnostic::network_level(
+                DiagCode::EmptyFold,
+                label,
+                format!("{side} side of the split holds no devices"),
+            ));
+        }
+        let mut seen = HashSet::new();
+        for &d in devices {
+            if d >= n_devices {
+                out.push(Diagnostic::at_index(
+                    DiagCode::FoldIndexOutOfRange,
+                    label,
+                    d,
+                    format!("{side} device {d} out of range: population has {n_devices} devices"),
+                ));
+            } else if !seen.insert(d) {
+                out.push(Diagnostic::at_index(
+                    DiagCode::FoldIndexOutOfRange,
+                    label,
+                    d,
+                    format!("{side} device {d} listed more than once (double-weighted rows)"),
+                ));
+            }
+        }
+    }
+    let train: HashSet<usize> = train_devices.iter().copied().collect();
+    let mut leaked: Vec<usize> = test_devices
+        .iter()
+        .copied()
+        .filter(|d| train.contains(d))
+        .collect();
+    leaked.sort_unstable();
+    leaked.dedup();
+    for d in leaked {
+        out.push(Diagnostic::at_index(
+            DiagCode::DeviceLeak,
+            label,
+            d,
+            format!("device {d} appears in both train and test: the holdout is contaminated"),
+        ));
+    }
+}
+
+/// Checks a signature set against the networks used as evaluation rows:
+/// signature indices must be in range (`GDCM133`) and must not appear
+/// among the evaluation networks (`GDCM130`) — a signature network's
+/// latency is already inside the hardware representation, so predicting
+/// it is leakage by construction.
+pub fn check_signature(
+    label: &str,
+    signature: &[usize],
+    eval_networks: &[usize],
+    n_networks: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let eval: HashSet<usize> = eval_networks.iter().copied().collect();
+    for &s in signature {
+        if s >= n_networks {
+            out.push(Diagnostic::at_index(
+                DiagCode::FoldIndexOutOfRange,
+                label,
+                s,
+                format!("signature network {s} out of range: suite has {n_networks} networks"),
+            ));
+        } else if eval.contains(&s) {
+            out.push(Diagnostic::at_index(
+                DiagCode::SignatureLeak,
+                label,
+                s,
+                format!(
+                    "signature network {s} also appears as an evaluation row: \
+                     its latency is part of the hardware representation"
+                ),
+            ));
+        }
+    }
+}
+
+/// Checks every split of a multi-fold plan. Fold `i` is audited as
+/// `"<label>#i"` so a finding names the offending fold.
+pub fn check_folds(
+    label: &str,
+    folds: &[(Vec<usize>, Vec<usize>)],
+    n_devices: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    if folds.is_empty() {
+        out.push(Diagnostic::network_level(
+            DiagCode::EmptyFold,
+            label,
+            "fold plan holds no folds",
+        ));
+        return;
+    }
+    for (i, (train, test)) in folds.iter().enumerate() {
+        check_split(&format!("{label}#{i}"), train, test, n_devices, out);
+    }
+}
+
+/// Checks a leave-device-out plan: every split is audited via
+/// [`check_folds`], then coverage is verified — each of the `n_devices`
+/// devices must be held out exactly once (`GDCM134`).
+pub fn check_leave_device_out(
+    label: &str,
+    folds: &[(Vec<usize>, Vec<usize>)],
+    n_devices: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    check_folds(label, folds, n_devices, out);
+    let mut held_out = vec![0usize; n_devices];
+    for (_, test) in folds {
+        for &d in test {
+            if d < n_devices {
+                held_out[d] += 1;
+            }
+        }
+    }
+    for (d, &count) in held_out.iter().enumerate() {
+        if count != 1 {
+            out.push(Diagnostic::at_index(
+                DiagCode::IncompleteCoverage,
+                label,
+                d,
+                format!("device {d} held out {count} times; leave-device-out requires exactly 1"),
+            ));
+        }
+    }
+}

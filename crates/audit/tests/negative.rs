@@ -1,0 +1,495 @@
+//! Negative tests: hand-corrupt trained artifacts and pin the exact
+//! stable diagnostic code each corruption produces.
+//!
+//! Every test builds a defective artifact through the unvalidated
+//! escape hatches (`GbdtRegressor::from_raw_parts`,
+//! `Tree::from_raw_nodes`) or hands the check a contradictory input
+//! directly, then asserts the audit reports the expected `GDCM1xx`
+//! code — these are the contracts that keep the codes stable.
+
+use gdcm_analyze::DiagCode;
+use gdcm_audit::{
+    check_dataset, check_ensemble, check_forest, check_importance, check_leave_device_out,
+    check_predictions, check_scaler, check_signature, check_split, DatasetLints, EnsembleContext,
+};
+use gdcm_ml::{
+    DenseMatrix, GbdtParams, GbdtRegressor, RandomForestRegressor, StandardScaler, Tree, TreeNode,
+};
+
+fn split(feature: usize, threshold: f32, left: usize, right: usize) -> TreeNode {
+    TreeNode::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    }
+}
+
+fn leaf(weight: f32) -> TreeNode {
+    TreeNode::Leaf { weight }
+}
+
+/// One-tree model over `n_features` features with the given arena.
+fn model_with(nodes: Vec<TreeNode>, n_features: usize) -> GbdtRegressor {
+    GbdtRegressor::from_raw_parts(0.5, vec![Tree::from_raw_nodes(nodes)], n_features)
+}
+
+fn ensemble_codes(model: &GbdtRegressor, ctx: &EnsembleContext<'_>) -> Vec<DiagCode> {
+    let mut out = Vec::new();
+    check_ensemble("corrupt", model, ctx, &mut out);
+    out.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn gdcm100_feature_out_of_bounds() {
+    let model = model_with(vec![split(7, 0.5, 1, 2), leaf(0.1), leaf(0.2)], 3);
+    let codes = ensemble_codes(&model, &EnsembleContext::default());
+    assert!(
+        codes.contains(&DiagCode::EnsembleFeatureOutOfBounds),
+        "{codes:?}"
+    );
+}
+
+#[test]
+fn gdcm101_non_finite_threshold() {
+    let model = model_with(vec![split(0, f32::NAN, 1, 2), leaf(0.1), leaf(0.2)], 3);
+    let codes = ensemble_codes(&model, &EnsembleContext::default());
+    assert!(
+        codes.contains(&DiagCode::NonFiniteSplitThreshold),
+        "{codes:?}"
+    );
+}
+
+#[test]
+fn gdcm102_non_finite_leaf_weight() {
+    let model = model_with(vec![split(0, 0.5, 1, 2), leaf(f32::INFINITY), leaf(0.2)], 3);
+    let codes = ensemble_codes(&model, &EnsembleContext::default());
+    assert!(codes.contains(&DiagCode::NonFiniteLeafWeight), "{codes:?}");
+}
+
+#[test]
+fn gdcm103_child_out_of_bounds() {
+    let model = model_with(vec![split(0, 0.5, 1, 9), leaf(0.1)], 3);
+    let codes = ensemble_codes(&model, &EnsembleContext::default());
+    assert!(codes.contains(&DiagCode::TreeChildOutOfBounds), "{codes:?}");
+}
+
+#[test]
+fn gdcm103_empty_arena() {
+    let model = model_with(vec![], 3);
+    let codes = ensemble_codes(&model, &EnsembleContext::default());
+    assert!(codes.contains(&DiagCode::TreeChildOutOfBounds), "{codes:?}");
+}
+
+#[test]
+fn gdcm104_cycle() {
+    // Node 1 points back at the root: a walk would never terminate.
+    let model = model_with(vec![split(0, 0.5, 1, 2), split(1, 0.5, 0, 2), leaf(0.2)], 3);
+    let codes = ensemble_codes(&model, &EnsembleContext::default());
+    assert!(codes.contains(&DiagCode::TreeCycle), "{codes:?}");
+}
+
+#[test]
+fn gdcm105_unreachable_node() {
+    // Node 3 exists in the arena but nothing links to it.
+    let model = model_with(
+        vec![split(0, 0.5, 1, 2), leaf(0.1), leaf(0.2), leaf(9.9)],
+        3,
+    );
+    let codes = ensemble_codes(&model, &EnsembleContext::default());
+    assert!(codes.contains(&DiagCode::UnreachableTreeNode), "{codes:?}");
+}
+
+#[test]
+fn gdcm106_depth_exceeded() {
+    // Root -> split -> leaves is depth 2; claim the model was fitted
+    // with max_depth 1.
+    let model = model_with(
+        vec![
+            split(0, 0.5, 1, 2),
+            split(1, 0.5, 3, 4),
+            leaf(0.1),
+            leaf(0.2),
+            leaf(0.3),
+        ],
+        3,
+    );
+    let params = GbdtParams {
+        max_depth: 1,
+        ..GbdtParams::default()
+    };
+    let ctx = EnsembleContext {
+        params: Some(&params),
+        ..EnsembleContext::default()
+    };
+    let codes = ensemble_codes(&model, &ctx);
+    assert!(codes.contains(&DiagCode::TreeDepthExceeded), "{codes:?}");
+}
+
+#[test]
+fn gdcm107_leaf_budget_exceeded() {
+    // A complete depth-2 tree (4 leaves) against claimed max_depth 1
+    // (budget 2): both the depth and the leaf budget are violated.
+    let model = model_with(
+        vec![
+            split(0, 0.5, 1, 2),
+            split(1, 0.3, 3, 4),
+            split(1, 0.7, 5, 6),
+            leaf(0.1),
+            leaf(0.2),
+            leaf(0.3),
+            leaf(0.4),
+        ],
+        3,
+    );
+    let params = GbdtParams {
+        max_depth: 1,
+        ..GbdtParams::default()
+    };
+    let ctx = EnsembleContext {
+        params: Some(&params),
+        ..EnsembleContext::default()
+    };
+    let codes = ensemble_codes(&model, &ctx);
+    assert!(
+        codes.contains(&DiagCode::TreeLeafBudgetExceeded),
+        "{codes:?}"
+    );
+}
+
+#[test]
+fn gdcm108_threshold_off_grid() {
+    // Train a real model, then nudge one split threshold off the bin
+    // grid the training data defines.
+    let x = DenseMatrix::from_rows(&[
+        vec![0.0, 1.0],
+        vec![1.0, 0.5],
+        vec![2.0, 0.2],
+        vec![3.0, 0.1],
+        vec![4.0, 0.9],
+        vec![5.0, 0.3],
+        vec![6.0, 0.7],
+        vec![7.0, 0.4],
+    ]);
+    let y = vec![0.1, 0.9, 2.1, 3.2, 3.9, 5.1, 6.0, 7.2];
+    let params = GbdtParams {
+        n_estimators: 5,
+        ..GbdtParams::default()
+    };
+    let fitted = GbdtRegressor::fit(&x, &y, &params);
+    let (base, mut trees, n_features) = fitted.into_raw_parts();
+    let mut nodes = trees[0].nodes().to_vec();
+    let nudged = nodes.iter_mut().find_map(|node| match node {
+        TreeNode::Split { threshold, .. } => {
+            *threshold += 0.123; // lands between grid points
+            Some(())
+        }
+        TreeNode::Leaf { .. } => None,
+    });
+    assert!(nudged.is_some(), "fitted model has at least one split");
+    trees[0] = Tree::from_raw_nodes(nodes);
+    let model = GbdtRegressor::from_raw_parts(base, trees, n_features);
+
+    let binned = gdcm_ml::BinnedMatrix::from_matrix(&x, params.max_bins);
+    let ctx = EnsembleContext {
+        params: Some(&params),
+        binned: Some(&binned),
+        probe: None,
+    };
+    let codes = ensemble_codes(&model, &ctx);
+    assert!(codes.contains(&DiagCode::ThresholdOffGrid), "{codes:?}");
+}
+
+#[test]
+fn gdcm109_non_finite_base_score() {
+    let model =
+        GbdtRegressor::from_raw_parts(f32::NAN, vec![Tree::from_raw_nodes(vec![leaf(0.1)])], 3);
+    let codes = ensemble_codes(&model, &EnsembleContext::default());
+    assert!(codes.contains(&DiagCode::NonFiniteBaseScore), "{codes:?}");
+}
+
+#[test]
+fn gdcm110_reference_predict_mismatch() {
+    // The structural passes cannot make the two walkers disagree (they
+    // share the arena), so the comparison helper is the pinning point:
+    // feed it vectors that differ in one bit.
+    let mut out = Vec::new();
+    check_predictions(
+        "corrupt",
+        &[1.0, 2.0, 3.0],
+        &[1.0, 2.0000002, 3.0],
+        &mut out,
+    );
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].code, DiagCode::ReferencePredictMismatch);
+    assert_eq!(
+        out[0].node,
+        Some(1),
+        "anchored at the first disagreeing row"
+    );
+}
+
+#[test]
+fn gdcm111_importance_mismatch_via_helper() {
+    let mut out = Vec::new();
+    check_importance("corrupt", &[2, 0, 1], &[2, 1, 1], &mut out);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].code, DiagCode::ImportanceMismatch);
+}
+
+#[test]
+fn gdcm111_importance_mismatch_via_unreachable_split() {
+    // feature_importance() counts every arena split; the audit counts
+    // splits reachable from the root. An unreachable split node makes
+    // the two disagree, so both GDCM105 and GDCM111 fire.
+    let model = model_with(
+        vec![
+            split(0, 0.5, 1, 2),
+            leaf(0.1),
+            leaf(0.2),
+            split(1, 0.7, 1, 2),
+        ],
+        3,
+    );
+    let codes = ensemble_codes(&model, &EnsembleContext::default());
+    assert!(codes.contains(&DiagCode::UnreachableTreeNode), "{codes:?}");
+    assert!(codes.contains(&DiagCode::ImportanceMismatch), "{codes:?}");
+}
+
+#[test]
+fn gdcm112_empty_ensemble() {
+    let model = GbdtRegressor::from_raw_parts(0.5, vec![], 3);
+    let codes = ensemble_codes(&model, &EnsembleContext::default());
+    assert!(codes.contains(&DiagCode::EmptyEnsemble), "{codes:?}");
+}
+
+fn dataset_codes(x: &DenseMatrix, y: &[f32], lints: &DatasetLints) -> Vec<DiagCode> {
+    let mut out = Vec::new();
+    check_dataset("corrupt", x, y, lints, &mut out);
+    out.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn gdcm120_non_finite_feature() {
+    let x = DenseMatrix::from_rows(&[vec![0.0, f32::NAN], vec![1.0, 2.0]]);
+    let codes = dataset_codes(&x, &[1.0, 2.0], &DatasetLints::strict());
+    assert!(codes.contains(&DiagCode::NonFiniteFeature), "{codes:?}");
+}
+
+#[test]
+fn gdcm121_non_finite_label() {
+    let x = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 2.0]]);
+    let codes = dataset_codes(&x, &[1.0, f32::INFINITY], &DatasetLints::strict());
+    assert!(codes.contains(&DiagCode::NonFiniteLabel), "{codes:?}");
+}
+
+#[test]
+fn gdcm122_constant_column_strict_only() {
+    let x = DenseMatrix::from_rows(&[vec![3.0, 1.0], vec![3.0, 2.0], vec![3.0, 0.5]]);
+    let y = [1.0, 2.0, 3.0];
+    let strict = dataset_codes(&x, &y, &DatasetLints::strict());
+    assert!(
+        strict.contains(&DiagCode::ConstantFeatureColumn),
+        "{strict:?}"
+    );
+    // The pipeline profile tolerates padding columns by design.
+    let relaxed = dataset_codes(&x, &y, &DatasetLints::pipeline());
+    assert!(
+        !relaxed.contains(&DiagCode::ConstantFeatureColumn),
+        "{relaxed:?}"
+    );
+}
+
+#[test]
+fn gdcm123_duplicate_column() {
+    let x = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![0.5, 0.5]]);
+    let codes = dataset_codes(&x, &[1.0, 2.0, 3.0], &DatasetLints::strict());
+    assert!(
+        codes.contains(&DiagCode::DuplicateFeatureColumn),
+        "{codes:?}"
+    );
+}
+
+#[test]
+fn gdcm124_duplicate_row() {
+    let x = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![1.0, 2.0]]);
+    let codes = dataset_codes(&x, &[1.0, 2.0, 3.0], &DatasetLints::strict());
+    assert!(codes.contains(&DiagCode::DuplicateNetworkRow), "{codes:?}");
+}
+
+#[test]
+fn gdcm125_label_outlier() {
+    let x = DenseMatrix::from_rows(&(0..16).map(|i| vec![i as f32]).collect::<Vec<_>>());
+    let mut y: Vec<f32> = (0..16).map(|i| 10.0 + (i % 5) as f32).collect();
+    y[7] = 1.0e9; // twelve orders of magnitude off on the raw scale
+    let codes = dataset_codes(&x, &y, &DatasetLints::strict());
+    assert!(codes.contains(&DiagCode::LabelOutlier), "{codes:?}");
+}
+
+#[test]
+fn gdcm126_scaler_frozen_mismatch() {
+    // Scaler fitted on varying data claims nothing is frozen; checked
+    // against a matrix whose column 0 is constant, the mask is wrong.
+    let fit_x = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 2.0], vec![2.0, 3.0]]);
+    let scaler = StandardScaler::fit(&fit_x);
+    let constant_x = DenseMatrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]);
+    let mut out = Vec::new();
+    check_scaler("corrupt", &scaler, &constant_x, &mut out);
+    let codes: Vec<DiagCode> = out.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&DiagCode::ScalerFrozenMismatch), "{codes:?}");
+}
+
+#[test]
+fn gdcm126_scaler_width_mismatch() {
+    let scaler = StandardScaler::fit(&DenseMatrix::from_rows(&[vec![0.0], vec![1.0]]));
+    let x = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 2.0]]);
+    let mut out = Vec::new();
+    check_scaler("corrupt", &scaler, &x, &mut out);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].code, DiagCode::ScalerFrozenMismatch);
+}
+
+#[test]
+fn gdcm130_signature_leak() {
+    let mut out = Vec::new();
+    check_signature("corrupt", &[1, 3], &[0, 1, 2], 5, &mut out);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].code, DiagCode::SignatureLeak);
+    assert_eq!(out[0].node, Some(1));
+}
+
+#[test]
+fn gdcm131_device_leak() {
+    let mut out = Vec::new();
+    check_split("corrupt", &[0, 1, 2], &[2, 3], 5, &mut out);
+    let codes: Vec<DiagCode> = out.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![DiagCode::DeviceLeak]);
+}
+
+#[test]
+fn gdcm132_empty_fold() {
+    let mut out = Vec::new();
+    check_split("corrupt", &[0, 1], &[], 5, &mut out);
+    let codes: Vec<DiagCode> = out.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![DiagCode::EmptyFold]);
+}
+
+#[test]
+fn gdcm133_fold_index_out_of_range() {
+    let mut out = Vec::new();
+    check_split("corrupt", &[0, 9], &[1], 5, &mut out);
+    let codes: Vec<DiagCode> = out.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![DiagCode::FoldIndexOutOfRange]);
+}
+
+#[test]
+fn gdcm133_duplicate_device_in_fold() {
+    let mut out = Vec::new();
+    check_split("corrupt", &[0, 0], &[1], 5, &mut out);
+    let codes: Vec<DiagCode> = out.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![DiagCode::FoldIndexOutOfRange]);
+}
+
+#[test]
+fn gdcm134_incomplete_coverage() {
+    // Device 2 is never held out; device 0 is held out twice.
+    let folds = vec![
+        (vec![1, 2], vec![0]),
+        (vec![1, 2], vec![0]),
+        (vec![0, 2], vec![1]),
+    ];
+    let mut out = Vec::new();
+    check_leave_device_out("corrupt", &folds, 3, &mut out);
+    let codes: Vec<DiagCode> = out.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&DiagCode::IncompleteCoverage), "{codes:?}");
+    let coverage: Vec<_> = out
+        .iter()
+        .filter(|d| d.code == DiagCode::IncompleteCoverage)
+        .collect();
+    assert_eq!(coverage.len(), 2, "device 0 (twice) and device 2 (never)");
+}
+
+/// The forest pass shares the per-tree structural checks: a corrupted
+/// tree inside a `RandomForestRegressor` pins the same codes.
+#[test]
+fn forest_corrupt_tree_fires_ensemble_codes() {
+    let forest = RandomForestRegressor::from_raw_parts(
+        vec![
+            Tree::from_raw_nodes(vec![split(0, 0.5, 1, 2), leaf(1.0), leaf(2.0)]),
+            Tree::from_raw_nodes(vec![split(7, f32::NAN, 1, 2), leaf(1.0), leaf(2.0)]),
+        ],
+        2,
+    );
+    let mut out = Vec::new();
+    check_forest("corrupt", &forest, None, &mut out);
+    let codes: Vec<DiagCode> = out.iter().map(|d| d.code).collect();
+    assert!(
+        codes.contains(&DiagCode::EnsembleFeatureOutOfBounds),
+        "{codes:?}"
+    );
+    assert!(
+        codes.contains(&DiagCode::NonFiniteSplitThreshold),
+        "{codes:?}"
+    );
+}
+
+/// An empty forest is as unusable as an empty GBDT: `GDCM112`.
+#[test]
+fn forest_without_trees_is_empty_ensemble() {
+    let forest = RandomForestRegressor::from_raw_parts(Vec::new(), 3);
+    let mut out = Vec::new();
+    check_forest("corrupt", &forest, None, &mut out);
+    let codes: Vec<DiagCode> = out.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![DiagCode::EmptyEnsemble]);
+}
+
+/// A fitted forest passes the structural checks, and the mean-of-walks
+/// reference predictor agrees bit-for-bit with the chunked batch path.
+#[test]
+fn clean_forest_passes_with_bitwise_probe() {
+    let rows: Vec<Vec<f32>> = (0..48)
+        .map(|i| vec![i as f32, ((i * 3) % 11) as f32])
+        .collect();
+    let x = DenseMatrix::from_rows(&rows);
+    let y: Vec<f32> = (0..48).map(|i| (i % 9) as f32 * 0.5).collect();
+    let forest = RandomForestRegressor::fit(&x, &y, 12, 6, 7);
+    let mut out = Vec::new();
+    check_forest("clean", &forest, Some(&x), &mut out);
+    assert!(out.is_empty(), "{out:?}");
+    for i in 0..x.n_rows() {
+        use gdcm_ml::Regressor as _;
+        let reference = gdcm_audit::reference_forest_predict(&forest, x.row(i));
+        assert_eq!(reference.to_bits(), forest.predict_row(x.row(i)).to_bits());
+    }
+}
+
+/// A clean fitted model stays clean through the full convenience entry
+/// point — the positive control for every negative test above.
+#[test]
+fn clean_model_is_clean() {
+    let x = DenseMatrix::from_rows(&[
+        vec![0.0, 1.0],
+        vec![1.0, 0.5],
+        vec![2.0, 0.2],
+        vec![3.0, 0.1],
+        vec![4.0, 0.9],
+        vec![5.0, 0.3],
+        vec![6.0, 0.7],
+        vec![7.0, 0.4],
+    ]);
+    let y = vec![0.1, 0.9, 2.1, 3.2, 3.9, 5.1, 6.0, 7.2];
+    let params = GbdtParams {
+        n_estimators: 10,
+        ..GbdtParams::default()
+    };
+    let model = GbdtRegressor::fit(&x, &y, &params);
+    let report = gdcm_audit::audit_trained_model(
+        "clean",
+        &model,
+        Some(&params),
+        &x,
+        &y,
+        &DatasetLints::strict(),
+    );
+    assert!(report.is_clean(), "{report}");
+}

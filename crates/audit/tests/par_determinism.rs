@@ -1,0 +1,73 @@
+//! The audit must produce identical diagnostics at any thread count:
+//! per-tree checks fan out over the `gdcm-par` pool and merge in tree
+//! order, so `GDCM_THREADS=1` and `GDCM_THREADS=4` must agree exactly.
+//!
+//! One `#[test]` only: the thread budget is process-global, so a
+//! second concurrent test could observe the override.
+
+use gdcm_audit::{DatasetLints, EnsembleContext};
+use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor, Tree, TreeNode};
+
+#[test]
+fn audit_diagnostics_identical_across_thread_counts() {
+    // A model with enough trees to actually split across workers, and
+    // two corrupted trees so the report is non-trivial.
+    let rows: Vec<Vec<f32>> = (0..64)
+        .map(|i| {
+            let t = i as f32;
+            vec![t, (t * 0.7).sin(), (t * 0.13).cos(), (t % 7.0) - 3.0]
+        })
+        .collect();
+    let x = DenseMatrix::from_rows(&rows);
+    let y: Vec<f32> = rows
+        .iter()
+        .map(|r| r[0] * 0.2 + r[1] - r[2] * 0.4)
+        .collect();
+    let params = GbdtParams {
+        n_estimators: 30,
+        ..GbdtParams::default()
+    };
+    let fitted = GbdtRegressor::fit(&x, &y, &params);
+    let (base, mut trees, n_features) = fitted.into_raw_parts();
+    trees[3] = Tree::from_raw_nodes(vec![
+        TreeNode::Split {
+            feature: 99, // out of bounds
+            threshold: f32::NAN,
+            left: 1,
+            right: 2,
+        },
+        TreeNode::Leaf { weight: 0.1 },
+        TreeNode::Leaf {
+            weight: f32::INFINITY,
+        },
+    ]);
+    trees[17] = Tree::from_raw_nodes(vec![
+        TreeNode::Leaf { weight: 0.2 },
+        TreeNode::Leaf {
+            weight: 0.3, // unreachable
+        },
+    ]);
+    let model = GbdtRegressor::from_raw_parts(base, trees, n_features);
+
+    let pool = gdcm_par::pool();
+    let original = pool.threads();
+
+    let run = || {
+        let mut out = Vec::new();
+        gdcm_audit::check_ensemble("det", &model, &EnsembleContext::default(), &mut out);
+        gdcm_audit::check_dataset("det", &x, &y, &DatasetLints::strict(), &mut out);
+        out
+    };
+
+    pool.set_threads(1);
+    let serial = run();
+    pool.set_threads(4);
+    let parallel = run();
+    pool.set_threads(original);
+
+    assert!(!serial.is_empty(), "corruption must be visible");
+    assert_eq!(
+        serial, parallel,
+        "diagnostics must not depend on thread count"
+    );
+}

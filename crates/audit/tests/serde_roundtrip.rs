@@ -1,0 +1,83 @@
+//! A trained model must survive JSON serialization bit-for-bit: same
+//! predictions, same audit verdict, and a payload with the training
+//! log stripped (the legacy wire format) must still load.
+
+use gdcm_audit::DatasetLints;
+use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor, Regressor as _};
+
+fn training_data() -> (DenseMatrix, Vec<f32>) {
+    let rows: Vec<Vec<f32>> = (0..32)
+        .map(|i| {
+            let t = i as f32;
+            vec![t, (t * 0.37).sin(), (t * 0.11).cos(), t % 5.0]
+        })
+        .collect();
+    let y: Vec<f32> = rows
+        .iter()
+        .map(|r| 2.0 + r[0] * 0.3 + r[1] * 1.7 - r[3] * 0.5)
+        .collect();
+    (DenseMatrix::from_rows(&rows), y)
+}
+
+#[test]
+fn roundtrip_is_bit_identical_and_passes_audit() {
+    let (x, y) = training_data();
+    let params = GbdtParams {
+        n_estimators: 25,
+        ..GbdtParams::default()
+    };
+    let model = GbdtRegressor::fit(&x, &y, &params);
+
+    let json = serde_json::to_string(&model).expect("serialize");
+    let restored: GbdtRegressor = serde_json::from_str(&json).expect("deserialize");
+
+    // The learned function survives exactly (PartialEq ignores the
+    // training log; the prediction comparison is bitwise).
+    assert_eq!(model, restored);
+    let before = model.predict(&x);
+    let after = restored.predict(&x);
+    for (a, b) in before.iter().zip(&after) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    // And the restored model is indistinguishable to the audit.
+    let report = gdcm_audit::audit_trained_model(
+        "roundtrip",
+        &restored,
+        Some(&params),
+        &x,
+        &y,
+        &DatasetLints::strict(),
+    );
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn payload_without_training_log_still_loads() {
+    let (x, y) = training_data();
+    let params = GbdtParams {
+        n_estimators: 10,
+        ..GbdtParams::default()
+    };
+    let model = GbdtRegressor::fit(&x, &y, &params);
+    assert!(model.training_log().is_some(), "fit records a log");
+
+    // Simulate the legacy wire format: drop the training_log field
+    // entirely. `#[serde(default)]` must fill in None.
+    let json = serde_json::to_string(&model).expect("serialize");
+    let start = json.find(",\"training_log\":").expect("log is serialized");
+    let stripped = format!("{}{}", &json[..start], "}");
+    let restored: GbdtRegressor = serde_json::from_str(&stripped).expect("legacy payload loads");
+
+    assert!(restored.training_log().is_none());
+    assert_eq!(model, restored, "the learned function is unaffected");
+    let report = gdcm_audit::audit_trained_model(
+        "legacy",
+        &restored,
+        Some(&params),
+        &x,
+        &y,
+        &DatasetLints::strict(),
+    );
+    assert!(report.is_clean(), "{report}");
+}

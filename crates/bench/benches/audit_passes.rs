@@ -1,0 +1,62 @@
+//! Criterion benchmark: audit-pass throughput — what the `GDCM_AUDIT`
+//! gate adds to every pipeline training run, and what the sweep binary
+//! pays per model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdcm_audit::{DatasetLints, EnsembleContext};
+use gdcm_core::hardware::HardwareRepr;
+use gdcm_core::signature::{RandomSelector, SignatureSelector};
+use gdcm_core::{CostDataset, CostModelPipeline, PipelineConfig};
+use gdcm_ml::{BinnedMatrix, GbdtParams, GbdtRegressor};
+
+fn bench_audit(c: &mut Criterion) {
+    let data = CostDataset::tiny(1, 30, 40);
+    let pipeline = CostModelPipeline::new(&data, PipelineConfig::default());
+    let (train, _) = pipeline.device_split();
+    let signature = RandomSelector::new(0).select(&data.db, &train, 5);
+    let networks: Vec<usize> = (0..data.n_networks())
+        .filter(|n| !signature.contains(n))
+        .collect();
+    let (x, y) = pipeline.build_rows(&HardwareRepr::Signature(signature), &train, &networks);
+    let params = GbdtParams::default();
+    let model = GbdtRegressor::fit(&x, &y, &params);
+    let binned = BinnedMatrix::from_matrix(&x, params.max_bins);
+
+    let mut group = c.benchmark_group("audit");
+    group.sample_size(10);
+    group.bench_function("ensemble_pass", |b| {
+        let ctx = EnsembleContext {
+            params: Some(&params),
+            binned: Some(&binned),
+            probe: None,
+        };
+        b.iter(|| {
+            let mut out = Vec::new();
+            gdcm_audit::check_ensemble("bench", &model, &ctx, &mut out);
+            out
+        });
+    });
+    group.bench_function("dataset_pass", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            gdcm_audit::check_dataset("bench", &x, &y, &DatasetLints::pipeline(), &mut out);
+            out
+        });
+    });
+    group.bench_function("full_model_audit", |b| {
+        b.iter(|| {
+            gdcm_audit::audit_trained_model(
+                "bench",
+                &model,
+                Some(&params),
+                &x,
+                &y,
+                &DatasetLints::pipeline(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

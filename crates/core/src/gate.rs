@@ -1,0 +1,182 @@
+//! Post-training audit gate.
+//!
+//! `gdcm-core` cannot depend on the audit crate (the analyzer family
+//! already depends on core), so verification is injected: an auditor
+//! installs a process-global [`AuditGate`] closure once, and the
+//! pipeline calls it after every `GbdtRegressor::fit` — handing over
+//! the fitted model, the training matrix, and the experiment plan via
+//! [`AuditContext`].
+//!
+//! The gate is opt-in at runtime through the `GDCM_AUDIT` environment
+//! variable:
+//!
+//! * unset or `off` — the gate never runs (zero overhead beyond one
+//!   atomic load per training run);
+//! * `warn` — findings are printed to stderr and emitted as `gdcm-obs`
+//!   events, training proceeds;
+//! * `deny` — any finding aborts the run with a panic listing every
+//!   finding.
+//!
+//! Tests override the environment with [`force_audit_mode`], which is
+//! process-global like the variable it replaces.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor};
+
+/// Everything a post-training audit can inspect about one pipeline
+/// training run. Borrows live for the duration of the gate call only.
+pub struct AuditContext<'a> {
+    /// Representation / selector label ("static", "RS", "MIS", "SCCS").
+    pub method: &'a str,
+    /// The freshly fitted ensemble.
+    pub model: &'a GbdtRegressor,
+    /// Hyper-parameters the model was fitted with.
+    pub params: &'a GbdtParams,
+    /// The training matrix handed to `fit`.
+    pub x_train: &'a DenseMatrix,
+    /// The fit target (post log-transform when `log_target` is set).
+    pub y_train: &'a [f32],
+    /// Signature networks consumed by the hardware representation
+    /// (empty for the static baseline).
+    pub signature: &'a [usize],
+    /// Networks used as training/evaluation rows.
+    pub networks: &'a [usize],
+    /// Training-side device indices.
+    pub train_devices: &'a [usize],
+    /// Held-out device indices.
+    pub test_devices: &'a [usize],
+    /// Total devices in the population.
+    pub n_devices: usize,
+    /// Total networks in the suite.
+    pub n_networks: usize,
+}
+
+/// An installed audit: returns one rendered finding per defect, or an
+/// empty vector for a clean run.
+pub type AuditGate = Box<dyn Fn(&AuditContext<'_>) -> Vec<String> + Send + Sync>;
+
+static GATE: OnceLock<AuditGate> = OnceLock::new();
+
+/// Installs the process-global audit gate. Write-once: returns `true`
+/// on the first call, `false` (leaving the existing gate untouched)
+/// afterwards.
+pub fn install_audit_gate(gate: AuditGate) -> bool {
+    GATE.set(gate).is_ok()
+}
+
+/// What the pipeline does with audit findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditMode {
+    /// Gate disabled (the default).
+    Off,
+    /// Report findings on stderr and through `gdcm-obs`, keep going.
+    Warn,
+    /// Panic on the first training run with findings.
+    Deny,
+}
+
+const FORCE_NONE: u8 = 0;
+const FORCE_OFF: u8 = 1;
+const FORCE_WARN: u8 = 2;
+const FORCE_DENY: u8 = 3;
+
+/// Test override for the `GDCM_AUDIT` variable (process-global, like
+/// the environment it shadows).
+static FORCED: AtomicU8 = AtomicU8::new(FORCE_NONE);
+
+/// Overrides (or, with `None`, stops overriding) the audit mode for
+/// this process, taking precedence over `GDCM_AUDIT`. Intended for
+/// tests; restore with `force_audit_mode(None)` when done.
+pub fn force_audit_mode(mode: Option<AuditMode>) {
+    let v = match mode {
+        None => FORCE_NONE,
+        Some(AuditMode::Off) => FORCE_OFF,
+        Some(AuditMode::Warn) => FORCE_WARN,
+        Some(AuditMode::Deny) => FORCE_DENY,
+    };
+    FORCED.store(v, Ordering::SeqCst);
+}
+
+/// The effective audit mode: the [`force_audit_mode`] override if one
+/// is set, otherwise `GDCM_AUDIT` parsed once per process (`warn`,
+/// `deny`, `off`/unset; anything else falls back to `warn` with a
+/// one-time notice).
+pub fn audit_mode() -> AuditMode {
+    match FORCED.load(Ordering::SeqCst) {
+        FORCE_OFF => return AuditMode::Off,
+        FORCE_WARN => return AuditMode::Warn,
+        FORCE_DENY => return AuditMode::Deny,
+        _ => {}
+    }
+    static ENV_MODE: OnceLock<AuditMode> = OnceLock::new();
+    *ENV_MODE.get_or_init(|| match std::env::var("GDCM_AUDIT").as_deref() {
+        Err(_) | Ok("") | Ok("off") | Ok("0") => AuditMode::Off,
+        Ok("warn") => AuditMode::Warn,
+        Ok("deny") => AuditMode::Deny,
+        Ok(other) => {
+            eprintln!("gdcm-core: unknown GDCM_AUDIT value {other:?}, treating as \"warn\"");
+            AuditMode::Warn
+        }
+    })
+}
+
+/// Runs the installed gate (if any) under the effective mode. Called by
+/// the pipeline after every fit; a no-op unless a gate is installed and
+/// the mode is `Warn` or `Deny`.
+pub(crate) fn maybe_audit(ctx: &AuditContext<'_>) {
+    let mode = audit_mode();
+    if mode == AuditMode::Off {
+        return;
+    }
+    let Some(gate) = GATE.get() else {
+        return;
+    };
+    let findings = {
+        let _span = gdcm_obs::span!("pipeline/audit");
+        gate(ctx)
+    };
+    gdcm_obs::counter("pipeline/audited_fits").incr();
+    if findings.is_empty() {
+        return;
+    }
+    gdcm_obs::counter("pipeline/audit_findings").add(findings.len() as u64);
+    if gdcm_obs::emitting() {
+        gdcm_obs::event(
+            "audit",
+            ctx.method,
+            &[("findings", gdcm_obs::FieldValue::U64(findings.len() as u64))],
+        );
+    }
+    match mode {
+        AuditMode::Off => {}
+        AuditMode::Warn => {
+            for finding in &findings {
+                eprintln!("gdcm-audit [{}]: {finding}", ctx.method);
+            }
+        }
+        AuditMode::Deny => panic!(
+            "GDCM_AUDIT=deny: {} audit finding(s) for method {:?}:\n{}",
+            findings.len(),
+            ctx.method,
+            findings.join("\n")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_mode_shadows_environment() {
+        force_audit_mode(Some(AuditMode::Deny));
+        assert_eq!(audit_mode(), AuditMode::Deny);
+        force_audit_mode(Some(AuditMode::Off));
+        assert_eq!(audit_mode(), AuditMode::Off);
+        force_audit_mode(None);
+        // Back to the environment-derived mode, whatever it is.
+        let _ = audit_mode();
+    }
+}

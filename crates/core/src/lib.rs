@@ -15,6 +15,9 @@
 //!   signature chosen on training devices only, signature networks
 //!   dropped from both sides, XGBoost-style regression, R² on unseen
 //!   devices.
+//! * [`gate`] — the opt-in post-training audit hook: an auditor (e.g.
+//!   `gdcm-audit`) installs a process-global gate that inspects every
+//!   freshly fitted model when `GDCM_AUDIT=warn|deny` is set.
 //! * [`collaborative`] — the §V collaborative-characterization
 //!   simulation and the isolated-vs-collaborative comparison.
 //! * [`repository`] — a user-facing collaborative repository API: devices
@@ -40,6 +43,7 @@
 pub mod collaborative;
 mod dataset;
 pub mod encoding;
+pub mod gate;
 pub mod hardware;
 pub mod pipeline;
 mod predictor;
@@ -48,8 +52,11 @@ pub mod signature;
 
 pub use dataset::CostDataset;
 pub use encoding::{EncoderConfig, NetworkEncoder};
+pub use gate::{
+    audit_mode, force_audit_mode, install_audit_gate, AuditContext, AuditGate, AuditMode,
+};
 pub use hardware::{HardwareRepr, StaticSpecEncoder};
-pub use pipeline::{CostModelPipeline, EvalReport, PipelineConfig};
+pub use pipeline::{CostModelPipeline, EvalReport, PipelineConfig, TrainedArtifacts};
 pub use predictor::CostModel;
 pub use repository::{CollaborativeRepository, RepositoryConfig};
 pub use signature::{MutualInfoSelector, RandomSelector, SignatureSelector, SpearmanSelector};

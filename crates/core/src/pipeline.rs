@@ -66,6 +66,32 @@ pub struct EvalReport {
     pub signature: Vec<usize>,
 }
 
+/// Everything one training run produces, before evaluation: the fitted
+/// model plus the exact inputs it was fitted on and the experiment
+/// plan around it. This is the unit the audit family verifies — the
+/// sweep binary trains via [`CostModelPipeline::signature_artifacts`] /
+/// [`CostModelPipeline::static_artifacts`] and hands each artifact set
+/// to `gdcm-audit` instead of re-deriving the protocol internals.
+#[derive(Debug, Clone)]
+pub struct TrainedArtifacts {
+    /// Representation / selector label ("static", "RS", "MIS", "SCCS").
+    pub method: String,
+    /// The fitted ensemble.
+    pub model: GbdtRegressor,
+    /// The training matrix handed to `fit`.
+    pub x_train: DenseMatrix,
+    /// The fit target (log-transformed when `log_target` is set).
+    pub y_train: Vec<f32>,
+    /// Signature networks consumed by the hardware representation.
+    pub signature: Vec<usize>,
+    /// Networks used as training/evaluation rows (signature excluded).
+    pub networks: Vec<usize>,
+    /// Training-side device indices.
+    pub train_devices: Vec<usize>,
+    /// Held-out device indices.
+    pub test_devices: Vec<usize>,
+}
+
 /// Drives the §IV protocol over a [`CostDataset`].
 #[derive(Debug, Clone)]
 pub struct CostModelPipeline<'a> {
@@ -182,13 +208,18 @@ impl<'a> CostModelPipeline<'a> {
         )
     }
 
-    fn run_with_split(
+    /// Trains one model on an explicit device split and returns the
+    /// full artifact set (model + training inputs + experiment plan)
+    /// without evaluating. If an audit gate is installed and
+    /// `GDCM_AUDIT` enables it, the gate runs here — immediately after
+    /// the fit, before the artifacts escape.
+    pub fn train_artifacts(
         &self,
         repr: &HardwareRepr,
         train_devices: &[usize],
         test_devices: &[usize],
         method: &str,
-    ) -> EvalReport {
+    ) -> TrainedArtifacts {
         let signature: Vec<usize> = match repr {
             HardwareRepr::Signature(s) => s.clone(),
             HardwareRepr::StaticSpec => Vec::new(),
@@ -199,21 +230,96 @@ impl<'a> CostModelPipeline<'a> {
             .filter(|n| !signature.contains(n))
             .collect();
 
-        let (x_train, y_train, x_test, y_test) = {
+        let (x_train, y_train) = {
             let _span = gdcm_obs::span!("pipeline/encode");
-            let (x_train, y_train) = self.build_rows(repr, train_devices, &networks);
-            let (x_test, y_test) = self.build_rows(repr, test_devices, &networks);
-            (x_train, y_train, x_test, y_test)
+            self.build_rows(repr, train_devices, &networks)
         };
 
         let train_target: Vec<f32> = if self.config.log_target {
             y_train.iter().map(|v| v.ln_1p()).collect()
         } else {
-            y_train.clone()
+            y_train
         };
         let model = {
             let _span = gdcm_obs::span!("pipeline/train");
             GbdtRegressor::fit(&x_train, &train_target, &self.config.gbdt)
+        };
+
+        crate::gate::maybe_audit(&crate::gate::AuditContext {
+            method,
+            model: &model,
+            params: &self.config.gbdt,
+            x_train: &x_train,
+            y_train: &train_target,
+            signature: &signature,
+            networks: &networks,
+            train_devices,
+            test_devices,
+            n_devices: self.data.n_devices(),
+            n_networks: self.data.n_networks(),
+        });
+
+        TrainedArtifacts {
+            method: method.to_string(),
+            model,
+            x_train,
+            y_train: train_target,
+            signature,
+            networks,
+            train_devices: train_devices.to_vec(),
+            test_devices: test_devices.to_vec(),
+        }
+    }
+
+    /// [`train_artifacts`](Self::train_artifacts) for the signature
+    /// representation: selects the signature on the training devices
+    /// (exactly as [`run_signature_with_split`](Self::run_signature_with_split)
+    /// does), then trains.
+    pub fn signature_artifacts(
+        &self,
+        selector: &dyn SignatureSelector,
+        train_devices: &[usize],
+        test_devices: &[usize],
+    ) -> TrainedArtifacts {
+        let signature = {
+            let _span = gdcm_obs::span!("pipeline/select");
+            selector.select(&self.data.db, train_devices, self.config.signature_size)
+        };
+        self.train_artifacts(
+            &HardwareRepr::Signature(signature),
+            train_devices,
+            test_devices,
+            selector.name(),
+        )
+    }
+
+    /// [`train_artifacts`](Self::train_artifacts) for the static-spec
+    /// baseline.
+    pub fn static_artifacts(
+        &self,
+        train_devices: &[usize],
+        test_devices: &[usize],
+    ) -> TrainedArtifacts {
+        self.train_artifacts(
+            &HardwareRepr::StaticSpec,
+            train_devices,
+            test_devices,
+            "static",
+        )
+    }
+
+    fn run_with_split(
+        &self,
+        repr: &HardwareRepr,
+        train_devices: &[usize],
+        test_devices: &[usize],
+        method: &str,
+    ) -> EvalReport {
+        let artifacts = self.train_artifacts(repr, train_devices, test_devices, method);
+        let model = &artifacts.model;
+        let (x_test, y_test) = {
+            let _span = gdcm_obs::span!("pipeline/encode");
+            self.build_rows(repr, test_devices, &artifacts.networks)
         };
 
         let _span = gdcm_obs::span!("pipeline/eval");
@@ -231,8 +337,8 @@ impl<'a> CostModelPipeline<'a> {
             mape_pct: mape(&y_test, &predicted),
             actual_ms: y_test,
             predicted_ms: predicted,
-            n_train_rows: x_train.n_rows(),
-            signature,
+            n_train_rows: artifacts.x_train.n_rows(),
+            signature: artifacts.signature,
         };
         gdcm_obs::counter("pipeline/runs").incr();
         gdcm_obs::gauge(&format!("pipeline/r2/{method}")).set(report.r2);

@@ -81,6 +81,24 @@ impl RandomForestRegressor {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// The fitted trees, for independent verification (`gdcm-audit`
+    /// walks them structurally).
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// The feature width the forest was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Assembles a forest from raw parts **without validation** — the
+    /// escape hatch tests and auditors use to construct deliberately
+    /// corrupted ensembles. `fit` is the only validated constructor.
+    pub fn from_raw_parts(trees: Vec<Tree>, n_features: usize) -> Self {
+        Self { trees, n_features }
+    }
 }
 
 impl Regressor for RandomForestRegressor {

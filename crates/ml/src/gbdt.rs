@@ -114,6 +114,9 @@ pub struct GbdtRegressor {
     base_score: f32,
     trees: Vec<Tree>,
     n_features: usize,
+    // `default` so payloads that dropped the (timing-laden, run-varying)
+    // log still deserialize into a usable model with `training_log: None`.
+    #[serde(default)]
     training_log: Option<TrainingLog>,
 }
 
@@ -317,6 +320,33 @@ impl GbdtRegressor {
     /// Number of features the model was trained on.
     pub fn n_features(&self) -> usize {
         self.n_features
+    }
+
+    /// Read-only view of the fitted trees, in boosting order.
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// Assembles an ensemble from raw parts, without validation and
+    /// without a training log.
+    ///
+    /// An escape hatch for tests and auditors that need deliberately
+    /// malformed ensembles; `fit` is the only way to obtain a model with
+    /// guaranteed invariants.
+    pub fn from_raw_parts(base_score: f32, trees: Vec<Tree>, n_features: usize) -> Self {
+        Self {
+            base_score,
+            trees,
+            n_features,
+            training_log: None,
+        }
+    }
+
+    /// Decomposes the ensemble into `(base_score, trees, n_features)`,
+    /// dropping the training log. Inverse of
+    /// [`GbdtRegressor::from_raw_parts`].
+    pub fn into_raw_parts(self) -> (f32, Vec<Tree>, usize) {
+        (self.base_score, self.trees, self.n_features)
     }
 
     /// Split counts per feature — a simple feature-importance measure.

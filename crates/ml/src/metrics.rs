@@ -1,4 +1,24 @@
 //! Regression and correlation metrics.
+//!
+//! Every metric panics — with a message naming the metric and both
+//! lengths — on empty or length-mismatched inputs: a silent `NaN` (or a
+//! metric over the wrong pairing) would flow into reports unnoticed,
+//! which is exactly the failure mode the audit layer exists to prevent.
+
+/// Panics with an invariant message unless `actual`/`predicted` are
+/// non-empty and of equal length. Shared guard for every metric; the
+/// `length mismatch` / `empty input` phrasing is load-bearing (tests
+/// pin it).
+fn check_paired_inputs(metric: &str, actual: usize, predicted: usize) {
+    assert_eq!(
+        actual, predicted,
+        "{metric}: length mismatch (actual has {actual} values, predicted has {predicted})"
+    );
+    assert!(
+        actual != 0,
+        "{metric}: empty input (a metric over zero points is undefined)"
+    );
+}
 
 /// Coefficient of determination `R²` — the paper's headline metric.
 ///
@@ -15,8 +35,7 @@
 ///
 /// Panics when the slices have different lengths or are empty.
 pub fn r2_score(actual: &[f32], predicted: &[f32]) -> f64 {
-    assert_eq!(actual.len(), predicted.len(), "length mismatch");
-    assert!(!actual.is_empty(), "empty input");
+    check_paired_inputs("r2_score", actual.len(), predicted.len());
     let n = actual.len() as f64;
     let mean = actual.iter().map(|&v| v as f64).sum::<f64>() / n;
     let ss_tot: f64 = actual.iter().map(|&v| (v as f64 - mean).powi(2)).sum();
@@ -37,8 +56,7 @@ pub fn r2_score(actual: &[f32], predicted: &[f32]) -> f64 {
 ///
 /// Panics when the slices have different lengths or are empty.
 pub fn rmse(actual: &[f32], predicted: &[f32]) -> f64 {
-    assert_eq!(actual.len(), predicted.len(), "length mismatch");
-    assert!(!actual.is_empty(), "empty input");
+    check_paired_inputs("rmse", actual.len(), predicted.len());
     let mse: f64 = actual
         .iter()
         .zip(predicted)
@@ -54,8 +72,7 @@ pub fn rmse(actual: &[f32], predicted: &[f32]) -> f64 {
 ///
 /// Panics when the slices have different lengths or are empty.
 pub fn mae(actual: &[f32], predicted: &[f32]) -> f64 {
-    assert_eq!(actual.len(), predicted.len(), "length mismatch");
-    assert!(!actual.is_empty(), "empty input");
+    check_paired_inputs("mae", actual.len(), predicted.len());
     actual
         .iter()
         .zip(predicted)
@@ -66,12 +83,33 @@ pub fn mae(actual: &[f32], predicted: &[f32]) -> f64 {
 
 /// Mean absolute percentage error (skips zero-valued actuals).
 ///
+/// Skipping is observable two ways: [`mape_with_skipped`] returns the
+/// skipped count directly, and this wrapper bumps the
+/// `ml/metrics/mape_skipped_labels` `gdcm-obs` counter whenever any
+/// label was skipped, so silent label dropping shows up in run reports.
+///
 /// # Panics
 ///
 /// Panics when the slices have different lengths or are empty.
 pub fn mape(actual: &[f32], predicted: &[f32]) -> f64 {
-    assert_eq!(actual.len(), predicted.len(), "length mismatch");
-    assert!(!actual.is_empty(), "empty input");
+    let (value, skipped) = mape_with_skipped(actual, predicted);
+    if skipped > 0 {
+        gdcm_obs::counter("ml/metrics/mape_skipped_labels").add(skipped as u64);
+    }
+    value
+}
+
+/// [`mape`] plus the number of zero-valued actuals that were skipped.
+///
+/// When *every* actual is zero the percentage error is undefined; this
+/// returns `(0.0, actual.len())` so callers can tell "perfect fit" from
+/// "nothing was measurable".
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths or are empty.
+pub fn mape_with_skipped(actual: &[f32], predicted: &[f32]) -> (f64, usize) {
+    check_paired_inputs("mape", actual.len(), predicted.len());
     let mut total = 0.0;
     let mut count = 0usize;
     for (&a, &p) in actual.iter().zip(predicted) {
@@ -80,10 +118,11 @@ pub fn mape(actual: &[f32], predicted: &[f32]) -> f64 {
             count += 1;
         }
     }
+    let skipped = actual.len() - count;
     if count == 0 {
-        0.0
+        (0.0, skipped)
     } else {
-        total / count as f64 * 100.0
+        (total / count as f64 * 100.0, skipped)
     }
 }
 
@@ -95,8 +134,7 @@ pub fn mape(actual: &[f32], predicted: &[f32]) -> f64 {
 ///
 /// Panics when the slices have different lengths or are empty.
 pub fn pearson(x: &[f32], y: &[f32]) -> f64 {
-    assert_eq!(x.len(), y.len(), "length mismatch");
-    assert!(!x.is_empty(), "empty input");
+    check_paired_inputs("pearson", x.len(), y.len());
     let n = x.len() as f64;
     let mx = x.iter().map(|&v| v as f64).sum::<f64>() / n;
     let my = y.iter().map(|&v| v as f64).sum::<f64>() / n;
@@ -146,8 +184,7 @@ pub fn average_ranks(values: &[f32]) -> Vec<f64> {
 ///
 /// Panics when the slices have different lengths or are empty.
 pub fn spearman(x: &[f32], y: &[f32]) -> f64 {
-    assert_eq!(x.len(), y.len(), "length mismatch");
-    assert!(!x.is_empty(), "empty input");
+    check_paired_inputs("spearman", x.len(), y.len());
     let rx: Vec<f32> = average_ranks(x).into_iter().map(|v| v as f32).collect();
     let ry: Vec<f32> = average_ranks(y).into_iter().map(|v| v as f32).collect();
     pearson(&rx, &ry)
@@ -232,5 +269,75 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let _ = r2_score(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mape_with_skipped_reports_dropped_labels() {
+        let a = [0.0, 100.0, 0.0, 50.0];
+        let p = [5.0, 110.0, 7.0, 55.0];
+        let (value, skipped) = mape_with_skipped(&a, &p);
+        assert!((value - 10.0).abs() < 1e-9);
+        assert_eq!(skipped, 2);
+        // No skipping on all-nonzero labels.
+        assert_eq!(mape_with_skipped(&[1.0, 2.0], &[1.0, 2.0]), (0.0, 0));
+    }
+
+    #[test]
+    fn mape_all_zero_labels_is_degenerate_not_perfect() {
+        let (value, skipped) = mape_with_skipped(&[0.0, 0.0, 0.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(value, 0.0);
+        assert_eq!(skipped, 3, "every label was skipped");
+    }
+
+    #[test]
+    fn mape_bumps_skip_counter() {
+        let before = gdcm_obs::counter("ml/metrics/mape_skipped_labels").get();
+        let _ = mape(&[0.0, 100.0], &[5.0, 110.0]);
+        let after = gdcm_obs::counter("ml/metrics/mape_skipped_labels").get();
+        // `>=`: the counter is process-global and other tests also call
+        // `mape` concurrently; this call alone accounts for one skip.
+        assert!(after > before, "before {before}, after {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rmse: length mismatch")]
+    fn rmse_mismatched_lengths_panic() {
+        let _ = rmse(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mae: length mismatch")]
+    fn mae_mismatched_lengths_panic() {
+        let _ = mae(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mape: length mismatch")]
+    fn mape_mismatched_lengths_panic() {
+        let _ = mape(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "r2_score: empty input")]
+    fn r2_empty_panics() {
+        let _ = r2_score(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rmse: empty input")]
+    fn rmse_empty_panics() {
+        let _ = rmse(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mae: empty input")]
+    fn mae_empty_panics() {
+        let _ = mae(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mape: empty input")]
+    fn mape_empty_panics() {
+        let _ = mape(&[], &[]);
     }
 }

@@ -11,11 +11,19 @@ use crate::dataset::DenseMatrix;
 pub struct StandardScaler {
     means: Vec<f32>,
     stds: Vec<f32>,
+    // `default` keeps payloads from before the freeze mask deserializing
+    // (they come back all-unfrozen, which `is_frozen` tolerates).
+    #[serde(default)]
+    frozen: Vec<bool>,
 }
 
 impl StandardScaler {
     /// Fits means and standard deviations per column. Zero-variance
-    /// columns receive a std of 1 so transforming them is a no-op shift.
+    /// columns receive a std of 1 so transforming them is a no-op shift;
+    /// each such column is recorded in the freeze mask and counted on
+    /// the `ml/scaler/frozen_columns` `gdcm-obs` counter, because a
+    /// frozen column usually means a degenerate (constant) feature
+    /// upstream — exactly what the `gdcm-audit` dataset lints look for.
     ///
     /// # Panics
     ///
@@ -40,20 +48,28 @@ impl StandardScaler {
                 vars[j] += dlt * dlt;
             }
         }
+        let mut frozen = vec![false; d];
         let stds: Vec<f32> = vars
             .iter()
-            .map(|&v| {
+            .enumerate()
+            .map(|(j, &v)| {
                 let s = (v / n).sqrt();
                 if s < 1e-12 {
+                    frozen[j] = true;
                     1.0
                 } else {
                     s as f32
                 }
             })
             .collect();
+        let n_frozen = frozen.iter().filter(|&&f| f).count();
+        if n_frozen > 0 {
+            gdcm_obs::counter("ml/scaler/frozen_columns").add(n_frozen as u64);
+        }
         Self {
             means: means.into_iter().map(|m| m as f32).collect(),
             stds,
+            frozen,
         }
     }
 
@@ -84,6 +100,22 @@ impl StandardScaler {
     /// Number of fitted columns.
     pub fn n_features(&self) -> usize {
         self.means.len()
+    }
+
+    /// Whether column `j` was frozen by the zero-variance guard during
+    /// `fit`. Always `false` for scalers deserialized from payloads that
+    /// predate the freeze mask.
+    pub fn is_frozen(&self, j: usize) -> bool {
+        self.frozen.get(j).copied().unwrap_or(false)
+    }
+
+    /// Indices of the columns frozen by the zero-variance guard.
+    pub fn frozen_columns(&self) -> Vec<usize> {
+        self.frozen
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &f)| f.then_some(j))
+            .collect()
     }
 }
 
@@ -118,5 +150,42 @@ mod tests {
         for r in t.rows() {
             assert_eq!(r[0], 0.0);
         }
+    }
+
+    #[test]
+    fn constant_column_is_frozen_and_counted() {
+        let before = gdcm_obs::counter("ml/scaler/frozen_columns").get();
+        // Column 0 constant, column 1 varying.
+        let x = DenseMatrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]);
+        let scaler = StandardScaler::fit(&x);
+        assert!(scaler.is_frozen(0));
+        assert!(!scaler.is_frozen(1));
+        assert_eq!(scaler.frozen_columns(), vec![0]);
+        // Out-of-range queries are conservatively unfrozen.
+        assert!(!scaler.is_frozen(7));
+        let after = gdcm_obs::counter("ml/scaler/frozen_columns").get();
+        // `>=`: the counter is process-global; this fit alone froze one.
+        assert!(after > before, "before {before}, after {after}");
+        // A no-variance fit is the regression case the 1e-12 guard
+        // exists for: transform stays a pure shift, mask covers it.
+        let t = scaler.transform(&x);
+        for r in t.rows() {
+            assert_eq!(r[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn freeze_mask_survives_serde_and_defaults_when_absent() {
+        let x = DenseMatrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0]]);
+        let scaler = StandardScaler::fit(&x);
+        let json = serde_json::to_string(&scaler).expect("scaler serializes");
+        let back: StandardScaler = serde_json::from_str(&json).expect("scaler deserializes");
+        assert_eq!(back, scaler);
+        assert!(back.is_frozen(0));
+        // Pre-freeze-mask payload: the field is absent entirely.
+        let legacy = json.replace(",\"frozen\":[true,false]", "");
+        assert_ne!(legacy, json, "fixture must actually strip the mask");
+        let old: StandardScaler = serde_json::from_str(&legacy).expect("legacy deserializes");
+        assert!(!old.is_frozen(0), "absent mask reads as unfrozen");
     }
 }

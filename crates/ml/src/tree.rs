@@ -290,6 +290,24 @@ impl Tree {
             .count()
     }
 
+    /// Read-only view of the node arena, in arena order. Node 0 is the
+    /// root; `grow` always pushes children after their parent, so
+    /// auditors can re-walk the structure independently of
+    /// [`Tree::predict_row`].
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Builds a tree directly from a node arena, without any structural
+    /// validation. Node 0 is taken as the root.
+    ///
+    /// This is an escape hatch for tests and auditors that need to
+    /// construct deliberately malformed trees; `fit` is the only way to
+    /// obtain a tree with guaranteed invariants.
+    pub fn from_raw_nodes(nodes: Vec<TreeNode>) -> Self {
+        Self { nodes }
+    }
+
     /// Features used by splits, for feature-importance accounting.
     pub fn split_features(&self) -> impl Iterator<Item = usize> + '_ {
         self.nodes.iter().filter_map(|n| match n {

@@ -5,6 +5,8 @@
 //! can depend on a single package:
 //!
 //! * [`analyze`] — multi-pass static IR verifier ([`gdcm_analyze`]).
+//! * [`audit`] — static verification of trained ensembles, datasets,
+//!   and experiment folds ([`gdcm_audit`]).
 //! * [`dnn`] — the network graph IR ([`gdcm_dnn`]).
 //! * [`gen`] — random generator and model zoo ([`gdcm_gen`]).
 //! * [`sim`] — the mobile-device latency simulator ([`gdcm_sim`]).
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub use gdcm_analyze as analyze;
+pub use gdcm_audit as audit;
 pub use gdcm_core as core;
 pub use gdcm_dnn as dnn;
 pub use gdcm_gen as gen;

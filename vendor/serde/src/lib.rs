@@ -258,6 +258,22 @@ pub mod __private {
             None => Err(E::custom(format!("missing field `{key}`"))),
         }
     }
+
+    /// Like [`take_field`], but an absent field yields `T::default()` —
+    /// the backing for `#[serde(default)]` in the vendored derive.
+    pub fn take_field_or_default<'de, T, E>(
+        map: &mut Vec<(String, Content)>,
+        key: &str,
+    ) -> Result<T, E>
+    where
+        T: Deserialize<'de> + Default,
+        E: de::Error,
+    {
+        match map.iter().position(|(k, _)| k == key) {
+            Some(idx) => from_content(map.swap_remove(idx).1),
+            None => Ok(T::default()),
+        }
+    }
 }
 
 use __private::Content;

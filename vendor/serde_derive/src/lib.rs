@@ -7,16 +7,28 @@
 //! content-tree data model. Externally-tagged enum encoding matches
 //! upstream serde's JSON layout (`"Variant"`, `{"Variant": ...}`).
 //!
+//! The only `#[serde(...)]` attribute supported is `#[serde(default)]`
+//! on named fields (absent fields deserialize to `Default::default()`);
+//! anything else under `#[serde(...)]` is a compile error rather than a
+//! silent no-op.
+//!
 //! Unsupported (not used by this workspace): generic type parameters,
-//! `#[serde(...)]` attributes, unions.
+//! other `#[serde(...)]` attributes, unions.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its identifier plus whether `#[serde(default)]`
+/// marks it.
+struct Field {
+    name: String,
+    default: bool,
+}
 
 /// Shape of a struct body or an enum variant's payload.
 enum Fields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -54,6 +66,44 @@ fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
         }
     }
     i
+}
+
+/// Like [`skip_attributes`], but inspects each `#[serde(...)]` group:
+/// `#[serde(default)]` sets the flag; any other serde attribute is an
+/// error (refusing beats silently ignoring a behavioral request).
+/// Returns `(next_index, has_default)`.
+fn read_field_attributes(tokens: &[TokenTree], mut i: usize) -> Result<(usize, bool), String> {
+    let mut default = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                        let args: Vec<String> =
+                            args.stream().into_iter().map(|t| t.to_string()).collect();
+                        match args.as_slice() {
+                            [only] if only == "default" => default = true,
+                            other => {
+                                return Err(format!(
+                                    "vendored serde derive supports only #[serde(default)], \
+                                     found #[serde({})]",
+                                    other.join("")
+                                ))
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok((i, default))
 }
 
 /// Skips `pub` / `pub(...)` visibility starting at `i`.
@@ -96,13 +146,15 @@ fn count_tuple_fields(stream: TokenStream) -> usize {
     fields
 }
 
-/// Extracts field names from a named-field body `{ a: T, b: U }`.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Extracts fields (and their `#[serde(default)]` flags) from a
+/// named-field body `{ a: T, b: U }`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut names = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
-        i = skip_visibility(&tokens, skip_attributes(&tokens, i));
+        let (after_attrs, default) = read_field_attributes(&tokens, i)?;
+        i = skip_visibility(&tokens, after_attrs);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             Some(other) => return Err(format!("expected field name, found `{other}`")),
@@ -113,7 +165,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
             _ => return Err(format!("expected `:` after field `{name}`")),
         }
-        names.push(name);
+        names.push(Field { name, default });
         // Skip the type up to the next top-level comma.
         let mut angle_depth = 0i32;
         while let Some(token) = tokens.get(i) {
@@ -228,17 +280,18 @@ fn de_custom(generic: &str) -> String {
 }
 
 /// Emits an expression building the `Content` map for named fields, with
-/// each value expression produced by `value_of(field)`.
-fn named_fields_content(fields: &[String], value_of: impl Fn(&str) -> String) -> String {
+/// each value expression produced by `value_of(field_name)`.
+fn named_fields_content(fields: &[Field], value_of: impl Fn(&str) -> String) -> String {
     let mut out = format!(
         "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, {CONTENT})> = \
          ::std::vec::Vec::with_capacity({}); ",
         fields.len()
     );
     for field in fields {
+        let name = &field.name;
         out.push_str(&format!(
-            "__fields.push((::std::string::String::from({field:?}), {}.map_err({})?)); ",
-            value_of(field),
+            "__fields.push((::std::string::String::from({name:?}), {}.map_err({})?)); ",
+            value_of(name),
             ser_custom("__S")
         ));
     }
@@ -300,11 +353,12 @@ fn expand_serialize(item: &Item) -> String {
                     }
                     Fields::Named(fields) => {
                         let inner = named_fields_content(fields, |f| format!("{TO_CONTENT}({f})"));
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {} }} => {{ let __payload = {inner}; \
                              __serializer.serialize_content({CONTENT}::Map(::std::vec![\
                              (::std::string::String::from({vname:?}), __payload)])) }},\n",
-                            fields.join(", ")
+                            bindings.join(", ")
                         ));
                     }
                 }
@@ -358,7 +412,15 @@ fn fields_from_content(ctor: &str, fields: &Fields, content_var: &str, what: &st
             );
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::__private::take_field(&mut __map, {f:?})?"))
+                .map(|f| {
+                    let name = &f.name;
+                    let taker = if f.default {
+                        "take_field_or_default"
+                    } else {
+                        "take_field"
+                    };
+                    format!("{name}: ::serde::__private::{taker}(&mut __map, {name:?})?")
+                })
                 .collect();
             out.push_str(&format!(
                 "::core::result::Result::Ok({ctor} {{ {} }}) }}",
@@ -445,7 +507,9 @@ fn expand_deserialize(item: &Item) -> String {
 }
 
 /// Derives `serde::Serialize` for non-generic structs and enums.
-#[proc_macro_derive(Serialize)]
+/// Registers the `serde` helper attribute so `#[serde(default)]` (a
+/// deserialization concern) doesn't break serialize-side expansion.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => expand_serialize(&item)
@@ -456,7 +520,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` for non-generic structs and enums.
-#[proc_macro_derive(Deserialize)]
+/// `#[serde(default)]` on a named field makes an absent field
+/// deserialize to `Default::default()`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => expand_deserialize(&item)
