@@ -1,0 +1,313 @@
+//! Load-generator benchmark for the `gdcm-serve` serving layer.
+//!
+//! Measures, over the same fitted repository and the same query stream:
+//!
+//! * **uncached vs cached** single-row prediction throughput (caches
+//!   disabled vs a warm prediction cache);
+//! * **single-row vs batched** prediction throughput with caches
+//!   disabled (per-call overhead vs the `gdcm-par` chunked batch path);
+//! * end-to-end **TCP** throughput through the newline-delimited JSON
+//!   protocol against an in-process server.
+//!
+//! Every path is checked bit-for-bit against the plain uncached
+//! repository before timing — a fast serving layer that changed answers
+//! would be a bug, not a speedup. Writes `BENCH_serve.json` at the repo
+//! root (or `$GDCM_BENCH_OUT`).
+//!
+//! ```sh
+//! cargo run --release -p gdcm-bench --bin bench_serve
+//! GDCM_BENCH_FAST=1 cargo run --release -p gdcm-bench --bin bench_serve  # smoke
+//! ```
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use gdcm_core::signature::{MutualInfoSelector, SignatureSelector};
+use gdcm_core::{CollaborativeRepository, CostDataset, RepositoryConfig};
+use gdcm_dnn::Network;
+use gdcm_ml::GbdtParams;
+use gdcm_serve::{serve, Client, Request, Response, ServeConfig, ServerConfig, ServingRepository};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ModeSample {
+    mode: &'static str,
+    predictions: usize,
+    elapsed_ms: f64,
+    qps: f64,
+    speedup_vs_uncached_single: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    cpus_available: usize,
+    n_devices: usize,
+    n_networks: usize,
+    rounds: usize,
+    bit_identical_all_paths: bool,
+    samples: Vec<ModeSample>,
+}
+
+fn fitted_repository(
+    seed: u64,
+    devices: usize,
+    random: usize,
+) -> (CollaborativeRepository, Vec<Network>) {
+    let data = CostDataset::tiny(seed, random, devices);
+    let all: Vec<usize> = (0..data.n_devices()).collect();
+    let signature = MutualInfoSelector::default().select(&data.db, &all, 4);
+    let mut repo = CollaborativeRepository::new(
+        data.encoder.clone(),
+        signature.len(),
+        RepositoryConfig {
+            gbdt: GbdtParams {
+                n_estimators: 40,
+                ..GbdtParams::default()
+            },
+            min_rows: 10,
+        },
+    );
+    let open: Vec<usize> = (0..data.n_networks())
+        .filter(|n| !signature.contains(n))
+        .collect();
+    for d in 0..data.n_devices() {
+        let lat: Vec<f64> = signature.iter().map(|&n| data.db.latency(d, n)).collect();
+        let name = data.devices[d].model.clone();
+        repo.onboard_device(name.clone(), &lat)
+            .expect("fresh dataset devices enroll cleanly");
+        for &n in open.iter().cycle().skip(d % open.len()).take(12) {
+            repo.contribute(&name, &data.suite[n].network, data.db.latency(d, n))
+                .expect("simulator latencies are finite");
+        }
+    }
+    repo.fit().expect("enough rows contributed");
+    let nets = open
+        .iter()
+        .map(|&n| data.suite[n].network.clone())
+        .collect();
+    (repo, nets)
+}
+
+const NO_CACHE: ServeConfig = ServeConfig {
+    encoding_cache: 0,
+    prediction_cache: 0,
+};
+
+fn main() {
+    let fast = std::env::var("GDCM_BENCH_FAST").is_ok();
+    let (devices, random, rounds) = if fast { (6, 6, 5) } else { (12, 10, 40) };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut run_report = gdcm_obs::RunReport::new("bench_serve");
+
+    let (repo, nets) = fitted_repository(42, devices, random);
+    let device_names: Vec<String> = repo.device_names().iter().map(|s| s.to_string()).collect();
+
+    // Ground truth: the plain uncached single-row repository path.
+    let truth: Vec<Vec<u64>> = device_names
+        .iter()
+        .map(|d| {
+            nets.iter()
+                .map(|n| repo.predict(d, n).expect("fitted repo predicts").to_bits())
+                .collect()
+        })
+        .collect();
+    let per_round = device_names.len() * nets.len();
+    let mut bit_identical = true;
+    let mut samples: Vec<ModeSample> = Vec::new();
+    let uncached_single_qps;
+
+    // Mode 1: uncached single-row calls through the façade.
+    {
+        let serving = ServingRepository::new(repo.clone(), NO_CACHE);
+        for (d, name) in device_names.iter().enumerate() {
+            for (n, net) in nets.iter().enumerate() {
+                bit_identical &=
+                    serving.predict(name, net).expect("predicts").to_bits() == truth[d][n];
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for name in &device_names {
+                for net in &nets {
+                    std::hint::black_box(serving.predict(name, net).expect("predicts"));
+                }
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        uncached_single_qps = (rounds * per_round) as f64 / elapsed;
+        samples.push(ModeSample {
+            mode: "uncached_single",
+            predictions: rounds * per_round,
+            elapsed_ms: elapsed * 1e3,
+            qps: uncached_single_qps,
+            speedup_vs_uncached_single: 1.0,
+        });
+    }
+
+    // Mode 2: warm prediction cache, single-row calls.
+    {
+        let serving = ServingRepository::new(repo.clone(), ServeConfig::default());
+        for (d, name) in device_names.iter().enumerate() {
+            for (n, net) in nets.iter().enumerate() {
+                bit_identical &=
+                    serving.predict(name, net).expect("predicts").to_bits() == truth[d][n];
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for name in &device_names {
+                for net in &nets {
+                    std::hint::black_box(serving.predict(name, net).expect("predicts"));
+                }
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let qps = (rounds * per_round) as f64 / elapsed;
+        bit_identical &= serving.cache_stats().prediction_hits > 0;
+        samples.push(ModeSample {
+            mode: "cached_single",
+            predictions: rounds * per_round,
+            elapsed_ms: elapsed * 1e3,
+            qps,
+            speedup_vs_uncached_single: qps / uncached_single_qps,
+        });
+    }
+
+    // Mode 3: uncached batches — per-call overhead amortized through the
+    // gdcm-par chunked predictor.
+    {
+        let serving = ServingRepository::new(repo.clone(), NO_CACHE);
+        for (d, name) in device_names.iter().enumerate() {
+            let batch = serving.predict_batch(name, &nets).expect("predicts");
+            for (n, value) in batch.iter().enumerate() {
+                bit_identical &= value.to_bits() == truth[d][n];
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for name in &device_names {
+                std::hint::black_box(serving.predict_batch(name, &nets).expect("predicts"));
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let qps = (rounds * per_round) as f64 / elapsed;
+        samples.push(ModeSample {
+            mode: "uncached_batch",
+            predictions: rounds * per_round,
+            elapsed_ms: elapsed * 1e3,
+            qps,
+            speedup_vs_uncached_single: qps / uncached_single_qps,
+        });
+    }
+
+    // Mode 4: end-to-end TCP — warm server cache, one connection, the
+    // full JSON protocol per prediction.
+    {
+        let serving = ServingRepository::new(repo.clone(), ServeConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+        let addr = listener.local_addr().expect("bound listener has an addr");
+        let tcp_rounds = rounds.min(10);
+        std::thread::scope(|scope| {
+            let serving = &serving;
+            let server = scope.spawn(move || serve(listener, serving, ServerConfig { workers: 1 }));
+            let mut client =
+                Client::connect_with_retry(addr, Duration::from_secs(10)).expect("connects");
+            for (d, name) in device_names.iter().enumerate() {
+                for (n, net) in nets.iter().enumerate() {
+                    match client
+                        .request(&Request::Predict {
+                            device: name.clone(),
+                            network: net.clone(),
+                        })
+                        .expect("request round-trips")
+                    {
+                        Response::Prediction { latency_ms } => {
+                            bit_identical &= latency_ms.to_bits() == truth[d][n];
+                        }
+                        other => panic!("predict answered {other:?}"),
+                    }
+                }
+            }
+            let start = Instant::now();
+            for _ in 0..tcp_rounds {
+                for name in &device_names {
+                    for net in &nets {
+                        let response = client
+                            .request(&Request::Predict {
+                                device: name.clone(),
+                                network: net.clone(),
+                            })
+                            .expect("request round-trips");
+                        std::hint::black_box(response);
+                    }
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let qps = (tcp_rounds * per_round) as f64 / elapsed;
+            samples.push(ModeSample {
+                mode: "tcp_cached_single",
+                predictions: tcp_rounds * per_round,
+                elapsed_ms: elapsed * 1e3,
+                qps,
+                speedup_vs_uncached_single: qps / uncached_single_qps,
+            });
+            match client
+                .request(&Request::Shutdown)
+                .expect("shutdown round-trips")
+            {
+                Response::ShuttingDown => {}
+                other => panic!("shutdown answered {other:?}"),
+            }
+            drop(client);
+            server
+                .join()
+                .expect("server thread")
+                .expect("clean shutdown");
+        });
+    }
+
+    for s in &samples {
+        eprintln!(
+            "[{:>18}] {:>8} predictions in {:>9.1} ms — {:>10.0} qps ({:.2}x)",
+            s.mode, s.predictions, s.elapsed_ms, s.qps, s.speedup_vs_uncached_single
+        );
+    }
+    assert!(
+        bit_identical,
+        "a serving path diverged from the uncached single-row repository"
+    );
+
+    let report = BenchReport {
+        bench: "serve_load",
+        cpus_available: cpus,
+        n_devices: device_names.len(),
+        n_networks: nets.len(),
+        rounds,
+        bit_identical_all_paths: bit_identical,
+        samples,
+    };
+    let out = std::env::var("GDCM_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let body = serde_json::to_string_pretty(&report).expect("report serializes");
+    let mut file = std::fs::File::create(&out).expect("can create bench report");
+    file.write_all(body.as_bytes()).expect("can write report");
+    file.write_all(b"\n").expect("can write report");
+    println!("bench_serve: wrote {out} (cpus_available = {cpus})");
+
+    run_report.set_dim("cpus_available", cpus as u64);
+    run_report.set_dim("n_devices", report.n_devices as u64);
+    run_report.set_dim("n_networks", report.n_networks as u64);
+    run_report.set_metric("uncached_single_qps", uncached_single_qps);
+    run_report.set_metric(
+        "cached_speedup",
+        report
+            .samples
+            .iter()
+            .find(|s| s.mode == "cached_single")
+            .map_or(0.0, |s| s.speedup_vs_uncached_single),
+    );
+    if let Err(e) = run_report.finalize_and_write() {
+        eprintln!("bench_serve: cannot write run report: {e}");
+    }
+}

@@ -58,5 +58,5 @@ pub use gate::{
 pub use hardware::{HardwareRepr, StaticSpecEncoder};
 pub use pipeline::{CostModelPipeline, EvalReport, PipelineConfig, TrainedArtifacts};
 pub use predictor::CostModel;
-pub use repository::{CollaborativeRepository, RepositoryConfig};
+pub use repository::{CollaborativeRepository, RepositoryConfig, RepositoryError, RepositoryParts};
 pub use signature::{MutualInfoSelector, RandomSelector, SignatureSelector, SpearmanSelector};

@@ -38,7 +38,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A single operator instance in the graph with resolved shapes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Node {
     /// Identifier of this node.
     pub id: NodeId,
@@ -56,7 +56,7 @@ pub struct Node {
 /// shape inference and validation incrementally; a `Network` value is
 /// therefore always structurally sound. Nodes are stored in topological
 /// order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Network {
     name: String,
     nodes: Vec<Node>,

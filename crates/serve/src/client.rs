@@ -1,0 +1,81 @@
+//! A minimal blocking client for the newline-delimited JSON protocol.
+//!
+//! Used by the probe mode of the `gdcm-serve` binary, the CI smoke job,
+//! and the `bench_serve` load generator; library users get a typed
+//! request/response call without hand-rolling framing.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{Request, Response};
+use crate::ServeError;
+
+/// A connected protocol client. One request/response in flight at a
+/// time, in order — exactly the server's per-connection contract.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a serving endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // One small JSON line per direction per request: Nagle's
+        // algorithm would add a delayed-ACK round trip to every call.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for scripted
+    /// clients racing a server that is still binding its listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once the deadline passes.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, unparsable responses, or a server that
+    /// closed the connection without answering.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let json = serde_json::to_string(request).map_err(|e| ServeError::Json(e.to_string()))?;
+        self.writer.write_all(json.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            )));
+        }
+        serde_json::from_str(&line).map_err(|e| ServeError::Json(e.to_string()))
+    }
+}

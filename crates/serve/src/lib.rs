@@ -1,0 +1,106 @@
+//! # gdcm-serve — cached, persistent serving over the collaborative repository
+//!
+//! The paper's end state is a *collaborative characterization repository*
+//! any device can query for any network's latency — a service, not a
+//! batch script. [`gdcm_core::CollaborativeRepository`] is that service's
+//! kernel; this crate wraps it in the serving machinery the kernel
+//! deliberately does not carry:
+//!
+//! * [`ServingRepository`] — a thread-safe façade adding a
+//!   content-hash-keyed LRU cache for network encodings (the repository
+//!   used to re-encode the network on every `predict`), a
+//!   `(device, network-hash)` LRU for finished predictions, and a
+//!   [`ServingRepository::predict_batch`] path routed through the
+//!   `gdcm-par` chunked batch predictor instead of per-row calls.
+//!   Cached and batched answers are **bit-identical** to the uncached
+//!   single-row path — the caches only skip work, never change it.
+//! * [`snapshot`] — versioned serde persistence of the full repository
+//!   state (encoder config, devices, training rows, fitted
+//!   [`gdcm_ml::GbdtRegressor`]). Loading replays `gdcm-core` ingestion
+//!   validation **and** the `gdcm-audit` ensemble + dataset passes, so a
+//!   corrupted or poisoned snapshot is rejected before it can serve.
+//! * [`server`] — a newline-delimited-JSON TCP server
+//!   (`std::net::TcpListener`, safe Rust only) with worker threads sized
+//!   by the `gdcm-par` budget, per-request latency histograms, queue
+//!   depth gauges, and graceful drain-then-exit shutdown.
+//!
+//! Environment knobs: `GDCM_SERVE_ENC_CACHE` / `GDCM_SERVE_PRED_CACHE`
+//! (cache capacities in entries, 0 disables), `GDCM_THREADS` (worker
+//! budget, via `gdcm-par`), `GDCM_OBS` (event sinks, via `gdcm-obs`).
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod lru;
+pub mod protocol;
+pub mod server;
+pub mod serving;
+pub mod snapshot;
+
+pub use client::Client;
+pub use lru::LruCache;
+pub use protocol::{Request, Response};
+pub use server::{serve, ServerConfig, ServerSummary};
+pub use serving::{network_hash, CacheStats, ServeConfig, ServingRepository};
+pub use snapshot::{
+    load_repository, save_repository, RepositorySnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+};
+
+use gdcm_core::RepositoryError;
+use std::fmt;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The wrapped repository rejected the operation.
+    Repository(RepositoryError),
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+    /// (De)serialization failed.
+    Json(String),
+    /// The snapshot envelope is not one this build can read.
+    BadSnapshot {
+        /// What was wrong with the envelope.
+        reason: String,
+    },
+    /// The snapshot deserialized but the `gdcm-audit` passes found
+    /// errors in the trained model or its dataset.
+    AuditRejected {
+        /// Rendered diagnostics, one per finding.
+        diagnostics: Vec<String>,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Repository(e) => write!(f, "repository: {e}"),
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Json(e) => write!(f, "json: {e}"),
+            ServeError::BadSnapshot { reason } => write!(f, "bad snapshot: {reason}"),
+            ServeError::AuditRejected { diagnostics } => write!(
+                f,
+                "snapshot rejected by audit ({} finding(s)): {}",
+                diagnostics.len(),
+                diagnostics.join("; ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RepositoryError> for ServeError {
+    fn from(e: RepositoryError) -> Self {
+        ServeError::Repository(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,206 @@
+//! A minimal O(1) least-recently-used cache.
+//!
+//! Implemented as a slab-backed doubly-linked recency list plus a
+//! `HashMap` from key to slab slot — no unsafe, no external crates, and
+//! fully deterministic: the eviction order is a pure function of the
+//! call sequence, so cached serving stays reproducible across runs.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel slot index meaning "no link".
+const NONE: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU cache. A capacity of 0 disables the cache
+/// entirely (every `get` misses, every `insert` is a no-op), which is
+/// how the serving layer implements its "cache off" knobs.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slab: Vec::new(),
+            head: NONE,
+            tail: NONE,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NONE {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links `slot` at the head (most recently used).
+    fn link_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NONE;
+        self.slab[slot].next = self.head;
+        if self.head != NONE {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let slot = *self.map.get(key)?;
+        if slot != self.head {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+        Some(&self.slab[slot].value)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least recently used
+    /// entry if the cache is full. Returns the evicted `(key, value)`
+    /// pair, if any. No-op at capacity 0.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].value = value;
+            if slot != self.head {
+                self.unlink(slot);
+                self.link_front(slot);
+            }
+            return None;
+        }
+        if self.map.len() >= self.capacity {
+            // Full: reuse the least-recent slot in place.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = std::mem::replace(&mut self.slab[victim].key, key.clone());
+            let old_value = std::mem::replace(&mut self.slab[victim].value, value);
+            self.map.remove(&old_key);
+            self.map.insert(key, victim);
+            self.link_front(victim);
+            return Some((old_key, old_value));
+        }
+        self.slab.push(Entry {
+            key: key.clone(),
+            value,
+            prev: NONE,
+            next: NONE,
+        });
+        let slot = self.slab.len() - 1;
+        self.map.insert(key, slot);
+        self.link_front(slot);
+        None
+    }
+
+    /// Drops every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NONE;
+        self.tail = NONE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_evict_in_lru_order() {
+        let mut cache = LruCache::new(2);
+        assert!(cache.insert("a", 1).is_none());
+        assert!(cache.insert("b", 2).is_none());
+        assert_eq!(cache.get(&"a"), Some(&1)); // a is now most recent
+        let evicted = cache.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.get(&"c"), Some(&3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn replacement_updates_value_and_recency() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        cache.insert("a", 10);
+        assert_eq!(cache.insert("c", 3), Some(("b", 2)));
+        assert_eq!(cache.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache = LruCache::new(0);
+        assert!(cache.insert("a", 1).is_none());
+        assert_eq!(cache.get(&"a"), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut cache = LruCache::new(3);
+        cache.insert(1, "x");
+        cache.insert(2, "y");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 3);
+        cache.insert(3, "z");
+        assert_eq!(cache.get(&3), Some(&"z"));
+    }
+
+    #[test]
+    fn long_churn_stays_bounded_and_consistent() {
+        let mut cache = LruCache::new(8);
+        for i in 0..1000usize {
+            cache.insert(i % 13, i);
+            assert!(cache.len() <= 8);
+            let recent = i % 13;
+            assert_eq!(cache.get(&recent), Some(&i));
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! `gdcm-serve` — build, serve, and probe repository snapshots.
+//!
+//! ```text
+//! gdcm-serve --build-zoo PATH [--devices N] [--seed S] [--random K]
+//! gdcm-serve --snapshot PATH --addr HOST:PORT [--workers W]
+//! gdcm-serve --probe HOST:PORT --snapshot PATH [--seed S] [--random K]
+//! ```
+//!
+//! * `--build-zoo` trains a collaborative repository on the simulated
+//!   zoo-plus-random benchmark suite (deterministic in `--seed`) and
+//!   writes a versioned snapshot.
+//! * `--snapshot --addr` loads the snapshot **under audit** and serves
+//!   it over newline-delimited JSON TCP until a client sends
+//!   `Shutdown`. Prints `LISTENING <addr>` once the listener is bound
+//!   so scripts can synchronize.
+//! * `--probe` is the scripted client the CI smoke job runs: it loads
+//!   the same snapshot locally, queries the server (ping / predict /
+//!   batch / cached re-predict / stats), asserts every prediction is
+//!   bit-identical to the local uncached path, then asks the server to
+//!   shut down. Exits non-zero on any mismatch.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gdcm_core::signature::{MutualInfoSelector, SignatureSelector};
+use gdcm_core::{CollaborativeRepository, CostDataset, RepositoryConfig};
+use gdcm_gen::{benchmark_suite_with, SearchSpace};
+use gdcm_ml::GbdtParams;
+use gdcm_serve::protocol::{Request, Response};
+use gdcm_serve::{serve, Client, ServeConfig, ServerConfig, ServingRepository};
+
+const USAGE: &str = "usage:
+  gdcm-serve --build-zoo PATH [--devices N] [--seed S] [--random K]
+  gdcm-serve --snapshot PATH --addr HOST:PORT [--workers W]
+  gdcm-serve --probe HOST:PORT --snapshot PATH [--seed S] [--random K]
+
+  --build-zoo PATH  train on the simulated zoo suite and write a snapshot
+  --snapshot PATH   snapshot to serve (audited on load) or to probe against
+  --addr HOST:PORT  listen address for serving
+  --workers W       connection worker threads (default: GDCM_THREADS budget)
+  --probe ADDR      act as the scripted smoke client against ADDR
+  --devices N       devices to enroll when building (default 16)
+  --seed S          dataset seed (default 42); probe must match build
+  --random K        random networks beside the zoo (default 8); probe must match build";
+
+struct Args {
+    build_zoo: Option<PathBuf>,
+    snapshot: Option<PathBuf>,
+    addr: Option<String>,
+    probe: Option<String>,
+    workers: Option<usize>,
+    devices: usize,
+    seed: u64,
+    random: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        build_zoo: None,
+        snapshot: None,
+        addr: None,
+        probe: None,
+        workers: None,
+        devices: 16,
+        seed: 42,
+        random: 8,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--build-zoo" => args.build_zoo = Some(PathBuf::from(value("--build-zoo")?)),
+            "--snapshot" => args.snapshot = Some(PathBuf::from(value("--snapshot")?)),
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--probe" => args.probe = Some(value("--probe")?),
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                );
+            }
+            "--devices" => {
+                args.devices = value("--devices")?
+                    .parse()
+                    .map_err(|e| format!("--devices: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--random" => {
+                args.random = value("--random")?
+                    .parse()
+                    .map_err(|e| format!("--random: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Trains a repository on the simulated suite — every enrolled device
+/// measures the signature set and contributes a rotating share of the
+/// open networks — and returns it fitted.
+fn build_repository(seed: u64, random: usize, devices: usize) -> CollaborativeRepository {
+    let data = CostDataset::tiny(seed, random, devices.max(4));
+    let all: Vec<usize> = (0..data.n_devices()).collect();
+    let signature = MutualInfoSelector::default().select(&data.db, &all, 4);
+    let mut repo = CollaborativeRepository::new(
+        data.encoder.clone(),
+        signature.len(),
+        RepositoryConfig {
+            gbdt: GbdtParams {
+                n_estimators: 40,
+                ..GbdtParams::default()
+            },
+            min_rows: 10,
+        },
+    );
+    let open: Vec<usize> = (0..data.n_networks())
+        .filter(|n| !signature.contains(n))
+        .collect();
+    for d in 0..devices.min(data.n_devices()) {
+        let lat: Vec<f64> = signature.iter().map(|&n| data.db.latency(d, n)).collect();
+        let name = data.devices[d].model.clone();
+        repo.onboard_device(name.clone(), &lat)
+            .expect("fresh dataset devices have unique names and finite signatures");
+        for &n in open.iter().cycle().skip(d % open.len().max(1)).take(12) {
+            repo.contribute(&name, &data.suite[n].network, data.db.latency(d, n))
+                .expect("device was onboarded above with simulator-finite latencies");
+        }
+    }
+    repo.fit().expect("every device contributed 12 rows");
+    repo
+}
+
+fn build_mode(args: &Args, out: &Path) -> Result<(), String> {
+    let repo = build_repository(args.seed, args.random, args.devices);
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {parent:?}: {e}"))?;
+    }
+    gdcm_serve::save_repository(&repo, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote snapshot {} ({} devices, {} rows, fitted={})",
+        out.display(),
+        repo.n_devices(),
+        repo.n_rows(),
+        repo.is_fitted()
+    );
+    Ok(())
+}
+
+fn serve_mode(args: &Args, snapshot: &Path, addr: &str) -> Result<(), String> {
+    let serving = ServingRepository::from_snapshot_path(snapshot).map_err(|e| e.to_string())?;
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("LISTENING {local}");
+    let config = ServerConfig {
+        workers: args
+            .workers
+            .unwrap_or_else(|| ServerConfig::default().workers),
+    };
+    let summary = serve(listener, &serving, config).map_err(|e| e.to_string())?;
+    println!(
+        "served {} request(s) over {} connection(s), {} error(s); shut down cleanly",
+        summary.requests, summary.connections, summary.request_errors
+    );
+    let mut report = gdcm_obs::RunReport::new("gdcm-serve");
+    report.set_dim("requests", summary.requests);
+    report.set_dim("connections", summary.connections);
+    report.set_dim("request_errors", summary.request_errors);
+    report.collect();
+    let _ = report.finalize_and_write();
+    Ok(())
+}
+
+fn probe_mode(args: &Args, addr: &str, snapshot: &Path) -> Result<(), String> {
+    // The local, audited copy provides the ground truth the server must
+    // match bit for bit.
+    let local = ServingRepository::from_snapshot_path(snapshot).map_err(|e| e.to_string())?;
+    let devices = local.device_names();
+    let device = devices.first().ok_or("snapshot has no enrolled devices")?;
+    let suite = benchmark_suite_with(args.seed, SearchSpace::tiny(), args.random);
+    let probe_nets: Vec<_> = suite.iter().take(6).map(|n| n.network.clone()).collect();
+
+    let mut client = Client::connect_with_retry(addr, Duration::from_secs(30))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut ask = |req: &Request| client.request(req).map_err(|e| e.to_string());
+
+    match ask(&Request::Ping)? {
+        Response::Pong => {}
+        other => return Err(format!("ping answered {other:?}")),
+    }
+
+    // Single-row predictions: bit-identical to the local uncached path.
+    for net in &probe_nets {
+        let expected = local
+            .with_repository(|r| r.predict(device, net))
+            .map_err(|e| e.to_string())?;
+        match ask(&Request::Predict {
+            device: device.clone(),
+            network: net.clone(),
+        })? {
+            Response::Prediction { latency_ms } if latency_ms.to_bits() == expected.to_bits() => {}
+            other => return Err(format!("predict mismatch: {other:?} vs {expected}")),
+        }
+    }
+
+    // Batch path: same bits, in order.
+    let expected: Vec<f64> = probe_nets
+        .iter()
+        .map(|n| local.with_repository(|r| r.predict(device, n)))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    match ask(&Request::PredictBatch {
+        device: device.clone(),
+        networks: probe_nets.clone(),
+    })? {
+        Response::Predictions { latency_ms }
+            if latency_ms.len() == expected.len()
+                && latency_ms
+                    .iter()
+                    .zip(&expected)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()) => {}
+        other => return Err(format!("batch mismatch: {other:?} vs {expected:?}")),
+    }
+
+    // Cached re-ask: still the same bits.
+    match ask(&Request::Predict {
+        device: device.clone(),
+        network: probe_nets[0].clone(),
+    })? {
+        Response::Prediction { latency_ms } if latency_ms.to_bits() == expected[0].to_bits() => {}
+        other => return Err(format!("cached predict mismatch: {other:?}")),
+    }
+
+    match ask(&Request::Stats)? {
+        Response::Stats {
+            fitted: true,
+            devices,
+            rows,
+            prediction_hits,
+            ..
+        } => {
+            if devices == 0 || rows == 0 {
+                return Err(format!(
+                    "stats report an empty repository: {devices}/{rows}"
+                ));
+            }
+            if prediction_hits == 0 {
+                return Err("cached re-ask did not hit the prediction cache".into());
+            }
+        }
+        other => return Err(format!("stats answered {other:?}")),
+    }
+
+    match ask(&Request::Shutdown)? {
+        Response::ShuttingDown => {}
+        other => return Err(format!("shutdown answered {other:?}")),
+    }
+    println!(
+        "probe OK: ping, {} predictions, batch, cache hit, stats, shutdown",
+        probe_nets.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Knobs reach the serving layer through ServeConfig::from_env at
+    // construction; referencing it here keeps the dependency explicit.
+    let _ = ServeConfig::from_env();
+    let result = match (&args.build_zoo, &args.probe, &args.snapshot, &args.addr) {
+        (Some(out), None, _, _) => build_mode(&args, out),
+        (None, Some(addr), Some(snapshot), _) => probe_mode(&args, addr, snapshot),
+        (None, None, Some(snapshot), Some(addr)) => serve_mode(&args, snapshot, addr),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gdcm-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, in order, over a plain
+//! TCP stream. Requests and responses are externally tagged enums —
+//! `{"Predict": {"device": "...", "network": {...}}}` — matching the
+//! vendored serde derive's enum encoding. Networks travel as their full
+//! serialized graph IR, so any client able to emit `gdcm-dnn` JSON can
+//! query the repository about *any* network, not just a predefined set.
+//!
+//! A connection may carry any number of requests; the server answers
+//! each before reading the next. `Shutdown` asks the whole server to
+//! drain and exit (every worker finishes its current connection first).
+
+use gdcm_dnn::Network;
+use serde::{Deserialize, Serialize};
+
+/// A client request, one per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness check; answered with [`Response::Pong`].
+    Ping,
+    /// Repository and cache statistics.
+    Stats,
+    /// Predict one network's latency on an enrolled device.
+    Predict {
+        /// Enrolled device name.
+        device: String,
+        /// The network to price.
+        network: Network,
+    },
+    /// Predict many networks on one device in a single batched call.
+    PredictBatch {
+        /// Enrolled device name.
+        device: String,
+        /// The networks to price, answered in order.
+        networks: Vec<Network>,
+    },
+    /// Predict for an unenrolled device from raw signature latencies.
+    PredictForNewDevice {
+        /// Measured signature-set latencies (ms).
+        signature_ms: Vec<f64>,
+        /// The network to price.
+        network: Network,
+    },
+    /// Enroll a new device.
+    OnboardDevice {
+        /// Device name (must not be enrolled yet).
+        device: String,
+        /// Measured signature-set latencies (ms).
+        signature_ms: Vec<f64>,
+    },
+    /// Update an enrolled device's signature (rewrites its rows).
+    ReEnroll {
+        /// Enrolled device name.
+        device: String,
+        /// Fresh signature-set latencies (ms).
+        signature_ms: Vec<f64>,
+    },
+    /// Contribute one measured latency.
+    Contribute {
+        /// Enrolled device name.
+        device: String,
+        /// The measured network.
+        network: Network,
+        /// Measured latency (ms); must be finite and positive.
+        latency_ms: f64,
+    },
+    /// Refit the shared model on everything contributed so far.
+    Fit,
+    /// Drain outstanding work and stop the server.
+    Shutdown,
+}
+
+/// A server response, one per request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// A mutation succeeded.
+    Ok,
+    /// Answer to [`Request::Predict`] / [`Request::PredictForNewDevice`].
+    Prediction {
+        /// Predicted latency (ms).
+        latency_ms: f64,
+    },
+    /// Answer to [`Request::PredictBatch`], in request order.
+    Predictions {
+        /// Predicted latencies (ms).
+        latency_ms: Vec<f64>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Enrolled devices.
+        devices: usize,
+        /// Contributed training rows.
+        rows: usize,
+        /// Whether a fitted model is serving.
+        fitted: bool,
+        /// Encoding-cache hits since startup.
+        encoding_hits: u64,
+        /// Encoding-cache misses since startup.
+        encoding_misses: u64,
+        /// Prediction-cache hits since startup.
+        prediction_hits: u64,
+        /// Prediction-cache misses since startup.
+        prediction_misses: u64,
+        /// Requests handled since startup (this one included).
+        requests: u64,
+    },
+    /// Acknowledgement of [`Request::Shutdown`]; the server drains and
+    /// exits after sending this.
+    ShuttingDown,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Stats,
+            Request::OnboardDevice {
+                device: "pixel".into(),
+                signature_ms: vec![1.5, 2.25],
+            },
+            Request::Fit,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).expect("serializable");
+            let back: Request = serde_json::from_str(&json).expect("parseable");
+            assert_eq!(req, back, "{json}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let resp = Response::Prediction {
+            latency_ms: 123.456_789_012_345_67,
+        };
+        let json = serde_json::to_string(&resp).expect("serializable");
+        let back: Response = serde_json::from_str(&json).expect("parseable");
+        match (resp, back) {
+            (Response::Prediction { latency_ms: a }, Response::Prediction { latency_ms: b }) => {
+                assert_eq!(a.to_bits(), b.to_bits())
+            }
+            other => panic!("variant changed: {other:?}"),
+        }
+    }
+}

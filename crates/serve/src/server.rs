@@ -1,0 +1,316 @@
+//! The TCP server: accept loop, worker pool, graceful shutdown.
+//!
+//! Safe Rust only, on `std::net`. The accept loop runs on the calling
+//! thread and feeds accepted connections through an `mpsc` channel to
+//! worker threads sized by the `gdcm-par` budget (`GDCM_THREADS`):
+//!
+//! * budget 1 — no workers are spawned; connections are handled inline
+//!   by the accept loop, the exact serial path (mirroring `gdcm-par`'s
+//!   own serial short-circuit).
+//! * budget N>1 — N workers pull connections from the shared channel.
+//!
+//! Shutdown is the SIGTERM-equivalent *channel close*: a `Shutdown`
+//! request flips the shared stop flag and pokes the listener with a
+//! wake-up connection; the accept loop exits and drops the sender, the
+//! channel closes, and each worker drains what was already queued before
+//! returning. Nothing is aborted mid-request.
+//!
+//! Instrumentation: `serve/requests` / `serve/request_errors` counters,
+//! a `serve/request_ms` latency histogram, and a `serve/queue_depth`
+//! gauge updated on every enqueue/dequeue.
+
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::time::Instant;
+
+use crate::protocol::{Request, Response};
+use crate::serving::ServingRepository;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Connection worker threads. 1 handles connections inline on the
+    /// accept thread. Defaults to the `gdcm-par` thread budget.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: gdcm_par::threads().max(1),
+        }
+    }
+}
+
+/// What the server did before it stopped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerSummary {
+    /// Connections accepted and handled.
+    pub connections: u64,
+    /// Requests answered (errors included).
+    pub requests: u64,
+    /// Requests answered with [`Response::Error`].
+    pub request_errors: u64,
+}
+
+/// Shared per-server state.
+struct ServerShared<'a> {
+    serving: &'a ServingRepository,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    request_errors: AtomicU64,
+    connections: AtomicU64,
+    queue_depth: AtomicI64,
+}
+
+impl ServerShared<'_> {
+    /// Flags shutdown and pokes the accept loop awake with a throwaway
+    /// connection so it observes the flag without waiting for traffic.
+    fn trigger_shutdown(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// Runs the server until a client sends [`Request::Shutdown`]. Returns
+/// the traffic summary after a graceful drain.
+///
+/// # Errors
+///
+/// Propagates listener failures (bind errors surface earlier, at
+/// `TcpListener::bind`; accept errors on a healthy listener are
+/// per-connection and logged, not fatal).
+pub fn serve(
+    listener: TcpListener,
+    serving: &ServingRepository,
+    config: ServerConfig,
+) -> std::io::Result<ServerSummary> {
+    let _span = gdcm_obs::span!("serve/server");
+    let addr = listener.local_addr()?;
+    let shared = ServerShared {
+        serving,
+        addr,
+        stop: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        request_errors: AtomicU64::new(0),
+        connections: AtomicU64::new(0),
+        queue_depth: AtomicI64::new(0),
+    };
+    let workers = config.workers.max(1);
+    gdcm_obs::gauge("serve/workers").set(workers as f64);
+
+    if workers == 1 {
+        // Serial path: handle each connection inline on this thread.
+        for stream in listener.incoming() {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => handle_connection(&shared, stream),
+                Err(e) => gdcm_obs::event(
+                    "accept_error",
+                    "serve",
+                    &[("error", gdcm_obs::FieldValue::Str(e.to_string()))],
+                ),
+            }
+        }
+    } else {
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| worker_loop(&shared, &rx)));
+            }
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+                        gdcm_obs::gauge("serve/queue_depth").set(depth as f64);
+                        if tx.send(stream).is_err() {
+                            break; // all workers gone (unreachable in practice)
+                        }
+                    }
+                    Err(e) => gdcm_obs::event(
+                        "accept_error",
+                        "serve",
+                        &[("error", gdcm_obs::FieldValue::Str(e.to_string()))],
+                    ),
+                }
+            }
+            // Channel close = the shutdown signal workers drain on.
+            drop(tx);
+            for handle in handles {
+                // Worker closures don't panic; join errors would only
+                // reflect a panic escaping handle_connection's catch-all.
+                let _ = handle.join();
+            }
+        });
+    }
+
+    Ok(ServerSummary {
+        connections: shared.connections.load(Ordering::SeqCst),
+        requests: shared.requests.load(Ordering::SeqCst),
+        request_errors: shared.request_errors.load(Ordering::SeqCst),
+    })
+}
+
+/// Worker: pull connections until the channel closes, then drain out.
+fn worker_loop(shared: &ServerShared<'_>, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Hold the receiver lock only for the pull, not the handling.
+        let stream = match rx.lock().recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // channel closed: graceful drain complete
+        };
+        let depth = shared.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
+        gdcm_obs::gauge("serve/queue_depth").set(depth as f64);
+        handle_connection(shared, stream);
+    }
+}
+
+/// Serves one connection: a loop of line-delimited requests, answered
+/// in order. Returns when the client disconnects or after `Shutdown`.
+fn handle_connection(shared: &ServerShared<'_>, stream: TcpStream) {
+    shared.connections.fetch_add(1, Ordering::SeqCst);
+    // Responses are single small lines; without TCP_NODELAY each one
+    // waits on the peer's delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let peer = stream.peer_addr().ok();
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(e) => {
+            gdcm_obs::event(
+                "connection_error",
+                "serve",
+                &[("error", gdcm_obs::FieldValue::Str(e.to_string()))],
+            );
+            return;
+        }
+    };
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break, // client went away
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let (response, is_shutdown) = match serde_json::from_str::<Request>(&line) {
+            Ok(request) => {
+                let is_shutdown = matches!(request, Request::Shutdown);
+                (dispatch(shared, request), is_shutdown)
+            }
+            Err(e) => (
+                Response::Error {
+                    message: format!("unparsable request: {e}"),
+                },
+                false,
+            ),
+        };
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        gdcm_obs::counter("serve/requests").incr();
+        if matches!(response, Response::Error { .. }) {
+            shared.request_errors.fetch_add(1, Ordering::SeqCst);
+            gdcm_obs::counter("serve/request_errors").incr();
+        }
+        let json = match serde_json::to_string(&response) {
+            Ok(json) => json,
+            // Responses are plain data; serialization cannot fail. If it
+            // ever does, drop the connection rather than the process.
+            Err(_) => break,
+        };
+        gdcm_obs::histogram("serve/request_ms").record(started.elapsed().as_secs_f64() * 1e3);
+        if writer
+            .write_all(json.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break; // client went away mid-response
+        }
+        if is_shutdown {
+            shared.trigger_shutdown();
+            break;
+        }
+    }
+    let _ = peer; // peer address is only interesting to event sinks
+}
+
+/// Maps one request to one response against the serving repository.
+fn dispatch(shared: &ServerShared<'_>, request: Request) -> Response {
+    let serving = shared.serving;
+    let fail = |e: crate::ServeError| Response::Error {
+        message: e.to_string(),
+    };
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => {
+            let cache = serving.cache_stats();
+            Response::Stats {
+                devices: serving.n_devices(),
+                rows: serving.n_rows(),
+                fitted: serving.is_fitted(),
+                encoding_hits: cache.encoding_hits,
+                encoding_misses: cache.encoding_misses,
+                prediction_hits: cache.prediction_hits,
+                prediction_misses: cache.prediction_misses,
+                requests: shared.requests.load(Ordering::SeqCst) + 1,
+            }
+        }
+        Request::Predict { device, network } => match serving.predict(&device, &network) {
+            Ok(latency_ms) => Response::Prediction { latency_ms },
+            Err(e) => fail(e),
+        },
+        Request::PredictBatch { device, networks } => {
+            match serving.predict_batch(&device, &networks) {
+                Ok(latency_ms) => Response::Predictions { latency_ms },
+                Err(e) => fail(e),
+            }
+        }
+        Request::PredictForNewDevice {
+            signature_ms,
+            network,
+        } => match serving.predict_for_new_device(&signature_ms, &network) {
+            Ok(latency_ms) => Response::Prediction { latency_ms },
+            Err(e) => fail(e),
+        },
+        Request::OnboardDevice {
+            device,
+            signature_ms,
+        } => match serving.onboard_device(&device, &signature_ms) {
+            Ok(()) => Response::Ok,
+            Err(e) => fail(e),
+        },
+        Request::ReEnroll {
+            device,
+            signature_ms,
+        } => match serving.re_enroll(&device, &signature_ms) {
+            Ok(()) => Response::Ok,
+            Err(e) => fail(e),
+        },
+        Request::Contribute {
+            device,
+            network,
+            latency_ms,
+        } => match serving.contribute(&device, &network, latency_ms) {
+            Ok(()) => Response::Ok,
+            Err(e) => fail(e),
+        },
+        Request::Fit => match serving.fit() {
+            Ok(()) => Response::Ok,
+            Err(e) => fail(e),
+        },
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}

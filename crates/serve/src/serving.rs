@@ -1,0 +1,405 @@
+//! The cached, thread-safe serving façade over the repository.
+//!
+//! ## Bit-identity contract
+//!
+//! Every cached or batched answer is bit-identical to what the plain
+//! `CollaborativeRepository::predict` single-row path returns for the
+//! same inputs:
+//!
+//! * the encoding cache stores the exact `Vec<f32>` that
+//!   `NetworkEncoder::encode` (a deterministic function) produces;
+//! * the prediction cache stores the exact `f64` a cold call computed;
+//! * the batch path goes through `GbdtRegressor::predict`, whose
+//!   `gdcm-par` chunked implementation is an ordered map of the same
+//!   `predict_row` the single-row path calls.
+//!
+//! Caches only skip work; they never change it.
+//!
+//! ## Cache keys
+//!
+//! Networks are keyed by a 64-bit FNV-1a hash of their structure
+//! ([`network_hash`]) — a *content* hash, so structurally identical
+//! networks share cache entries no matter how the caller built them. Predictions are keyed by `(device name, network hash)` and
+//! invalidated whenever the model or a device signature changes
+//! ([`ServingRepository::fit`], [`ServingRepository::re_enroll`]).
+
+use gdcm_core::{CollaborativeRepository, RepositoryError};
+use gdcm_dnn::Network;
+use gdcm_ml::DenseMatrix;
+use parking_lot::{Mutex, RwLock};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::lru::LruCache;
+use crate::{snapshot, ServeError};
+
+/// Default encoding-cache capacity (entries).
+pub const DEFAULT_ENC_CACHE: usize = 1024;
+/// Default prediction-cache capacity (entries).
+pub const DEFAULT_PRED_CACHE: usize = 8192;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Encoding-cache capacity in entries; 0 disables the cache.
+    pub encoding_cache: usize,
+    /// Prediction-cache capacity in entries; 0 disables the cache.
+    pub prediction_cache: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            encoding_cache: DEFAULT_ENC_CACHE,
+            prediction_cache: DEFAULT_PRED_CACHE,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the cache knobs from `GDCM_SERVE_ENC_CACHE` and
+    /// `GDCM_SERVE_PRED_CACHE` (entry counts; 0 disables; unset or
+    /// unparsable falls back to the defaults).
+    pub fn from_env() -> Self {
+        let parse = |name: &str, default: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(default)
+        };
+        Self {
+            encoding_cache: parse("GDCM_SERVE_ENC_CACHE", DEFAULT_ENC_CACHE),
+            prediction_cache: parse("GDCM_SERVE_PRED_CACHE", DEFAULT_PRED_CACHE),
+        }
+    }
+}
+
+/// Monotonic cache counters, cheap enough to read per request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Encoding-cache hits.
+    pub encoding_hits: u64,
+    /// Encoding-cache misses (encodings computed).
+    pub encoding_misses: u64,
+    /// Prediction-cache hits.
+    pub prediction_hits: u64,
+    /// Prediction-cache misses (predictions computed).
+    pub prediction_misses: u64,
+}
+
+/// A deterministic 64-bit FNV-1a [`std::hash::Hasher`]. The std
+/// `DefaultHasher` is randomly seeded per process; cache keys need the
+/// same bits for the same network on every run.
+struct Fnv1a(u64);
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for byte in bytes {
+            self.0 ^= u64::from(*byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// 64-bit FNV-1a content hash over a network's structure (name, nodes,
+/// operators, shapes, wiring) via the graph's `Hash` impl — orders of
+/// magnitude cheaper than serializing the graph, which matters because
+/// every cache lookup pays this cost.
+pub fn network_hash(network: &Network) -> u64 {
+    use std::hash::Hash;
+    let mut hasher = Fnv1a(0xcbf2_9ce4_8422_2325);
+    network.hash(&mut hasher);
+    hasher.0
+}
+
+/// A thread-safe, caching wrapper around [`CollaborativeRepository`].
+///
+/// All methods take `&self`; reads share an `RwLock` read guard, writes
+/// ([`ServingRepository::onboard_device`] …) take the write guard, so a
+/// single instance can back every server worker thread.
+#[derive(Debug)]
+pub struct ServingRepository {
+    repo: RwLock<CollaborativeRepository>,
+    encodings: Mutex<LruCache<u64, Arc<Vec<f32>>>>,
+    predictions: Mutex<LruCache<(String, u64), f64>>,
+    enc_hits: AtomicU64,
+    enc_misses: AtomicU64,
+    pred_hits: AtomicU64,
+    pred_misses: AtomicU64,
+}
+
+impl ServingRepository {
+    /// Wraps a repository with the given cache configuration.
+    pub fn new(repo: CollaborativeRepository, config: ServeConfig) -> Self {
+        Self {
+            repo: RwLock::new(repo),
+            encodings: Mutex::new(LruCache::new(config.encoding_cache)),
+            predictions: Mutex::new(LruCache::new(config.prediction_cache)),
+            enc_hits: AtomicU64::new(0),
+            enc_misses: AtomicU64::new(0),
+            pred_hits: AtomicU64::new(0),
+            pred_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Loads an audited snapshot from `path` and wraps it with the
+    /// environment cache configuration ([`ServeConfig::from_env`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`snapshot::load_repository`].
+    pub fn from_snapshot_path(path: &Path) -> Result<Self, ServeError> {
+        let repo = snapshot::load_repository(path)?;
+        Ok(Self::new(repo, ServeConfig::from_env()))
+    }
+
+    /// Saves the current repository state as a snapshot at `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`snapshot::save_repository`].
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), ServeError> {
+        snapshot::save_repository(&self.repo.read(), path)
+    }
+
+    /// Runs `f` against the wrapped repository under the read lock
+    /// (uncached access, used by tests and the probe client).
+    pub fn with_repository<T>(&self, f: impl FnOnce(&CollaborativeRepository) -> T) -> T {
+        f(&self.repo.read())
+    }
+
+    /// Returns the cached encoding for `hash`, encoding `network` on a
+    /// miss. The repository read guard is held by the caller so the
+    /// encoder cannot change underneath the cache.
+    fn cached_encoding(
+        &self,
+        repo: &CollaborativeRepository,
+        hash: u64,
+        network: &Network,
+    ) -> Arc<Vec<f32>> {
+        if let Some(enc) = self.encodings.lock().get(&hash) {
+            self.enc_hits.fetch_add(1, Ordering::Relaxed);
+            gdcm_obs::counter("serve/enc_cache_hit").incr();
+            return Arc::clone(enc);
+        }
+        self.enc_misses.fetch_add(1, Ordering::Relaxed);
+        gdcm_obs::counter("serve/enc_cache_miss").incr();
+        let enc = Arc::new(repo.encoder().encode(network));
+        self.encodings.lock().insert(hash, Arc::clone(&enc));
+        enc
+    }
+
+    /// Predicts the latency (ms) of `network` on an enrolled device,
+    /// serving from the prediction cache when possible.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CollaborativeRepository::predict`].
+    pub fn predict(&self, device: &str, network: &Network) -> Result<f64, ServeError> {
+        let _span = gdcm_obs::span!("serve/predict");
+        let hash = network_hash(network);
+        let key = (device.to_string(), hash);
+        if let Some(&value) = self.predictions.lock().get(&key) {
+            self.pred_hits.fetch_add(1, Ordering::Relaxed);
+            gdcm_obs::counter("serve/pred_cache_hit").incr();
+            return Ok(value);
+        }
+        self.pred_misses.fetch_add(1, Ordering::Relaxed);
+        gdcm_obs::counter("serve/pred_cache_miss").incr();
+        let value = {
+            let repo = self.repo.read();
+            let hw = repo
+                .device_signature(device)
+                .ok_or_else(|| RepositoryError::UnknownDevice(device.to_string()))?
+                .to_vec();
+            let enc = self.cached_encoding(&repo, hash, network);
+            let mut row = (*enc).clone();
+            row.extend_from_slice(&hw);
+            let rows = DenseMatrix::from_rows(std::slice::from_ref(&row));
+            repo.predict_rows(&rows)?[0]
+        };
+        self.predictions.lock().insert(key, value);
+        Ok(value)
+    }
+
+    /// Predicts many networks for one device in a single call, routed
+    /// through the `gdcm-par` chunked batch predictor. Cache hits are
+    /// served directly; only misses reach the model, in request order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CollaborativeRepository::predict`]; the whole
+    /// batch fails if the device is unknown or the model unfitted.
+    pub fn predict_batch(
+        &self,
+        device: &str,
+        networks: &[Network],
+    ) -> Result<Vec<f64>, ServeError> {
+        let _span = gdcm_obs::span!("serve/predict_batch");
+        let hashes: Vec<u64> = networks.iter().map(network_hash).collect();
+        let mut out = vec![0f64; networks.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.predictions.lock();
+            for (i, hash) in hashes.iter().enumerate() {
+                match cache.get(&(device.to_string(), *hash)) {
+                    Some(&value) => {
+                        out[i] = value;
+                        self.pred_hits.fetch_add(1, Ordering::Relaxed);
+                        gdcm_obs::counter("serve/pred_cache_hit").incr();
+                    }
+                    None => {
+                        misses.push(i);
+                        self.pred_misses.fetch_add(1, Ordering::Relaxed);
+                        gdcm_obs::counter("serve/pred_cache_miss").incr();
+                    }
+                }
+            }
+        }
+        if misses.is_empty() {
+            return Ok(out);
+        }
+        let predicted = {
+            let repo = self.repo.read();
+            let hw = repo
+                .device_signature(device)
+                .ok_or_else(|| RepositoryError::UnknownDevice(device.to_string()))?
+                .to_vec();
+            let width = repo.encoder().len() + repo.signature_size();
+            let mut rows = DenseMatrix::with_capacity(misses.len(), width);
+            for &i in &misses {
+                let enc = self.cached_encoding(&repo, hashes[i], &networks[i]);
+                let mut row = (*enc).clone();
+                row.extend_from_slice(&hw);
+                rows.push_row(&row);
+            }
+            repo.predict_rows(&rows)?
+        };
+        let mut cache = self.predictions.lock();
+        for (&i, value) in misses.iter().zip(predicted) {
+            out[i] = value;
+            cache.insert((device.to_string(), hashes[i]), value);
+        }
+        Ok(out)
+    }
+
+    /// Predicts for an unenrolled device from raw signature latencies.
+    /// Never cached: the device has no stable identity to key on.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`CollaborativeRepository::predict_for_new_device`].
+    pub fn predict_for_new_device(
+        &self,
+        signature_latencies_ms: &[f64],
+        network: &Network,
+    ) -> Result<f64, ServeError> {
+        Ok(self
+            .repo
+            .read()
+            .predict_for_new_device(signature_latencies_ms, network)?)
+    }
+
+    /// Enrolls a new device (see
+    /// [`CollaborativeRepository::onboard_device`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the repository's validation errors.
+    pub fn onboard_device(
+        &self,
+        name: &str,
+        signature_latencies_ms: &[f64],
+    ) -> Result<(), ServeError> {
+        Ok(self
+            .repo
+            .write()
+            .onboard_device(name, signature_latencies_ms)?)
+    }
+
+    /// Updates an enrolled device's signature, rewriting its
+    /// contributed rows (see [`CollaborativeRepository::re_enroll`]).
+    /// Drops every cached prediction: the device's feature vector — and
+    /// after the next fit, potentially every prediction — changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the repository's validation errors.
+    pub fn re_enroll(&self, name: &str, signature_latencies_ms: &[f64]) -> Result<(), ServeError> {
+        self.repo.write().re_enroll(name, signature_latencies_ms)?;
+        self.predictions.lock().clear();
+        gdcm_obs::counter("serve/pred_cache_invalidations").incr();
+        Ok(())
+    }
+
+    /// Contributes one measurement (see
+    /// [`CollaborativeRepository::contribute`]). The model — and thus
+    /// the prediction cache — only changes at the next
+    /// [`ServingRepository::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the repository's validation errors.
+    pub fn contribute(
+        &self,
+        device: &str,
+        network: &Network,
+        latency_ms: f64,
+    ) -> Result<(), ServeError> {
+        Ok(self.repo.write().contribute(device, network, latency_ms)?)
+    }
+
+    /// Refits the model on everything contributed so far and drops the
+    /// now-stale prediction cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`CollaborativeRepository::fit`].
+    pub fn fit(&self) -> Result<(), ServeError> {
+        self.repo.write().fit()?;
+        self.predictions.lock().clear();
+        gdcm_obs::counter("serve/pred_cache_invalidations").incr();
+        Ok(())
+    }
+
+    /// Number of enrolled devices.
+    pub fn n_devices(&self) -> usize {
+        self.repo.read().n_devices()
+    }
+
+    /// Number of contributed training rows.
+    pub fn n_rows(&self) -> usize {
+        self.repo.read().n_rows()
+    }
+
+    /// Whether a fitted model is available.
+    pub fn is_fitted(&self) -> bool {
+        self.repo.read().is_fitted()
+    }
+
+    /// Names of enrolled devices, sorted.
+    pub fn device_names(&self) -> Vec<String> {
+        self.repo
+            .read()
+            .device_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            encoding_hits: self.enc_hits.load(Ordering::Relaxed),
+            encoding_misses: self.enc_misses.load(Ordering::Relaxed),
+            prediction_hits: self.pred_hits.load(Ordering::Relaxed),
+            prediction_misses: self.pred_misses.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Versioned snapshot persistence for the collaborative repository.
+//!
+//! A snapshot is the full serializable repository state
+//! ([`gdcm_core::RepositoryParts`]: encoder + config, enrolled devices,
+//! training rows with their owners, and the fitted model) wrapped in a
+//! `{format, version}` envelope so future layouts can be detected
+//! instead of misparsed.
+//!
+//! Loading is defensive twice over, because a snapshot file is exactly
+//! the kind of input the ingestion-validation policy exists for:
+//!
+//! 1. [`gdcm_core::CollaborativeRepository::from_parts`] replays every
+//!    structural invariant (row widths, finite features, signature
+//!    consistency, latency validity).
+//! 2. When the snapshot carries a fitted model, the `gdcm-audit`
+//!    ensemble + dataset passes run against the stored training data;
+//!    any *error*-severity diagnostic rejects the snapshot
+//!    ([`crate::ServeError::AuditRejected`]). Warnings are logged
+//!    through `gdcm-obs` but do not block serving.
+
+use gdcm_audit::DatasetLints;
+use gdcm_core::{CollaborativeRepository, RepositoryParts};
+use gdcm_ml::DenseMatrix;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+use crate::ServeError;
+
+/// Envelope tag identifying the snapshot family.
+pub const SNAPSHOT_FORMAT: &str = "gdcm-repository-snapshot";
+/// Current snapshot layout version. Bump on any incompatible change to
+/// [`RepositoryParts`] or the envelope.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A versioned, serializable repository snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepositorySnapshot {
+    /// Always [`SNAPSHOT_FORMAT`].
+    pub format: String,
+    /// Layout version, [`SNAPSHOT_VERSION`] for snapshots this build
+    /// writes.
+    pub version: u32,
+    /// The repository state proper.
+    pub parts: RepositoryParts,
+}
+
+impl RepositorySnapshot {
+    /// Captures the current state of a repository.
+    pub fn capture(repo: &CollaborativeRepository) -> Self {
+        Self {
+            format: SNAPSHOT_FORMAT.to_string(),
+            version: SNAPSHOT_VERSION,
+            parts: repo.to_parts(),
+        }
+    }
+
+    /// Validates the envelope, rebuilds the repository (replaying the
+    /// core ingestion validation), and runs the audit passes on the
+    /// trained model, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadSnapshot`] on an unknown format or version,
+    /// [`ServeError::Repository`] when structural validation fails, and
+    /// [`ServeError::AuditRejected`] when `gdcm-audit` finds errors.
+    pub fn into_repository(self) -> Result<CollaborativeRepository, ServeError> {
+        let _span = gdcm_obs::span!("serve/snapshot_load");
+        if self.format != SNAPSHOT_FORMAT {
+            return Err(ServeError::BadSnapshot {
+                reason: format!("format {:?} is not {SNAPSHOT_FORMAT:?}", self.format),
+            });
+        }
+        if self.version != SNAPSHOT_VERSION {
+            return Err(ServeError::BadSnapshot {
+                reason: format!(
+                    "version {} is not the supported version {SNAPSHOT_VERSION}",
+                    self.version
+                ),
+            });
+        }
+        let repo = CollaborativeRepository::from_parts(self.parts)?;
+        audit_repository(&repo)?;
+        gdcm_obs::counter("serve/snapshots_loaded").incr();
+        Ok(repo)
+    }
+}
+
+/// Runs the `gdcm-audit` ensemble + dataset passes over a repository's
+/// fitted model and training data. Error-severity findings reject the
+/// repository; warnings are re-emitted as `gdcm-obs` events.
+///
+/// An unfitted repository (no model yet) has no ensemble to audit and
+/// passes vacuously — `from_parts` has already validated its rows.
+fn audit_repository(repo: &CollaborativeRepository) -> Result<(), ServeError> {
+    let Some(model) = repo.model() else {
+        return Ok(());
+    };
+    let _span = gdcm_obs::span!("serve/snapshot_audit");
+    let (x_rows, y) = repo.training_data();
+    let x = DenseMatrix::from_rows(x_rows);
+    // The pipeline lint profile: padded layer-wise encodings make
+    // constant and duplicate columns by design.
+    let report = gdcm_audit::audit_trained_model(
+        "serve/snapshot",
+        model,
+        Some(&repo.config().gbdt),
+        &x,
+        y,
+        &DatasetLints::pipeline(),
+    );
+    if report.error_count() > 0 {
+        gdcm_obs::counter("serve/snapshots_rejected").incr();
+        return Err(ServeError::AuditRejected {
+            diagnostics: report.diagnostics.iter().map(|d| d.to_string()).collect(),
+        });
+    }
+    for warning in &report.diagnostics {
+        gdcm_obs::event(
+            "snapshot_audit_warning",
+            "serve",
+            &[("diagnostic", gdcm_obs::FieldValue::Str(warning.to_string()))],
+        );
+    }
+    Ok(())
+}
+
+/// Saves a repository snapshot as pretty JSON at `path`.
+///
+/// # Errors
+///
+/// Fails on serialization or filesystem errors.
+pub fn save_repository(repo: &CollaborativeRepository, path: &Path) -> Result<(), ServeError> {
+    let _span = gdcm_obs::span!("serve/snapshot_save");
+    let snapshot = RepositorySnapshot::capture(repo);
+    let json = serde_json::to_string(&snapshot).map_err(|e| ServeError::Json(e.to_string()))?;
+    std::fs::write(path, json)?;
+    gdcm_obs::counter("serve/snapshots_saved").incr();
+    Ok(())
+}
+
+/// Loads — and audits — a repository snapshot from `path`.
+///
+/// # Errors
+///
+/// See [`RepositorySnapshot::into_repository`], plus I/O and JSON
+/// errors.
+pub fn load_repository(path: &Path) -> Result<CollaborativeRepository, ServeError> {
+    let json = std::fs::read_to_string(path)?;
+    let snapshot: RepositorySnapshot =
+        serde_json::from_str(&json).map_err(|e| ServeError::Json(e.to_string()))?;
+    snapshot.into_repository()
+}

@@ -1,0 +1,291 @@
+//! Integration tests for the serving façade and snapshot persistence:
+//! the bit-identity contract (cached and batched answers equal the
+//! uncached single-row path), snapshot round-trips, and defensive
+//! rejection of corrupt or audit-failing snapshots.
+
+use gdcm_core::signature::{MutualInfoSelector, SignatureSelector};
+use gdcm_core::{CollaborativeRepository, CostDataset, RepositoryConfig};
+use gdcm_dnn::Network;
+use gdcm_ml::{GbdtParams, GbdtRegressor, Tree, TreeNode};
+use gdcm_serve::{
+    load_repository, save_repository, RepositorySnapshot, ServeConfig, ServeError,
+    ServingRepository, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+};
+use std::path::PathBuf;
+
+/// A small fitted repository plus the open networks it never trained on.
+fn fitted_repository(seed: u64) -> (CollaborativeRepository, Vec<Network>) {
+    let data = CostDataset::tiny(seed, 6, 6);
+    let all: Vec<usize> = (0..data.n_devices()).collect();
+    let signature = MutualInfoSelector::default().select(&data.db, &all, 3);
+    let mut repo = CollaborativeRepository::new(
+        data.encoder.clone(),
+        signature.len(),
+        RepositoryConfig {
+            gbdt: GbdtParams {
+                n_estimators: 20,
+                ..GbdtParams::default()
+            },
+            min_rows: 8,
+        },
+    );
+    let open: Vec<usize> = (0..data.n_networks())
+        .filter(|n| !signature.contains(n))
+        .collect();
+    for d in 0..data.n_devices() {
+        let lat: Vec<f64> = signature.iter().map(|&n| data.db.latency(d, n)).collect();
+        let name = data.devices[d].model.clone();
+        repo.onboard_device(name.clone(), &lat).unwrap();
+        for &n in open.iter().cycle().skip(d % open.len()).take(8) {
+            repo.contribute(&name, &data.suite[n].network, data.db.latency(d, n))
+                .unwrap();
+        }
+    }
+    repo.fit().unwrap();
+    let nets = open
+        .iter()
+        .map(|&n| data.suite[n].network.clone())
+        .collect();
+    (repo, nets)
+}
+
+fn scratch_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gdcm_serve_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn cached_predictions_are_bit_identical_to_cold_calls() {
+    let (repo, nets) = fitted_repository(11);
+    let serving = ServingRepository::new(repo, ServeConfig::default());
+    let device = serving.device_names()[0].clone();
+    for net in &nets {
+        let cold = serving
+            .with_repository(|r| r.predict(&device, net))
+            .unwrap();
+        let first = serving.predict(&device, net).unwrap();
+        let second = serving.predict(&device, net).unwrap();
+        assert_eq!(first.to_bits(), cold.to_bits(), "cold call diverged");
+        assert_eq!(second.to_bits(), cold.to_bits(), "cache hit diverged");
+    }
+    let stats = serving.cache_stats();
+    assert_eq!(stats.prediction_misses, nets.len() as u64);
+    assert_eq!(stats.prediction_hits, nets.len() as u64);
+    // The second pass never re-encoded: one encoding miss per network.
+    assert_eq!(stats.encoding_misses, nets.len() as u64);
+}
+
+#[test]
+fn batch_predictions_match_single_row_bits() {
+    let (repo, nets) = fitted_repository(12);
+    let serving = ServingRepository::new(repo, ServeConfig::default());
+    let device = serving.device_names()[0].clone();
+    let singles: Vec<f64> = nets
+        .iter()
+        .map(|n| serving.with_repository(|r| r.predict(&device, n)).unwrap())
+        .collect();
+
+    // All misses: the whole batch goes through the chunked predictor.
+    let batch = serving.predict_batch(&device, &nets).unwrap();
+    assert_eq!(batch.len(), singles.len());
+    for (b, s) in batch.iter().zip(&singles) {
+        assert_eq!(b.to_bits(), s.to_bits(), "batched bits diverged");
+    }
+
+    // Mixed: warm half the cache, then batch over everything.
+    let serving2 = {
+        let (repo, _) = fitted_repository(12);
+        ServingRepository::new(repo, ServeConfig::default())
+    };
+    for net in nets.iter().step_by(2) {
+        serving2.predict(&device, net).unwrap();
+    }
+    let mixed = serving2.predict_batch(&device, &nets).unwrap();
+    for (m, s) in mixed.iter().zip(&singles) {
+        assert_eq!(
+            m.to_bits(),
+            s.to_bits(),
+            "mixed cached/missed batch diverged"
+        );
+    }
+
+    // Fully cached: a pure cache read, same bits again.
+    let hot = serving2.predict_batch(&device, &nets).unwrap();
+    for (h, s) in hot.iter().zip(&singles) {
+        assert_eq!(h.to_bits(), s.to_bits(), "hot batch diverged");
+    }
+}
+
+#[test]
+fn disabled_caches_still_serve_identical_bits() {
+    let (repo, nets) = fitted_repository(13);
+    let serving = ServingRepository::new(
+        repo,
+        ServeConfig {
+            encoding_cache: 0,
+            prediction_cache: 0,
+        },
+    );
+    let device = serving.device_names()[0].clone();
+    for net in &nets {
+        let cold = serving
+            .with_repository(|r| r.predict(&device, net))
+            .unwrap();
+        assert_eq!(
+            serving.predict(&device, net).unwrap().to_bits(),
+            cold.to_bits()
+        );
+        assert_eq!(
+            serving.predict(&device, net).unwrap().to_bits(),
+            cold.to_bits()
+        );
+    }
+    let stats = serving.cache_stats();
+    assert_eq!(stats.prediction_hits, 0, "disabled cache must never hit");
+    assert_eq!(stats.encoding_hits, 0);
+}
+
+#[test]
+fn snapshot_round_trip_preserves_prediction_bits() {
+    let (repo, nets) = fitted_repository(14);
+    let path = scratch_path("round_trip.json");
+    save_repository(&repo, &path).unwrap();
+    let loaded = load_repository(&path).unwrap();
+    for device in repo.device_names() {
+        for net in &nets {
+            let before = repo.predict(device, net).unwrap();
+            let after = loaded.predict(device, net).unwrap();
+            assert_eq!(
+                before.to_bits(),
+                after.to_bits(),
+                "snapshot round-trip changed a prediction"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unfitted_snapshot_round_trips_too() {
+    let (repo, _) = fitted_repository(15);
+    let mut parts = repo.to_parts();
+    parts.model = None;
+    let unfitted = CollaborativeRepository::from_parts(parts).unwrap();
+    let path = scratch_path("unfitted.json");
+    save_repository(&unfitted, &path).unwrap();
+    let loaded = load_repository(&path).unwrap();
+    assert!(!loaded.is_fitted());
+    assert_eq!(loaded.n_rows(), repo.n_rows());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn wrong_envelope_is_rejected_before_parsing_state() {
+    let (repo, _) = fitted_repository(16);
+    let mut snapshot = RepositorySnapshot::capture(&repo);
+    snapshot.version = SNAPSHOT_VERSION + 1;
+    let path = scratch_path("future_version.json");
+    std::fs::write(&path, serde_json::to_string(&snapshot).unwrap()).unwrap();
+    match load_repository(&path) {
+        Err(ServeError::BadSnapshot { reason }) => {
+            assert!(reason.contains("version"), "unhelpful reason: {reason}");
+        }
+        other => panic!("future version accepted: {other:?}"),
+    }
+
+    let mut snapshot = RepositorySnapshot::capture(&repo);
+    snapshot.format = "something-else".to_string();
+    std::fs::write(&path, serde_json::to_string(&snapshot).unwrap()).unwrap();
+    assert!(matches!(
+        load_repository(&path),
+        Err(ServeError::BadSnapshot { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn audit_rejects_snapshot_with_corrupt_model() {
+    let (repo, _) = fitted_repository(17);
+    let mut parts = repo.to_parts();
+    let width = parts.x_rows[0].len();
+    // A split on a feature past the model's width passes structural
+    // `from_parts` validation (which checks the feature *count*, not
+    // ensemble internals) and survives the JSON round trip, but must be
+    // caught by the gdcm-audit ensemble pass on load.
+    parts.model = Some(GbdtRegressor::from_raw_parts(
+        0.0,
+        vec![Tree::from_raw_nodes(vec![
+            TreeNode::Split {
+                feature: width + 7,
+                threshold: 0.5,
+                left: 1,
+                right: 2,
+            },
+            TreeNode::Leaf { weight: 0.0 },
+            TreeNode::Leaf { weight: 0.0 },
+        ])],
+        width,
+    ));
+    let snapshot = RepositorySnapshot {
+        format: SNAPSHOT_FORMAT.to_string(),
+        version: SNAPSHOT_VERSION,
+        parts,
+    };
+    let path = scratch_path("corrupt_model.json");
+    std::fs::write(&path, serde_json::to_string(&snapshot).unwrap()).unwrap();
+    match load_repository(&path) {
+        Err(ServeError::AuditRejected { diagnostics }) => {
+            assert!(!diagnostics.is_empty());
+            assert!(
+                diagnostics.iter().any(|d| d.contains("splits feature")),
+                "expected an out-of-bounds-feature finding, got: {diagnostics:?}"
+            );
+        }
+        other => panic!("corrupt model accepted: {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn re_enroll_invalidates_cached_predictions() {
+    let (repo, nets) = fitted_repository(18);
+    let serving = ServingRepository::new(repo, ServeConfig::default());
+    let device = serving.device_names()[0].clone();
+    let sig_len = serving.with_repository(|r| r.signature_size());
+
+    serving.predict(&device, &nets[0]).unwrap();
+    let before = serving.cache_stats();
+    assert_eq!(before.prediction_misses, 1);
+
+    let new_sig: Vec<f64> = (0..sig_len).map(|i| 5.0 + i as f64).collect();
+    serving.re_enroll(&device, &new_sig).unwrap();
+
+    // The cached entry is gone: the next predict recomputes against the
+    // new signature and matches an uncached call bit for bit.
+    let fresh = serving.predict(&device, &nets[0]).unwrap();
+    let after = serving.cache_stats();
+    assert_eq!(after.prediction_hits, before.prediction_hits);
+    assert_eq!(after.prediction_misses, before.prediction_misses + 1);
+    let uncached = serving
+        .with_repository(|r| r.predict(&device, &nets[0]))
+        .unwrap();
+    assert_eq!(fresh.to_bits(), uncached.to_bits());
+}
+
+#[test]
+fn serving_snapshot_save_matches_direct_save() {
+    let (repo, nets) = fitted_repository(19);
+    let serving = ServingRepository::new(repo, ServeConfig::default());
+    let device = serving.device_names()[0].clone();
+    let expected = serving.predict(&device, &nets[0]).unwrap();
+
+    let path = scratch_path("via_serving.json");
+    serving.save_snapshot(&path).unwrap();
+    let reloaded = ServingRepository::from_snapshot_path(&path).unwrap();
+    assert_eq!(
+        reloaded.predict(&device, &nets[0]).unwrap().to_bits(),
+        expected.to_bits()
+    );
+    std::fs::remove_file(&path).ok();
+}

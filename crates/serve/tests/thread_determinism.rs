@@ -1,0 +1,74 @@
+//! `predict_batch` must be bit-identical at any `GDCM_THREADS` setting.
+//!
+//! `gdcm_par::set_threads` retunes the process-global pool, so this file
+//! holds exactly one `#[test]` — a second test running concurrently in
+//! the same binary would race the thread budget.
+
+use gdcm_core::signature::{MutualInfoSelector, SignatureSelector};
+use gdcm_core::{CollaborativeRepository, CostDataset, RepositoryConfig};
+use gdcm_dnn::Network;
+use gdcm_ml::GbdtParams;
+use gdcm_serve::{ServeConfig, ServingRepository};
+
+fn fitted_repository(seed: u64) -> (CollaborativeRepository, Vec<Network>) {
+    let data = CostDataset::tiny(seed, 6, 6);
+    let all: Vec<usize> = (0..data.n_devices()).collect();
+    let signature = MutualInfoSelector::default().select(&data.db, &all, 3);
+    let mut repo = CollaborativeRepository::new(
+        data.encoder.clone(),
+        signature.len(),
+        RepositoryConfig {
+            gbdt: GbdtParams {
+                n_estimators: 20,
+                ..GbdtParams::default()
+            },
+            min_rows: 8,
+        },
+    );
+    let open: Vec<usize> = (0..data.n_networks())
+        .filter(|n| !signature.contains(n))
+        .collect();
+    for d in 0..data.n_devices() {
+        let lat: Vec<f64> = signature.iter().map(|&n| data.db.latency(d, n)).collect();
+        let name = data.devices[d].model.clone();
+        repo.onboard_device(name.clone(), &lat).unwrap();
+        for &n in open.iter().cycle().skip(d % open.len()).take(8) {
+            repo.contribute(&name, &data.suite[n].network, data.db.latency(d, n))
+                .unwrap();
+        }
+    }
+    repo.fit().unwrap();
+    let nets = open
+        .iter()
+        .map(|&n| data.suite[n].network.clone())
+        .collect();
+    (repo, nets)
+}
+
+#[test]
+fn predict_batch_is_bit_identical_across_thread_counts() {
+    let original = gdcm_par::threads();
+    let mut per_threads: Vec<Vec<u64>> = Vec::new();
+    for threads in [1usize, 4] {
+        gdcm_par::set_threads(threads);
+        // A fresh façade with caches disabled: every run recomputes the
+        // full batch through the chunked predictor at this thread count.
+        let (repo, nets) = fitted_repository(21);
+        let serving = ServingRepository::new(
+            repo,
+            ServeConfig {
+                encoding_cache: 0,
+                prediction_cache: 0,
+            },
+        );
+        let device = serving.device_names()[0].clone();
+        let batch = serving.predict_batch(&device, &nets).unwrap();
+        assert_eq!(batch.len(), nets.len());
+        per_threads.push(batch.iter().map(|v| v.to_bits()).collect());
+    }
+    gdcm_par::set_threads(original);
+    assert_eq!(
+        per_threads[0], per_threads[1],
+        "predict_batch diverged between GDCM_THREADS=1 and GDCM_THREADS=4"
+    );
+}

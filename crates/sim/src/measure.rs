@@ -195,7 +195,14 @@ impl LatencyDb {
     }
 
     /// All latencies of one device across networks (its 118-dim vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device` is out of bounds (same contract as
+    /// [`LatencyDb::latency`]; the raw slice arithmetic used to panic
+    /// with an index-out-of-range message that named neither argument).
     pub fn device_vector(&self, device: usize) -> &[f64] {
+        assert!(device < self.n_devices, "device {device} out of bounds");
         &self.mean_ms[device * self.n_networks..(device + 1) * self.n_networks]
     }
 
@@ -214,7 +221,16 @@ impl LatencyDb {
     }
 
     /// Mean latency of a device over all networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device` is out of bounds or the database has no
+    /// networks (a 0/0 division used to return NaN silently).
     pub fn device_mean(&self, device: usize) -> f64 {
+        assert!(
+            self.n_networks > 0,
+            "device_mean over a database with 0 networks"
+        );
         let v = self.device_vector(device);
         v.iter().sum::<f64>() / v.len() as f64
     }
@@ -355,6 +371,24 @@ mod tests {
         assert_eq!(nv[2], db.latency(2, 0));
         let sub = db.network_vector_over(0, &[3, 1]);
         assert_eq!(sub, vec![db.latency(3, 0), db.latency(1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "device 4 out of bounds")]
+    fn device_vector_panics_out_of_bounds_with_context() {
+        let (nets, devices) = tiny_setup();
+        let engine = LatencyEngine::new();
+        let db = LatencyDb::collect(&engine, &nets, &devices, &MeasurementConfig::default());
+        let _ = db.device_vector(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 networks")]
+    fn device_mean_panics_instead_of_nan_on_zero_networks() {
+        let (_, devices) = tiny_setup();
+        let engine = LatencyEngine::new();
+        let db = LatencyDb::collect(&engine, &[], &devices, &MeasurementConfig::default());
+        let _ = db.device_mean(0);
     }
 
     #[test]
