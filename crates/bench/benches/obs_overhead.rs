@@ -56,5 +56,49 @@ fn obs_overhead(c: &mut Criterion) {
     gdcm_obs::force_mode(gdcm_obs::Mode::Off);
 }
 
-criterion_group!(benches, obs_overhead);
+/// Cost of the live-telemetry primitives the serving path leans on:
+/// recording into a windowed histogram/counter, taking a windowed
+/// summary, and a request trace context with stage spans. These run
+/// unconditionally once an ops listener is attached, so their absolute
+/// cost is what bounds the `ops_enabled` bench_serve sample.
+fn windowed_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_windowed");
+    let hist = gdcm_obs::windowed_histogram("bench/windowed_us");
+    let counter = gdcm_obs::windowed_counter("bench/windowed_requests");
+
+    group.bench_function("histogram_record", |b| {
+        let mut v = 1.0f64;
+        b.iter(|| {
+            v = (v * 1.37) % 1e6 + 1e-3;
+            hist.record(black_box(v));
+        });
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| counter.add(black_box(1)));
+    });
+    group.bench_function("histogram_snapshot", |b| {
+        // Pre-fill the whole window so the snapshot merges a full ring.
+        let now = gdcm_obs::timestamp_us();
+        for s in 0..gdcm_obs::window::window_secs() as u64 {
+            hist.record_at(1.5, now + s * 1_000_000);
+        }
+        let query_at = now + gdcm_obs::window::window_secs() as u64 * 1_000_000;
+        b.iter(|| black_box(hist.summary_at(black_box(query_at))));
+    });
+    group.bench_function("trace_context_with_stages", |b| {
+        b.iter(|| {
+            gdcm_obs::reqtrace::begin(black_box(42));
+            {
+                let _s = gdcm_obs::reqtrace::stage("parse");
+            }
+            {
+                let _s = gdcm_obs::reqtrace::stage("predict");
+            }
+            black_box(gdcm_obs::reqtrace::end())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead, windowed_overhead);
 criterion_main!(benches);

@@ -16,6 +16,15 @@
 //!   named counters/gauges, log-binned latency histograms with
 //!   p50/p95/p99 summaries, and append-only numeric series (e.g.
 //!   per-boosting-round train RMSE).
+//! * **Windowed metrics** ([`windowed_counter`],
+//!   [`windowed_histogram`]): rolling counts and percentiles over the
+//!   last `GDCM_OBS_WINDOW` seconds (default 60) — the live-server
+//!   complement to the cumulative registry. See [`window`].
+//! * **Request traces** ([`reqtrace`]): a u64 trace id plus per-stage
+//!   span records scoped to one request, serializable and mergeable
+//!   into the global registry.
+//! * **Slow log** ([`slowlog`]): the `GDCM_OBS_SLOWLOG` (default 8)
+//!   worst requests with their stage breakdowns, as tail exemplars.
 //! * **Sinks** (`GDCM_OBS` env var): `off` (default — event emission is
 //!   gated by one relaxed atomic load), `pretty` (human-readable
 //!   stderr), `json` (JSON-lines events on stderr), `trace` (buffers
@@ -38,11 +47,15 @@
 
 pub mod metrics;
 pub mod report;
+pub mod reqtrace;
+pub mod slowlog;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use metrics::{counter, gauge, histogram, series};
 pub use report::RunReport;
+pub use window::{windowed_counter, windowed_histogram};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::Instant;
@@ -257,13 +270,16 @@ pub fn event(kind: &str, name: &str, fields: &[(&str, FieldValue)]) {
     }
 }
 
-/// Clears all registered metrics, span aggregates, and buffered trace
-/// events. Intended for tests and for binaries running several
-/// independent experiments in one process.
+/// Clears all registered metrics (cumulative and windowed), span
+/// aggregates, slow-log entries, and buffered trace events. Intended
+/// for tests and for binaries running several independent experiments
+/// in one process.
 pub fn reset() {
     metrics::reset();
     span::reset();
     trace::reset();
+    window::reset();
+    slowlog::reset();
 }
 
 #[cfg(test)]

@@ -19,6 +19,41 @@ const EXP_OFFSET: f64 = 20.0;
 /// Total number of bins (covers `2^-20` through `2^44`).
 const NUM_BINS: usize = 256;
 
+/// Number of log bins every histogram uses — cumulative and windowed
+/// histograms share one binning scheme so their quantiles agree.
+pub const LOG_BINS: usize = NUM_BINS;
+
+/// Bin index for a value under the shared log-binning scheme
+/// (non-finite and non-positive values land in bin 0).
+pub fn log_bin_index(value: f64) -> usize {
+    Histogram::bin_index(value)
+}
+
+/// Geometric center of a log bin — the representative value quantile
+/// queries return.
+pub fn log_bin_value(index: usize) -> f64 {
+    Histogram::bin_value(index)
+}
+
+/// Value at quantile `q` of a merged bin array with `count` total
+/// samples. Shared by cumulative and windowed summaries so both report
+/// the same approximation: the geometric center of the bin containing
+/// the exact order statistic.
+pub(crate) fn bins_quantile(bins: &[u64], count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (idx, &n) in bins.iter().enumerate() {
+        seen += n;
+        if seen >= target {
+            return Histogram::bin_value(idx);
+        }
+    }
+    Histogram::bin_value(NUM_BINS - 1)
+}
+
 #[derive(Debug, Clone)]
 struct Histogram {
     bins: Vec<u64>,
@@ -65,18 +100,7 @@ impl Histogram {
 
     /// Value at quantile `q` in `[0, 1]`, approximated by bin centers.
     fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (idx, &n) in self.bins.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return Self::bin_value(idx);
-            }
-        }
-        Self::bin_value(NUM_BINS - 1)
+        bins_quantile(&self.bins, self.count, q)
     }
 
     fn summarize(&self, name: &str) -> HistogramSummary {

@@ -1,0 +1,241 @@
+//! Request-scoped trace contexts: a cheap u64 trace id plus per-stage
+//! span records attachable to one request.
+//!
+//! [`crate::span!`] aggregates by *path* across all requests; operating
+//! a server additionally needs *per-request* attribution — which stages
+//! this specific slow request spent its time in. A [`TraceContext`] is
+//! a thread-local scratchpad: the connection handler calls [`begin`],
+//! stages are timed with [`stage`] RAII guards (no-ops when no context
+//! is active, so library code can be instrumented unconditionally), and
+//! [`end`] detaches the finished context for logging, slow-log
+//! admission, and merging into the global histogram registry.
+//!
+//! Contexts serialize with `serde`, so a stage breakdown can ride in an
+//! ops-endpoint reply verbatim. Trace ids are generated with
+//! [`next_trace_id`] (a mixed atomic counter — unique within a process,
+//! collision-resistant across processes) or supplied by the client over
+//! the wire; u64 ids survive the JSON protocol bit-stably.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One timed stage inside a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpan {
+    /// Stage name (`read`, `parse`, `cache_lookup`, ...).
+    pub stage: String,
+    /// Stage start in the [`crate::timestamp_us`] timebase.
+    pub start_us: u64,
+    /// Stage duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// The stage breakdown of one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Trace id — client-supplied or generated, echoed on the wire.
+    pub trace_id: u64,
+    /// Request start in the [`crate::timestamp_us`] timebase.
+    pub started_us: u64,
+    /// Total duration in microseconds (set by [`end`]).
+    pub total_us: u64,
+    /// Completed stages, in completion order.
+    pub stages: Vec<StageSpan>,
+}
+
+impl TraceContext {
+    /// A fresh context starting now.
+    pub fn new(trace_id: u64) -> Self {
+        Self {
+            trace_id,
+            started_us: crate::timestamp_us(),
+            total_us: 0,
+            stages: Vec::with_capacity(8),
+        }
+    }
+
+    /// Duration of the named stage, if it completed (first match wins).
+    pub fn stage_us(&self, stage: &str) -> Option<u64> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .map(|s| s.dur_us)
+    }
+
+    /// Folds every stage into the global cumulative histogram registry
+    /// as `<prefix>/stage/<name>_us`, so per-stage latency percentiles
+    /// accumulate across requests.
+    pub fn merge_into_registry(&self, prefix: &str) {
+        for stage in &self.stages {
+            crate::histogram(&format!("{prefix}/stage/{}_us", stage.stage))
+                .record(stage.dur_us as f64);
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Generates a fresh trace id: a wall-clock-seeded counter passed
+/// through a 64-bit finalizer. Never zero, unique within a process.
+pub fn next_trace_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    splitmix64(seed ^ n).max(1)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceContext>> = const { RefCell::new(None) };
+}
+
+/// Attaches a fresh context (replacing any active one) to this thread.
+pub fn begin(trace_id: u64) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(TraceContext::new(trace_id)));
+}
+
+/// Rewrites the active context's trace id (e.g. once the request line
+/// has been parsed and revealed the client-supplied id).
+pub fn set_trace_id(trace_id: u64) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            ctx.trace_id = trace_id;
+        }
+    });
+}
+
+/// Trace id of the active context, if one is attached to this thread.
+pub fn active_trace_id() -> Option<u64> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|ctx| ctx.trace_id))
+}
+
+/// Detaches and finalizes the active context (stamping `total_us`).
+/// Returns `None` if no context was active.
+pub fn end() -> Option<TraceContext> {
+    CURRENT.with(|c| c.borrow_mut().take()).map(|mut ctx| {
+        ctx.total_us = crate::timestamp_us().saturating_sub(ctx.started_us);
+        ctx
+    })
+}
+
+/// Appends an already-measured stage to the active context — for work
+/// (like the blocking socket read) that finishes before the context can
+/// exist. A no-op without an active context.
+pub fn stage_closed(stage: &str, start_us: u64, dur_us: u64) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            ctx.stages.push(StageSpan {
+                stage: stage.to_string(),
+                start_us,
+                dur_us,
+            });
+        }
+    });
+}
+
+/// RAII guard timing one stage of the active context. Created by
+/// [`stage`]; does nothing when no context is active, which is what
+/// keeps unconditional instrumentation free on untraced paths.
+#[must_use = "a stage guard measures the scope it is bound to; bind it to a variable"]
+pub struct StageGuard {
+    stage: &'static str,
+    active: bool,
+    start: Instant,
+    start_us: u64,
+}
+
+/// Opens a stage on the active context (or a no-op guard without one).
+pub fn stage(stage: &'static str) -> StageGuard {
+    let active = CURRENT.with(|c| c.borrow().is_some());
+    StageGuard {
+        stage,
+        active,
+        start: Instant::now(),
+        start_us: if active { crate::timestamp_us() } else { 0 },
+    }
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let dur_us = self.start.elapsed().as_micros() as u64;
+            stage_closed(self.stage, self.start_us, dur_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_nonzero_and_distinct() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stages_record_only_with_active_context() {
+        // No context: guard is a no-op and end() has nothing to return.
+        {
+            let _s = stage("rt_orphan");
+        }
+        assert!(end().is_none());
+
+        begin(42);
+        assert_eq!(active_trace_id(), Some(42));
+        {
+            let _s = stage("rt_parse");
+        }
+        stage_closed("rt_read", 0, 17);
+        set_trace_id(43);
+        let ctx = end().expect("context was active");
+        assert_eq!(ctx.trace_id, 43);
+        assert_eq!(ctx.stages.len(), 2);
+        assert_eq!(ctx.stages[0].stage, "rt_parse");
+        assert_eq!(ctx.stage_us("rt_read"), Some(17));
+        assert!(end().is_none());
+    }
+
+    #[test]
+    fn contexts_serialize_round_trip() {
+        begin(u64::MAX);
+        {
+            let _s = stage("rt_ser");
+        }
+        let ctx = end().expect("context was active");
+        let json = serde_json::to_string(&ctx).expect("serializes");
+        let back: TraceContext = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, ctx);
+        assert_eq!(back.trace_id, u64::MAX);
+    }
+
+    #[test]
+    fn merge_lands_stage_histograms_in_registry() {
+        begin(7);
+        stage_closed("rt_merge_stage", 0, 250);
+        let ctx = end().expect("context was active");
+        ctx.merge_into_registry("rt_merge");
+        let s = crate::histogram("rt_merge/stage/rt_merge_stage_us")
+            .summary()
+            .expect("merged histogram exists");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 250.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Slow-request log: the K worst requests seen, with stage breakdowns.
+//!
+//! Percentiles say *that* the tail is slow; an operator also needs
+//! exemplars saying *why*. A [`SlowLog`] keeps the `GDCM_OBS_SLOWLOG`
+//! (default 8) requests with the largest total duration, each carrying
+//! its trace id, request label, and per-stage [`StageSpan`] breakdown.
+//! Admission is O(K) under a mutex and only runs when telemetry is on,
+//! so it never touches the untraced hot path.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+use crate::reqtrace::StageSpan;
+
+/// Capacity used when `GDCM_OBS_SLOWLOG` is unset or unparsable.
+pub const DEFAULT_CAPACITY: usize = 8;
+/// Upper clamp on the capacity (entries carry full stage breakdowns).
+pub const MAX_CAPACITY: usize = 256;
+
+/// Parses a `GDCM_OBS_SLOWLOG` value: entry count, clamped to
+/// [`MAX_CAPACITY`]; `0` disables the log. Unparsable values fall back
+/// to the default.
+pub fn parse_capacity(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|k| k.min(MAX_CAPACITY))
+        .unwrap_or(DEFAULT_CAPACITY)
+}
+
+/// One slow request: identity, duration, and where the time went.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowEntry {
+    /// Trace id of the request.
+    pub trace_id: u64,
+    /// Request label (e.g. the protocol verb).
+    pub label: String,
+    /// Total duration in microseconds — the ranking key.
+    pub total_us: u64,
+    /// Request start in the [`crate::timestamp_us`] timebase.
+    pub ts_us: u64,
+    /// Per-stage breakdown, in completion order.
+    pub stages: Vec<StageSpan>,
+}
+
+/// A bounded worst-first log of slow requests.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// An empty log keeping at most `capacity` entries (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Mutex::new(Vec::with_capacity(capacity.min(MAX_CAPACITY))),
+        }
+    }
+
+    /// Maximum number of entries this log retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers an entry: admitted iff the log has room or the entry is
+    /// slower than the current fastest resident, which it then evicts.
+    pub fn offer(&self, entry: SlowEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock();
+        if entries.len() == self.capacity {
+            match entries.last() {
+                Some(fastest) if fastest.total_us >= entry.total_us => return,
+                _ => {
+                    entries.pop();
+                }
+            }
+        }
+        // Keep sorted worst-first; ties keep the earlier arrival first.
+        let at = entries.partition_point(|e| e.total_us >= entry.total_us);
+        entries.insert(at, entry);
+    }
+
+    /// Current entries, worst-first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Removes every entry (capacity is unchanged).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+/// The process-global slow log (capacity from `GDCM_OBS_SLOWLOG`,
+/// read once).
+pub fn global() -> &'static SlowLog {
+    static GLOBAL: OnceLock<SlowLog> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        SlowLog::new(parse_capacity(
+            std::env::var("GDCM_OBS_SLOWLOG").ok().as_deref(),
+        ))
+    })
+}
+
+/// Offers an entry to the global slow log.
+pub fn offer(entry: SlowEntry) {
+    global().offer(entry);
+}
+
+/// Snapshot of the global slow log, worst-first.
+pub fn snapshot() -> Vec<SlowEntry> {
+    global().snapshot()
+}
+
+/// Clears the global slow log (its capacity is unchanged).
+pub fn reset() {
+    global().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(trace_id: u64, total_us: u64) -> SlowEntry {
+        SlowEntry {
+            trace_id,
+            label: "predict".to_string(),
+            total_us,
+            ts_us: 0,
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn capacity_parsing_clamps_and_defaults() {
+        assert_eq!(parse_capacity(None), DEFAULT_CAPACITY);
+        assert_eq!(parse_capacity(Some("bogus")), DEFAULT_CAPACITY);
+        assert_eq!(parse_capacity(Some("0")), 0);
+        assert_eq!(parse_capacity(Some("12")), 12);
+        assert_eq!(parse_capacity(Some("99999")), MAX_CAPACITY);
+    }
+
+    #[test]
+    fn keeps_the_k_worst_sorted() {
+        let log = SlowLog::new(3);
+        for (id, us) in [(1, 50), (2, 200), (3, 100), (4, 400), (5, 10)] {
+            log.offer(entry(id, us));
+        }
+        let got: Vec<(u64, u64)> = log
+            .snapshot()
+            .into_iter()
+            .map(|e| (e.trace_id, e.total_us))
+            .collect();
+        assert_eq!(got, vec![(4, 400), (2, 200), (3, 100)]);
+    }
+
+    #[test]
+    fn ties_do_not_evict_incumbents() {
+        let log = SlowLog::new(2);
+        log.offer(entry(1, 100));
+        log.offer(entry(2, 100));
+        log.offer(entry(3, 100));
+        let ids: Vec<u64> = log.snapshot().into_iter().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_admission() {
+        let log = SlowLog::new(0);
+        log.offer(entry(1, 1_000_000));
+        assert!(log.snapshot().is_empty());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let log = SlowLog::new(2);
+        log.offer(entry(1, 5));
+        log.clear();
+        assert!(log.snapshot().is_empty());
+        assert_eq!(log.capacity(), 2);
+        log.offer(entry(2, 6));
+        assert_eq!(log.snapshot().len(), 1);
+    }
+}

@@ -21,6 +21,77 @@ use crate::FieldValue;
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    // Seeded path prefixes for work handed across threads: (prefix,
+    // stack depth when the seed was installed). Paths are built from
+    // the prefix plus only the stack entries pushed *after* the seed,
+    // so a job queued under `outer` records `outer/inner` whether it
+    // runs on a fresh worker thread (empty stack) or is drained by the
+    // submitting thread itself (stack still holding `outer`).
+    static PATH_SEEDS: RefCell<Vec<(String, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn build_path(stack: &[&'static str], leaf: Option<&str>) -> String {
+    PATH_SEEDS.with(|seeds| {
+        let seeds = seeds.borrow();
+        let (mut path, skip) = match seeds.last() {
+            Some((prefix, depth)) if !prefix.is_empty() => {
+                let mut p = String::with_capacity(prefix.len() + 32);
+                p.push_str(prefix);
+                (p, *depth)
+            }
+            Some((_, depth)) => (String::with_capacity(32), *depth),
+            None => (String::with_capacity(32), 0),
+        };
+        for part in stack.iter().skip(skip) {
+            if !path.is_empty() {
+                path.push('/');
+            }
+            path.push_str(part);
+        }
+        if let Some(leaf) = leaf {
+            if !path.is_empty() {
+                path.push('/');
+            }
+            path.push_str(leaf);
+        }
+        path
+    })
+}
+
+/// The hierarchical path of the innermost span open on this thread
+/// (including any seeded prefix), or an empty string when none is open.
+///
+/// Work-distribution layers (gdcm-par) capture this at job submission
+/// and re-install it on the executing thread via [`seed_path`], so
+/// spans opened inside distributed closures keep their caller's path.
+pub fn current_path() -> String {
+    SPAN_STACK.with(|stack| build_path(&stack.borrow(), None))
+}
+
+/// RAII guard holding a seeded path prefix on this thread. Created by
+/// [`seed_path`]; dropping it uninstalls the prefix.
+#[must_use = "the seed applies while the guard lives; bind it to a variable"]
+pub struct PathSeedGuard {
+    _priv: (),
+}
+
+/// Installs `prefix` as the path root for spans opened on this thread
+/// while the guard lives. Stack entries already open at install time
+/// are masked (the prefix *replaces* them — it was captured from the
+/// submitting thread and may be this very thread's own current path).
+/// Seeds nest; the innermost wins.
+pub fn seed_path(prefix: &str) -> PathSeedGuard {
+    let depth = SPAN_STACK.with(|stack| stack.borrow().len());
+    PATH_SEEDS.with(|seeds| seeds.borrow_mut().push((prefix.to_string(), depth)));
+    PathSeedGuard { _priv: () }
+}
+
+impl Drop for PathSeedGuard {
+    fn drop(&mut self) {
+        PATH_SEEDS.with(|seeds| {
+            seeds.borrow_mut().pop();
+        });
+    }
 }
 
 static REGISTRY: RwLock<Option<HashMap<String, SpanStats>>> = RwLock::new(None);
@@ -71,12 +142,7 @@ impl SpanGuard {
     pub fn enter(name: &'static str) -> SpanGuard {
         let (path, depth) = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let mut path = String::with_capacity(32);
-            for part in stack.iter() {
-                path.push_str(part);
-                path.push('/');
-            }
-            path.push_str(name);
+            let path = build_path(&stack, Some(name));
             let depth = stack.len();
             stack.push(name);
             (path, depth)
@@ -217,6 +283,43 @@ mod tests {
         assert!(s.min_ms <= s.max_ms);
         assert!(s.total_ms >= s.max_ms);
         assert!((s.mean_ms() - s.total_ms / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_path_tracks_the_open_stack() {
+        assert_eq!(current_path(), "");
+        let _a = SpanGuard::enter(unique("t_cp_a"));
+        assert_eq!(current_path(), "t_cp_a");
+        {
+            let _b = SpanGuard::enter(unique("t_cp_b"));
+            assert_eq!(current_path(), "t_cp_a/t_cp_b");
+        }
+        assert_eq!(current_path(), "t_cp_a");
+    }
+
+    #[test]
+    fn seeded_prefix_replaces_spans_open_at_install() {
+        let _outer = SpanGuard::enter(unique("t_seed_outer"));
+        {
+            // The prefix stands in for the whole pre-install stack —
+            // exactly the caller-drain case in gdcm-par, where the
+            // submitting thread runs a queued job under its own spans.
+            let _seed = seed_path("t_seed_remote/t_seed_sub");
+            let inner = SpanGuard::enter(unique("t_seed_inner"));
+            assert_eq!(inner.path(), "t_seed_remote/t_seed_sub/t_seed_inner");
+            assert_eq!(current_path(), "t_seed_remote/t_seed_sub/t_seed_inner");
+        }
+        // Seed dropped: back to plain stack semantics.
+        let after = SpanGuard::enter(unique("t_seed_after"));
+        assert_eq!(after.path(), "t_seed_outer/t_seed_after");
+    }
+
+    #[test]
+    fn empty_seed_masks_the_stack_without_prefixing() {
+        let _outer = SpanGuard::enter(unique("t_eseed_outer"));
+        let _seed = seed_path("");
+        let inner = SpanGuard::enter(unique("t_eseed_inner"));
+        assert_eq!(inner.path(), "t_eseed_inner");
     }
 
     #[test]

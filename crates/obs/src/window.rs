@@ -1,0 +1,473 @@
+//! Rolling windowed metrics: counters and log-binned histograms over a
+//! ring of one-second buckets.
+//!
+//! Cumulative metrics ([`crate::counter`], [`crate::histogram`]) answer
+//! "since process start"; a live server also needs "over the last N
+//! seconds" — qps, p50/p95/p99, error rate — without restarting. Each
+//! windowed metric keeps `GDCM_OBS_WINDOW` (default 60, max 3600)
+//! one-second slots in a ring indexed by `second % window`. A slot is
+//! stamped with the absolute second it covers; recording into a slot
+//! whose stamp is stale resets it first, so expiry is lazy and there is
+//! no background thread. Queries merge every slot still inside the
+//! window relative to the query time.
+//!
+//! Histograms reuse the exact log-binning scheme of the cumulative
+//! registry ([`crate::metrics::log_bin_index`]); windowed and cumulative
+//! quantiles therefore carry the same bin-width error bound.
+//!
+//! Every recording and query entry point has an `_at(..., now_us)`
+//! variant taking an explicit timestamp in the [`crate::timestamp_us`]
+//! timebase. Production code uses the implicit-clock forms; tests drive
+//! rollover deterministically through the `_at` forms.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use crate::metrics::{bins_quantile, log_bin_index, LOG_BINS};
+
+/// Window length used when `GDCM_OBS_WINDOW` is unset or unparsable.
+pub const DEFAULT_WINDOW_SECS: usize = 60;
+/// Upper clamp on the window length (one hour of one-second slots).
+pub const MAX_WINDOW_SECS: usize = 3600;
+
+/// Parses a `GDCM_OBS_WINDOW` value: whole seconds, at least 1, clamped
+/// to [`MAX_WINDOW_SECS`]. Anything unparsable falls back to the
+/// default so a typo cannot break a serving process.
+pub fn parse_window(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .map(|w| w.min(MAX_WINDOW_SECS))
+        .unwrap_or(DEFAULT_WINDOW_SECS)
+}
+
+/// Window length in seconds (reads `GDCM_OBS_WINDOW` once, then caches).
+pub fn window_secs() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| parse_window(std::env::var("GDCM_OBS_WINDOW").ok().as_deref()))
+}
+
+/// Slot stamp meaning "never written" (no real second reaches u64::MAX).
+const EMPTY_SLOT: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+struct CounterSlot {
+    sec: u64,
+    count: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CounterRing {
+    slots: Vec<CounterSlot>,
+}
+
+impl CounterRing {
+    fn new(window: usize) -> Self {
+        Self {
+            slots: vec![
+                CounterSlot {
+                    sec: EMPTY_SLOT,
+                    count: 0
+                };
+                window
+            ],
+        }
+    }
+
+    fn add(&mut self, n: u64, now_sec: u64) {
+        let window = self.slots.len() as u64;
+        let slot = &mut self.slots[(now_sec % window) as usize];
+        if slot.sec != now_sec {
+            slot.sec = now_sec;
+            slot.count = 0;
+        }
+        slot.count += n;
+    }
+
+    fn total(&self, now_sec: u64) -> u64 {
+        let window = self.slots.len() as u64;
+        self.slots
+            .iter()
+            .filter(|s| s.sec != EMPTY_SLOT && now_sec.saturating_sub(s.sec) < window)
+            .map(|s| s.count)
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HistogramSlot {
+    sec: u64,
+    bins: Vec<u32>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl HistogramSlot {
+    fn empty() -> Self {
+        Self {
+            sec: EMPTY_SLOT,
+            bins: vec![0; LOG_BINS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn clear(&mut self, sec: u64) {
+        self.sec = sec;
+        self.bins.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HistogramRing {
+    slots: Vec<HistogramSlot>,
+}
+
+impl HistogramRing {
+    fn new(window: usize) -> Self {
+        Self {
+            slots: vec![HistogramSlot::empty(); window],
+        }
+    }
+
+    fn record(&mut self, value: f64, now_sec: u64) {
+        let window = self.slots.len() as u64;
+        let slot = &mut self.slots[(now_sec % window) as usize];
+        if slot.sec != now_sec {
+            slot.clear(now_sec);
+        }
+        slot.bins[log_bin_index(value)] += 1;
+        slot.count += 1;
+        if value.is_finite() {
+            slot.sum += value;
+            slot.min = slot.min.min(value);
+            slot.max = slot.max.max(value);
+        }
+    }
+
+    fn summarize(&self, name: &str, now_sec: u64) -> WindowedHistogramSummary {
+        let window = self.slots.len() as u64;
+        let mut bins = vec![0u64; LOG_BINS];
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for slot in &self.slots {
+            if slot.sec == EMPTY_SLOT || now_sec.saturating_sub(slot.sec) >= window {
+                continue;
+            }
+            for (merged, &n) in bins.iter_mut().zip(&slot.bins) {
+                *merged += u64::from(n);
+            }
+            count += slot.count;
+            sum += slot.sum;
+            min = min.min(slot.min);
+            max = max.max(slot.max);
+        }
+        WindowedHistogramSummary {
+            name: name.to_string(),
+            window_s: window,
+            count,
+            per_sec: count as f64 / window as f64,
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50: bins_quantile(&bins, count, 0.50),
+            p95: bins_quantile(&bins, count, 0.95),
+            p99: bins_quantile(&bins, count, 0.99),
+            min: if min.is_finite() { min } else { 0.0 },
+            max: if max.is_finite() { max } else { 0.0 },
+        }
+    }
+}
+
+/// Windowed count of one counter at a point in time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedCounterSummary {
+    /// Counter name.
+    pub name: String,
+    /// Window length in seconds.
+    pub window_s: u64,
+    /// Events counted inside the window.
+    pub count: u64,
+    /// Mean event rate over the window (`count / window_s`).
+    pub per_sec: f64,
+}
+
+/// Percentile summary of one histogram over its rolling window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedHistogramSummary {
+    /// Histogram name.
+    pub name: String,
+    /// Window length in seconds.
+    pub window_s: u64,
+    /// Samples recorded inside the window.
+    pub count: u64,
+    /// Mean sample rate over the window (`count / window_s`).
+    pub per_sec: f64,
+    /// Exact arithmetic mean of in-window (finite) samples.
+    pub mean: f64,
+    /// Median, approximated by the log-bin's geometric center.
+    pub p50: f64,
+    /// 95th percentile (log-bin approximation).
+    pub p95: f64,
+    /// 99th percentile (log-bin approximation).
+    pub p99: f64,
+    /// Exact minimum in-window sample.
+    pub min: f64,
+    /// Exact maximum in-window sample.
+    pub max: f64,
+}
+
+#[derive(Debug, Default)]
+struct Windows {
+    counters: HashMap<String, CounterRing>,
+    histograms: HashMap<String, HistogramRing>,
+}
+
+static WINDOWS: RwLock<Option<Windows>> = RwLock::new(None);
+
+fn with_windows<R>(f: impl FnOnce(&mut Windows) -> R) -> R {
+    let mut windows = WINDOWS.write();
+    f(windows.get_or_insert_with(Windows::default))
+}
+
+fn to_sec(now_us: u64) -> u64 {
+    now_us / 1_000_000
+}
+
+/// Handle to a named windowed counter.
+pub struct WindowedCounterHandle(String);
+
+impl WindowedCounterHandle {
+    /// Adds `n` at the current time.
+    pub fn add(&self, n: u64) {
+        self.add_at(n, crate::timestamp_us());
+    }
+
+    /// Adds 1 at the current time.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` at an explicit timestamp (mockable clock for tests).
+    pub fn add_at(&self, n: u64, now_us: u64) {
+        let sec = to_sec(now_us);
+        with_windows(|w| {
+            w.counters
+                .entry(self.0.clone())
+                .or_insert_with(|| CounterRing::new(window_secs()))
+                .add(n, sec)
+        });
+    }
+
+    /// Summary of the window ending at the current time.
+    pub fn summary(&self) -> WindowedCounterSummary {
+        self.summary_at(crate::timestamp_us())
+    }
+
+    /// Summary of the window ending at an explicit timestamp.
+    pub fn summary_at(&self, now_us: u64) -> WindowedCounterSummary {
+        let sec = to_sec(now_us);
+        let (window, count) = WINDOWS
+            .read()
+            .as_ref()
+            .and_then(|w| w.counters.get(&self.0))
+            .map(|r| (r.slots.len() as u64, r.total(sec)))
+            .unwrap_or((window_secs() as u64, 0));
+        WindowedCounterSummary {
+            name: self.0.clone(),
+            window_s: window,
+            count,
+            per_sec: count as f64 / window as f64,
+        }
+    }
+}
+
+/// Returns a handle to the named windowed counter.
+pub fn windowed_counter(name: &str) -> WindowedCounterHandle {
+    WindowedCounterHandle(name.to_string())
+}
+
+/// Handle to a named windowed log-binned histogram.
+pub struct WindowedHistogramHandle(String);
+
+impl WindowedHistogramHandle {
+    /// Records one value at the current time.
+    pub fn record(&self, value: f64) {
+        self.record_at(value, crate::timestamp_us());
+    }
+
+    /// Records one value at an explicit timestamp (mockable clock).
+    pub fn record_at(&self, value: f64, now_us: u64) {
+        let sec = to_sec(now_us);
+        with_windows(|w| {
+            w.histograms
+                .entry(self.0.clone())
+                .or_insert_with(|| HistogramRing::new(window_secs()))
+                .record(value, sec)
+        });
+    }
+
+    /// Summary of the window ending at the current time, if the
+    /// histogram exists (a histogram with every slot expired still
+    /// returns a summary, with `count == 0`).
+    pub fn summary(&self) -> Option<WindowedHistogramSummary> {
+        self.summary_at(crate::timestamp_us())
+    }
+
+    /// Summary of the window ending at an explicit timestamp.
+    pub fn summary_at(&self, now_us: u64) -> Option<WindowedHistogramSummary> {
+        let sec = to_sec(now_us);
+        WINDOWS
+            .read()
+            .as_ref()
+            .and_then(|w| w.histograms.get(&self.0))
+            .map(|r| r.summarize(&self.0, sec))
+    }
+}
+
+/// Returns a handle to the named windowed histogram.
+pub fn windowed_histogram(name: &str) -> WindowedHistogramHandle {
+    WindowedHistogramHandle(name.to_string())
+}
+
+/// All windowed counters at the current time, sorted by name.
+pub fn counters_snapshot() -> Vec<WindowedCounterSummary> {
+    counters_snapshot_at(crate::timestamp_us())
+}
+
+/// All windowed counters at an explicit timestamp, sorted by name.
+pub fn counters_snapshot_at(now_us: u64) -> Vec<WindowedCounterSummary> {
+    let sec = to_sec(now_us);
+    let mut out: Vec<WindowedCounterSummary> = WINDOWS
+        .read()
+        .as_ref()
+        .map(|w| {
+            w.counters
+                .iter()
+                .map(|(name, ring)| {
+                    let window = ring.slots.len() as u64;
+                    let count = ring.total(sec);
+                    WindowedCounterSummary {
+                        name: name.clone(),
+                        window_s: window,
+                        count,
+                        per_sec: count as f64 / window as f64,
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// All windowed histogram summaries at the current time, sorted by name.
+pub fn histograms_snapshot() -> Vec<WindowedHistogramSummary> {
+    histograms_snapshot_at(crate::timestamp_us())
+}
+
+/// All windowed histogram summaries at an explicit timestamp, sorted by
+/// name.
+pub fn histograms_snapshot_at(now_us: u64) -> Vec<WindowedHistogramSummary> {
+    let sec = to_sec(now_us);
+    let mut out: Vec<WindowedHistogramSummary> = WINDOWS
+        .read()
+        .as_ref()
+        .map(|w| {
+            w.histograms
+                .iter()
+                .map(|(name, ring)| ring.summarize(name, sec))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Clears every windowed metric.
+pub fn reset() {
+    *WINDOWS.write() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const US: u64 = 1_000_000;
+
+    #[test]
+    fn window_parsing_clamps_and_defaults() {
+        assert_eq!(parse_window(None), DEFAULT_WINDOW_SECS);
+        assert_eq!(parse_window(Some("bogus")), DEFAULT_WINDOW_SECS);
+        assert_eq!(parse_window(Some("0")), DEFAULT_WINDOW_SECS);
+        assert_eq!(parse_window(Some("1")), 1);
+        assert_eq!(parse_window(Some(" 90 ")), 90);
+        assert_eq!(parse_window(Some("999999")), MAX_WINDOW_SECS);
+    }
+
+    #[test]
+    fn counter_counts_inside_window_only() {
+        let c = windowed_counter("w_test_counter");
+        let t0 = 1000 * US;
+        c.add_at(3, t0);
+        c.add_at(2, t0 + US);
+        let s = c.summary_at(t0 + US);
+        assert_eq!(s.count, 5);
+        // Advance past the window: both slots expire.
+        let later = t0 + (window_secs() as u64 + 2) * US;
+        assert_eq!(c.summary_at(later).count, 0);
+    }
+
+    #[test]
+    fn counter_slot_reuse_resets_stale_seconds() {
+        let c = windowed_counter("w_test_counter_reuse");
+        let w = window_secs() as u64;
+        let t0 = 5000 * US;
+        c.add_at(7, t0);
+        // Same ring slot, one full window later: the stale count must
+        // not leak into the fresh second.
+        c.add_at(1, t0 + w * US);
+        assert_eq!(c.summary_at(t0 + w * US).count, 1);
+    }
+
+    #[test]
+    fn histogram_window_summarizes_live_slots() {
+        let h = windowed_histogram("w_test_hist");
+        let t0 = 9000 * US;
+        for i in 1..=100 {
+            h.record_at(i as f64, t0);
+        }
+        let s = h.summary_at(t0).expect("histogram exists");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        // Expired window: summary still exists but holds nothing.
+        let later = t0 + (window_secs() as u64 + 1) * US;
+        let s = h.summary_at(later).expect("histogram exists");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0.0);
+    }
+
+    #[test]
+    fn snapshots_are_sorted_and_timestamped() {
+        windowed_counter("w_snap_b").add_at(1, 42 * US);
+        windowed_counter("w_snap_a").add_at(1, 42 * US);
+        let names: Vec<String> = counters_snapshot_at(42 * US)
+            .into_iter()
+            .map(|s| s.name)
+            .filter(|n| n.starts_with("w_snap_"))
+            .collect();
+        assert_eq!(names, vec!["w_snap_a".to_string(), "w_snap_b".to_string()]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for log-binned percentile accuracy.
+//!
+//! Cumulative and windowed histograms share one binning scheme: four
+//! bins per doubling, quantiles answered with the geometric center of
+//! the bin holding the exact order statistic. A bin spans a factor of
+//! `2^(1/4)`, so the center is within `2^(1/8)` of every sample in the
+//! bin — the reported p50/p95/p99 must therefore stay within
+//! `|log2(approx / exact)| <= 0.13` of the exact sorted-reference
+//! quantile (0.125 plus boundary slack), for any positive sample set.
+//! Windowed summaries are driven through the `_at` explicit-clock
+//! forms, including rollover past the window edge.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gdcm_obs::window::{windowed_histogram, DEFAULT_WINDOW_SECS};
+
+const US: u64 = 1_000_000;
+
+/// Fresh metric name per case: the registries are global, so reusing a
+/// name across proptest cases would mix samples.
+fn fresh_name(prefix: &str) -> String {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    format!("{prefix}/{}", NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Exact quantile under the same convention the histogram targets: the
+/// `ceil(q * n).max(1)`-th smallest sample.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let target = ((q * sorted.len() as f64).ceil()).max(1.0) as usize;
+    sorted[target.min(sorted.len()) - 1]
+}
+
+/// True when `approx` is within the bin-width bound of `exact`.
+fn within_bin_width(approx: f64, exact: f64) -> bool {
+    approx > 0.0 && exact > 0.0 && (approx.log2() - exact.log2()).abs() <= 0.13
+}
+
+fn sorted_copy(samples: &[f64]) -> Vec<f64> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    sorted
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cumulative histogram percentiles track the exact sorted
+    /// reference within the bin-width bound across four decades.
+    #[test]
+    fn cumulative_percentiles_match_sorted_reference(
+        samples in prop::collection::vec(1e-3f64..1e6, 1..250),
+    ) {
+        let name = fresh_name("wp/cum");
+        let h = gdcm_obs::histogram(&name);
+        for &s in &samples {
+            h.record(s);
+        }
+        let summary = h.summary().expect("histogram was just recorded into");
+        prop_assert_eq!(summary.count, samples.len() as u64);
+        let sorted = sorted_copy(&samples);
+        for (q, approx) in [(0.50, summary.p50), (0.95, summary.p95), (0.99, summary.p99)] {
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                within_bin_width(approx, exact),
+                "p{} = {} strayed from exact {} (n = {})",
+                (q * 100.0) as u32, approx, exact, samples.len()
+            );
+        }
+    }
+
+    /// Windowed percentiles agree with the same reference when every
+    /// sample lands inside the window, wherever in the window (and in
+    /// whichever one-second slot) it falls.
+    #[test]
+    fn windowed_percentiles_match_sorted_reference(
+        samples in prop::collection::vec(1e-3f64..1e6, 1..250),
+        offsets in prop::collection::vec(0u64..DEFAULT_WINDOW_SECS as u64, 250),
+        base_sec in 0u64..100_000,
+    ) {
+        let name = fresh_name("wp/win");
+        let h = windowed_histogram(&name);
+        let now_sec = base_sec + DEFAULT_WINDOW_SECS as u64;
+        for (i, &s) in samples.iter().enumerate() {
+            // Record spread over the window, never ahead of the query.
+            h.record_at(s, (now_sec - offsets[i]) * US);
+        }
+        let summary = h.summary_at(now_sec * US).expect("window holds samples");
+        prop_assert_eq!(summary.count, samples.len() as u64);
+        let sorted = sorted_copy(&samples);
+        for (q, approx) in [(0.50, summary.p50), (0.95, summary.p95), (0.99, summary.p99)] {
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                within_bin_width(approx, exact),
+                "windowed p{} = {} strayed from exact {} (n = {})",
+                (q * 100.0) as u32, approx, exact, samples.len()
+            );
+        }
+    }
+
+    /// Rollover: samples older than the window vanish from the summary,
+    /// and the percentiles re-converge to the surviving batch alone.
+    #[test]
+    fn rollover_drops_expired_samples_from_percentiles(
+        old in prop::collection::vec(1e3f64..1e6, 1..60),
+        fresh in prop::collection::vec(1e-3f64..1.0, 1..60),
+        gap in 0u64..200,
+    ) {
+        let name = fresh_name("wp/roll");
+        let h = windowed_histogram(&name);
+        let window = DEFAULT_WINDOW_SECS as u64;
+        // Old batch, then a fresh batch at least a full window later.
+        for &s in &old {
+            h.record_at(s, 10 * US);
+        }
+        let fresh_sec = 10 + window + gap;
+        for &s in &fresh {
+            h.record_at(s, fresh_sec * US);
+        }
+        let summary = h.summary_at(fresh_sec * US).expect("fresh batch in window");
+        prop_assert_eq!(summary.count, fresh.len() as u64);
+        // The batches are disjoint by three decades: any leakage of the
+        // old batch would drag p99 out of the fresh batch's range.
+        let sorted = sorted_copy(&fresh);
+        for (q, approx) in [(0.50, summary.p50), (0.95, summary.p95), (0.99, summary.p99)] {
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                within_bin_width(approx, exact),
+                "post-rollover p{} = {} strayed from exact {}",
+                (q * 100.0) as u32, approx, exact
+            );
+        }
+    }
+}
+
+/// The window boundary is exclusive: a sample recorded exactly
+/// `window` seconds before the query is out; one second newer is in.
+#[test]
+fn window_edge_is_exclusive() {
+    let window = DEFAULT_WINDOW_SECS as u64;
+    let h = windowed_histogram("wp/edge");
+    h.record_at(1.0, 100 * US);
+    let expired = h
+        .summary_at((100 + window) * US)
+        .expect("ring exists once anything was recorded");
+    assert_eq!(
+        expired.count, 0,
+        "a sample exactly window seconds old must have expired"
+    );
+    let summary = h
+        .summary_at((100 + window - 1) * US)
+        .expect("one second inside the window");
+    assert_eq!(summary.count, 1);
+}

@@ -31,6 +31,10 @@
 //! Observability: the global pool reports a `par/pool_size` gauge, a
 //! `par/jobs` counter, and per-worker `par/workerNN/busy_us` counters
 //! through `gdcm-obs`, so every run report shows how busy the pool was.
+//! The submitting thread's span path is captured at job submission and
+//! seeded onto the executing thread, so `gdcm_obs::span!` scopes opened
+//! inside distributed closures record under the caller's hierarchical
+//! path instead of a bare name.
 //!
 //! Two execution styles, by job granularity:
 //!
@@ -283,11 +287,19 @@ impl Pool {
         let (result_tx, result_rx) = channel::<(usize, std::thread::Result<T>)>();
         let mut jobs = jobs.into_iter();
         let first = jobs.next().expect("n >= 2");
+        // Spans opened inside a job must nest under the *submitting*
+        // thread's span path, not record under a bare name on whichever
+        // worker picks the job up. Capture the path once and seed it on
+        // the executing thread (replace-semantics, so the caller
+        // draining its own queue does not double-prefix).
+        let seed_path = submission_span_path();
         {
             let mut queue = self.shared.queue.lock();
             for (offset, job) in jobs.enumerate() {
                 let result_tx = result_tx.clone();
+                let seed_path = seed_path.clone();
                 queue.jobs.push_back(Box::new(move || {
+                    let _seed = seed_path.as_deref().map(gdcm_obs::span::seed_path);
                     let result = catch_unwind(AssertUnwindSafe(job));
                     // The receiver outlives this call; a send can only
                     // fail if the caller already panicked, and then
@@ -347,13 +359,16 @@ impl Pool {
         let groups = threads.min(items.len());
         let chunk_len = items.len().div_ceil(groups);
         let f = &f;
+        let seed_path = submission_span_path();
         let mut out = Vec::with_capacity(items.len());
         let busy_us = std::thread::scope(|scope| {
             let mut chunks = items.chunks(chunk_len);
             let first = chunks.next().expect("items is non-empty");
             let handles: Vec<_> = chunks
                 .map(|chunk| {
+                    let seed_path = seed_path.clone();
                     scope.spawn(move || {
+                        let _seed = seed_path.as_deref().map(gdcm_obs::span::seed_path);
                         let start = Instant::now();
                         let mapped: Vec<U> = chunk.iter().map(f).collect();
                         (mapped, start.elapsed().as_micros() as u64)
@@ -473,9 +488,15 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         F: FnOnce() -> T + Send + 'scope,
     {
         match self.inner {
-            Some(scope) => Task {
-                inner: TaskInner::Spawned(scope.spawn(task)),
-            },
+            Some(scope) => {
+                let seed_path = submission_span_path();
+                Task {
+                    inner: TaskInner::Spawned(scope.spawn(move || {
+                        let _seed = seed_path.as_deref().map(gdcm_obs::span::seed_path);
+                        task()
+                    })),
+                }
+            }
             None => Task {
                 inner: TaskInner::Done(task()),
             },
@@ -504,6 +525,18 @@ impl<T> Task<'_, T> {
             TaskInner::Done(value) => value,
             TaskInner::Spawned(handle) => handle.join().unwrap_or_else(|e| resume_unwind(e)),
         }
+    }
+}
+
+/// The submitting thread's span path at job-submission time, shared
+/// cheaply across every job of one dispatch (`None` when no span is
+/// open, so untraced dispatch stays allocation-free).
+fn submission_span_path() -> Option<Arc<str>> {
+    let path = gdcm_obs::span::current_path();
+    if path.is_empty() {
+        None
+    } else {
+        Some(Arc::from(path.as_str()))
     }
 }
 

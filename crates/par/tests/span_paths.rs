@@ -1,0 +1,121 @@
+//! Regression tests: spans opened inside distributed closures must
+//! record under the submitting thread's hierarchical path.
+//!
+//! Before the seeding fix, a `span!` inside a `par_map` closure ran on
+//! a worker thread whose span stack was empty, so its timings landed
+//! under the bare leaf name — `sp_inner` instead of
+//! `sp_outer/sp_inner` — silently splitting one logical stage across
+//! two registry keys whenever `GDCM_THREADS > 1`.
+//!
+//! Each test uses globally unique span names: the span registry is
+//! process-wide and integration tests run concurrently.
+
+use gdcm_par::{Job, Pool, Task};
+
+#[test]
+fn par_map_spans_nest_under_the_caller() {
+    let pool = Pool::new(4);
+    let items: Vec<u64> = (0..64).collect();
+    let serial: Vec<u64> = items.iter().map(|v| v * 3 + 1).collect();
+    let out = {
+        let _outer = gdcm_obs::span!("sp_map_outer");
+        pool.par_map(&items, |&v| {
+            let _inner = gdcm_obs::span!("sp_map_inner");
+            v * 3 + 1
+        })
+    };
+    // The fix must not disturb results: bit-identical to the serial map.
+    assert_eq!(out, serial);
+    let nested = gdcm_obs::span::stats("sp_map_outer/sp_map_inner")
+        .expect("spans inside par_map record under the caller's path");
+    assert_eq!(nested.count, 64);
+    assert!(
+        gdcm_obs::span::stats("sp_map_inner").is_none(),
+        "no span may leak under the bare leaf name"
+    );
+}
+
+#[test]
+fn par_chunks_spans_nest_under_the_caller() {
+    let pool = Pool::new(3);
+    let covered: Vec<usize> = {
+        let _outer = gdcm_obs::span!("sp_chunks_outer");
+        pool.par_chunks(40, 1, |range| {
+            let _inner = gdcm_obs::span!("sp_chunks_inner");
+            range.collect::<Vec<usize>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    assert_eq!(covered, (0..40).collect::<Vec<usize>>());
+    let nested = gdcm_obs::span::stats("sp_chunks_outer/sp_chunks_inner")
+        .expect("spans inside par_chunks record under the caller's path");
+    assert!(nested.count >= 1);
+    assert!(gdcm_obs::span::stats("sp_chunks_inner").is_none());
+}
+
+#[test]
+fn run_spans_nest_whether_drained_by_worker_or_caller() {
+    let pool = Pool::new(2);
+    let jobs: Vec<Job<u32>> = (0..16)
+        .map(|i| {
+            let job: Job<u32> = Box::new(move || {
+                let _inner = gdcm_obs::span!("sp_run_inner");
+                i * i
+            });
+            job
+        })
+        .collect();
+    let out = {
+        let _outer = gdcm_obs::span!("sp_run_outer");
+        pool.run(jobs)
+    };
+    assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<u32>>());
+    // With budget 2 the caller drains part of the queue itself; seeded
+    // paths must come out identical on both execution routes.
+    let nested = gdcm_obs::span::stats("sp_run_outer/sp_run_inner")
+        .expect("spans inside run jobs record under the caller's path");
+    assert_eq!(nested.count, 16);
+    assert!(gdcm_obs::span::stats("sp_run_inner").is_none());
+}
+
+#[test]
+fn scope_spawn_spans_nest_under_the_caller() {
+    for threads in [1, 4] {
+        let pool = Pool::new(threads);
+        let _outer = gdcm_obs::span!("sp_scope_outer");
+        let values = pool.scope(|scope| {
+            let tasks: Vec<_> = (0..4u64)
+                .map(|v| {
+                    scope.spawn(move || {
+                        let _inner = gdcm_obs::span!("sp_scope_inner");
+                        v + 100
+                    })
+                })
+                .collect();
+            tasks.into_iter().map(Task::join).collect::<Vec<u64>>()
+        });
+        assert_eq!(values, vec![100, 101, 102, 103]);
+    }
+    let nested = gdcm_obs::span::stats("sp_scope_outer/sp_scope_inner")
+        .expect("spans inside scope tasks record under the caller's path");
+    assert_eq!(nested.count, 8);
+    assert!(gdcm_obs::span::stats("sp_scope_inner").is_none());
+}
+
+#[test]
+fn deep_hierarchies_survive_nested_dispatch() {
+    let pool = Pool::new(4);
+    let items: Vec<u64> = (0..8).collect();
+    let _a = gdcm_obs::span!("sp_deep_a");
+    let _b = gdcm_obs::span!("sp_deep_b");
+    let out = pool.par_map(&items, |&v| {
+        let _c = gdcm_obs::span!("sp_deep_c");
+        v + 1
+    });
+    assert_eq!(out, (1..=8).collect::<Vec<u64>>());
+    let nested = gdcm_obs::span::stats("sp_deep_a/sp_deep_b/sp_deep_c")
+        .expect("the full caller hierarchy survives into workers");
+    assert_eq!(nested.count, 8);
+}

@@ -8,7 +8,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, ResponseEnvelope};
 use crate::ServeError;
 
 /// A connected protocol client. One request/response in flight at a
@@ -77,5 +77,108 @@ impl Client {
             )));
         }
         serde_json::from_str(&line).map_err(|e| ServeError::Json(e.to_string()))
+    }
+
+    /// Sends one request wrapped in a trace envelope and reads its
+    /// enveloped response, returning `(echoed_trace_id, response)`.
+    /// The server echoes the id bit-stably on success and error
+    /// responses alike; a legacy server answering bare yields
+    /// `(None, response)`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::request`].
+    pub fn request_traced(
+        &mut self,
+        request: &Request,
+        trace_id: u64,
+    ) -> Result<(Option<u64>, Response), ServeError> {
+        let req_json =
+            serde_json::to_string(request).map_err(|e| ServeError::Json(e.to_string()))?;
+        // Envelope by hand around the serialized request — same bytes
+        // as serializing a RequestEnvelope, without cloning `request`.
+        let line = format!("{{\"trace_id\":{trace_id},\"req\":{req_json}}}");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            )));
+        }
+        if let Ok(envelope) = serde_json::from_str::<ResponseEnvelope>(&line) {
+            return Ok((envelope.trace_id, envelope.resp));
+        }
+        serde_json::from_str::<Response>(&line)
+            .map(|resp| (None, resp))
+            .map_err(|e| ServeError::Json(e.to_string()))
+    }
+}
+
+/// A connected client for the ops endpoint (`health` / `metrics` /
+/// `slowlog` / `quiesce`): one verb line out, one JSON line back.
+#[derive(Debug)]
+pub struct OpsClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl OpsClient {
+    /// Connects to a server's ops listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connects, retrying until `timeout` elapses (see
+    /// [`Client::connect_with_retry`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once the deadline passes.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one ops verb and returns the raw JSON reply line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a closed connection.
+    pub fn query(&mut self, verb: &str) -> std::io::Result<String> {
+        self.writer.write_all(verb.trim().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "ops endpoint closed the connection before answering",
+            ));
+        }
+        Ok(line.trim().to_string())
     }
 }

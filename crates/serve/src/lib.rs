@@ -34,15 +34,16 @@
 
 pub mod client;
 pub mod lru;
+pub mod ops;
 pub mod protocol;
 pub mod server;
 pub mod serving;
 pub mod snapshot;
 
-pub use client::Client;
+pub use client::{Client, OpsClient};
 pub use lru::LruCache;
-pub use protocol::{Request, Response};
-pub use server::{serve, ServerConfig, ServerSummary};
+pub use protocol::{Request, RequestEnvelope, Response, ResponseEnvelope};
+pub use server::{serve, serve_with_ops, ServerConfig, ServerSummary};
 pub use serving::{network_hash, CacheStats, ServeConfig, ServingRepository};
 pub use snapshot::{
     load_repository, save_repository, RepositorySnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
@@ -72,6 +73,34 @@ pub enum ServeError {
         /// Rendered diagnostics, one per finding.
         diagnostics: Vec<String>,
     },
+}
+
+impl ServeError {
+    /// Stable machine-readable code for this error, as carried by
+    /// [`protocol::Response::Error`] on the wire (see
+    /// [`protocol::codes`]). Codes never change once shipped; messages
+    /// may.
+    pub fn code(&self) -> &'static str {
+        use crate::protocol::codes;
+        match self {
+            ServeError::Repository(e) => match e {
+                RepositoryError::UnknownDevice(_) => codes::UNKNOWN_DEVICE,
+                RepositoryError::AlreadyEnrolled(_) => codes::ALREADY_ENROLLED,
+                RepositoryError::SignatureLength { .. } => codes::SIGNATURE_LENGTH,
+                RepositoryError::InvalidLatency { .. } => codes::INVALID_LATENCY,
+                RepositoryError::NotEnoughData { .. } => codes::NOT_ENOUGH_DATA,
+                RepositoryError::NotFitted => codes::NOT_FITTED,
+                RepositoryError::CorruptParts { .. } => codes::CORRUPT_PARTS,
+                // RepositoryError is non_exhaustive: future variants
+                // map to the generic repository code until classified.
+                _ => codes::REPOSITORY,
+            },
+            ServeError::Io(_) => codes::IO,
+            ServeError::Json(_) => codes::JSON,
+            ServeError::BadSnapshot { .. } => codes::BAD_SNAPSHOT,
+            ServeError::AuditRejected { .. } => codes::AUDIT_REJECTED,
+        }
+    }
 }
 
 impl fmt::Display for ServeError {

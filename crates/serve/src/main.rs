@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! gdcm-serve --build-zoo PATH [--devices N] [--seed S] [--random K]
-//! gdcm-serve --snapshot PATH --addr HOST:PORT [--workers W]
+//! gdcm-serve --snapshot PATH --addr HOST:PORT [--workers W] [--ops-addr HOST:PORT]
 //! gdcm-serve --probe HOST:PORT --snapshot PATH [--seed S] [--random K]
+//!            [--ops HOST:PORT [--ops-out PATH]]
 //! ```
 //!
 //! * `--build-zoo` trains a collaborative repository on the simulated
@@ -12,12 +13,21 @@
 //! * `--snapshot --addr` loads the snapshot **under audit** and serves
 //!   it over newline-delimited JSON TCP until a client sends
 //!   `Shutdown`. Prints `LISTENING <addr>` once the listener is bound
-//!   so scripts can synchronize.
+//!   so scripts can synchronize. With `--ops-addr` a second listener
+//!   serves the ops endpoint (`health` / `metrics` / `slowlog` /
+//!   `quiesce`) and per-request telemetry records; it prints
+//!   `OPS LISTENING <addr>` too.
 //! * `--probe` is the scripted client the CI smoke job runs: it loads
 //!   the same snapshot locally, queries the server (ping / predict /
 //!   batch / cached re-predict / stats), asserts every prediction is
-//!   bit-identical to the local uncached path, then asks the server to
-//!   shut down. Exits non-zero on any mismatch.
+//!   bit-identical to the local uncached path — with every prediction
+//!   wrapped in a trace envelope whose u64 id must echo back unchanged
+//!   on success *and* error responses — then asks the server to shut
+//!   down. With `--ops` it additionally drives the ops endpoint,
+//!   asserts the windowed metrics saw its own load, and writes the
+//!   `metrics` snapshot to `--ops-out` (default
+//!   `target/reports/ops_metrics.json`). Exits non-zero on any
+//!   mismatch.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
@@ -31,19 +41,26 @@ use gdcm_core::signature::{MutualInfoSelector, SignatureSelector};
 use gdcm_core::{CollaborativeRepository, CostDataset, RepositoryConfig};
 use gdcm_gen::{benchmark_suite_with, SearchSpace};
 use gdcm_ml::GbdtParams;
-use gdcm_serve::protocol::{Request, Response};
-use gdcm_serve::{serve, Client, ServeConfig, ServerConfig, ServingRepository};
+use gdcm_serve::protocol::{codes, Request, Response};
+use gdcm_serve::{
+    serve, serve_with_ops, Client, OpsClient, ServeConfig, ServerConfig, ServingRepository,
+};
 
 const USAGE: &str = "usage:
   gdcm-serve --build-zoo PATH [--devices N] [--seed S] [--random K]
-  gdcm-serve --snapshot PATH --addr HOST:PORT [--workers W]
+  gdcm-serve --snapshot PATH --addr HOST:PORT [--workers W] [--ops-addr HOST:PORT]
   gdcm-serve --probe HOST:PORT --snapshot PATH [--seed S] [--random K]
+             [--ops HOST:PORT [--ops-out PATH]]
 
   --build-zoo PATH  train on the simulated zoo suite and write a snapshot
   --snapshot PATH   snapshot to serve (audited on load) or to probe against
   --addr HOST:PORT  listen address for serving
+  --ops-addr ADDR   also serve the ops endpoint (health/metrics/slowlog/quiesce)
   --workers W       connection worker threads (default: GDCM_THREADS budget)
   --probe ADDR      act as the scripted smoke client against ADDR
+  --ops ADDR        probe the server's ops endpoint at ADDR too
+  --ops-out PATH    where the probe writes the metrics snapshot
+                    (default target/reports/ops_metrics.json)
   --devices N       devices to enroll when building (default 16)
   --seed S          dataset seed (default 42); probe must match build
   --random K        random networks beside the zoo (default 8); probe must match build";
@@ -52,7 +69,10 @@ struct Args {
     build_zoo: Option<PathBuf>,
     snapshot: Option<PathBuf>,
     addr: Option<String>,
+    ops_addr: Option<String>,
     probe: Option<String>,
+    ops: Option<String>,
+    ops_out: Option<PathBuf>,
     workers: Option<usize>,
     devices: usize,
     seed: u64,
@@ -64,7 +84,10 @@ fn parse_args() -> Result<Args, String> {
         build_zoo: None,
         snapshot: None,
         addr: None,
+        ops_addr: None,
         probe: None,
+        ops: None,
+        ops_out: None,
         workers: None,
         devices: 16,
         seed: 42,
@@ -77,7 +100,10 @@ fn parse_args() -> Result<Args, String> {
             "--build-zoo" => args.build_zoo = Some(PathBuf::from(value("--build-zoo")?)),
             "--snapshot" => args.snapshot = Some(PathBuf::from(value("--snapshot")?)),
             "--addr" => args.addr = Some(value("--addr")?),
+            "--ops-addr" => args.ops_addr = Some(value("--ops-addr")?),
             "--probe" => args.probe = Some(value("--probe")?),
+            "--ops" => args.ops = Some(value("--ops")?),
+            "--ops-out" => args.ops_out = Some(PathBuf::from(value("--ops-out")?)),
             "--workers" => {
                 args.workers = Some(
                     value("--workers")?
@@ -163,12 +189,25 @@ fn serve_mode(args: &Args, snapshot: &Path, addr: &str) -> Result<(), String> {
     let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     println!("LISTENING {local}");
+    let ops_listener = match &args.ops_addr {
+        Some(ops_addr) => {
+            let ops = TcpListener::bind(ops_addr).map_err(|e| format!("bind {ops_addr}: {e}"))?;
+            let ops_local = ops.local_addr().map_err(|e| e.to_string())?;
+            println!("OPS LISTENING {ops_local}");
+            Some(ops)
+        }
+        None => None,
+    };
     let config = ServerConfig {
         workers: args
             .workers
             .unwrap_or_else(|| ServerConfig::default().workers),
     };
-    let summary = serve(listener, &serving, config).map_err(|e| e.to_string())?;
+    let summary = match ops_listener {
+        Some(ops) => serve_with_ops(listener, Some(ops), &serving, config),
+        None => serve(listener, &serving, config),
+    }
+    .map_err(|e| e.to_string())?;
     println!(
         "served {} request(s) over {} connection(s), {} error(s); shut down cleanly",
         summary.requests, summary.connections, summary.request_errors
@@ -193,26 +232,63 @@ fn probe_mode(args: &Args, addr: &str, snapshot: &Path) -> Result<(), String> {
 
     let mut client = Client::connect_with_retry(addr, Duration::from_secs(30))
         .map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut ask = |req: &Request| client.request(req).map_err(|e| e.to_string());
 
-    match ask(&Request::Ping)? {
+    match client.request(&Request::Ping).map_err(|e| e.to_string())? {
         Response::Pong => {}
         other => return Err(format!("ping answered {other:?}")),
     }
 
-    // Single-row predictions: bit-identical to the local uncached path.
-    for net in &probe_nets {
+    // Single-row predictions: bit-identical to the local uncached path,
+    // each wrapped in a trace envelope whose id must echo back exactly.
+    // Ids above 2^53 would corrupt in any float-typed decode path, so
+    // round-tripping them proves the wire keeps u64 precision.
+    for (i, net) in probe_nets.iter().enumerate() {
         let expected = local
             .with_repository(|r| r.predict(device, net))
             .map_err(|e| e.to_string())?;
-        match ask(&Request::Predict {
-            device: device.clone(),
-            network: net.clone(),
-        })? {
+        let trace_id = (1u64 << 60) | (i as u64 + 1);
+        let (echo, resp) = client
+            .request_traced(
+                &Request::Predict {
+                    device: device.clone(),
+                    network: net.clone(),
+                },
+                trace_id,
+            )
+            .map_err(|e| e.to_string())?;
+        if echo != Some(trace_id) {
+            return Err(format!("trace id {trace_id} echoed back as {echo:?}"));
+        }
+        match resp {
             Response::Prediction { latency_ms } if latency_ms.to_bits() == expected.to_bits() => {}
             other => return Err(format!("predict mismatch: {other:?} vs {expected}")),
         }
     }
+
+    // Error responses carry the trace id too, plus a stable error code.
+    let (echo, resp) = client
+        .request_traced(
+            &Request::Predict {
+                device: "no-such-device".to_string(),
+                network: probe_nets[0].clone(),
+            },
+            u64::MAX,
+        )
+        .map_err(|e| e.to_string())?;
+    if echo != Some(u64::MAX) {
+        return Err(format!("error trace id u64::MAX echoed back as {echo:?}"));
+    }
+    match resp {
+        Response::Error { ref code, .. } if code == codes::UNKNOWN_DEVICE => {}
+        other => {
+            return Err(format!(
+                "unknown-device probe answered {other:?}, wanted code {:?}",
+                codes::UNKNOWN_DEVICE
+            ))
+        }
+    }
+
+    let mut ask = |req: &Request| client.request(req).map_err(|e| e.to_string());
 
     // Batch path: same bits, in order.
     let expected: Vec<f64> = probe_nets
@@ -262,14 +338,129 @@ fn probe_mode(args: &Args, addr: &str, snapshot: &Path) -> Result<(), String> {
         other => return Err(format!("stats answered {other:?}")),
     }
 
+    // With an ops endpoint to talk to, verify the server's telemetry
+    // actually saw the load this probe just generated.
+    if let Some(ops_addr) = &args.ops {
+        probe_ops(ops_addr, args.ops_out.as_deref())?;
+    }
+
     match ask(&Request::Shutdown)? {
         Response::ShuttingDown => {}
         other => return Err(format!("shutdown answered {other:?}")),
     }
     println!(
-        "probe OK: ping, {} predictions, batch, cache hit, stats, shutdown",
-        probe_nets.len()
+        "probe OK: ping, {} traced predictions, traced error echo, batch, cache hit, stats{}, shutdown",
+        probe_nets.len(),
+        if args.ops.is_some() { ", ops" } else { "" }
     );
+    Ok(())
+}
+
+/// Reads a `u64` out of a parsed ops reply at `path` (dot-separated).
+fn json_u64(value: &serde_json::Value, path: &str) -> Result<u64, String> {
+    let mut cur = value;
+    for key in path.split('.') {
+        cur = cur.get(key).ok_or(format!("ops reply missing {path}"))?;
+    }
+    cur.as_u64().ok_or(format!("ops reply {path} is not a u64"))
+}
+
+/// Drives the ops endpoint after the load above: health must be `ok`,
+/// the windowed metrics must have seen this probe's requests and cache
+/// hits, the slow log must hold traced entries, and `quiesce` must flip
+/// health to `draining`. Writes the raw metrics line to `out` for the
+/// CI artifact.
+fn probe_ops(ops_addr: &str, out: Option<&Path>) -> Result<(), String> {
+    let mut ops = OpsClient::connect_with_retry(ops_addr, Duration::from_secs(30))
+        .map_err(|e| format!("connect ops {ops_addr}: {e}"))?;
+    fn query(ops: &mut OpsClient, verb: &str) -> Result<serde_json::Value, String> {
+        let line = ops.query(verb).map_err(|e| format!("ops {verb}: {e}"))?;
+        serde_json::from_str(&line).map_err(|e| format!("ops {verb} reply unparsable: {e}"))
+    }
+
+    let health = query(&mut ops, "health")?;
+    match health.get("status").and_then(|s| s.as_str()) {
+        Some("ok") => {}
+        other => return Err(format!("ops health status {other:?}, wanted \"ok\"")),
+    }
+    if health.get("fitted").and_then(|f| f.as_bool()) != Some(true) {
+        return Err("ops health reports an unfitted model".into());
+    }
+    if json_u64(&health, "requests_total")? == 0 {
+        return Err("ops health saw zero requests after the probe load".into());
+    }
+
+    let metrics_line = ops
+        .query("metrics")
+        .map_err(|e| format!("ops metrics: {e}"))?;
+    let metrics: serde_json::Value = serde_json::from_str(&metrics_line)
+        .map_err(|e| format!("ops metrics reply unparsable: {e}"))?;
+    let win_requests = json_u64(&metrics, "windowed.requests")?;
+    if win_requests == 0 {
+        return Err("windowed metrics saw zero requests inside the window".into());
+    }
+    if json_u64(&metrics, "windowed.latency.count")? == 0 {
+        return Err("windowed latency histogram is empty after the probe load".into());
+    }
+    if json_u64(&metrics, "windowed.prediction_cache.hits")? == 0 {
+        return Err("windowed metrics saw no prediction-cache hits".into());
+    }
+    for path in [
+        "windowed.qps",
+        "windowed.latency.p50_ms",
+        "windowed.latency.p99_ms",
+    ] {
+        let mut cur = &metrics;
+        for key in path.split('.') {
+            cur = cur.get(key).ok_or(format!("ops metrics missing {path}"))?;
+        }
+        let v = cur
+            .as_f64()
+            .ok_or(format!("ops metrics {path} is not a number"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("ops metrics {path} = {v}, wanted > 0"));
+        }
+    }
+    if json_u64(&metrics, "cumulative.requests")? == 0 {
+        return Err("cumulative metrics saw zero requests".into());
+    }
+    let out = out.unwrap_or(Path::new("target/reports/ops_metrics.json"));
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {parent:?}: {e}"))?;
+    }
+    std::fs::write(out, format!("{metrics_line}\n"))
+        .map_err(|e| format!("write {}: {e}", out.display()))?;
+    println!(
+        "ops metrics: {} windowed request(s) -> {}",
+        win_requests,
+        out.display()
+    );
+
+    let slowlog = query(&mut ops, "slowlog")?;
+    let entries = slowlog
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .ok_or("ops slowlog reply missing entries")?;
+    let first = entries
+        .first()
+        .ok_or("ops slowlog is empty after the probe load")?;
+    if first
+        .get("stages")
+        .and_then(|s| s.as_array())
+        .map(|s| s.is_empty())
+        != Some(false)
+    {
+        return Err("slowlog entry has no stage breakdown".into());
+    }
+
+    let quiesce = query(&mut ops, "quiesce")?;
+    if quiesce.get("status").and_then(|s| s.as_str()) != Some("draining") {
+        return Err(format!("quiesce answered {quiesce:?}"));
+    }
+    let health = query(&mut ops, "health")?;
+    if health.get("status").and_then(|s| s.as_str()) != Some("draining") {
+        return Err("health did not report draining after quiesce".into());
+    }
     Ok(())
 }
 

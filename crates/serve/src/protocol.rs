@@ -10,6 +10,17 @@
 //! A connection may carry any number of requests; the server answers
 //! each before reading the next. `Shutdown` asks the whole server to
 //! drain and exit (every worker finishes its current connection first).
+//!
+//! ## Trace propagation
+//!
+//! A client may wrap any request in a [`RequestEnvelope`] carrying a
+//! u64 `trace_id`; the server echoes the id back bit-stably in a
+//! [`ResponseEnvelope`] — on success *and* on error responses, so a
+//! pipelining client can always correlate an answer (or a failure) with
+//! the request that caused it. Bare requests keep getting bare
+//! responses: the envelope is strictly opt-in, and old clients never
+//! see it. Error responses additionally carry a stable machine-readable
+//! [`codes`] string alongside the human-readable message.
 
 use gdcm_dnn::Network;
 use serde::{Deserialize, Serialize};
@@ -112,9 +123,97 @@ pub enum Response {
     ShuttingDown,
     /// The request failed; the connection stays usable.
     Error {
+        /// Stable machine-readable failure code (see [`codes`]).
+        code: String,
         /// Human-readable failure description.
         message: String,
     },
+}
+
+/// Stable machine-readable error codes carried by [`Response::Error`].
+///
+/// These strings are part of the wire contract: clients branch on them,
+/// so they never change once shipped (messages may).
+pub mod codes {
+    /// The request line was not parsable as a request.
+    pub const PARSE_ERROR: &str = "parse_error";
+    /// The named device is not enrolled.
+    pub const UNKNOWN_DEVICE: &str = "unknown_device";
+    /// The device name is already enrolled.
+    pub const ALREADY_ENROLLED: &str = "already_enrolled";
+    /// A signature vector had the wrong length.
+    pub const SIGNATURE_LENGTH: &str = "signature_length";
+    /// A contributed latency was non-finite or non-positive.
+    pub const INVALID_LATENCY: &str = "invalid_latency";
+    /// Too few training rows to fit.
+    pub const NOT_ENOUGH_DATA: &str = "not_enough_data";
+    /// Prediction requested before any model was fitted.
+    pub const NOT_FITTED: &str = "not_fitted";
+    /// Persisted repository parts failed validation.
+    pub const CORRUPT_PARTS: &str = "corrupt_parts";
+    /// Some other repository-level rejection.
+    pub const REPOSITORY: &str = "repository";
+    /// Filesystem or socket I/O failed server-side.
+    pub const IO: &str = "io";
+    /// Server-side (de)serialization failed.
+    pub const JSON: &str = "json";
+    /// A snapshot envelope was unreadable.
+    pub const BAD_SNAPSHOT: &str = "bad_snapshot";
+    /// A snapshot was rejected by the audit passes.
+    pub const AUDIT_REJECTED: &str = "audit_rejected";
+    /// An error variant this build does not classify further.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// A request wrapped with client-side telemetry identity. Opt-in: the
+/// server answers enveloped requests with [`ResponseEnvelope`]s and
+/// bare requests with bare responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client-chosen trace id, echoed back bit-stably (u64 integers
+    /// survive the JSON layer exactly).
+    #[serde(default)]
+    pub trace_id: Option<u64>,
+    /// The wrapped request.
+    pub req: Request,
+}
+
+/// A response wrapped with the originating request's trace id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// The trace id from the request envelope, echoed unchanged.
+    #[serde(default)]
+    pub trace_id: Option<u64>,
+    /// The wrapped response.
+    pub resp: Response,
+}
+
+/// Best-effort trace-id recovery from a line that failed to parse as a
+/// request: derived struct deserialization ignores unknown keys, so any
+/// JSON *object* yields its `trace_id` field (if present) even when the
+/// wrapped request is invalid — an error response can then still be
+/// correlated.
+#[derive(Debug, Deserialize)]
+pub(crate) struct TraceIdProbe {
+    #[serde(default)]
+    pub(crate) trace_id: Option<u64>,
+}
+
+/// Short stable label for a request, used as the slow-log label and in
+/// per-verb metrics.
+pub fn request_label(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Stats => "stats",
+        Request::Predict { .. } => "predict",
+        Request::PredictBatch { .. } => "predict_batch",
+        Request::PredictForNewDevice { .. } => "predict_new_device",
+        Request::OnboardDevice { .. } => "onboard_device",
+        Request::ReEnroll { .. } => "re_enroll",
+        Request::Contribute { .. } => "contribute",
+        Request::Fit => "fit",
+        Request::Shutdown => "shutdown",
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +237,64 @@ mod tests {
             let back: Request = serde_json::from_str(&json).expect("parseable");
             assert_eq!(req, back, "{json}");
         }
+    }
+
+    #[test]
+    fn envelopes_round_trip_extreme_trace_ids() {
+        // u64 ids must survive JSON bit-stably, including values above
+        // 2^53 that would be mangled by an f64 number path.
+        for id in [0u64, 1, 1 << 53, u64::MAX - 1, u64::MAX] {
+            let env = RequestEnvelope {
+                trace_id: Some(id),
+                req: Request::Ping,
+            };
+            let json = serde_json::to_string(&env).expect("serializable");
+            let back: RequestEnvelope = serde_json::from_str(&json).expect("parseable");
+            assert_eq!(back.trace_id, Some(id), "{json}");
+            let resp = ResponseEnvelope {
+                trace_id: Some(id),
+                resp: Response::Pong,
+            };
+            let json = serde_json::to_string(&resp).expect("serializable");
+            let back: ResponseEnvelope = serde_json::from_str(&json).expect("parseable");
+            assert_eq!(back.trace_id, Some(id), "{json}");
+        }
+    }
+
+    #[test]
+    fn trace_id_probe_recovers_ids_from_invalid_requests() {
+        let probe: TraceIdProbe =
+            serde_json::from_str("{\"trace_id\":7,\"req\":{\"Bogus\":1}}").expect("object parses");
+        assert_eq!(probe.trace_id, Some(7));
+        let probe: TraceIdProbe = serde_json::from_str("{\"x\":1}").expect("object parses");
+        assert_eq!(probe.trace_id, None);
+        assert!(serde_json::from_str::<TraceIdProbe>("not json").is_err());
+    }
+
+    #[test]
+    fn error_responses_carry_stable_codes() {
+        let resp = Response::Error {
+            code: codes::UNKNOWN_DEVICE.to_string(),
+            message: "unknown device: pixel9".to_string(),
+        };
+        let json = serde_json::to_string(&resp).expect("serializable");
+        match serde_json::from_str::<Response>(&json).expect("parseable") {
+            Response::Error { code, .. } => assert_eq!(code, codes::UNKNOWN_DEVICE),
+            other => panic!("variant changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_labels_are_stable() {
+        assert_eq!(request_label(&Request::Ping), "ping");
+        assert_eq!(request_label(&Request::Fit), "fit");
+        assert_eq!(
+            request_label(&Request::PredictBatch {
+                device: "d".into(),
+                networks: vec![],
+            }),
+            "predict_batch"
+        );
     }
 
     #[test]

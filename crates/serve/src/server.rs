@@ -17,7 +17,17 @@
 //!
 //! Instrumentation: `serve/requests` / `serve/request_errors` counters,
 //! a `serve/request_ms` latency histogram, and a `serve/queue_depth`
-//! gauge updated on every enqueue/dequeue.
+//! gauge updated on every enqueue/dequeue — always on (registry writes,
+//! not event emission).
+//!
+//! Live telemetry is opt-in via [`serve_with_ops`]: handing the server
+//! a second listener starts the [`crate::ops`] endpoint and turns on
+//! per-request recording — stage spans (`read`/`parse`/`cache_lookup`/
+//! `predict`/`serialize`/`write`) through `gdcm_obs::reqtrace`,
+//! windowed qps/latency/error/cache counters, and slow-log admission.
+//! Without an ops listener none of that code runs: the request loop
+//! checks one plain `bool` and the hot path stays byte-for-byte the
+//! uninstrumented one (`bench_serve` asserts the enabled cost too).
 
 use parking_lot::Mutex;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -26,8 +36,10 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::time::Instant;
 
-use crate::protocol::{Request, Response};
-use crate::serving::ServingRepository;
+use crate::protocol::{
+    codes, request_label, Request, RequestEnvelope, Response, ResponseEnvelope, TraceIdProbe,
+};
+use crate::serving::{CacheStats, ServingRepository};
 
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
@@ -56,15 +68,26 @@ pub struct ServerSummary {
     pub request_errors: u64,
 }
 
-/// Shared per-server state.
-struct ServerShared<'a> {
-    serving: &'a ServingRepository,
+/// Shared per-server state (also read by the [`crate::ops`] endpoint).
+pub(crate) struct ServerShared<'a> {
+    pub(crate) serving: &'a ServingRepository,
     addr: SocketAddr,
-    stop: AtomicBool,
-    requests: AtomicU64,
-    request_errors: AtomicU64,
-    connections: AtomicU64,
+    pub(crate) stop: AtomicBool,
+    pub(crate) requests: AtomicU64,
+    pub(crate) request_errors: AtomicU64,
+    pub(crate) connections: AtomicU64,
     queue_depth: AtomicI64,
+    /// Whether per-request telemetry (traces, windowed metrics, slow
+    /// log) records. True exactly when an ops listener is attached.
+    pub(crate) telemetry: bool,
+    /// Flipped by the ops `quiesce` verb; reported by `health`.
+    pub(crate) draining: AtomicBool,
+    /// Tells the ops accept loop to exit.
+    pub(crate) ops_stop: AtomicBool,
+    ops_addr: Option<SocketAddr>,
+    /// Server start, for uptime reporting.
+    pub(crate) started: Instant,
+    pub(crate) workers: usize,
 }
 
 impl ServerShared<'_> {
@@ -73,6 +96,15 @@ impl ServerShared<'_> {
     fn trigger_shutdown(&self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
             let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Same wake-up trick for the ops accept loop.
+    fn trigger_ops_shutdown(&self) {
+        if let Some(addr) = self.ops_addr {
+            if !self.ops_stop.swap(true, Ordering::SeqCst) {
+                let _ = TcpStream::connect(addr);
+            }
         }
     }
 }
@@ -90,8 +122,31 @@ pub fn serve(
     serving: &ServingRepository,
     config: ServerConfig,
 ) -> std::io::Result<ServerSummary> {
+    serve_with_ops(listener, None, serving, config)
+}
+
+/// Like [`serve`], with an optional second listener for the
+/// [`crate::ops`] endpoint (`health` / `metrics` / `slowlog` /
+/// `quiesce`). Attaching one also enables per-request telemetry:
+/// request-trace stage spans, windowed metrics, and the slow log. The
+/// ops listener stops when the main server does.
+///
+/// # Errors
+///
+/// Same contract as [`serve`].
+pub fn serve_with_ops(
+    listener: TcpListener,
+    ops_listener: Option<TcpListener>,
+    serving: &ServingRepository,
+    config: ServerConfig,
+) -> std::io::Result<ServerSummary> {
     let _span = gdcm_obs::span!("serve/server");
     let addr = listener.local_addr()?;
+    let ops_addr = match &ops_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
+    let workers = config.workers.max(1);
     let shared = ServerShared {
         serving,
         addr,
@@ -100,45 +155,28 @@ pub fn serve(
         request_errors: AtomicU64::new(0),
         connections: AtomicU64::new(0),
         queue_depth: AtomicI64::new(0),
+        telemetry: ops_addr.is_some(),
+        draining: AtomicBool::new(false),
+        ops_stop: AtomicBool::new(false),
+        ops_addr,
+        started: Instant::now(),
+        workers,
     };
-    let workers = config.workers.max(1);
     gdcm_obs::gauge("serve/workers").set(workers as f64);
 
-    if workers == 1 {
-        // Serial path: handle each connection inline on this thread.
-        for stream in listener.incoming() {
-            if shared.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            match stream {
-                Ok(stream) => handle_connection(&shared, stream),
-                Err(e) => gdcm_obs::event(
-                    "accept_error",
-                    "serve",
-                    &[("error", gdcm_obs::FieldValue::Str(e.to_string()))],
-                ),
-            }
-        }
-    } else {
-        let (tx, rx) = channel::<TcpStream>();
-        let rx = Mutex::new(rx);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                handles.push(scope.spawn(|| worker_loop(&shared, &rx)));
-            }
+    let shared = &shared;
+    std::thread::scope(|outer| {
+        let ops_handle =
+            ops_listener.map(|ops| outer.spawn(move || crate::ops::run_ops(ops, shared)));
+
+        if workers == 1 {
+            // Serial path: handle each connection inline on this thread.
             for stream in listener.incoming() {
                 if shared.stop.load(Ordering::SeqCst) {
                     break;
                 }
                 match stream {
-                    Ok(stream) => {
-                        let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
-                        gdcm_obs::gauge("serve/queue_depth").set(depth as f64);
-                        if tx.send(stream).is_err() {
-                            break; // all workers gone (unreachable in practice)
-                        }
-                    }
+                    Ok(stream) => handle_connection(shared, stream),
                     Err(e) => gdcm_obs::event(
                         "accept_error",
                         "serve",
@@ -146,15 +184,50 @@ pub fn serve(
                     ),
                 }
             }
-            // Channel close = the shutdown signal workers drain on.
-            drop(tx);
-            for handle in handles {
-                // Worker closures don't panic; join errors would only
-                // reflect a panic escaping handle_connection's catch-all.
-                let _ = handle.join();
-            }
-        });
-    }
+        } else {
+            let (tx, rx) = channel::<TcpStream>();
+            let rx = Mutex::new(rx);
+            std::thread::scope(|scope| {
+                let rx = &rx;
+                let mut handles = Vec::with_capacity(workers);
+                for _ in 0..workers {
+                    handles.push(scope.spawn(move || worker_loop(shared, rx)));
+                }
+                for stream in listener.incoming() {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+                            gdcm_obs::gauge("serve/queue_depth").set(depth as f64);
+                            if tx.send(stream).is_err() {
+                                break; // all workers gone (unreachable in practice)
+                            }
+                        }
+                        Err(e) => gdcm_obs::event(
+                            "accept_error",
+                            "serve",
+                            &[("error", gdcm_obs::FieldValue::Str(e.to_string()))],
+                        ),
+                    }
+                }
+                // Channel close = the shutdown signal workers drain on.
+                drop(tx);
+                for handle in handles {
+                    // Worker closures don't panic; join errors would only
+                    // reflect a panic escaping handle_connection's catch-all.
+                    let _ = handle.join();
+                }
+            });
+        }
+
+        // Main server done: stop the ops endpoint too.
+        shared.trigger_ops_shutdown();
+        if let Some(handle) = ops_handle {
+            let _ = handle.join();
+        }
+    });
 
     Ok(ServerSummary {
         connections: shared.connections.load(Ordering::SeqCst),
@@ -177,6 +250,25 @@ fn worker_loop(shared: &ServerShared<'_>, rx: &Mutex<Receiver<TcpStream>>) {
     }
 }
 
+/// Parses one request line: envelope first (opt-in trace id), bare
+/// request second. A line that is valid JSON but not a valid request
+/// still yields its `trace_id` (if any), so the error response can be
+/// correlated with the request that caused it.
+fn parse_line(line: &str) -> (Option<u64>, Result<Request, String>) {
+    if let Ok(env) = serde_json::from_str::<RequestEnvelope>(line) {
+        return (env.trace_id, Ok(env.req));
+    }
+    match serde_json::from_str::<Request>(line) {
+        Ok(request) => (None, Ok(request)),
+        Err(e) => {
+            let trace_id = serde_json::from_str::<TraceIdProbe>(line)
+                .ok()
+                .and_then(|p| p.trace_id);
+            (trace_id, Err(format!("unparsable request: {e}")))
+        }
+    }
+}
+
 /// Serves one connection: a loop of line-delimited requests, answered
 /// in order. Returns when the client disconnects or after `Shutdown`.
 fn handle_connection(shared: &ServerShared<'_>, stream: TcpStream) {
@@ -184,8 +276,7 @@ fn handle_connection(shared: &ServerShared<'_>, stream: TcpStream) {
     // Responses are single small lines; without TCP_NODELAY each one
     // waits on the peer's delayed ACK.
     let _ = stream.set_nodelay(true);
-    let peer = stream.peer_addr().ok();
-    let reader = match stream.try_clone() {
+    let mut reader = match stream.try_clone() {
         Ok(clone) => BufReader::new(clone),
         Err(e) => {
             gdcm_obs::event(
@@ -197,46 +288,101 @@ fn handle_connection(shared: &ServerShared<'_>, stream: TcpStream) {
         }
     };
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(line) => line,
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read_started_us = gdcm_obs::timestamp_us();
+        let read_timer = Instant::now();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // clean EOF
+            Ok(_) => {}
             Err(_) => break, // client went away
-        };
+        }
+        let read_us = read_timer.elapsed().as_micros() as u64;
         if line.trim().is_empty() {
             continue;
         }
+
+        let telemetry = shared.telemetry;
+        let cache_before = telemetry.then(|| shared.serving.cache_stats());
+        if telemetry {
+            gdcm_obs::reqtrace::begin(0);
+            // The read stage includes client idle time between requests;
+            // it belongs in the stage breakdown but not in the latency
+            // that ranks the slow log, which starts after the read.
+            gdcm_obs::reqtrace::stage_closed("read", read_started_us, read_us);
+        }
         let started = Instant::now();
-        let (response, is_shutdown) = match serde_json::from_str::<Request>(&line) {
+
+        let (trace_id, parsed) = {
+            let _stage = gdcm_obs::reqtrace::stage("parse");
+            parse_line(&line)
+        };
+        if let Some(id) = trace_id {
+            gdcm_obs::reqtrace::set_trace_id(id);
+        }
+
+        let label;
+        let (response, is_shutdown) = match parsed {
             Ok(request) => {
+                label = request_label(&request);
                 let is_shutdown = matches!(request, Request::Shutdown);
                 (dispatch(shared, request), is_shutdown)
             }
-            Err(e) => (
-                Response::Error {
-                    message: format!("unparsable request: {e}"),
-                },
-                false,
-            ),
+            Err(message) => {
+                label = "parse_error";
+                (
+                    Response::Error {
+                        code: codes::PARSE_ERROR.to_string(),
+                        message,
+                    },
+                    false,
+                )
+            }
         };
         shared.requests.fetch_add(1, Ordering::SeqCst);
         gdcm_obs::counter("serve/requests").incr();
-        if matches!(response, Response::Error { .. }) {
+        let is_error = matches!(response, Response::Error { .. });
+        if is_error {
             shared.request_errors.fetch_add(1, Ordering::SeqCst);
             gdcm_obs::counter("serve/request_errors").incr();
         }
-        let json = match serde_json::to_string(&response) {
-            Ok(json) => json,
-            // Responses are plain data; serialization cannot fail. If it
-            // ever does, drop the connection rather than the process.
-            Err(_) => break,
+
+        let json = {
+            let _stage = gdcm_obs::reqtrace::stage("serialize");
+            // Enveloped requests get enveloped responses — errors
+            // included, so clients can correlate failures too. Bare
+            // requests keep the legacy bare responses.
+            let serialized = match trace_id {
+                Some(id) => serde_json::to_string(&ResponseEnvelope {
+                    trace_id: Some(id),
+                    resp: response,
+                }),
+                None => serde_json::to_string(&response),
+            };
+            match serialized {
+                Ok(json) => json,
+                // Responses are plain data; serialization cannot fail. If
+                // it ever does, drop the connection rather than the process.
+                Err(_) => break,
+            }
         };
-        gdcm_obs::histogram("serve/request_ms").record(started.elapsed().as_secs_f64() * 1e3);
-        if writer
-            .write_all(json.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
+
+        let write_ok = {
+            let _stage = gdcm_obs::reqtrace::stage("write");
+            writer
+                .write_all(json.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_ok()
+        };
+
+        let request_us = started.elapsed().as_micros() as u64;
+        gdcm_obs::histogram("serve/request_ms").record(request_us as f64 / 1e3);
+        if telemetry {
+            record_telemetry(shared, label, request_us, is_error, cache_before);
+        }
+        if !write_ok {
             break; // client went away mid-response
         }
         if is_shutdown {
@@ -244,13 +390,73 @@ fn handle_connection(shared: &ServerShared<'_>, stream: TcpStream) {
             break;
         }
     }
-    let _ = peer; // peer address is only interesting to event sinks
+}
+
+/// Folds one finished request into the live-telemetry surfaces:
+/// windowed counters/histograms, per-stage cumulative histograms, and
+/// the slow log. Only called when telemetry is enabled.
+fn record_telemetry(
+    shared: &ServerShared<'_>,
+    label: &str,
+    request_us: u64,
+    is_error: bool,
+    cache_before: Option<CacheStats>,
+) {
+    let now_us = gdcm_obs::timestamp_us();
+    gdcm_obs::windowed_counter("serve/requests").add_at(1, now_us);
+    if is_error {
+        gdcm_obs::windowed_counter("serve/request_errors").add_at(1, now_us);
+    }
+    gdcm_obs::windowed_histogram("serve/request_us").record_at(request_us as f64, now_us);
+    if let Some(before) = cache_before {
+        // Attribute this request's cache activity to the window. Deltas
+        // may briefly include a concurrent worker's lookups; windowed
+        // totals stay exact because every worker records its own delta
+        // against its own `before` snapshot only once per request.
+        let after = shared.serving.cache_stats();
+        let deltas = [
+            (
+                "serve/pred_cache_hit",
+                after.prediction_hits.saturating_sub(before.prediction_hits),
+            ),
+            (
+                "serve/pred_cache_miss",
+                after
+                    .prediction_misses
+                    .saturating_sub(before.prediction_misses),
+            ),
+            (
+                "serve/enc_cache_hit",
+                after.encoding_hits.saturating_sub(before.encoding_hits),
+            ),
+            (
+                "serve/enc_cache_miss",
+                after.encoding_misses.saturating_sub(before.encoding_misses),
+            ),
+        ];
+        for (name, delta) in deltas {
+            if delta > 0 {
+                gdcm_obs::windowed_counter(name).add_at(delta, now_us);
+            }
+        }
+    }
+    if let Some(ctx) = gdcm_obs::reqtrace::end() {
+        ctx.merge_into_registry("serve");
+        gdcm_obs::slowlog::offer(gdcm_obs::slowlog::SlowEntry {
+            trace_id: ctx.trace_id,
+            label: label.to_string(),
+            total_us: request_us,
+            ts_us: ctx.started_us,
+            stages: ctx.stages,
+        });
+    }
 }
 
 /// Maps one request to one response against the serving repository.
 fn dispatch(shared: &ServerShared<'_>, request: Request) -> Response {
     let serving = shared.serving;
     let fail = |e: crate::ServeError| Response::Error {
+        code: e.code().to_string(),
         message: e.to_string(),
     };
     match request {

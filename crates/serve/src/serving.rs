@@ -204,14 +204,19 @@ impl ServingRepository {
         let _span = gdcm_obs::span!("serve/predict");
         let hash = network_hash(network);
         let key = (device.to_string(), hash);
-        if let Some(&value) = self.predictions.lock().get(&key) {
-            self.pred_hits.fetch_add(1, Ordering::Relaxed);
-            gdcm_obs::counter("serve/pred_cache_hit").incr();
-            return Ok(value);
+        {
+            // Request-trace stages are free when no context is active.
+            let _stage = gdcm_obs::reqtrace::stage("cache_lookup");
+            if let Some(&value) = self.predictions.lock().get(&key) {
+                self.pred_hits.fetch_add(1, Ordering::Relaxed);
+                gdcm_obs::counter("serve/pred_cache_hit").incr();
+                return Ok(value);
+            }
         }
         self.pred_misses.fetch_add(1, Ordering::Relaxed);
         gdcm_obs::counter("serve/pred_cache_miss").incr();
         let value = {
+            let _stage = gdcm_obs::reqtrace::stage("predict");
             let repo = self.repo.read();
             let hw = repo
                 .device_signature(device)
@@ -245,6 +250,7 @@ impl ServingRepository {
         let mut out = vec![0f64; networks.len()];
         let mut misses: Vec<usize> = Vec::new();
         {
+            let _stage = gdcm_obs::reqtrace::stage("cache_lookup");
             let mut cache = self.predictions.lock();
             for (i, hash) in hashes.iter().enumerate() {
                 match cache.get(&(device.to_string(), *hash)) {
@@ -265,6 +271,7 @@ impl ServingRepository {
             return Ok(out);
         }
         let predicted = {
+            let _stage = gdcm_obs::reqtrace::stage("predict");
             let repo = self.repo.read();
             let hw = repo
                 .device_signature(device)

@@ -91,7 +91,10 @@ fn run_session(workers: usize, seed: u64) {
             })
             .unwrap()
         {
-            Response::Error { message } => assert!(message.contains("no-such-device")),
+            Response::Error { code, message } => {
+                assert_eq!(code, gdcm_serve::protocol::codes::UNKNOWN_DEVICE);
+                assert!(message.contains("no-such-device"));
+            }
             other => panic!("unknown device answered {other:?}"),
         }
         assert!(matches!(
@@ -176,7 +179,10 @@ fn malformed_lines_answer_errors_without_dropping_the_connection() {
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
         match serde_json::from_str::<Response>(&line).unwrap() {
-            Response::Error { message } => assert!(message.contains("unparsable")),
+            Response::Error { code, message } => {
+                assert_eq!(code, gdcm_serve::protocol::codes::PARSE_ERROR);
+                assert!(message.contains("unparsable"));
+            }
             other => panic!("garbage answered {other:?}"),
         }
 
