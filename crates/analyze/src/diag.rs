@@ -15,6 +15,7 @@
 //! | `GDCM100`–`GDCM119` | trained-ensemble verification (`gdcm-audit`) |
 //! | `GDCM120`–`GDCM129` | dataset lints (`gdcm-audit`) |
 //! | `GDCM130`–`GDCM139` | fold-contamination checks (`gdcm-audit`) |
+//! | `GDCM140`–`GDCM159` | flatcheck — frozen-model translation validation (`gdcm-audit`) |
 //!
 //! The `GDCM1xx` family is emitted by the sibling `gdcm-audit` crate,
 //! which verifies everything *downstream* of the IR (trained ensembles,
@@ -176,12 +177,62 @@ pub enum DiagCode {
     /// A leave-device-out plan does not hold each device out exactly
     /// once.
     IncompleteCoverage,
+    // --- audit pass 4: flatcheck (frozen-model translation validation) -
+    /// The frozen SoA arena's shape is inconsistent: tree offsets not
+    /// monotone from 0, parallel arrays of unequal length, or a tree
+    /// count that disagrees with the source ensemble.
+    FlatArenaShapeMismatch,
+    /// A slot's kind (split vs leaf) disagrees with its source node.
+    FlatNodeKindMismatch,
+    /// A split slot's feature index disagrees with its source node or
+    /// exceeds the model width.
+    FlatFeatureMismatch,
+    /// A split slot's child offset dangles outside its tree's slot
+    /// range.
+    FlatChildOutOfRange,
+    /// A split slot's child offsets disagree with the source node's
+    /// children (e.g. swapped left/right).
+    FlatChildMismatch,
+    /// Walking the flat tree from its root slot revisits a slot — the
+    /// SoA arrays encode a cycle or a shared subtree.
+    FlatCycle,
+    /// A slot inside a tree's range is unreachable from its root slot.
+    FlatOrphanSlot,
+    /// A leaf slot's value is not bitwise equal to the source leaf
+    /// weight.
+    FlatLeafValueMismatch,
+    /// The frozen cut grid is not bitwise equal to the deterministic
+    /// rebuild of the training `BinnedMatrix` grid.
+    FlatGridMismatch,
+    /// A frozen feature's cut points are not strictly ascending, which
+    /// voids the quantization soundness argument.
+    FlatGridNotAscending,
+    /// A split slot's `u8` bin does not map back to its source
+    /// threshold (`cuts[bin]` differs bitwise), so the integer compare
+    /// cannot reproduce the `f32` compare.
+    FlatThresholdOffGrid,
+    /// Symbolic quantization check failed: some representable bin edge
+    /// decides differently under `code <= bin` than under
+    /// `value <= threshold`.
+    FlatQuantizationUnsound,
+    /// A root-to-leaf path's feature intervals are contradictory — the
+    /// leaf is unreachable for every input, which `fit` cannot produce.
+    FlatDeadPath,
+    /// Flat and recursive traversal select different leaves for some
+    /// cell of the bin-grid partition.
+    FlatPathDivergence,
+    /// Accumulated ensemble outputs (base + leaf sums, or forest means)
+    /// disagree bitwise between the frozen and recursive predictors.
+    FlatAccumulationMismatch,
+    /// Frozen model metadata (base score, feature width, tree count)
+    /// disagrees with the source model.
+    FlatMetadataMismatch,
 }
 
 impl DiagCode {
     /// Every code, in numeric order — the source of truth for the
     /// reference table in the README.
-    pub const ALL: [DiagCode; 50] = [
+    pub const ALL: [DiagCode; 66] = [
         DiagCode::NonTopologicalEdge,
         DiagCode::UnknownNodeRef,
         DiagCode::DeadNode,
@@ -232,6 +283,22 @@ impl DiagCode {
         DiagCode::EmptyFold,
         DiagCode::FoldIndexOutOfRange,
         DiagCode::IncompleteCoverage,
+        DiagCode::FlatArenaShapeMismatch,
+        DiagCode::FlatNodeKindMismatch,
+        DiagCode::FlatFeatureMismatch,
+        DiagCode::FlatChildOutOfRange,
+        DiagCode::FlatChildMismatch,
+        DiagCode::FlatCycle,
+        DiagCode::FlatOrphanSlot,
+        DiagCode::FlatLeafValueMismatch,
+        DiagCode::FlatGridMismatch,
+        DiagCode::FlatGridNotAscending,
+        DiagCode::FlatThresholdOffGrid,
+        DiagCode::FlatQuantizationUnsound,
+        DiagCode::FlatDeadPath,
+        DiagCode::FlatPathDivergence,
+        DiagCode::FlatAccumulationMismatch,
+        DiagCode::FlatMetadataMismatch,
     ];
 
     /// The numeric part of the stable code.
@@ -287,6 +354,22 @@ impl DiagCode {
             DiagCode::EmptyFold => 132,
             DiagCode::FoldIndexOutOfRange => 133,
             DiagCode::IncompleteCoverage => 134,
+            DiagCode::FlatArenaShapeMismatch => 140,
+            DiagCode::FlatNodeKindMismatch => 141,
+            DiagCode::FlatFeatureMismatch => 142,
+            DiagCode::FlatChildOutOfRange => 143,
+            DiagCode::FlatChildMismatch => 144,
+            DiagCode::FlatCycle => 145,
+            DiagCode::FlatOrphanSlot => 146,
+            DiagCode::FlatLeafValueMismatch => 147,
+            DiagCode::FlatGridMismatch => 148,
+            DiagCode::FlatGridNotAscending => 149,
+            DiagCode::FlatThresholdOffGrid => 150,
+            DiagCode::FlatQuantizationUnsound => 151,
+            DiagCode::FlatDeadPath => 152,
+            DiagCode::FlatPathDivergence => 153,
+            DiagCode::FlatAccumulationMismatch => 154,
+            DiagCode::FlatMetadataMismatch => 155,
         }
     }
 
@@ -305,7 +388,8 @@ impl DiagCode {
             40..=49 => Pass::Encoding,
             100..=119 => Pass::Ensemble,
             120..=129 => Pass::Dataset,
-            _ => Pass::Folds,
+            130..=139 => Pass::Folds,
+            _ => Pass::Flatcheck,
         }
     }
 
@@ -389,6 +473,42 @@ impl DiagCode {
             DiagCode::IncompleteCoverage => {
                 "leave-device-out plan does not hold each device out exactly once"
             }
+            DiagCode::FlatArenaShapeMismatch => {
+                "frozen SoA arena shape inconsistent (offsets, array lengths, or tree count)"
+            }
+            DiagCode::FlatNodeKindMismatch => {
+                "slot kind (split vs leaf) disagrees with source node"
+            }
+            DiagCode::FlatFeatureMismatch => {
+                "split slot's feature disagrees with its source node or exceeds model width"
+            }
+            DiagCode::FlatChildOutOfRange => "split slot's child offset dangles outside its tree",
+            DiagCode::FlatChildMismatch => {
+                "split slot's children disagree with the source node (e.g. swapped)"
+            }
+            DiagCode::FlatCycle => "flat tree walk revisits a slot (cycle or shared subtree)",
+            DiagCode::FlatOrphanSlot => "slot inside a tree's range unreachable from its root",
+            DiagCode::FlatLeafValueMismatch => "leaf slot value differs bitwise from source weight",
+            DiagCode::FlatGridMismatch => {
+                "frozen cut grid differs bitwise from the rebuilt training grid"
+            }
+            DiagCode::FlatGridNotAscending => "frozen cut points are not strictly ascending",
+            DiagCode::FlatThresholdOffGrid => {
+                "split slot's bin does not map back to its source threshold bitwise"
+            }
+            DiagCode::FlatQuantizationUnsound => {
+                "a representable bin edge decides differently under code<=bin than value<=threshold"
+            }
+            DiagCode::FlatDeadPath => "root-to-leaf path has contradictory feature intervals",
+            DiagCode::FlatPathDivergence => {
+                "flat and recursive traversal select different leaves for a bin-grid cell"
+            }
+            DiagCode::FlatAccumulationMismatch => {
+                "frozen and recursive ensemble outputs disagree bitwise"
+            }
+            DiagCode::FlatMetadataMismatch => {
+                "frozen metadata (base score, width, tree count) disagrees with source model"
+            }
         }
     }
 }
@@ -399,7 +519,7 @@ impl fmt::Display for DiagCode {
     }
 }
 
-/// The five analyzer passes plus the three `gdcm-audit` passes.
+/// The five analyzer passes plus the four `gdcm-audit` passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Pass {
     /// Pass 1 — graph well-formedness.
@@ -418,6 +538,9 @@ pub enum Pass {
     Dataset,
     /// Audit pass 3 — fold-contamination checks (`gdcm-audit`).
     Folds,
+    /// Audit pass 4 — flatcheck: frozen-model translation validation
+    /// (`gdcm-audit`).
+    Flatcheck,
 }
 
 impl fmt::Display for Pass {
@@ -431,6 +554,7 @@ impl fmt::Display for Pass {
             Pass::Ensemble => "ensemble",
             Pass::Dataset => "dataset",
             Pass::Folds => "folds",
+            Pass::Flatcheck => "flatcheck",
         };
         write!(f, "{name}")
     }
@@ -607,6 +731,8 @@ mod tests {
         assert_eq!(DiagCode::EnsembleFeatureOutOfBounds.code(), "GDCM100");
         assert_eq!(DiagCode::NonFiniteFeature.code(), "GDCM120");
         assert_eq!(DiagCode::IncompleteCoverage.code(), "GDCM134");
+        assert_eq!(DiagCode::FlatArenaShapeMismatch.code(), "GDCM140");
+        assert_eq!(DiagCode::FlatMetadataMismatch.code(), "GDCM155");
     }
 
     #[test]
@@ -620,7 +746,9 @@ mod tests {
                 40..=49 => Pass::Encoding,
                 100..=119 => Pass::Ensemble,
                 120..=129 => Pass::Dataset,
-                _ => Pass::Folds,
+                130..=139 => Pass::Folds,
+                140..=159 => Pass::Flatcheck,
+                n => unreachable!("unmapped code number {n}"),
             };
             assert_eq!(code.pass(), expected, "{code}");
         }

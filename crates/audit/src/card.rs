@@ -6,7 +6,7 @@
 //! binary's report file and pretty-print for terminals.
 
 use gdcm_analyze::Report;
-use gdcm_ml::{GbdtRegressor, TreeNode};
+use gdcm_ml::{FrozenGbdt, GbdtRegressor, TreeNode};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -28,6 +28,15 @@ pub struct ModelCard {
     pub max_depth: usize,
     /// Rows in the training matrix the audit inspected.
     pub n_train_rows: usize,
+    /// Whether the flatcheck pass translation-validated a compiled
+    /// (frozen SoA) form of this model. Defaults to `false` so cards
+    /// written before the flatcheck pass existed still deserialize.
+    #[serde(default)]
+    pub flatchecked: bool,
+    /// Slot count of the compiled arena (0 when no frozen artifact was
+    /// audited).
+    #[serde(default)]
+    pub frozen_slots: usize,
     /// Every finding the audit produced for this model.
     pub report: Report,
 }
@@ -73,8 +82,18 @@ impl ModelCard {
             n_leaves,
             max_depth,
             n_train_rows,
+            flatchecked: false,
+            frozen_slots: 0,
             report,
         }
+    }
+
+    /// Records that the flatcheck pass ran against `frozen` (whose
+    /// findings are already part of this card's report).
+    pub fn with_frozen(mut self, frozen: &FrozenGbdt) -> Self {
+        self.flatchecked = true;
+        self.frozen_slots = frozen.n_slots();
+        self
     }
 
     /// Whether the audit found nothing at all.
@@ -97,7 +116,7 @@ impl fmt::Display for ModelCard {
         writeln!(
             f,
             "model card: {} — {} trees, {} features, {} leaves, depth {}, \
-             base score {:.6}, {} training rows",
+             base score {:.6}, {} training rows{}",
             self.subject,
             self.n_trees,
             self.n_features,
@@ -105,6 +124,11 @@ impl fmt::Display for ModelCard {
             self.max_depth,
             self.base_score,
             self.n_train_rows,
+            if self.flatchecked {
+                format!(", flatchecked ({} frozen slots)", self.frozen_slots)
+            } else {
+                String::new()
+            },
         )?;
         write!(f, "{}", self.report)
     }

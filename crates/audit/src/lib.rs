@@ -18,6 +18,10 @@
 //!   columns, duplicate rows, label outliers, scaler cross-checks.
 //! * `GDCM130`–`GDCM139` — [`folds`]: split hygiene, signature leakage,
 //!   leave-device-out coverage.
+//! * `GDCM140`–`GDCM159` — [`flatcheck`]: translation validation of
+//!   compiled (frozen SoA) models — structural bijection, symbolic
+//!   quantization soundness, path/interval consistency, and bitwise
+//!   accumulation cross-checks.
 //!
 //! The crate ships a sweep binary (`gdcm-audit`) that trains the
 //! paper's four representations on a synthetic zoo and audits every
@@ -50,6 +54,7 @@
 pub mod card;
 pub mod dataset;
 pub mod ensemble;
+pub mod flatcheck;
 pub mod folds;
 
 pub use card::ModelCard;
@@ -58,21 +63,63 @@ pub use ensemble::{
     check_ensemble, check_forest, check_importance, check_predictions, reference_forest_predict,
     reference_predict, EnsembleContext,
 };
+pub use flatcheck::{check_frozen_forest, check_frozen_gbdt, MAX_PATHS_PER_TREE};
 pub use folds::{check_folds, check_leave_device_out, check_signature, check_split};
 
 use gdcm_analyze::{DiagCode, Diagnostic, Report};
 use gdcm_core::AuditContext;
 use gdcm_ml::{BinnedMatrix, DenseMatrix, GbdtParams, GbdtRegressor};
 
-/// Upper bound on rows replayed through the reference predictor — keeps
-/// the bit-for-bit check O(1) in dataset size while still exercising
-/// every tree of the model on real training rows.
+/// Default upper bound on rows replayed through the reference
+/// predictor — keeps the bit-for-bit check O(1) in dataset size while
+/// still exercising every tree of the model on real training rows.
+/// Override per process with the `GDCM_AUDIT_PROBE` environment
+/// variable (see [`probe_rows`]).
 pub const PROBE_ROWS: usize = 256;
+
+/// Parses a `GDCM_AUDIT_PROBE` value into a probe-row budget. Accepts
+/// any positive integer (whitespace-trimmed); everything else — unset,
+/// empty, zero, negative, garbage — falls back to [`PROBE_ROWS`].
+pub fn parse_probe_rows(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(PROBE_ROWS)
+}
+
+/// The effective probe-row budget: `GDCM_AUDIT_PROBE` when set to a
+/// positive integer, [`PROBE_ROWS`] otherwise. Read once per process;
+/// the resolved value is published through gdcm-obs (gauge
+/// `audit/probe_rows` plus a one-shot event) so sweep logs record which
+/// budget produced a report.
+pub fn probe_rows() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let raw = std::env::var("GDCM_AUDIT_PROBE").ok();
+        let n = parse_probe_rows(raw.as_deref());
+        gdcm_obs::gauge("audit/probe_rows").set(n as f64);
+        gdcm_obs::event(
+            "audit/probe_rows",
+            "gdcm_audit",
+            &[
+                ("rows", gdcm_obs::FieldValue::U64(n as u64)),
+                (
+                    "source",
+                    gdcm_obs::FieldValue::Str(if raw.is_some() {
+                        "GDCM_AUDIT_PROBE".into()
+                    } else {
+                        "default".into()
+                    }),
+                ),
+            ],
+        );
+        n
+    })
+}
 
 /// Audits one trained model against the data it was fitted on:
 /// the full ensemble pass (with the threshold grid rebuilt from
 /// `x_train` when `params` is available, and a bit-for-bit reference
-/// prediction over up to [`PROBE_ROWS`] training rows) plus every
+/// prediction over up to [`probe_rows`] training rows) plus every
 /// dataset lint the given profile enables.
 ///
 /// The `label` names the audit subject in every diagnostic (the sweep
@@ -110,7 +157,7 @@ pub fn audit_trained_model(
         _ => None,
     };
     let probe = if widths_match && x_train.n_rows() > 0 {
-        let rows: Vec<usize> = (0..x_train.n_rows().min(PROBE_ROWS)).collect();
+        let rows: Vec<usize> = (0..x_train.n_rows().min(probe_rows())).collect();
         Some(x_train.select_rows(&rows))
     } else {
         None
@@ -137,8 +184,10 @@ pub fn audit_trained_model(
 /// Audits everything a pipeline training run exposes through the
 /// [`AuditContext`] gate: the freshly fitted model against its training
 /// matrix (with the [`DatasetLints::pipeline`] profile, since padded
-/// encodings make constant and duplicate columns by-design), the device
-/// split, and the signature/evaluation-network separation.
+/// encodings make constant and duplicate columns by-design), the
+/// compiled model's translation (the flatcheck pass, when the pipeline
+/// froze one), the device split, and the signature/evaluation-network
+/// separation.
 pub fn audit_pipeline_context(ctx: &AuditContext<'_>) -> Report {
     let label = format!("gbdt/{}", ctx.method);
     let mut report = audit_trained_model(
@@ -149,6 +198,17 @@ pub fn audit_pipeline_context(ctx: &AuditContext<'_>) -> Report {
         ctx.y_train,
         &DatasetLints::pipeline(),
     );
+    if let Some(frozen) = ctx.frozen {
+        let binned = (ctx.x_train.n_cols() == ctx.model.n_features() && ctx.x_train.n_rows() > 0)
+            .then(|| BinnedMatrix::from_matrix(ctx.x_train, ctx.params.max_bins));
+        check_frozen_gbdt(
+            &label,
+            ctx.model,
+            frozen,
+            binned.as_ref(),
+            &mut report.diagnostics,
+        );
+    }
     check_split(
         &label,
         ctx.train_devices,
@@ -179,4 +239,20 @@ pub fn install_pipeline_gate() -> bool {
             .map(|d| d.to_string())
             .collect()
     }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_budget_parses_positive_integers_only() {
+        assert_eq!(parse_probe_rows(None), PROBE_ROWS);
+        assert_eq!(parse_probe_rows(Some("")), PROBE_ROWS);
+        assert_eq!(parse_probe_rows(Some("0")), PROBE_ROWS);
+        assert_eq!(parse_probe_rows(Some("-4")), PROBE_ROWS);
+        assert_eq!(parse_probe_rows(Some("lots")), PROBE_ROWS);
+        assert_eq!(parse_probe_rows(Some("64")), 64);
+        assert_eq!(parse_probe_rows(Some("  1024 ")), 1024);
+    }
 }

@@ -1,9 +1,13 @@
-//! Thread-scaling microbenchmark for the `gdcm-par` hot paths.
+//! Thread-scaling microbenchmark for the `gdcm-par` hot paths, plus the
+//! compiled-inference comparison.
 //!
 //! Fits a GBDT on a synthetic matrix at 1/2/4 pool threads, times fit
 //! and batch predict (min over repetitions), checks the models are
-//! bit-identical across thread counts, and writes `BENCH_gbdt.json` at
-//! the repo root (or `$GDCM_BENCH_OUT`).
+//! bit-identical across thread counts, then fits a tree-heavy model,
+//! freezes it to the SoA arena, flatchecks the translation, and times
+//! frozen batch inference against the recursive node walker (asserting
+//! bit identity and that frozen is not slower). Writes `BENCH_gbdt.json`
+//! at the repo root (or `$GDCM_BENCH_OUT`).
 //!
 //! ```sh
 //! cargo run --release -p gdcm-bench --bin bench_gbdt
@@ -17,7 +21,7 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor, Regressor};
+use gdcm_ml::{BinnedMatrix, DenseMatrix, FrozenGbdt, GbdtParams, GbdtRegressor, Regressor};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -30,6 +34,22 @@ struct ThreadSample {
     split_search_busy_ms: f64,
 }
 
+/// Frozen (SoA, integer-compare) batch inference versus the recursive
+/// pointer-tree walker, on a tree-heavy model where traversal dominates
+/// the per-row binning cost.
+#[derive(Serialize)]
+struct FlatVsNode {
+    n_estimators: usize,
+    max_depth: usize,
+    node_predict_ms: f64,
+    flat_predict_ms: f64,
+    flat_speedup: f64,
+    node_rows_per_sec: f64,
+    flat_rows_per_sec: f64,
+    bit_identical: bool,
+    flatcheck_diagnostics: usize,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     bench: &'static str,
@@ -40,6 +60,7 @@ struct BenchReport {
     repetitions: usize,
     bit_identical_across_threads: bool,
     samples: Vec<ThreadSample>,
+    flat_vs_node: FlatVsNode,
 }
 
 fn synthetic(n_rows: usize, n_cols: usize) -> (DenseMatrix, Vec<f32>) {
@@ -128,6 +149,78 @@ fn main() {
     }
     gdcm_par::set_threads(original_threads);
 
+    // Compiled inference: freeze a tree-heavy model onto its training
+    // grid, translation-validate the frozen form, then race the frozen
+    // batch predictor against the recursive node walker on identical
+    // rows. Both run at the restored (ambient) thread budget.
+    let (fvn_estimators, fvn_depth) = if fast { (150, 6) } else { (300, 6) };
+    let fvn_params = GbdtParams {
+        n_estimators: fvn_estimators,
+        max_depth: fvn_depth,
+        ..GbdtParams::default()
+    };
+    let fvn_model = GbdtRegressor::fit(&x, &y, &fvn_params);
+    let binned = BinnedMatrix::from_matrix(&x, fvn_params.max_bins);
+    let frozen =
+        FrozenGbdt::freeze(&fvn_model, &binned).expect("fresh fit freezes on its own grid");
+    let mut flat_diags = Vec::new();
+    gdcm_audit::check_frozen_gbdt(
+        "bench/flat-vs-node",
+        &fvn_model,
+        &frozen,
+        Some(&binned),
+        &mut flat_diags,
+    );
+    assert!(
+        flat_diags.is_empty(),
+        "flatcheck flagged the bench model's frozen form: {flat_diags:?}"
+    );
+
+    let mut node_ms = f64::INFINITY;
+    let mut node_preds = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        node_preds = fvn_model.predict(&x);
+        node_ms = node_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut flat_ms = f64::INFINITY;
+    let mut flat_preds = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        flat_preds = frozen.predict(&x);
+        flat_ms = flat_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let flat_bit_identical = node_preds.len() == flat_preds.len()
+        && node_preds
+            .iter()
+            .zip(&flat_preds)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        flat_bit_identical,
+        "frozen batch inference diverged from the node walker"
+    );
+    let flat_speedup = node_ms / flat_ms;
+    eprintln!(
+        "[flat vs node] {fvn_estimators} trees depth {fvn_depth}: node {node_ms:.1} ms, \
+         flat {flat_ms:.1} ms ({flat_speedup:.2}x)"
+    );
+    assert!(
+        flat_speedup >= 1.0,
+        "frozen inference is slower than the node walker \
+         ({flat_ms:.2} ms vs {node_ms:.2} ms)"
+    );
+    let flat_vs_node = FlatVsNode {
+        n_estimators: fvn_estimators,
+        max_depth: fvn_depth,
+        node_predict_ms: node_ms,
+        flat_predict_ms: flat_ms,
+        flat_speedup,
+        node_rows_per_sec: n_rows as f64 / (node_ms / 1e3),
+        flat_rows_per_sec: n_rows as f64 / (flat_ms / 1e3),
+        bit_identical: flat_bit_identical,
+        flatcheck_diagnostics: flat_diags.len(),
+    };
+
     let report = BenchReport {
         bench: "gbdt_par_scaling",
         cpus_available: cpus,
@@ -137,6 +230,7 @@ fn main() {
         repetitions: reps,
         bit_identical_across_threads: bit_identical,
         samples,
+        flat_vs_node,
     };
     assert!(
         report.bit_identical_across_threads,
@@ -160,6 +254,8 @@ fn main() {
             .last()
             .map_or(0.0, |s| s.fit_speedup_vs_serial),
     );
+    run_report.set_metric("flat_speedup", report.flat_vs_node.flat_speedup);
+    run_report.set_metric("flat_rows_per_sec", report.flat_vs_node.flat_rows_per_sec);
     if let Err(e) = run_report.finalize_and_write() {
         eprintln!("bench_gbdt: cannot write run report: {e}");
     }

@@ -23,7 +23,7 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
-use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor};
+use gdcm_ml::{DenseMatrix, FrozenGbdt, GbdtParams, GbdtRegressor};
 
 /// Everything a post-training audit can inspect about one pipeline
 /// training run. Borrows live for the duration of the gate call only.
@@ -32,6 +32,10 @@ pub struct AuditContext<'a> {
     pub method: &'a str,
     /// The freshly fitted ensemble.
     pub model: &'a GbdtRegressor,
+    /// The compiled (frozen SoA) form of `model`, when the pipeline
+    /// produced one — auditors translation-validate it against `model`
+    /// (the flatcheck pass, `GDCM140`–`GDCM159`).
+    pub frozen: Option<&'a FrozenGbdt>,
     /// Hyper-parameters the model was fitted with.
     pub params: &'a GbdtParams,
     /// The training matrix handed to `fit`.

@@ -9,7 +9,9 @@
 //! 5. Report the coefficient of determination R² on the unseen devices.
 
 use gdcm_ml::metrics::{mape, r2_score, rmse};
-use gdcm_ml::{train_test_split, DenseMatrix, GbdtParams, GbdtRegressor, Regressor};
+use gdcm_ml::{
+    train_test_split, BinnedMatrix, DenseMatrix, FrozenGbdt, GbdtParams, GbdtRegressor, Regressor,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::CostDataset;
@@ -78,6 +80,10 @@ pub struct TrainedArtifacts {
     pub method: String,
     /// The fitted ensemble.
     pub model: GbdtRegressor,
+    /// The compiled (frozen SoA) form of `model`, quantized onto the
+    /// exact bin grid the fit trained on — the artifact serving layers
+    /// run after the flatcheck pass certifies it.
+    pub frozen: FrozenGbdt,
     /// The training matrix handed to `fit`.
     pub x_train: DenseMatrix,
     /// The fit target (log-transformed when `log_target` is set).
@@ -244,10 +250,20 @@ impl<'a> CostModelPipeline<'a> {
             let _span = gdcm_obs::span!("pipeline/train");
             GbdtRegressor::fit(&x_train, &train_target, &self.config.gbdt)
         };
+        // Compile the model for serving: rebinning is deterministic, so
+        // this grid is bitwise the one `fit` quantized against, and
+        // freezing a freshly fitted model on its own grid cannot fail.
+        let frozen = {
+            let _span = gdcm_obs::span!("pipeline/freeze");
+            let binned = BinnedMatrix::from_matrix(&x_train, self.config.gbdt.max_bins);
+            FrozenGbdt::freeze(&model, &binned)
+                .expect("freshly fitted model freezes on its own training grid")
+        };
 
         crate::gate::maybe_audit(&crate::gate::AuditContext {
             method,
             model: &model,
+            frozen: Some(&frozen),
             params: &self.config.gbdt,
             x_train: &x_train,
             y_train: &train_target,
@@ -262,6 +278,7 @@ impl<'a> CostModelPipeline<'a> {
         TrainedArtifacts {
             method: method.to_string(),
             model,
+            frozen,
             x_train,
             y_train: train_target,
             signature,
@@ -316,14 +333,16 @@ impl<'a> CostModelPipeline<'a> {
         method: &str,
     ) -> EvalReport {
         let artifacts = self.train_artifacts(repr, train_devices, test_devices, method);
-        let model = &artifacts.model;
         let (x_test, y_test) = {
             let _span = gdcm_obs::span!("pipeline/encode");
             self.build_rows(repr, test_devices, &artifacts.networks)
         };
 
         let _span = gdcm_obs::span!("pipeline/eval");
-        let mut predicted = model.predict(&x_test);
+        // Evaluation runs the compiled model — bit-identical to the
+        // pointer-tree ensemble by construction (and certified so by
+        // the flatcheck audit pass when the gate is enabled).
+        let mut predicted = artifacts.frozen.predict(&x_test);
         if self.config.log_target {
             for p in &mut predicted {
                 *p = p.exp_m1().max(0.0);

@@ -36,7 +36,7 @@
 //! [`CollaborativeRepository::fit`]).
 
 use gdcm_dnn::Network;
-use gdcm_ml::{DenseMatrix, GbdtParams, GbdtRegressor, Regressor};
+use gdcm_ml::{BinnedMatrix, DenseMatrix, FrozenGbdt, GbdtParams, GbdtRegressor, Regressor};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -165,6 +165,12 @@ pub struct RepositoryParts {
     pub y: Vec<f32>,
     /// The fitted model, when `fit` has succeeded.
     pub model: Option<GbdtRegressor>,
+    /// The compiled (frozen SoA) form of `model`. Defaults to `None`
+    /// when absent so pre-freeze snapshots still deserialize;
+    /// [`CollaborativeRepository::from_parts`] recompiles it from the
+    /// training rows in that case.
+    #[serde(default)]
+    pub frozen: Option<FrozenGbdt>,
 }
 
 /// A growing, refittable collaborative cost-model repository.
@@ -182,6 +188,10 @@ pub struct CollaborativeRepository {
     x_rows: Vec<Vec<f32>>,
     y: Vec<f32>,
     model: Option<GbdtRegressor>,
+    /// Compiled form of `model`, refreshed by every successful `fit` —
+    /// the prediction paths run this; `model` is kept as the reference
+    /// for auditing.
+    frozen: Option<FrozenGbdt>,
 }
 
 impl CollaborativeRepository {
@@ -202,6 +212,7 @@ impl CollaborativeRepository {
             x_rows: Vec::new(),
             y: Vec::new(),
             model: None,
+            frozen: None,
         }
     }
 
@@ -318,7 +329,16 @@ impl CollaborativeRepository {
             });
         }
         let x = DenseMatrix::from_rows(&self.x_rows);
-        self.model = Some(GbdtRegressor::fit(&x, &self.y, &self.config.gbdt));
+        let model = GbdtRegressor::fit(&x, &self.y, &self.config.gbdt);
+        // Compile for the prediction paths. Rebinning is deterministic,
+        // so the grid is bitwise the one `fit` trained on and freezing a
+        // fresh model on it cannot fail.
+        let binned = BinnedMatrix::from_matrix(&x, self.config.gbdt.max_bins);
+        self.frozen = Some(
+            FrozenGbdt::freeze(&model, &binned)
+                .expect("freshly fitted model freezes on its own training grid"),
+        );
+        self.model = Some(model);
         Ok(())
     }
 
@@ -356,10 +376,10 @@ impl CollaborativeRepository {
         hw: &[f32],
         network: &Network,
     ) -> Result<f64, RepositoryError> {
-        let model = self.model.as_ref().ok_or(RepositoryError::NotFitted)?;
+        let frozen = self.frozen.as_ref().ok_or(RepositoryError::NotFitted)?;
         let mut row = self.encoder.encode(network);
         row.extend_from_slice(hw);
-        Ok(model.predict_row(&row) as f64)
+        Ok(frozen.predict_row(&row) as f64)
     }
 
     /// Predicts the latency (ms) of many pre-built feature rows at once
@@ -374,8 +394,8 @@ impl CollaborativeRepository {
     /// Returns [`RepositoryError::NotFitted`] before the first
     /// successful fit.
     pub fn predict_rows(&self, rows: &DenseMatrix) -> Result<Vec<f64>, RepositoryError> {
-        let model = self.model.as_ref().ok_or(RepositoryError::NotFitted)?;
-        Ok(model.predict(rows).into_iter().map(f64::from).collect())
+        let frozen = self.frozen.as_ref().ok_or(RepositoryError::NotFitted)?;
+        Ok(frozen.predict(rows).into_iter().map(f64::from).collect())
     }
 
     /// Number of enrolled devices.
@@ -425,6 +445,14 @@ impl CollaborativeRepository {
         self.model.as_ref()
     }
 
+    /// The compiled (frozen SoA) form of the fitted model, when
+    /// available. Present exactly when [`CollaborativeRepository::model`]
+    /// is — every prediction path runs this artifact; auditors
+    /// translation-validate it against the pointer-tree model.
+    pub fn frozen_model(&self) -> Option<&FrozenGbdt> {
+        self.frozen.as_ref()
+    }
+
     /// The accumulated training rows and labels (for auditing).
     pub fn training_data(&self) -> (&[Vec<f32>], &[f32]) {
         (&self.x_rows, &self.y)
@@ -447,6 +475,7 @@ impl CollaborativeRepository {
             x_rows: self.x_rows.clone(),
             y: self.y.clone(),
             model: self.model.clone(),
+            frozen: self.frozen.clone(),
         }
     }
 
@@ -519,6 +548,39 @@ impl CollaborativeRepository {
                 )));
             }
         }
+        let frozen = match (&parts.model, parts.frozen) {
+            (None, None) => None,
+            (None, Some(_)) => {
+                return Err(corrupt(
+                    "frozen model present without its source model".into(),
+                ));
+            }
+            // Pre-freeze snapshot: recompile from the stored rows, on the
+            // same deterministic grid `fit` would build. Deep equivalence
+            // checking (the flatcheck pass) is the snapshot loader's job;
+            // here a failed freeze means the model cannot have come from
+            // these rows.
+            (Some(model), None) => {
+                let x = DenseMatrix::from_rows(&parts.x_rows);
+                let binned = BinnedMatrix::from_matrix(&x, parts.config.gbdt.max_bins);
+                Some(FrozenGbdt::freeze(model, &binned).map_err(|e| {
+                    corrupt(format!("stored model does not recompile on its rows: {e}"))
+                })?)
+            }
+            // Structural width parity only — deep equivalence between
+            // the pair (bijection, quantization, accumulation) is the
+            // flatcheck audit pass's domain, and the snapshot loader
+            // runs it before serving.
+            (Some(_), Some(frozen)) => {
+                if frozen.n_features() != width {
+                    return Err(corrupt(format!(
+                        "frozen model expects {} features but rows have {width}",
+                        frozen.n_features()
+                    )));
+                }
+                Some(frozen)
+            }
+        };
         Ok(Self {
             encoder: parts.encoder,
             signature_size: parts.signature_size,
@@ -528,6 +590,7 @@ impl CollaborativeRepository {
             x_rows: parts.x_rows,
             y: parts.y,
             model: parts.model,
+            frozen,
         })
     }
 }

@@ -58,7 +58,7 @@ impl BinnedMatrix {
             constant.push(feature_cuts.is_empty());
             let col = &mut codes[f * n_rows..(f + 1) * n_rows];
             for (r, &v) in values.iter().enumerate() {
-                col[r] = code_for(&feature_cuts, v);
+                col[r] = bin_code(&feature_cuts, v);
             }
             cuts.push(feature_cuts);
         }
@@ -111,6 +111,17 @@ impl BinnedMatrix {
     pub fn threshold(&self, f: usize, bin: u8) -> f32 {
         self.cuts[f][bin as usize]
     }
+
+    /// The ascending cut points of feature `f` (empty for constant
+    /// features). Code `i` means `value <= cuts[i]` for `i < cuts.len()`
+    /// and `value > cuts.last()` for the final code.
+    ///
+    /// Exposed so frozen models ([`crate::FrozenGbdt`]) can carry the
+    /// exact training grid and so the flatcheck auditor can compare a
+    /// frozen grid bitwise against a deterministic rebuild.
+    pub fn cuts(&self, f: usize) -> &[f32] {
+        &self.cuts[f]
+    }
 }
 
 /// Ascending, deduplicated cut points at (approximately) uniform quantiles.
@@ -146,7 +157,13 @@ fn quantile_cuts(values: &[f32], max_bins: usize) -> Vec<f32> {
 
 /// Bin code for `v` given ascending cut points: the number of cuts
 /// strictly below `v` (i.e. `v <= cuts[code]` when `code < cuts.len()`).
-fn code_for(cuts: &[f32], v: f32) -> u8 {
+///
+/// This is **the** quantizer: training ([`BinnedMatrix::from_matrix`]),
+/// frozen-model inference ([`crate::FrozenGbdt`]), and the flatcheck
+/// auditor all call this exact function, so the soundness argument
+/// "`bin_code(cuts, v) <= b  ⟺  v <= cuts[b]` for strictly ascending
+/// cuts" covers every consumer at once.
+pub fn bin_code(cuts: &[f32], v: f32) -> u8 {
     let mut lo = 0usize;
     let mut hi = cuts.len();
     while lo < hi {
@@ -211,7 +228,7 @@ mod tests {
     }
 
     #[test]
-    fn code_for_binary_search_matches_linear() {
+    fn bin_code_binary_search_matches_linear() {
         let cuts = vec![1.0, 3.0, 7.0];
         for (v, want) in [
             (0.5, 0),
@@ -222,7 +239,7 @@ mod tests {
             (7.0, 2),
             (9.0, 3),
         ] {
-            assert_eq!(code_for(&cuts, v), want, "v={v}");
+            assert_eq!(bin_code(&cuts, v), want, "v={v}");
         }
     }
 

@@ -12,6 +12,13 @@ use crate::dataset::DenseMatrix;
 use crate::tree::{Tree, TreeParams};
 use crate::Regressor;
 
+/// Histogram bin budget used by [`RandomForestRegressor::fit`].
+///
+/// Public so callers that need the forest's split grid (freezing via
+/// [`crate::FrozenForest::freeze`], the flatcheck auditor) can rebuild
+/// the exact `BinnedMatrix` the fit quantized against.
+pub const FOREST_BINS: usize = 64;
+
 /// Bagged ensemble of deep regression trees with per-tree feature
 /// subsampling.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,7 +40,7 @@ impl RandomForestRegressor {
         assert!(n_trees >= 1, "need at least one tree");
 
         let n = x.n_rows();
-        let binned = BinnedMatrix::from_matrix(x, 64);
+        let binned = BinnedMatrix::from_matrix(x, FOREST_BINS);
         // Forest trees fit targets directly: g = -y, h = 1, λ = 0 makes
         // every leaf the mean of its targets.
         let grad: Vec<f64> = y.iter().map(|&v| -(v as f64)).collect();

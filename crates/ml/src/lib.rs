@@ -5,6 +5,9 @@
 //!
 //! * [`gbdt`] — histogram-based gradient-boosted regression trees with
 //!   XGBoost-style second-order gains (the paper's regressor of choice).
+//! * [`frozen`] — compiled SoA inference: ensembles flattened to
+//!   contiguous arrays with thresholds quantized onto the training bin
+//!   grid, bit-identical to the pointer-tree predictors.
 //! * [`forest`], [`knn`], [`linear`], [`mlp`] — the baseline regressors the
 //!   paper compared against.
 //! * [`metrics`] — R², RMSE, MAE, MAPE, Pearson and Spearman correlation.
@@ -20,6 +23,7 @@
 mod binning;
 mod dataset;
 pub mod forest;
+pub mod frozen;
 pub mod gbdt;
 pub mod kmeans;
 pub mod knn;
@@ -31,9 +35,10 @@ mod scaler;
 mod split;
 mod tree;
 
-pub use binning::{BinnedMatrix, MAX_BINS};
+pub use binning::{bin_code, BinnedMatrix, MAX_BINS};
 pub use dataset::DenseMatrix;
-pub use forest::RandomForestRegressor;
+pub use forest::{RandomForestRegressor, FOREST_BINS};
+pub use frozen::{FreezeError, FrozenForest, FrozenGbdt, FrozenNodes, FROZEN_LEAF};
 pub use gbdt::{GbdtParams, GbdtRegressor};
 pub use kmeans::{KMeans, KMeansResult};
 pub use knn::KnnRegressor;

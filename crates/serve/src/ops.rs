@@ -37,6 +37,10 @@ pub struct HealthReply {
     pub uptime_s: f64,
     /// Whether a fitted model is serving.
     pub fitted: bool,
+    /// Whether the serving model is a compiled (frozen SoA) artifact —
+    /// true for every fit this build performs and every snapshot it
+    /// accepts, since loading translation-validates the frozen model.
+    pub frozen: bool,
     /// Enrolled devices.
     pub devices: usize,
     /// Contributed training rows.
@@ -236,6 +240,7 @@ fn health_reply(shared: &ServerShared<'_>) -> HealthReply {
         },
         uptime_s: shared.started.elapsed().as_secs_f64(),
         fitted: shared.serving.is_fitted(),
+        frozen: shared.serving.is_frozen(),
         devices: shared.serving.n_devices(),
         rows: shared.serving.n_rows(),
         requests_total: shared.requests.load(Ordering::SeqCst),

@@ -390,6 +390,14 @@ impl ServingRepository {
         self.repo.read().is_fitted()
     }
 
+    /// Whether a compiled (frozen SoA) model backs the prediction
+    /// paths. True exactly when [`ServingRepository::is_fitted`] is:
+    /// every successful fit — and every accepted snapshot — carries the
+    /// translation-validated frozen artifact.
+    pub fn is_frozen(&self) -> bool {
+        self.repo.read().frozen_model().is_some()
+    }
+
     /// Names of enrolled devices, sorted.
     pub fn device_names(&self) -> Vec<String> {
         self.repo

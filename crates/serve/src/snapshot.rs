@@ -13,14 +13,16 @@
 //!    structural invariant (row widths, finite features, signature
 //!    consistency, latency validity).
 //! 2. When the snapshot carries a fitted model, the `gdcm-audit`
-//!    ensemble + dataset passes run against the stored training data;
-//!    any *error*-severity diagnostic rejects the snapshot
+//!    ensemble + dataset passes run against the stored training data,
+//!    and the flatcheck pass translation-validates the compiled
+//!    (frozen) model the prediction paths will actually run; any
+//!    *error*-severity diagnostic rejects the snapshot
 //!    ([`crate::ServeError::AuditRejected`]). Warnings are logged
 //!    through `gdcm-obs` but do not block serving.
 
 use gdcm_audit::DatasetLints;
 use gdcm_core::{CollaborativeRepository, RepositoryParts};
-use gdcm_ml::DenseMatrix;
+use gdcm_ml::{BinnedMatrix, DenseMatrix};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -86,7 +88,8 @@ impl RepositorySnapshot {
 }
 
 /// Runs the `gdcm-audit` ensemble + dataset passes over a repository's
-/// fitted model and training data. Error-severity findings reject the
+/// fitted model and training data, then the flatcheck pass over its
+/// compiled (frozen) model. Error-severity findings reject the
 /// repository; warnings are re-emitted as `gdcm-obs` events.
 ///
 /// An unfitted repository (no model yet) has no ensemble to audit and
@@ -100,7 +103,7 @@ fn audit_repository(repo: &CollaborativeRepository) -> Result<(), ServeError> {
     let x = DenseMatrix::from_rows(x_rows);
     // The pipeline lint profile: padded layer-wise encodings make
     // constant and duplicate columns by design.
-    let report = gdcm_audit::audit_trained_model(
+    let mut report = gdcm_audit::audit_trained_model(
         "serve/snapshot",
         model,
         Some(&repo.config().gbdt),
@@ -108,6 +111,20 @@ fn audit_repository(repo: &CollaborativeRepository) -> Result<(), ServeError> {
         y,
         &DatasetLints::pipeline(),
     );
+    // Every prediction the repository serves runs the frozen model, so
+    // a snapshot is only accepted once that exact artifact is certified
+    // equivalent to the pointer-tree model it claims to compile.
+    if let Some(frozen) = repo.frozen_model() {
+        let binned = (x.n_cols() == model.n_features() && x.n_rows() > 0)
+            .then(|| BinnedMatrix::from_matrix(&x, repo.config().gbdt.max_bins));
+        gdcm_audit::check_frozen_gbdt(
+            "serve/snapshot",
+            model,
+            frozen,
+            binned.as_ref(),
+            &mut report.diagnostics,
+        );
+    }
     if report.error_count() > 0 {
         gdcm_obs::counter("serve/snapshots_rejected").incr();
         return Err(ServeError::AuditRejected {

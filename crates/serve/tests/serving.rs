@@ -6,7 +6,7 @@
 use gdcm_core::signature::{MutualInfoSelector, SignatureSelector};
 use gdcm_core::{CollaborativeRepository, CostDataset, RepositoryConfig};
 use gdcm_dnn::Network;
-use gdcm_ml::{GbdtParams, GbdtRegressor, Tree, TreeNode};
+use gdcm_ml::{FrozenGbdt, FrozenNodes, GbdtParams, GbdtRegressor, Tree, TreeNode};
 use gdcm_serve::{
     load_repository, save_repository, RepositorySnapshot, ServeConfig, ServeError,
     ServingRepository, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
@@ -171,12 +171,54 @@ fn unfitted_snapshot_round_trips_too() {
     let (repo, _) = fitted_repository(15);
     let mut parts = repo.to_parts();
     parts.model = None;
+    parts.frozen = None;
     let unfitted = CollaborativeRepository::from_parts(parts).unwrap();
     let path = scratch_path("unfitted.json");
     save_repository(&unfitted, &path).unwrap();
     let loaded = load_repository(&path).unwrap();
     assert!(!loaded.is_fitted());
     assert_eq!(loaded.n_rows(), repo.n_rows());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flatcheck_rejects_snapshot_with_tampered_frozen_model() {
+    let (repo, _) = fitted_repository(19);
+    let mut parts = repo.to_parts();
+    // Flip one frozen leaf's low mantissa bit. The arena shape, grid,
+    // and metadata all still match the stored model, so structural
+    // `from_parts` validation passes — only the flatcheck translation
+    // validator can see that the compiled artifact no longer computes
+    // the model it claims to.
+    let (base, width, cuts, nodes) = parts.frozen.take().unwrap().into_raw_parts();
+    let (starts, feature, bin, left, right, mut leaf) = nodes.into_raw_parts();
+    let victim = leaf
+        .iter()
+        .position(|v| *v != 0.0)
+        .expect("a fitted ensemble has non-zero leaves");
+    leaf[victim] = f32::from_bits(leaf[victim].to_bits() ^ 1);
+    parts.frozen = Some(FrozenGbdt::from_raw_parts(
+        base,
+        width,
+        cuts,
+        FrozenNodes::from_raw_parts(starts, feature, bin, left, right, leaf),
+    ));
+    let snapshot = RepositorySnapshot {
+        format: SNAPSHOT_FORMAT.to_string(),
+        version: SNAPSHOT_VERSION,
+        parts,
+    };
+    let path = scratch_path("tampered_frozen.json");
+    std::fs::write(&path, serde_json::to_string(&snapshot).unwrap()).unwrap();
+    match load_repository(&path) {
+        Err(ServeError::AuditRejected { diagnostics }) => {
+            assert!(
+                diagnostics.iter().any(|d| d.contains("GDCM147")),
+                "expected a flat leaf-value finding, got: {diagnostics:?}"
+            );
+        }
+        other => panic!("tampered frozen model accepted: {other:?}"),
+    }
     std::fs::remove_file(&path).ok();
 }
 
