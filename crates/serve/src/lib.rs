@@ -19,10 +19,13 @@
 //!   [`gdcm_ml::GbdtRegressor`]). Loading replays `gdcm-core` ingestion
 //!   validation **and** the `gdcm-audit` ensemble + dataset passes, so a
 //!   corrupted or poisoned snapshot is rejected before it can serve.
-//! * [`server`] — a newline-delimited-JSON TCP server
-//!   (`std::net::TcpListener`, safe Rust only) with worker threads sized
-//!   by the `gdcm-par` budget, per-request latency histograms, queue
-//!   depth gauges, and graceful drain-then-exit shutdown.
+//! * [`server`] — a dual-protocol TCP server (`std::net::TcpListener`,
+//!   safe Rust only): a non-blocking event loop sharded by the
+//!   `gdcm-par` budget serves the legacy newline-JSON protocol and the
+//!   length-prefixed, pipelined binary protocol
+//!   ([`protocol::wire`]) on one listener, with per-request latency
+//!   histograms, open-connection gauges, and graceful drain-then-exit
+//!   shutdown.
 //!
 //! Environment knobs: `GDCM_SERVE_ENC_CACHE` / `GDCM_SERVE_PRED_CACHE`
 //! (cache capacities in entries, 0 disables), `GDCM_THREADS` (worker
@@ -40,7 +43,7 @@ pub mod server;
 pub mod serving;
 pub mod snapshot;
 
-pub use client::{Client, OpsClient};
+pub use client::{BinClient, Client, OpsClient};
 pub use lru::LruCache;
 pub use protocol::{Request, RequestEnvelope, Response, ResponseEnvelope};
 pub use server::{serve, serve_with_ops, ServerConfig, ServerSummary};
@@ -62,6 +65,8 @@ pub enum ServeError {
     Io(std::io::Error),
     /// (De)serialization failed.
     Json(String),
+    /// Binary wire (de)serialization or framing failed client-side.
+    Wire(String),
     /// The snapshot envelope is not one this build can read.
     BadSnapshot {
         /// What was wrong with the envelope.
@@ -97,6 +102,7 @@ impl ServeError {
             },
             ServeError::Io(_) => codes::IO,
             ServeError::Json(_) => codes::JSON,
+            ServeError::Wire(_) => codes::WIRE,
             ServeError::BadSnapshot { .. } => codes::BAD_SNAPSHOT,
             ServeError::AuditRejected { .. } => codes::AUDIT_REJECTED,
         }
@@ -109,6 +115,7 @@ impl fmt::Display for ServeError {
             ServeError::Repository(e) => write!(f, "repository: {e}"),
             ServeError::Io(e) => write!(f, "io: {e}"),
             ServeError::Json(e) => write!(f, "json: {e}"),
+            ServeError::Wire(e) => write!(f, "wire: {e}"),
             ServeError::BadSnapshot { reason } => write!(f, "bad snapshot: {reason}"),
             ServeError::AuditRejected { diagnostics } => write!(
                 f,
@@ -131,5 +138,11 @@ impl From<RepositoryError> for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<protocol::wire::WireError> for ServeError {
+    fn from(e: protocol::wire::WireError) -> Self {
+        ServeError::Wire(e.to_string())
     }
 }

@@ -22,7 +22,9 @@
 //!   batch / cached re-predict / stats), asserts every prediction is
 //!   bit-identical to the local uncached path — with every prediction
 //!   wrapped in a trace envelope whose u64 id must echo back unchanged
-//!   on success *and* error responses — then asks the server to shut
+//!   on success *and* error responses — then re-runs the predictions
+//!   over the binary wire protocol (sequential and pipelined, asserting
+//!   frame-id echo and the same bits) before asking the server to shut
 //!   down. With `--ops` it additionally drives the ops endpoint,
 //!   asserts the windowed metrics saw its own load, and writes the
 //!   `metrics` snapshot to `--ops-out` (default
@@ -43,7 +45,8 @@ use gdcm_gen::{benchmark_suite_with, SearchSpace};
 use gdcm_ml::GbdtParams;
 use gdcm_serve::protocol::{codes, Request, Response};
 use gdcm_serve::{
-    serve, serve_with_ops, Client, OpsClient, ServeConfig, ServerConfig, ServingRepository,
+    serve, serve_with_ops, BinClient, Client, OpsClient, ServeConfig, ServerConfig,
+    ServingRepository,
 };
 
 const USAGE: &str = "usage:
@@ -338,6 +341,10 @@ fn probe_mode(args: &Args, addr: &str, snapshot: &Path) -> Result<(), String> {
         other => return Err(format!("stats answered {other:?}")),
     }
 
+    // The binary protocol on the same listener: sequential, pipelined,
+    // and error paths must all answer the exact bits of the local path.
+    probe_binary(addr, device, &probe_nets, &expected)?;
+
     // With an ops endpoint to talk to, verify the server's telemetry
     // actually saw the load this probe just generated.
     if let Some(ops_addr) = &args.ops {
@@ -349,10 +356,88 @@ fn probe_mode(args: &Args, addr: &str, snapshot: &Path) -> Result<(), String> {
         other => return Err(format!("shutdown answered {other:?}")),
     }
     println!(
-        "probe OK: ping, {} traced predictions, traced error echo, batch, cache hit, stats{}, shutdown",
+        "probe OK: ping, {} traced predictions, traced error echo, batch, cache hit, stats, binary ping/predict/pipeline/error{}, shutdown",
         probe_nets.len(),
         if args.ops.is_some() { ", ops" } else { "" }
     );
+    Ok(())
+}
+
+/// Drives the binary protocol against the same listener: framed ids
+/// must echo exactly (including u64 extremes), sequential and pipelined
+/// predictions must both match the local path bit for bit, and errors
+/// must answer in-band with stable codes.
+fn probe_binary(
+    addr: &str,
+    device: &str,
+    probe_nets: &[gdcm_dnn::Network],
+    expected: &[f64],
+) -> Result<(), String> {
+    let mut bin = BinClient::connect_with_retry(addr, Duration::from_secs(30))
+        .map_err(|e| format!("binary connect {addr}: {e}"))?;
+    match bin.request(&Request::Ping).map_err(|e| e.to_string())? {
+        Response::Pong => {}
+        other => return Err(format!("binary ping answered {other:?}")),
+    }
+
+    // Sequential predictions, checking each frame's id echo by hand.
+    for (net, want) in probe_nets.iter().zip(expected) {
+        let id = bin
+            .send(&Request::Predict {
+                device: device.to_string(),
+                network: net.clone(),
+            })
+            .map_err(|e| e.to_string())?;
+        let (echoed, resp) = bin.recv().map_err(|e| e.to_string())?;
+        if echoed != id {
+            return Err(format!("binary response tagged id {echoed}, wanted {id}"));
+        }
+        match resp {
+            Response::Prediction { latency_ms } if latency_ms.to_bits() == want.to_bits() => {}
+            other => return Err(format!("binary predict mismatch: {other:?} vs {want}")),
+        }
+    }
+
+    // The full set pipelined: same bits, matched by id.
+    let requests: Vec<Request> = probe_nets
+        .iter()
+        .map(|net| Request::Predict {
+            device: device.to_string(),
+            network: net.clone(),
+        })
+        .collect();
+    let responses = bin.pipeline(&requests, 4).map_err(|e| e.to_string())?;
+    for (resp, want) in responses.iter().zip(expected) {
+        match resp {
+            Response::Prediction { latency_ms } if latency_ms.to_bits() == want.to_bits() => {}
+            other => {
+                return Err(format!(
+                    "binary pipelined predict mismatch: {other:?} vs {want}"
+                ))
+            }
+        }
+    }
+
+    // Errors stay in-band with stable codes, connection intact.
+    match bin
+        .request(&Request::Predict {
+            device: "no-such-device".to_string(),
+            network: probe_nets[0].clone(),
+        })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Error { ref code, .. } if code == codes::UNKNOWN_DEVICE => {}
+        other => {
+            return Err(format!(
+                "binary unknown-device probe answered {other:?}, wanted code {:?}",
+                codes::UNKNOWN_DEVICE
+            ))
+        }
+    }
+    match bin.request(&Request::Ping).map_err(|e| e.to_string())? {
+        Response::Pong => {}
+        other => return Err(format!("binary post-error ping answered {other:?}")),
+    }
     Ok(())
 }
 

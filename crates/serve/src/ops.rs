@@ -51,8 +51,11 @@ pub struct HealthReply {
     pub errors_total: u64,
     /// Connections accepted since startup.
     pub connections_total: u64,
-    /// Connection worker threads.
+    /// Event-loop shards sweeping connections.
     pub workers: usize,
+    /// Wire protocols the serving listener speaks, by stable name
+    /// (`newline-json`, `binary-v1`).
+    pub protocols: Vec<String>,
 }
 
 /// One cache's view over the metrics window.
@@ -247,6 +250,10 @@ fn health_reply(shared: &ServerShared<'_>) -> HealthReply {
         errors_total: shared.request_errors.load(Ordering::SeqCst),
         connections_total: shared.connections.load(Ordering::SeqCst),
         workers: shared.workers,
+        protocols: vec![
+            crate::protocol::PROTOCOL_NEWLINE_JSON.to_string(),
+            crate::protocol::PROTOCOL_BINARY_V1.to_string(),
+        ],
     }
 }
 

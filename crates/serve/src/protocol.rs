@@ -11,6 +11,19 @@
 //! each before reading the next. `Shutdown` asks the whole server to
 //! drain and exit (every worker finishes its current connection first).
 //!
+//! ## Two encodings, one data model
+//!
+//! This module defines the *types*; two wire encodings carry them:
+//!
+//! * **newline-JSON** (`newline-json`) — the original protocol
+//!   described above, kept forever for probes, ops tooling, and old
+//!   clients. The sections below document it.
+//! * **binary v1** (`binary-v1`) — the length-prefixed, pipelined
+//!   framing in [`wire`], selected per connection by an 8-byte
+//!   preamble the server sniffs on the same listener. Same `Request` /
+//!   `Response` enums, same error [`codes`], bit-identical payload
+//!   values — only the bytes differ.
+//!
 //! ## Trace propagation
 //!
 //! A client may wrap any request in a [`RequestEnvelope`] carrying a
@@ -24,6 +37,15 @@
 
 use gdcm_dnn::Network;
 use serde::{Deserialize, Serialize};
+
+pub mod wire;
+
+/// Stable name of the legacy newline-JSON encoding, as reported by the
+/// ops `health` verb.
+pub const PROTOCOL_NEWLINE_JSON: &str = "newline-json";
+
+/// Stable name of the length-prefixed binary encoding (see [`wire`]).
+pub const PROTOCOL_BINARY_V1: &str = "binary-v1";
 
 /// A client request, one per line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -163,6 +185,15 @@ pub mod codes {
     pub const AUDIT_REJECTED: &str = "audit_rejected";
     /// An error variant this build does not classify further.
     pub const INTERNAL: &str = "internal";
+    /// A binary frame declared a payload above the protocol cap; the
+    /// error is sent before any allocation and the connection closes,
+    /// since framing can no longer be trusted.
+    pub const FRAME_TOO_LARGE: &str = "frame_too_large";
+    /// The binary preamble asked for a protocol version this build
+    /// does not speak; answered as a v1-framed error, then close.
+    pub const UNSUPPORTED_PROTOCOL: &str = "unsupported_protocol";
+    /// Client-side binary wire (de)serialization failed.
+    pub const WIRE: &str = "wire_error";
 }
 
 /// A request wrapped with client-side telemetry identity. Opt-in: the

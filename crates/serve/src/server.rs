@@ -1,24 +1,49 @@
-//! The TCP server: accept loop, worker pool, graceful shutdown.
+//! The TCP server: a non-blocking readiness loop with per-connection
+//! state machines, dual-protocol framing, and graceful shutdown.
 //!
-//! Safe Rust only, on `std::net`. The accept loop runs on the calling
-//! thread and feeds accepted connections through an `mpsc` channel to
-//! worker threads sized by the `gdcm-par` budget (`GDCM_THREADS`):
+//! Safe Rust only, on `std::net`. There is no `poll(2)` in safe std, so
+//! readiness is emulated the portable way: every socket is switched to
+//! non-blocking mode and a small set of event-loop *shards* sweeps its
+//! connections — read until `WouldBlock`, process every complete
+//! request buffered so far, flush until `WouldBlock` — backing off to
+//! `yield_now` and then `park_timeout` only when a full sweep makes no
+//! progress. The accept loop runs shard 0 on the calling thread; the
+//! `gdcm-par` budget (`GDCM_THREADS`) sizes additional shard threads,
+//! with accepted connections dealt round-robin:
 //!
-//! * budget 1 — no workers are spawned; connections are handled inline
-//!   by the accept loop, the exact serial path (mirroring `gdcm-par`'s
-//!   own serial short-circuit).
-//! * budget N>1 — N workers pull connections from the shared channel.
+//! * budget 1 — one shard, on the accept thread: the exact serial
+//!   path (mirroring `gdcm-par`'s own serial short-circuit).
+//! * budget N>1 — N shards; each connection lives on one shard for its
+//!   whole life, so request handling needs no cross-thread locking and
+//!   `reqtrace`'s thread-local spans stay coherent.
 //!
-//! Shutdown is the SIGTERM-equivalent *channel close*: a `Shutdown`
-//! request flips the shared stop flag and pokes the listener with a
-//! wake-up connection; the accept loop exits and drops the sender, the
-//! channel closes, and each worker drains what was already queued before
-//! returning. Nothing is aborted mid-request.
+//! ## Two protocols, one listener
+//!
+//! The first byte of each connection selects its protocol
+//! ([`crate::protocol::wire`] documents the framing):
+//!
+//! * `0x00` — the binary preamble; the connection speaks length-
+//!   prefixed binary frames and may *pipeline*: any number of requests
+//!   in flight, each response tagged with its request id. Requests on
+//!   one connection are processed in order, so response *values* are
+//!   bit-identical to sending the same requests sequentially.
+//! * anything else — the legacy newline-JSON protocol, byte-for-byte
+//!   compatible with every old client. Its per-connection read buffer
+//!   and the shard's serialize buffer are reused across requests
+//!   instead of allocating per line.
+//!
+//! ## Shutdown
+//!
+//! `Shutdown` is still the SIGTERM-equivalent drain: the stop flag
+//! flips, the accept loop stops accepting and closes the shard
+//! channels, and every shard keeps sweeping until its remaining
+//! connections disconnect. Nothing is aborted mid-request and every
+//! buffered response is flushed.
 //!
 //! Instrumentation: `serve/requests` / `serve/request_errors` counters,
-//! a `serve/request_ms` latency histogram, and a `serve/queue_depth`
-//! gauge updated on every enqueue/dequeue — always on (registry writes,
-//! not event emission).
+//! a `serve/request_ms` latency histogram, and a
+//! `serve/open_connections` gauge — always on (registry writes, not
+//! event emission).
 //!
 //! Live telemetry is opt-in via [`serve_with_ops`]: handing the server
 //! a second listener starts the [`crate::ops`] endpoint and turns on
@@ -28,14 +53,19 @@
 //! Without an ops listener none of that code runs: the request loop
 //! checks one plain `bool` and the hot path stays byte-for-byte the
 //! uninstrumented one (`bench_serve` asserts the enabled cost too).
+//! In the event-driven loop the `read` stage spans from the previous
+//! request's completion to this request's dispatch (client idle time
+//! included, as before), and the `write` stage measures enqueue into
+//! the connection's output buffer — the socket write itself is batched
+//! across pipelined responses.
 
-use parking_lot::Mutex;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver};
-use std::time::Instant;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::time::{Duration, Instant};
 
+use crate::protocol::wire;
 use crate::protocol::{
     codes, request_label, Request, RequestEnvelope, Response, ResponseEnvelope, TraceIdProbe,
 };
@@ -44,8 +74,8 @@ use crate::serving::{CacheStats, ServingRepository};
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Connection worker threads. 1 handles connections inline on the
-    /// accept thread. Defaults to the `gdcm-par` thread budget.
+    /// Event-loop shards. 1 sweeps every connection on the accept
+    /// thread. Defaults to the `gdcm-par` thread budget.
     pub workers: usize,
 }
 
@@ -71,12 +101,11 @@ pub struct ServerSummary {
 /// Shared per-server state (also read by the [`crate::ops`] endpoint).
 pub(crate) struct ServerShared<'a> {
     pub(crate) serving: &'a ServingRepository,
-    addr: SocketAddr,
     pub(crate) stop: AtomicBool,
     pub(crate) requests: AtomicU64,
     pub(crate) request_errors: AtomicU64,
     pub(crate) connections: AtomicU64,
-    queue_depth: AtomicI64,
+    open_connections: AtomicI64,
     /// Whether per-request telemetry (traces, windowed metrics, slow
     /// log) records. True exactly when an ops listener is attached.
     pub(crate) telemetry: bool,
@@ -91,15 +120,14 @@ pub(crate) struct ServerShared<'a> {
 }
 
 impl ServerShared<'_> {
-    /// Flags shutdown and pokes the accept loop awake with a throwaway
-    /// connection so it observes the flag without waiting for traffic.
+    /// Flags shutdown; the non-blocking accept loop observes it within
+    /// one park interval without needing a wake-up connection.
     fn trigger_shutdown(&self) {
-        if !self.stop.swap(true, Ordering::SeqCst) {
-            let _ = TcpStream::connect(self.addr);
-        }
+        self.stop.store(true, Ordering::SeqCst);
     }
 
-    /// Same wake-up trick for the ops accept loop.
+    /// The ops accept loop *does* block, so it still gets the classic
+    /// wake-up-connection poke.
     fn trigger_ops_shutdown(&self) {
         if let Some(addr) = self.ops_addr {
             if !self.ops_stop.swap(true, Ordering::SeqCst) {
@@ -107,7 +135,29 @@ impl ServerShared<'_> {
             }
         }
     }
+
+    fn track_open(&self, delta: i64) {
+        let open = self.open_connections.fetch_add(delta, Ordering::SeqCst) + delta;
+        gdcm_obs::gauge("serve/open_connections").set(open as f64);
+    }
 }
+
+/// Bytes read from a socket per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+/// Bytes read from one connection per sweep before yielding to its
+/// shard neighbours.
+const READ_BURST: usize = 256 * 1024;
+/// Unprocessed input cap per connection; a legacy line (or frame
+/// backlog) larger than this drops the connection.
+const MAX_BUFFERED_INPUT: usize = 64 * 1024 * 1024;
+/// Pending-output level above which a connection stops consuming new
+/// requests until the peer drains responses (pipelining backpressure).
+const WRITE_HIGH_WATER: usize = 1024 * 1024;
+/// No-progress sweeps spent on `yield_now` before parking.
+const SPIN_SWEEPS: u32 = 128;
+/// First and largest park interval once a shard goes idle.
+const PARK_MIN: Duration = Duration::from_micros(100);
+const PARK_MAX: Duration = Duration::from_millis(2);
 
 /// Runs the server until a client sends [`Request::Shutdown`]. Returns
 /// the traffic summary after a graceful drain.
@@ -141,7 +191,7 @@ pub fn serve_with_ops(
     config: ServerConfig,
 ) -> std::io::Result<ServerSummary> {
     let _span = gdcm_obs::span!("serve/server");
-    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
     let ops_addr = match &ops_listener {
         Some(l) => Some(l.local_addr()?),
         None => None,
@@ -149,12 +199,11 @@ pub fn serve_with_ops(
     let workers = config.workers.max(1);
     let shared = ServerShared {
         serving,
-        addr,
         stop: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         request_errors: AtomicU64::new(0),
         connections: AtomicU64::new(0),
-        queue_depth: AtomicI64::new(0),
+        open_connections: AtomicI64::new(0),
         telemetry: ops_addr.is_some(),
         draining: AtomicBool::new(false),
         ops_stop: AtomicBool::new(false),
@@ -169,57 +218,20 @@ pub fn serve_with_ops(
         let ops_handle =
             ops_listener.map(|ops| outer.spawn(move || crate::ops::run_ops(ops, shared)));
 
-        if workers == 1 {
-            // Serial path: handle each connection inline on this thread.
-            for stream in listener.incoming() {
-                if shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(stream) => handle_connection(shared, stream),
-                    Err(e) => gdcm_obs::event(
-                        "accept_error",
-                        "serve",
-                        &[("error", gdcm_obs::FieldValue::Str(e.to_string()))],
-                    ),
-                }
-            }
-        } else {
+        // Shards 1.. run on their own threads; shard 0 shares the
+        // accept thread so `workers == 1` spawns nothing.
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers - 1);
+        let mut shard_handles = Vec::with_capacity(workers - 1);
+        for _ in 1..workers {
             let (tx, rx) = channel::<TcpStream>();
-            let rx = Mutex::new(rx);
-            std::thread::scope(|scope| {
-                let rx = &rx;
-                let mut handles = Vec::with_capacity(workers);
-                for _ in 0..workers {
-                    handles.push(scope.spawn(move || worker_loop(shared, rx)));
-                }
-                for stream in listener.incoming() {
-                    if shared.stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match stream {
-                        Ok(stream) => {
-                            let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
-                            gdcm_obs::gauge("serve/queue_depth").set(depth as f64);
-                            if tx.send(stream).is_err() {
-                                break; // all workers gone (unreachable in practice)
-                            }
-                        }
-                        Err(e) => gdcm_obs::event(
-                            "accept_error",
-                            "serve",
-                            &[("error", gdcm_obs::FieldValue::Str(e.to_string()))],
-                        ),
-                    }
-                }
-                // Channel close = the shutdown signal workers drain on.
-                drop(tx);
-                for handle in handles {
-                    // Worker closures don't panic; join errors would only
-                    // reflect a panic escaping handle_connection's catch-all.
-                    let _ = handle.join();
-                }
-            });
+            senders.push(tx);
+            shard_handles.push(outer.spawn(move || shard_loop(shared, &rx)));
+        }
+        accept_loop(shared, &listener, senders);
+        for handle in shard_handles {
+            // Shard closures don't panic; join errors would only
+            // reflect a panic escaping the request path's catch-all.
+            let _ = handle.join();
         }
 
         // Main server done: stop the ops endpoint too.
@@ -236,17 +248,476 @@ pub fn serve_with_ops(
     })
 }
 
-/// Worker: pull connections until the channel closes, then drain out.
-fn worker_loop(shared: &ServerShared<'_>, rx: &Mutex<Receiver<TcpStream>>) {
+/// Shard 0 + accept duty: polls the listener, deals connections round-
+/// robin across shards (itself included), sweeps its own connections,
+/// and on stop closes the shard channels and drains its share.
+fn accept_loop(
+    shared: &ServerShared<'_>,
+    listener: &TcpListener,
+    mut senders: Vec<Sender<TcpStream>>,
+) {
+    let slots = senders.len() + 1;
+    let mut rr = 0usize;
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = Scratch::new();
+    let mut idle: u32 = 0;
+    let mut park = PARK_MIN;
     loop {
-        // Hold the receiver lock only for the pull, not the handling.
-        let stream = match rx.lock().recv() {
-            Ok(stream) => stream,
-            Err(_) => return, // channel closed: graceful drain complete
-        };
-        let depth = shared.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
-        gdcm_obs::gauge("serve/queue_depth").set(depth as f64);
-        handle_connection(shared, stream);
+        let mut progress = false;
+        let stopped = shared.stop.load(Ordering::SeqCst);
+        if stopped {
+            // Channel close is the drain signal the other shards exit on.
+            senders.clear();
+        } else {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        shared.connections.fetch_add(1, Ordering::SeqCst);
+                        progress = true;
+                        let slot = rr % slots;
+                        rr = rr.wrapping_add(1);
+                        if slot == 0 {
+                            conns.push(Conn::new(shared, stream));
+                        } else {
+                            match senders[slot - 1].send(stream) {
+                                Ok(()) => {}
+                                // Unreachable: shards outlive the senders.
+                                Err(back) => conns.push(Conn::new(shared, back.0)),
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        gdcm_obs::event(
+                            "accept_error",
+                            "serve",
+                            &[("error", gdcm_obs::FieldValue::Str(e.to_string()))],
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        progress |= sweep(shared, &mut conns, &mut scratch);
+        if stopped && conns.is_empty() {
+            return;
+        }
+        back_off(progress, &mut idle, &mut park);
+    }
+}
+
+/// A spawned shard: sweeps connections handed over the channel until
+/// the channel closes *and* every connection has drained.
+fn shard_loop(shared: &ServerShared<'_>, rx: &Receiver<TcpStream>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = Scratch::new();
+    let mut idle: u32 = 0;
+    let mut park = PARK_MIN;
+    loop {
+        let mut progress = false;
+        let mut closed = false;
+        loop {
+            match rx.try_recv() {
+                Ok(stream) => {
+                    conns.push(Conn::new(shared, stream));
+                    progress = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        progress |= sweep(shared, &mut conns, &mut scratch);
+        if closed && conns.is_empty() {
+            return;
+        }
+        back_off(progress, &mut idle, &mut park);
+    }
+}
+
+/// Pumps every connection once and reaps the finished ones.
+fn sweep(shared: &ServerShared<'_>, conns: &mut Vec<Conn>, scratch: &mut Scratch) -> bool {
+    let mut progress = false;
+    for conn in conns.iter_mut() {
+        progress |= conn.pump(shared, scratch);
+    }
+    let before = conns.len();
+    conns.retain(|c| !c.dead);
+    let reaped = before - conns.len();
+    if reaped > 0 {
+        #[allow(clippy::cast_possible_wrap)]
+        shared.track_open(-(reaped as i64));
+        progress = true;
+    }
+    progress
+}
+
+/// Idle strategy: stay hot through `yield_now` while traffic looks
+/// imminent, then park with exponential backoff up to [`PARK_MAX`] so
+/// a quiet server costs ~no CPU but still notices the stop flag fast.
+fn back_off(progress: bool, idle: &mut u32, park: &mut Duration) {
+    if progress {
+        *idle = 0;
+        *park = PARK_MIN;
+    } else {
+        *idle = idle.saturating_add(1);
+        if *idle <= SPIN_SWEEPS {
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(*park);
+            *park = (*park * 2).min(PARK_MAX);
+        }
+    }
+}
+
+/// Per-shard scratch reused across every connection and request: the
+/// socket read chunk and the response serialize buffer. The legacy
+/// path used to allocate a fresh `String` per response; both protocols
+/// now serialize into this one buffer.
+struct Scratch {
+    chunk: Vec<u8>,
+    ser: Vec<u8>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Self {
+            chunk: vec![0u8; READ_CHUNK],
+            ser: Vec::with_capacity(4096),
+        }
+    }
+}
+
+/// Which framing a connection speaks; decided by its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    /// Nothing received yet.
+    Sniff,
+    /// Newline-delimited JSON.
+    Legacy,
+    /// Length-prefixed binary frames (`binary-v1`).
+    Binary,
+}
+
+/// What handling one request decided about the connection's future.
+enum Outcome {
+    /// Keep serving.
+    Continue,
+    /// Response enqueued; flush it, then close (shutdown or a framing
+    /// violation).
+    CloseAfterFlush,
+    /// Unrecoverable (serialization failed); drop without flushing.
+    Fatal,
+}
+
+/// One connection's state machine: read buffer, write buffer, framing
+/// mode, and lifecycle flags. All buffers are owned and reused for the
+/// connection's lifetime.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed input; `consumed` marks the handled prefix.
+    buf: Vec<u8>,
+    consumed: usize,
+    /// Pending output; `written` marks the flushed prefix.
+    out: Vec<u8>,
+    written: usize,
+    proto: Proto,
+    /// Peer closed its write half; serve what is buffered, then close.
+    peer_eof: bool,
+    /// Stop reading; close once `out` is flushed.
+    closing: bool,
+    /// Finished (or broken): reap on the next sweep.
+    dead: bool,
+    /// When the previous request on this connection finished, for the
+    /// `read` stage span (includes client idle time, as documented).
+    prev_done_us: u64,
+}
+
+impl Conn {
+    fn new(shared: &ServerShared<'_>, stream: TcpStream) -> Self {
+        shared.track_open(1);
+        // Responses can be small; without TCP_NODELAY each flush can
+        // wait on the peer's delayed ACK.
+        let _ = stream.set_nodelay(true);
+        let dead = stream.set_nonblocking(true).is_err();
+        Self {
+            stream,
+            buf: Vec::with_capacity(4096),
+            consumed: 0,
+            out: Vec::with_capacity(4096),
+            written: 0,
+            proto: Proto::Sniff,
+            peer_eof: false,
+            closing: false,
+            dead,
+            prev_done_us: gdcm_obs::timestamp_us(),
+        }
+    }
+
+    /// One readiness sweep over this connection: read what the socket
+    /// has, process every complete request, flush what the socket
+    /// takes. Returns whether anything moved.
+    fn pump(&mut self, shared: &ServerShared<'_>, scratch: &mut Scratch) -> bool {
+        if self.dead {
+            return false;
+        }
+        let mut progress = false;
+        // Read — unless closing, the peer is done, or backpressure from
+        // an unflushed output backlog says to stop consuming.
+        if !self.closing && !self.peer_eof && self.out.len() - self.written < WRITE_HIGH_WATER {
+            let mut burst = 0usize;
+            loop {
+                match self.stream.read(&mut scratch.chunk) {
+                    Ok(0) => {
+                        self.peer_eof = true;
+                        progress = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.buf.extend_from_slice(&scratch.chunk[..n]);
+                        progress = true;
+                        if self.buf.len() - self.consumed > MAX_BUFFERED_INPUT {
+                            self.dead = true;
+                            return true;
+                        }
+                        burst += n;
+                        if burst >= READ_BURST {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.dead = true;
+                        return true;
+                    }
+                }
+            }
+        }
+        // Process everything complete.
+        progress |= self.process(shared, scratch);
+        // Drop the handled prefix once it dominates the buffer.
+        if self.consumed > 0 && (self.consumed == self.buf.len() || self.consumed >= 32 * 1024) {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        // Flush.
+        progress |= self.flush();
+        if self.written == self.out.len() {
+            self.out.clear();
+            self.written = 0;
+            if self.closing || (self.peer_eof && !self.has_parseable_input()) {
+                self.dead = true;
+            }
+        }
+        progress
+    }
+
+    /// Whether unconsumed input could still form a request. After EOF
+    /// a partial frame or line can never complete, so this gates the
+    /// final close.
+    fn has_parseable_input(&self) -> bool {
+        self.buf.len() > self.consumed
+    }
+
+    fn flush(&mut self) -> bool {
+        let mut progress = false;
+        while self.written < self.out.len() {
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return true;
+                }
+                Ok(n) => {
+                    self.written += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return true;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Parses and answers every complete request currently buffered.
+    fn process(&mut self, shared: &ServerShared<'_>, scratch: &mut Scratch) -> bool {
+        let mut progress = false;
+        loop {
+            if self.closing || self.dead {
+                return progress;
+            }
+            // Pipelining backpressure: stop answering until the peer
+            // drains what is already queued.
+            if self.out.len() - self.written >= WRITE_HIGH_WATER {
+                self.flush();
+                if self.out.len() - self.written >= WRITE_HIGH_WATER {
+                    return progress;
+                }
+            }
+            match self.proto {
+                Proto::Sniff => {
+                    let avail = &self.buf[self.consumed..];
+                    if avail.is_empty() {
+                        return progress;
+                    }
+                    if avail[0] == wire::PREAMBLE_MAGIC[0] {
+                        if avail.len() < wire::PREAMBLE_LEN {
+                            if self.peer_eof {
+                                self.dead = true;
+                            }
+                            return progress;
+                        }
+                        match wire::check_preamble(&avail[..wire::PREAMBLE_LEN]) {
+                            Ok(_) => {
+                                self.consumed += wire::PREAMBLE_LEN;
+                                self.proto = Proto::Binary;
+                            }
+                            Err(wire::WireError::UnsupportedVersion { requested }) => {
+                                // Framing is version-stable, so even a
+                                // from-the-future client can read this.
+                                let _ = wire::append_frame(
+                                    &mut self.out,
+                                    0,
+                                    &Response::Error {
+                                        code: codes::UNSUPPORTED_PROTOCOL.to_string(),
+                                        message: wire::WireError::UnsupportedVersion { requested }
+                                            .to_string(),
+                                    },
+                                );
+                                self.closing = true;
+                            }
+                            Err(_) => {
+                                // NUL-led garbage: no protocol to answer in.
+                                self.dead = true;
+                            }
+                        }
+                    } else {
+                        self.proto = Proto::Legacy;
+                    }
+                    progress = true;
+                }
+                Proto::Legacy => {
+                    let avail = &self.buf[self.consumed..];
+                    let (line_end, next) = match avail.iter().position(|&b| b == b'\n') {
+                        Some(nl) => (self.consumed + nl, self.consumed + nl + 1),
+                        // A final unterminated line is still served once
+                        // the peer has hung up (BufRead::read_line parity).
+                        None if self.peer_eof && !avail.is_empty() => {
+                            (self.buf.len(), self.buf.len())
+                        }
+                        None => return progress,
+                    };
+                    let line_start = self.consumed;
+                    self.consumed = next;
+                    progress = true;
+                    let outcome = {
+                        let Conn {
+                            buf,
+                            out,
+                            prev_done_us,
+                            ..
+                        } = self;
+                        handle_legacy_line(
+                            shared,
+                            scratch,
+                            &buf[line_start..line_end],
+                            out,
+                            *prev_done_us,
+                        )
+                    };
+                    self.finish_request(shared, outcome);
+                }
+                Proto::Binary => {
+                    let avail = &self.buf[self.consumed..];
+                    if avail.len() < wire::FRAME_HEADER_LEN {
+                        if self.peer_eof && !avail.is_empty() {
+                            // Truncated header at EOF: close cleanly.
+                            self.closing = true;
+                            progress = true;
+                        }
+                        return progress;
+                    }
+                    let header = match wire::decode_frame_header(avail) {
+                        Ok(header) => header,
+                        Err(_) => {
+                            self.dead = true;
+                            return true;
+                        }
+                    };
+                    if header.payload_len > wire::MAX_PAYLOAD {
+                        // Refused before any allocation; framing can no
+                        // longer be trusted, so answer and close.
+                        let _ = wire::append_frame(
+                            &mut self.out,
+                            header.request_id,
+                            &Response::Error {
+                                code: codes::FRAME_TOO_LARGE.to_string(),
+                                message: wire::WireError::FrameTooLarge {
+                                    declared: header.payload_len,
+                                }
+                                .to_string(),
+                            },
+                        );
+                        shared.requests.fetch_add(1, Ordering::SeqCst);
+                        shared.request_errors.fetch_add(1, Ordering::SeqCst);
+                        gdcm_obs::counter("serve/requests").incr();
+                        gdcm_obs::counter("serve/request_errors").incr();
+                        self.closing = true;
+                        progress = true;
+                        continue;
+                    }
+                    if avail.len() < wire::FRAME_HEADER_LEN + header.payload_len {
+                        if self.peer_eof {
+                            // Truncated frame mid-read: close cleanly,
+                            // answering nothing for the partial frame.
+                            self.closing = true;
+                            progress = true;
+                        }
+                        return progress;
+                    }
+                    let start = self.consumed + wire::FRAME_HEADER_LEN;
+                    let end = start + header.payload_len;
+                    self.consumed = end;
+                    progress = true;
+                    let outcome = {
+                        let Conn {
+                            buf,
+                            out,
+                            prev_done_us,
+                            ..
+                        } = self;
+                        handle_binary_frame(
+                            shared,
+                            scratch,
+                            &buf[start..end],
+                            header.request_id,
+                            out,
+                            *prev_done_us,
+                        )
+                    };
+                    self.finish_request(shared, outcome);
+                }
+            }
+        }
+    }
+
+    fn finish_request(&mut self, shared: &ServerShared<'_>, outcome: Outcome) {
+        self.prev_done_us = gdcm_obs::timestamp_us();
+        match outcome {
+            Outcome::Continue => {}
+            Outcome::CloseAfterFlush => {
+                shared.trigger_shutdown();
+                self.closing = true;
+            }
+            Outcome::Fatal => self.dead = true,
+        }
     }
 }
 
@@ -269,126 +740,216 @@ fn parse_line(line: &str) -> (Option<u64>, Result<Request, String>) {
     }
 }
 
-/// Serves one connection: a loop of line-delimited requests, answered
-/// in order. Returns when the client disconnects or after `Shutdown`.
-fn handle_connection(shared: &ServerShared<'_>, stream: TcpStream) {
-    shared.connections.fetch_add(1, Ordering::SeqCst);
-    // Responses are single small lines; without TCP_NODELAY each one
-    // waits on the peer's delayed ACK.
-    let _ = stream.set_nodelay(true);
-    let mut reader = match stream.try_clone() {
-        Ok(clone) => BufReader::new(clone),
-        Err(e) => {
-            gdcm_obs::event(
-                "connection_error",
-                "serve",
-                &[("error", gdcm_obs::FieldValue::Str(e.to_string()))],
-            );
-            return;
+/// Serves one legacy newline-JSON request: parse, dispatch, serialize
+/// into the shard's reusable buffer, enqueue with a trailing newline.
+fn handle_legacy_line(
+    shared: &ServerShared<'_>,
+    scratch: &mut Scratch,
+    line: &[u8],
+    out: &mut Vec<u8>,
+    prev_done_us: u64,
+) -> Outcome {
+    // A non-UTF-8 line answers an in-band parse error instead of the
+    // old reader's silent disconnect — strictly more useful, still an
+    // error. Blank lines are ignored, as before.
+    let text = match std::str::from_utf8(line) {
+        Ok(text) if text.trim().is_empty() => return Outcome::Continue,
+        Ok(text) => Some(text),
+        Err(_) => None,
+    };
+
+    let telemetry = shared.telemetry;
+    let cache_before = telemetry.then(|| shared.serving.cache_stats());
+    if telemetry {
+        gdcm_obs::reqtrace::begin(0);
+        // The read stage spans from the previous request's completion;
+        // it belongs in the stage breakdown but not in the latency
+        // that ranks the slow log, which starts after the read.
+        let now_us = gdcm_obs::timestamp_us();
+        gdcm_obs::reqtrace::stage_closed("read", prev_done_us, now_us.saturating_sub(prev_done_us));
+    }
+    let started = Instant::now();
+
+    let (trace_id, parsed) = {
+        let _stage = gdcm_obs::reqtrace::stage("parse");
+        match text {
+            Some(text) => parse_line(text),
+            None => (None, Err("request line is not valid UTF-8".to_string())),
         }
     };
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        let read_started_us = gdcm_obs::timestamp_us();
-        let read_timer = Instant::now();
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // clean EOF
-            Ok(_) => {}
-            Err(_) => break, // client went away
-        }
-        let read_us = read_timer.elapsed().as_micros() as u64;
-        if line.trim().is_empty() {
-            continue;
-        }
+    if let Some(id) = trace_id {
+        gdcm_obs::reqtrace::set_trace_id(id);
+    }
 
-        let telemetry = shared.telemetry;
-        let cache_before = telemetry.then(|| shared.serving.cache_stats());
-        if telemetry {
-            gdcm_obs::reqtrace::begin(0);
-            // The read stage includes client idle time between requests;
-            // it belongs in the stage breakdown but not in the latency
-            // that ranks the slow log, which starts after the read.
-            gdcm_obs::reqtrace::stage_closed("read", read_started_us, read_us);
+    let label;
+    let (response, is_shutdown) = match parsed {
+        Ok(request) => {
+            label = request_label(&request);
+            let is_shutdown = matches!(request, Request::Shutdown);
+            (dispatch(shared, request), is_shutdown)
         }
-        let started = Instant::now();
+        Err(message) => {
+            label = "parse_error";
+            (
+                Response::Error {
+                    code: codes::PARSE_ERROR.to_string(),
+                    message,
+                },
+                false,
+            )
+        }
+    };
+    shared.requests.fetch_add(1, Ordering::SeqCst);
+    gdcm_obs::counter("serve/requests").incr();
+    let is_error = matches!(response, Response::Error { .. });
+    if is_error {
+        shared.request_errors.fetch_add(1, Ordering::SeqCst);
+        gdcm_obs::counter("serve/request_errors").incr();
+    }
 
-        let (trace_id, parsed) = {
+    let serialized = {
+        let _stage = gdcm_obs::reqtrace::stage("serialize");
+        scratch.ser.clear();
+        // Enveloped requests get enveloped responses — errors
+        // included, so clients can correlate failures too. Bare
+        // requests keep the legacy bare responses.
+        match trace_id {
+            Some(id) => serde_json::to_writer(
+                &mut scratch.ser,
+                &ResponseEnvelope {
+                    trace_id: Some(id),
+                    resp: response,
+                },
+            ),
+            None => serde_json::to_writer(&mut scratch.ser, &response),
+        }
+    };
+    if serialized.is_err() {
+        // Responses are plain data; serialization cannot fail. If it
+        // ever does, drop the connection rather than the process.
+        return Outcome::Fatal;
+    }
+    {
+        let _stage = gdcm_obs::reqtrace::stage("write");
+        out.extend_from_slice(&scratch.ser);
+        out.push(b'\n');
+    }
+
+    let request_us = started.elapsed().as_micros() as u64;
+    gdcm_obs::histogram("serve/request_ms").record(request_us as f64 / 1e3);
+    if telemetry {
+        record_telemetry(shared, label, request_us, is_error, cache_before);
+    }
+    if is_shutdown {
+        Outcome::CloseAfterFlush
+    } else {
+        Outcome::Continue
+    }
+}
+
+/// Serves one binary frame: decode, dispatch, encode the response into
+/// a frame tagged with the request's id. The id also becomes the
+/// request's trace id, so binary clients correlate slow-log entries
+/// without any envelope.
+fn handle_binary_frame(
+    shared: &ServerShared<'_>,
+    scratch: &mut Scratch,
+    payload: &[u8],
+    request_id: u64,
+    out: &mut Vec<u8>,
+    prev_done_us: u64,
+) -> Outcome {
+    let telemetry = shared.telemetry;
+    let cache_before = telemetry.then(|| shared.serving.cache_stats());
+    if telemetry {
+        gdcm_obs::reqtrace::begin(request_id);
+        let now_us = gdcm_obs::timestamp_us();
+        gdcm_obs::reqtrace::stage_closed("read", prev_done_us, now_us.saturating_sub(prev_done_us));
+    }
+    let started = Instant::now();
+
+    // Wire fast lane: a canonical `Predict` whose network bytes have
+    // been seen before can be answered from the prediction cache
+    // without decoding the network at all. Any miss — not a Predict,
+    // first sighting of these bytes, cache invalidated by a refit —
+    // drops to the ordinary decode below, whose successful result
+    // repopulates the index.
+    let probed = wire::fast::probe_predict(payload)
+        .map(|(device, network_bytes)| (device, wire::fast::wire_hash(network_bytes)));
+    let cached = probed
+        .as_ref()
+        .and_then(|(device, hash)| shared.serving.predict_wire_hit(device, *hash));
+
+    let label;
+    let (response, is_shutdown) = if let Some(latency_ms) = cached {
+        label = "predict";
+        (Response::Prediction { latency_ms }, false)
+    } else {
+        let parsed = {
             let _stage = gdcm_obs::reqtrace::stage("parse");
-            parse_line(&line)
+            // Canonical-layout fast path; falls back to the generic
+            // content-tree decoder on any deviation, so accepted inputs
+            // and error text are unchanged.
+            wire::fast::decode_request(payload)
         };
-        if let Some(id) = trace_id {
-            gdcm_obs::reqtrace::set_trace_id(id);
-        }
-
-        let label;
-        let (response, is_shutdown) = match parsed {
+        match parsed {
             Ok(request) => {
+                if let (Some((_, hash)), Request::Predict { network, .. }) = (&probed, &request) {
+                    shared.serving.index_wire_hash(*hash, network);
+                }
                 label = request_label(&request);
                 let is_shutdown = matches!(request, Request::Shutdown);
                 (dispatch(shared, request), is_shutdown)
             }
-            Err(message) => {
+            Err(e) => {
+                // A malformed payload inside a well-formed frame:
+                // framing is intact, so answer in-band and keep the
+                // connection — neighbouring pipelined requests are
+                // unaffected.
                 label = "parse_error";
                 (
                     Response::Error {
                         code: codes::PARSE_ERROR.to_string(),
-                        message,
+                        message: format!("unparsable request: {e}"),
                     },
                     false,
                 )
             }
-        };
-        shared.requests.fetch_add(1, Ordering::SeqCst);
-        gdcm_obs::counter("serve/requests").incr();
-        let is_error = matches!(response, Response::Error { .. });
-        if is_error {
-            shared.request_errors.fetch_add(1, Ordering::SeqCst);
-            gdcm_obs::counter("serve/request_errors").incr();
         }
+    };
+    shared.requests.fetch_add(1, Ordering::SeqCst);
+    gdcm_obs::counter("serve/requests").incr();
+    let is_error = matches!(response, Response::Error { .. });
+    if is_error {
+        shared.request_errors.fetch_add(1, Ordering::SeqCst);
+        gdcm_obs::counter("serve/request_errors").incr();
+    }
 
-        let json = {
-            let _stage = gdcm_obs::reqtrace::stage("serialize");
-            // Enveloped requests get enveloped responses — errors
-            // included, so clients can correlate failures too. Bare
-            // requests keep the legacy bare responses.
-            let serialized = match trace_id {
-                Some(id) => serde_json::to_string(&ResponseEnvelope {
-                    trace_id: Some(id),
-                    resp: response,
-                }),
-                None => serde_json::to_string(&response),
-            };
-            match serialized {
-                Ok(json) => json,
-                // Responses are plain data; serialization cannot fail. If
-                // it ever does, drop the connection rather than the process.
-                Err(_) => break,
-            }
-        };
+    let serialized = {
+        let _stage = gdcm_obs::reqtrace::stage("serialize");
+        scratch.ser.clear();
+        wire::append_value(&mut scratch.ser, &response)
+    };
+    if serialized.is_err() {
+        return Outcome::Fatal;
+    }
+    let framed = {
+        let _stage = gdcm_obs::reqtrace::stage("write");
+        wire::append_raw_frame(out, request_id, &scratch.ser)
+    };
+    if framed.is_err() {
+        return Outcome::Fatal;
+    }
 
-        let write_ok = {
-            let _stage = gdcm_obs::reqtrace::stage("write");
-            writer
-                .write_all(json.as_bytes())
-                .and_then(|()| writer.write_all(b"\n"))
-                .and_then(|()| writer.flush())
-                .is_ok()
-        };
-
-        let request_us = started.elapsed().as_micros() as u64;
-        gdcm_obs::histogram("serve/request_ms").record(request_us as f64 / 1e3);
-        if telemetry {
-            record_telemetry(shared, label, request_us, is_error, cache_before);
-        }
-        if !write_ok {
-            break; // client went away mid-response
-        }
-        if is_shutdown {
-            shared.trigger_shutdown();
-            break;
-        }
+    let request_us = started.elapsed().as_micros() as u64;
+    gdcm_obs::histogram("serve/request_ms").record(request_us as f64 / 1e3);
+    if telemetry {
+        record_telemetry(shared, label, request_us, is_error, cache_before);
+    }
+    if is_shutdown {
+        Outcome::CloseAfterFlush
+    } else {
+        Outcome::Continue
     }
 }
 
@@ -410,8 +971,8 @@ fn record_telemetry(
     gdcm_obs::windowed_histogram("serve/request_us").record_at(request_us as f64, now_us);
     if let Some(before) = cache_before {
         // Attribute this request's cache activity to the window. Deltas
-        // may briefly include a concurrent worker's lookups; windowed
-        // totals stay exact because every worker records its own delta
+        // may briefly include a concurrent shard's lookups; windowed
+        // totals stay exact because every shard records its own delta
         // against its own `before` snapshot only once per request.
         let after = shared.serving.cache_stats();
         let deltas = [

@@ -127,6 +127,13 @@ pub struct ServingRepository {
     repo: RwLock<CollaborativeRepository>,
     encodings: Mutex<LruCache<u64, Arc<Vec<f32>>>>,
     predictions: Mutex<LruCache<(String, u64), f64>>,
+    /// Canonical-wire-byte hash → structural [`network_hash`]. The
+    /// binary protocol's fast lane: a repeated `Predict` payload can be
+    /// answered from the prediction cache without decoding the network
+    /// at all. Unlike `predictions`, this never needs invalidation —
+    /// equal bytes always decode to equal graphs, so the mapping is a
+    /// pure function of the wire encoding.
+    wire_index: Mutex<LruCache<u64, u64>>,
     enc_hits: AtomicU64,
     enc_misses: AtomicU64,
     pred_hits: AtomicU64,
@@ -140,6 +147,7 @@ impl ServingRepository {
             repo: RwLock::new(repo),
             encodings: Mutex::new(LruCache::new(config.encoding_cache)),
             predictions: Mutex::new(LruCache::new(config.prediction_cache)),
+            wire_index: Mutex::new(LruCache::new(config.prediction_cache)),
             enc_hits: AtomicU64::new(0),
             enc_misses: AtomicU64::new(0),
             pred_hits: AtomicU64::new(0),
@@ -230,6 +238,40 @@ impl ServingRepository {
         };
         self.predictions.lock().insert(key, value);
         Ok(value)
+    }
+
+    /// Answers a `Predict` straight from the prediction cache, keyed by
+    /// a hash of the network's *canonical wire bytes* — the binary
+    /// protocol's fast lane. Returns `Some` only when both the wire
+    /// index and the prediction cache hit; any miss sends the caller
+    /// down the ordinary decode-and-dispatch path, which repopulates
+    /// both layers. Hits perform exactly the cache-hit accounting of
+    /// [`ServingRepository::predict`], so telemetry cannot tell the
+    /// lanes apart.
+    pub fn predict_wire_hit(&self, device: &str, wire_hash: u64) -> Option<f64> {
+        let hash = *self.wire_index.lock().get(&wire_hash)?;
+        let _span = gdcm_obs::span!("serve/predict");
+        let _stage = gdcm_obs::reqtrace::stage("cache_lookup");
+        let key = (device.to_string(), hash);
+        let value = *self.predictions.lock().get(&key)?;
+        self.pred_hits.fetch_add(1, Ordering::Relaxed);
+        gdcm_obs::counter("serve/pred_cache_hit").incr();
+        Some(value)
+    }
+
+    /// Records that a canonical wire payload hashing to `wire_hash`
+    /// decodes to `network`, so future [`predict_wire_hit`] probes for
+    /// the same bytes can skip the decode. Called by the server after
+    /// a successful slow-path decode; like the prediction cache, the
+    /// index is LRU-bounded and disabled at capacity 0.
+    ///
+    /// [`predict_wire_hit`]: ServingRepository::predict_wire_hit
+    pub fn index_wire_hash(&self, wire_hash: u64, network: &Network) {
+        if self.wire_index.lock().capacity() == 0 {
+            return;
+        }
+        let hash = network_hash(network);
+        self.wire_index.lock().insert(wire_hash, hash);
     }
 
     /// Predicts many networks for one device in a single call, routed
