@@ -16,11 +16,13 @@
 //! | `GDCM120`–`GDCM129` | dataset lints (`gdcm-audit`) |
 //! | `GDCM130`–`GDCM139` | fold-contamination checks (`gdcm-audit`) |
 //! | `GDCM140`–`GDCM159` | flatcheck — frozen-model translation validation (`gdcm-audit`) |
+//! | `GDCM160`–`GDCM179` | wirecheck — wire-protocol conformance verification (`gdcm-wirecheck`) |
 //!
-//! The `GDCM1xx` family is emitted by the sibling `gdcm-audit` crate,
-//! which verifies everything *downstream* of the IR (trained ensembles,
-//! feature matrices, fold plans) but shares this diagnostics model so
-//! both code families render into one report format.
+//! The `GDCM1xx` family is emitted by the sibling `gdcm-audit` and
+//! `gdcm-wirecheck` crates, which verify everything *downstream* of the
+//! IR (trained ensembles, feature matrices, fold plans, the serving
+//! wire protocol) but share this diagnostics model so every code family
+//! renders into one report format.
 //!
 //! Codes are append-only: a released code never changes meaning and is
 //! never reused, so CI logs and suppression lists stay valid across
@@ -227,12 +229,71 @@ pub enum DiagCode {
     /// Frozen model metadata (base score, feature width, tree count)
     /// disagrees with the source model.
     FlatMetadataMismatch,
+    // --- wirecheck pass 1: codec equivalence ---------------------------
+    /// The hand-rolled fast request encoder produced bytes that differ
+    /// from the generic content-tree encoder for the same request.
+    WireFastEncodeDivergence,
+    /// The fast request decoder disagrees with the generic decoder —
+    /// different acceptance, or a different decoded value.
+    WireFastDecodeDivergence,
+    /// A wire scalar (varint boundary, zigzag extreme, f64 bit
+    /// pattern) failed its bit-exact encode/decode round trip.
+    WireScalarRoundTripMismatch,
+    /// A decoder accepted an over-long or non-canonical LEB128 varint
+    /// instead of rejecting it with a stable error.
+    WireOverlongVarintAccepted,
+    // --- wirecheck pass 2: frame-grammar soundness ---------------------
+    /// A content tree failed the encode → decode → equality round trip.
+    WireContentRoundTripMismatch,
+    /// Canonically encoded bytes did not re-encode to themselves after
+    /// decoding.
+    WireReencodeMismatch,
+    /// A strict prefix of a valid encoding decoded successfully instead
+    /// of erroring.
+    WireTruncationAccepted,
+    /// A hostile declared length or nesting depth was not rejected
+    /// before allocation.
+    WireHostileLengthAccepted,
+    /// Frame header fields (payload length, request id) did not
+    /// round-trip through encode/decode.
+    WireFrameHeaderMismatch,
+    /// A payload above the protocol cap was framed or accepted instead
+    /// of being refused.
+    WireOversizedFrameUnrefused,
+    // --- wirecheck pass 3: connection state-machine model check --------
+    /// An accepted request frame was never answered.
+    FsmResponseMissing,
+    /// A response carried the wrong request id, or a request was
+    /// answered more than once.
+    FsmResponseIdMismatch,
+    /// An in-band error response terminated unrelated pipelined
+    /// requests on the same connection.
+    FsmErrorKilledPipeline,
+    /// A connection buffer grew past its documented cap.
+    FsmBufferOverCap,
+    /// A connection drain failed to terminate within the sweep budget.
+    FsmDrainStuck,
+    /// The first-byte protocol sniff selected the wrong protocol path
+    /// or mishandled the preamble.
+    FsmSniffMismatch,
+    // --- wirecheck pass 4: structure-aware frame fuzzer ----------------
+    /// The fast and generic decoders disagreed on a mutated payload.
+    FuzzDecodeDivergence,
+    /// The server answered a corrupted frame with an error code outside
+    /// the stable `protocol::codes` set.
+    FuzzErrorCodeUnstable,
+    /// The connection-survival policy was violated: a well-framed bad
+    /// payload killed the connection, intact framing was abandoned, or
+    /// the request path panicked.
+    FuzzConnectionPolicyViolation,
+    /// A server response frame failed to decode as a `Response`.
+    FuzzResponseUndecodable,
 }
 
 impl DiagCode {
     /// Every code, in numeric order — the source of truth for the
     /// reference table in the README.
-    pub const ALL: [DiagCode; 66] = [
+    pub const ALL: [DiagCode; 86] = [
         DiagCode::NonTopologicalEdge,
         DiagCode::UnknownNodeRef,
         DiagCode::DeadNode,
@@ -299,6 +360,26 @@ impl DiagCode {
         DiagCode::FlatPathDivergence,
         DiagCode::FlatAccumulationMismatch,
         DiagCode::FlatMetadataMismatch,
+        DiagCode::WireFastEncodeDivergence,
+        DiagCode::WireFastDecodeDivergence,
+        DiagCode::WireScalarRoundTripMismatch,
+        DiagCode::WireOverlongVarintAccepted,
+        DiagCode::WireContentRoundTripMismatch,
+        DiagCode::WireReencodeMismatch,
+        DiagCode::WireTruncationAccepted,
+        DiagCode::WireHostileLengthAccepted,
+        DiagCode::WireFrameHeaderMismatch,
+        DiagCode::WireOversizedFrameUnrefused,
+        DiagCode::FsmResponseMissing,
+        DiagCode::FsmResponseIdMismatch,
+        DiagCode::FsmErrorKilledPipeline,
+        DiagCode::FsmBufferOverCap,
+        DiagCode::FsmDrainStuck,
+        DiagCode::FsmSniffMismatch,
+        DiagCode::FuzzDecodeDivergence,
+        DiagCode::FuzzErrorCodeUnstable,
+        DiagCode::FuzzConnectionPolicyViolation,
+        DiagCode::FuzzResponseUndecodable,
     ];
 
     /// The numeric part of the stable code.
@@ -370,6 +451,26 @@ impl DiagCode {
             DiagCode::FlatPathDivergence => 153,
             DiagCode::FlatAccumulationMismatch => 154,
             DiagCode::FlatMetadataMismatch => 155,
+            DiagCode::WireFastEncodeDivergence => 160,
+            DiagCode::WireFastDecodeDivergence => 161,
+            DiagCode::WireScalarRoundTripMismatch => 162,
+            DiagCode::WireOverlongVarintAccepted => 163,
+            DiagCode::WireContentRoundTripMismatch => 164,
+            DiagCode::WireReencodeMismatch => 165,
+            DiagCode::WireTruncationAccepted => 166,
+            DiagCode::WireHostileLengthAccepted => 167,
+            DiagCode::WireFrameHeaderMismatch => 168,
+            DiagCode::WireOversizedFrameUnrefused => 169,
+            DiagCode::FsmResponseMissing => 170,
+            DiagCode::FsmResponseIdMismatch => 171,
+            DiagCode::FsmErrorKilledPipeline => 172,
+            DiagCode::FsmBufferOverCap => 173,
+            DiagCode::FsmDrainStuck => 174,
+            DiagCode::FsmSniffMismatch => 175,
+            DiagCode::FuzzDecodeDivergence => 176,
+            DiagCode::FuzzErrorCodeUnstable => 177,
+            DiagCode::FuzzConnectionPolicyViolation => 178,
+            DiagCode::FuzzResponseUndecodable => 179,
         }
     }
 
@@ -389,7 +490,8 @@ impl DiagCode {
             100..=119 => Pass::Ensemble,
             120..=129 => Pass::Dataset,
             130..=139 => Pass::Folds,
-            _ => Pass::Flatcheck,
+            140..=159 => Pass::Flatcheck,
+            _ => Pass::Wirecheck,
         }
     }
 
@@ -509,6 +611,58 @@ impl DiagCode {
             DiagCode::FlatMetadataMismatch => {
                 "frozen metadata (base score, width, tree count) disagrees with source model"
             }
+            DiagCode::WireFastEncodeDivergence => {
+                "fast request encoder bytes differ from the generic encoder"
+            }
+            DiagCode::WireFastDecodeDivergence => {
+                "fast request decoder disagrees with the generic decoder"
+            }
+            DiagCode::WireScalarRoundTripMismatch => {
+                "wire scalar failed bit-exact encode/decode round trip"
+            }
+            DiagCode::WireOverlongVarintAccepted => {
+                "decoder accepted an over-long or non-canonical LEB128 varint"
+            }
+            DiagCode::WireContentRoundTripMismatch => {
+                "content tree failed encode\u{2192}decode\u{2192}equality round trip"
+            }
+            DiagCode::WireReencodeMismatch => "canonical bytes do not re-encode to themselves",
+            DiagCode::WireTruncationAccepted => {
+                "a strict prefix of a valid encoding decoded successfully"
+            }
+            DiagCode::WireHostileLengthAccepted => {
+                "hostile declared length/depth not rejected before allocation"
+            }
+            DiagCode::WireFrameHeaderMismatch => "frame header fields do not round-trip",
+            DiagCode::WireOversizedFrameUnrefused => {
+                "payload above MAX_PAYLOAD was framed or accepted"
+            }
+            DiagCode::FsmResponseMissing => "accepted request frame was never answered",
+            DiagCode::FsmResponseIdMismatch => {
+                "response id mismatch, or a request answered more than once"
+            }
+            DiagCode::FsmErrorKilledPipeline => {
+                "in-band error terminated unrelated pipelined requests"
+            }
+            DiagCode::FsmBufferOverCap => "connection buffer exceeded its documented cap",
+            DiagCode::FsmDrainStuck => {
+                "connection drain failed to terminate within the sweep budget"
+            }
+            DiagCode::FsmSniffMismatch => {
+                "first-byte protocol sniff selected the wrong protocol path"
+            }
+            DiagCode::FuzzDecodeDivergence => {
+                "fast and generic decoders disagreed on a mutated payload"
+            }
+            DiagCode::FuzzErrorCodeUnstable => {
+                "server answered a corrupted frame with an unknown error code"
+            }
+            DiagCode::FuzzConnectionPolicyViolation => {
+                "connection survival policy violated (or the server panicked)"
+            }
+            DiagCode::FuzzResponseUndecodable => {
+                "server response frame failed to decode as a Response"
+            }
         }
     }
 }
@@ -519,7 +673,8 @@ impl fmt::Display for DiagCode {
     }
 }
 
-/// The five analyzer passes plus the four `gdcm-audit` passes.
+/// The five analyzer passes, the four `gdcm-audit` passes, and the
+/// `gdcm-wirecheck` conformance pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Pass {
     /// Pass 1 — graph well-formedness.
@@ -541,6 +696,9 @@ pub enum Pass {
     /// Audit pass 4 — flatcheck: frozen-model translation validation
     /// (`gdcm-audit`).
     Flatcheck,
+    /// Wirecheck — wire-protocol conformance verification
+    /// (`gdcm-wirecheck`).
+    Wirecheck,
 }
 
 impl fmt::Display for Pass {
@@ -555,6 +713,7 @@ impl fmt::Display for Pass {
             Pass::Dataset => "dataset",
             Pass::Folds => "folds",
             Pass::Flatcheck => "flatcheck",
+            Pass::Wirecheck => "wirecheck",
         };
         write!(f, "{name}")
     }
@@ -733,6 +892,9 @@ mod tests {
         assert_eq!(DiagCode::IncompleteCoverage.code(), "GDCM134");
         assert_eq!(DiagCode::FlatArenaShapeMismatch.code(), "GDCM140");
         assert_eq!(DiagCode::FlatMetadataMismatch.code(), "GDCM155");
+        assert_eq!(DiagCode::WireFastEncodeDivergence.code(), "GDCM160");
+        assert_eq!(DiagCode::FsmResponseMissing.code(), "GDCM170");
+        assert_eq!(DiagCode::FuzzResponseUndecodable.code(), "GDCM179");
     }
 
     #[test]
@@ -748,6 +910,7 @@ mod tests {
                 120..=129 => Pass::Dataset,
                 130..=139 => Pass::Folds,
                 140..=159 => Pass::Flatcheck,
+                160..=179 => Pass::Wirecheck,
                 n => unreachable!("unmapped code number {n}"),
             };
             assert_eq!(code.pass(), expected, "{code}");

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod harness;
 pub mod lru;
 pub mod ops;
 pub mod protocol;

@@ -356,7 +356,7 @@ fn probe_mode(args: &Args, addr: &str, snapshot: &Path) -> Result<(), String> {
         other => return Err(format!("shutdown answered {other:?}")),
     }
     println!(
-        "probe OK: ping, {} traced predictions, traced error echo, batch, cache hit, stats, binary ping/predict/pipeline/error{}, shutdown",
+        "probe OK: ping, {} traced predictions, traced error echo, batch, cache hit, stats, binary ping/predict/pipeline/error/hardening{}, shutdown",
         probe_nets.len(),
         if args.ops.is_some() { ", ops" } else { "" }
     );
@@ -437,6 +437,69 @@ fn probe_binary(
     match bin.request(&Request::Ping).map_err(|e| e.to_string())? {
         Response::Pong => {}
         other => return Err(format!("binary post-error ping answered {other:?}")),
+    }
+
+    probe_wire_hardening(addr)?;
+    Ok(())
+}
+
+/// Wire-hardening smoke: a well-formed frame carrying a payload the
+/// strict decoder must refuse — `"Ping"` spelled with a non-canonical
+/// (zero-padded) varint string length — answers an in-band
+/// `parse_error` on the same id, and a follow-up `Ping` still answers
+/// `Pong`, proving the connection survives hostile payloads. The
+/// exhaustive version of this check is `gdcm-wirecheck`; this is the
+/// one-frame smoke the CI probe runs against a real server.
+fn probe_wire_hardening(addr: &str) -> Result<(), String> {
+    use gdcm_serve::protocol::wire;
+    use std::io::{Read, Write};
+
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("hardening connect {addr}: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .write_all(&wire::preamble())
+        .map_err(|e| e.to_string())?;
+
+    // Tag STR, length 4 encoded as the over-long varint [0x84, 0x00].
+    let hostile = [wire::tags::STR, 0x84, 0x00, b'P', b'i', b'n', b'g'];
+    let mut burst = Vec::new();
+    wire::append_raw_frame(&mut burst, 7, &hostile).map_err(|e| e.to_string())?;
+    wire::append_frame(&mut burst, 8, &Request::Ping).map_err(|e| e.to_string())?;
+    stream.write_all(&burst).map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+
+    let mut read_frame = |want_id: u64| -> Result<Response, String> {
+        let mut header = [0u8; wire::FRAME_HEADER_LEN];
+        stream.read_exact(&mut header).map_err(|e| e.to_string())?;
+        let header = wire::decode_frame_header(&header).map_err(|e| format!("{e:?}"))?;
+        let mut payload = vec![0u8; header.payload_len];
+        stream.read_exact(&mut payload).map_err(|e| e.to_string())?;
+        if header.request_id != want_id {
+            return Err(format!(
+                "hardening frame tagged id {}, wanted {want_id}",
+                header.request_id
+            ));
+        }
+        wire::decode_value(&payload).map_err(|e| format!("{e:?}"))
+    };
+
+    match read_frame(7)? {
+        Response::Error { ref code, .. } if code == codes::PARSE_ERROR => {}
+        other => {
+            return Err(format!(
+                "non-canonical varint payload answered {other:?}, wanted code {:?}",
+                codes::PARSE_ERROR
+            ))
+        }
+    }
+    match read_frame(8)? {
+        Response::Pong => {}
+        other => {
+            return Err(format!(
+                "ping behind the hostile frame answered {other:?} — connection did not survive"
+            ))
+        }
     }
     Ok(())
 }

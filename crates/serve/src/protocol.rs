@@ -194,6 +194,29 @@ pub mod codes {
     pub const UNSUPPORTED_PROTOCOL: &str = "unsupported_protocol";
     /// Client-side binary wire (de)serialization failed.
     pub const WIRE: &str = "wire_error";
+
+    /// Every stable error code, for exhaustiveness tests and the
+    /// wirecheck fuzzer's code-stability invariant. Append-only, like
+    /// the constants themselves.
+    pub const ALL: [&str; 17] = [
+        PARSE_ERROR,
+        UNKNOWN_DEVICE,
+        ALREADY_ENROLLED,
+        SIGNATURE_LENGTH,
+        INVALID_LATENCY,
+        NOT_ENOUGH_DATA,
+        NOT_FITTED,
+        CORRUPT_PARTS,
+        REPOSITORY,
+        IO,
+        JSON,
+        BAD_SNAPSHOT,
+        AUDIT_REJECTED,
+        INTERNAL,
+        FRAME_TOO_LARGE,
+        UNSUPPORTED_PROTOCOL,
+        WIRE,
+    ];
 }
 
 /// A request wrapped with client-side telemetry identity. Opt-in: the

@@ -108,15 +108,39 @@ pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
 /// Maximum content-tree nesting depth the decoder accepts.
 pub const MAX_DEPTH: usize = 96;
 
-const TAG_NULL: u8 = 0x00;
-const TAG_FALSE: u8 = 0x01;
-const TAG_TRUE: u8 = 0x02;
-const TAG_I64: u8 = 0x03;
-const TAG_U64: u8 = 0x04;
-const TAG_F64: u8 = 0x05;
-const TAG_STR: u8 = 0x06;
-const TAG_SEQ: u8 = 0x07;
-const TAG_MAP: u8 = 0x08;
+/// The content-tree tag bytes. Public so conformance tooling
+/// (`gdcm-wirecheck`) can build adversarial payloads byte-by-byte
+/// without duplicating the constants.
+pub mod tags {
+    /// `Content::Null`.
+    pub const NULL: u8 = 0x00;
+    /// `Content::Bool(false)`.
+    pub const FALSE: u8 = 0x01;
+    /// `Content::Bool(true)`.
+    pub const TRUE: u8 = 0x02;
+    /// `Content::I64` — zigzag LEB128 varint payload.
+    pub const I64: u8 = 0x03;
+    /// `Content::U64` — LEB128 varint payload.
+    pub const U64: u8 = 0x04;
+    /// `Content::F64` — 8 raw IEEE-754 bytes, little-endian.
+    pub const F64: u8 = 0x05;
+    /// `Content::Str` — varint byte length + UTF-8 bytes.
+    pub const STR: u8 = 0x06;
+    /// `Content::Seq` — varint element count + elements.
+    pub const SEQ: u8 = 0x07;
+    /// `Content::Map` — varint entry count + (key length + key + value).
+    pub const MAP: u8 = 0x08;
+}
+
+const TAG_NULL: u8 = tags::NULL;
+const TAG_FALSE: u8 = tags::FALSE;
+const TAG_TRUE: u8 = tags::TRUE;
+const TAG_I64: u8 = tags::I64;
+const TAG_U64: u8 = tags::U64;
+const TAG_F64: u8 = tags::F64;
+const TAG_STR: u8 = tags::STR;
+const TAG_SEQ: u8 = tags::SEQ;
+const TAG_MAP: u8 = tags::MAP;
 
 /// Binary protocol failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -455,12 +479,82 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, WireError> {
         }
         out |= part << (7 * i);
         if byte & 0x80 == 0 {
+            // A multi-byte encoding ending in 0x00 encodes a value the
+            // encoder would have emitted shorter: reject it so every
+            // value has exactly one accepted byte sequence (the hash
+            // fast lane and canonical re-encoding both rely on this).
+            if i > 0 && byte == 0 {
+                return Err(WireError::Malformed(
+                    "non-canonical varint (padded with zero bytes)".to_string(),
+                ));
+            }
             return Ok(out);
         }
     }
     Err(WireError::Malformed(
         "varint longer than 10 bytes".to_string(),
     ))
+}
+
+/// Encodes `v` as a canonical LEB128 varint — the conformance surface
+/// `gdcm-wirecheck` uses for scalar boundary sweeps.
+#[must_use]
+pub fn encode_varint(v: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(10);
+    write_varint(&mut buf, v);
+    buf
+}
+
+/// Decodes one LEB128 varint from the front of `bytes`, returning the
+/// value and the number of bytes consumed.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the input ends mid-varint;
+/// [`WireError::Malformed`] on over-long (> 10 byte), overflowing, or
+/// non-canonical encodings.
+pub fn decode_varint(bytes: &[u8]) -> Result<(u64, usize), WireError> {
+    let mut pos = 0usize;
+    let v = read_varint(bytes, &mut pos)?;
+    Ok((v, pos))
+}
+
+/// Encodes a raw content tree — used by `gdcm-wirecheck` to enumerate
+/// the payload grammar directly, below the `Request`/`Response` types.
+#[must_use]
+pub fn encode_content_tree(content: &Content) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_content(&mut buf, content);
+    buf
+}
+
+/// Decodes a raw content tree, requiring every byte to be consumed.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] / [`WireError::Malformed`] on bad bytes.
+pub fn decode_content_tree(bytes: &[u8]) -> Result<Content, WireError> {
+    let mut pos = 0usize;
+    let content = decode_content(bytes, &mut pos, 0)?;
+    if pos != bytes.len() {
+        return Err(WireError::Malformed(format!(
+            "{} trailing byte(s) after value",
+            bytes.len() - pos
+        )));
+    }
+    Ok(content)
+}
+
+/// Decodes a payload and re-encodes it canonically. For bytes the
+/// encoder produced this is the identity; for merely-accepted inputs it
+/// yields the canonical spelling of the same tree.
+///
+/// # Errors
+///
+/// Propagates the [`decode_content_tree`] contract.
+pub fn reencode(bytes: &[u8]) -> Result<Vec<u8>, WireError> {
+    let content = decode_content_tree(bytes)?;
+    Ok(encode_content_tree(&content))
 }
 
 const fn zigzag_encode(v: i64) -> u64 {
@@ -636,6 +730,85 @@ mod tests {
             decode_value::<Request>(&bytes),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    /// Every 7-bit LEB128 length boundary: the largest value of each
+    /// encoded byte length and the smallest value of the next.
+    fn varint_boundaries() -> Vec<(u64, usize)> {
+        let mut cases = vec![(0u64, 1usize)];
+        for k in 1..=9usize {
+            let edge = 1u64 << (7 * k);
+            cases.push((edge - 1, k));
+            cases.push((edge, k + 1));
+        }
+        cases.push((u64::MAX, 10));
+        cases
+    }
+
+    #[test]
+    fn varints_round_trip_at_every_length_boundary() {
+        for (value, expected_len) in varint_boundaries() {
+            let bytes = encode_varint(value);
+            assert_eq!(bytes.len(), expected_len, "canonical length of {value}");
+            let (back, consumed) = decode_varint(&bytes).expect("canonical decodes");
+            assert_eq!(back, value);
+            assert_eq!(consumed, expected_len);
+        }
+    }
+
+    #[test]
+    fn non_canonical_varints_rejected_at_every_length() {
+        for (value, canonical_len) in varint_boundaries() {
+            // Pad the canonical encoding with zero continuation bytes
+            // out to every longer length the 10-byte cap allows.
+            for padded_len in canonical_len + 1..=10 {
+                let mut bytes = encode_varint(value);
+                while bytes.len() < padded_len {
+                    let last = bytes.len() - 1;
+                    bytes[last] |= 0x80;
+                    bytes.push(0x00);
+                }
+                let err = decode_varint(&bytes).expect_err("padded form must be rejected");
+                assert!(
+                    matches!(err, WireError::Malformed(_)),
+                    "value {value} padded to {padded_len}: {err}"
+                );
+            }
+        }
+        // The classic two-byte zero.
+        assert!(matches!(
+            decode_varint(&[0x80, 0x00]),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn overlong_and_overflowing_varints_rejected() {
+        // Eleven continuation bytes: longer than any u64 needs.
+        let overlong = [0x80u8; 11];
+        assert!(matches!(
+            decode_varint(&overlong),
+            Err(WireError::Malformed(_))
+        ));
+        // Ten bytes whose top byte pushes past bit 63.
+        let mut overflow = vec![0xffu8; 9];
+        overflow.push(0x02);
+        assert!(matches!(
+            decode_varint(&overflow),
+            Err(WireError::Malformed(_))
+        ));
+        // Truncated mid-varint.
+        assert!(matches!(decode_varint(&[0x80]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn reencode_is_identity_on_canonical_bytes() {
+        let req = Request::Predict {
+            device: "pixel".to_string(),
+            network: tiny_network(),
+        };
+        let bytes = encode_value(&req).expect("encodes");
+        assert_eq!(reencode(&bytes).expect("reencodes"), bytes);
     }
 
     #[test]

@@ -426,6 +426,12 @@ impl<'a> Cur<'a> {
             }
             out |= part << (7 * i);
             if byte & 0x80 == 0 {
+                // Mirror the generic decoder: multi-byte encodings
+                // ending in 0x00 are non-canonical and must not be
+                // accepted on the fast path either.
+                if i > 0 && byte == 0 {
+                    return None;
+                }
                 return Some(out);
             }
         }

@@ -120,6 +120,26 @@ pub(crate) struct ServerShared<'a> {
 }
 
 impl ServerShared<'_> {
+    /// A shared-state block for the socket-free harness
+    /// ([`crate::harness`]): same counters and flags as a live server,
+    /// no listeners attached.
+    pub(crate) fn for_harness(serving: &ServingRepository) -> ServerShared<'_> {
+        ServerShared {
+            serving,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            request_errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            open_connections: AtomicI64::new(0),
+            telemetry: false,
+            draining: AtomicBool::new(false),
+            ops_stop: AtomicBool::new(false),
+            ops_addr: None,
+            started: Instant::now(),
+            workers: 1,
+        }
+    }
+
     /// Flags shutdown; the non-blocking accept loop observes it within
     /// one park interval without needing a wake-up connection.
     fn trigger_shutdown(&self) {
@@ -143,16 +163,16 @@ impl ServerShared<'_> {
 }
 
 /// Bytes read from a socket per `read` call.
-const READ_CHUNK: usize = 64 * 1024;
+pub(crate) const READ_CHUNK: usize = 64 * 1024;
 /// Bytes read from one connection per sweep before yielding to its
 /// shard neighbours.
 const READ_BURST: usize = 256 * 1024;
 /// Unprocessed input cap per connection; a legacy line (or frame
 /// backlog) larger than this drops the connection.
-const MAX_BUFFERED_INPUT: usize = 64 * 1024 * 1024;
+pub(crate) const MAX_BUFFERED_INPUT: usize = 64 * 1024 * 1024;
 /// Pending-output level above which a connection stops consuming new
 /// requests until the peer drains responses (pipelining backpressure).
-const WRITE_HIGH_WATER: usize = 1024 * 1024;
+pub(crate) const WRITE_HIGH_WATER: usize = 1024 * 1024;
 /// No-progress sweeps spent on `yield_now` before parking.
 const SPIN_SWEEPS: u32 = 128;
 /// First and largest park interval once a shard goes idle.
@@ -373,17 +393,53 @@ fn back_off(progress: bool, idle: &mut u32, park: &mut Duration) {
     }
 }
 
+/// The byte-stream seam under a connection's state machine. Production
+/// connections run on [`TcpStream`]; the conformance harness
+/// ([`crate::harness`]) substitutes a scripted in-memory transport so
+/// the exact same `Conn` code can be model-checked without sockets.
+///
+/// Both calls follow non-blocking socket semantics: `Ok(0)` on read
+/// means EOF, [`ErrorKind::WouldBlock`] means "nothing right now".
+pub(crate) trait Transport {
+    /// Reads available bytes into `buf`.
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize>;
+    /// Writes as much of `buf` as the peer accepts right now.
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize>;
+    /// One-time socket setup on connection registration. The default
+    /// does nothing (in-memory transports need none).
+    fn prepare(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Transport for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        Read::read(self, buf)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Write::write(self, buf)
+    }
+
+    fn prepare(&mut self) -> std::io::Result<()> {
+        // Responses can be small; without TCP_NODELAY each flush can
+        // wait on the peer's delayed ACK.
+        let _ = self.set_nodelay(true);
+        self.set_nonblocking(true)
+    }
+}
+
 /// Per-shard scratch reused across every connection and request: the
 /// socket read chunk and the response serialize buffer. The legacy
 /// path used to allocate a fresh `String` per response; both protocols
 /// now serialize into this one buffer.
-struct Scratch {
+pub(crate) struct Scratch {
     chunk: Vec<u8>,
     ser: Vec<u8>,
 }
 
 impl Scratch {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             chunk: vec![0u8; READ_CHUNK],
             ser: Vec::with_capacity(4096),
@@ -393,7 +449,7 @@ impl Scratch {
 
 /// Which framing a connection speaks; decided by its first byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Proto {
+pub(crate) enum Proto {
     /// Nothing received yet.
     Sniff,
     /// Newline-delimited JSON.
@@ -415,34 +471,32 @@ enum Outcome {
 
 /// One connection's state machine: read buffer, write buffer, framing
 /// mode, and lifecycle flags. All buffers are owned and reused for the
-/// connection's lifetime.
-struct Conn {
-    stream: TcpStream,
+/// connection's lifetime. Generic over the [`Transport`] so the
+/// harness can drive the identical state machine in memory.
+pub(crate) struct Conn<T: Transport = TcpStream> {
+    stream: T,
     /// Unparsed input; `consumed` marks the handled prefix.
-    buf: Vec<u8>,
-    consumed: usize,
+    pub(crate) buf: Vec<u8>,
+    pub(crate) consumed: usize,
     /// Pending output; `written` marks the flushed prefix.
-    out: Vec<u8>,
-    written: usize,
-    proto: Proto,
+    pub(crate) out: Vec<u8>,
+    pub(crate) written: usize,
+    pub(crate) proto: Proto,
     /// Peer closed its write half; serve what is buffered, then close.
     peer_eof: bool,
     /// Stop reading; close once `out` is flushed.
-    closing: bool,
+    pub(crate) closing: bool,
     /// Finished (or broken): reap on the next sweep.
-    dead: bool,
+    pub(crate) dead: bool,
     /// When the previous request on this connection finished, for the
     /// `read` stage span (includes client idle time, as documented).
     prev_done_us: u64,
 }
 
-impl Conn {
-    fn new(shared: &ServerShared<'_>, stream: TcpStream) -> Self {
+impl<T: Transport> Conn<T> {
+    pub(crate) fn new(shared: &ServerShared<'_>, mut stream: T) -> Self {
         shared.track_open(1);
-        // Responses can be small; without TCP_NODELAY each flush can
-        // wait on the peer's delayed ACK.
-        let _ = stream.set_nodelay(true);
-        let dead = stream.set_nonblocking(true).is_err();
+        let dead = stream.prepare().is_err();
         Self {
             stream,
             buf: Vec::with_capacity(4096),
@@ -457,10 +511,15 @@ impl Conn {
         }
     }
 
+    /// The underlying transport, for harness inspection.
+    pub(crate) fn transport_mut(&mut self) -> &mut T {
+        &mut self.stream
+    }
+
     /// One readiness sweep over this connection: read what the socket
     /// has, process every complete request, flush what the socket
     /// takes. Returns whether anything moved.
-    fn pump(&mut self, shared: &ServerShared<'_>, scratch: &mut Scratch) -> bool {
+    pub(crate) fn pump(&mut self, shared: &ServerShared<'_>, scratch: &mut Scratch) -> bool {
         if self.dead {
             return false;
         }

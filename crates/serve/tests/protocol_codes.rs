@@ -1,0 +1,63 @@
+//! Exhaustiveness guarantees for the stable wire error codes: every
+//! constant in `protocol::codes` is distinct, survives a round trip
+//! through a binary wire error frame, and is documented in the README
+//! error-code table — so a code can never silently change, collide, or
+//! ship undocumented.
+
+use std::collections::HashSet;
+
+use gdcm_serve::protocol::{codes, wire, Response};
+
+#[test]
+fn every_code_is_distinct_and_nonempty() {
+    let mut seen = HashSet::new();
+    for code in codes::ALL {
+        assert!(!code.is_empty());
+        assert_eq!(code, code.trim(), "code {code:?} has stray whitespace");
+        assert!(
+            code.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+            "code {code:?} is not snake_case"
+        );
+        assert!(seen.insert(code), "duplicate wire error code {code:?}");
+    }
+    assert_eq!(seen.len(), codes::ALL.len());
+}
+
+#[test]
+fn every_code_round_trips_through_a_wire_error_frame() {
+    for (i, code) in codes::ALL.into_iter().enumerate() {
+        let response = Response::Error {
+            code: code.to_string(),
+            message: format!("probe for {code}"),
+        };
+        let mut buf = Vec::new();
+        wire::append_frame(&mut buf, i as u64, &response).expect("error frame encodes");
+
+        let header = wire::decode_frame_header(&buf).expect("header decodes");
+        assert_eq!(header.request_id, i as u64);
+        let payload = &buf[wire::FRAME_HEADER_LEN..wire::FRAME_HEADER_LEN + header.payload_len];
+        assert_eq!(buf.len(), wire::FRAME_HEADER_LEN + header.payload_len);
+        let back: Response = wire::decode_value(payload).expect("error frame decodes");
+        match back {
+            Response::Error { code: got, message } => {
+                assert_eq!(got, code, "code mutated across the wire");
+                assert_eq!(message, format!("probe for {code}"));
+            }
+            other => panic!("error frame decoded as {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_code_is_documented_in_the_readme_table() {
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(readme_path).expect("README.md is readable");
+    for code in codes::ALL {
+        let cell = format!("`{code}`");
+        assert!(
+            readme.contains(&cell),
+            "wire error code {code:?} is missing from the README error-code table \
+             (expected to find {cell})"
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! Pass 1 — codec equivalence (GDCM160–163).
+//!
+//! The fast codec in `gdcm-serve` claims two contracts: its encoder is
+//! **byte-identical** to the generic tagged encoder, and its decoder
+//! accepts a superset that always agrees with the generic decoder's
+//! verdict. This pass verifies both differentially over the
+//! [`crate::corpus`] enumeration, then sweeps the scalar layer:
+//! every LEB128 length boundary round-trips bit-exactly, over-long and
+//! non-canonical varints are rejected at every byte length, zigzag
+//! survives `i64::MIN`/`MAX`, and f64 travels by raw bits (NaN
+//! payloads, signed zero, subnormals).
+
+use gdcm_analyze::{DiagCode, Diagnostic, Report};
+use gdcm_serve::protocol::{wire, Request};
+use serde::__private::Content;
+
+/// One differential encoding observation: the same request through
+/// both encoders.
+#[derive(Debug, Clone)]
+pub struct EncodePair {
+    /// Which corpus entry produced the pair.
+    pub label: String,
+    /// The hand-rolled fast encoder's bytes.
+    pub fast: Vec<u8>,
+    /// The generic tagged encoder's bytes.
+    pub generic: Vec<u8>,
+}
+
+/// One differential decoding observation: the same payload through
+/// both decoders, outcomes reduced to `Ok(Request)` / `Err(message)`.
+#[derive(Debug, Clone)]
+pub struct DecodePair {
+    /// Which payload produced the pair.
+    pub label: String,
+    /// The fast decoder's verdict.
+    pub fast: Result<Request, String>,
+    /// The generic decoder's verdict.
+    pub generic: Result<Request, String>,
+}
+
+/// One scalar round-trip observation, reduced to bit patterns so a
+/// varint value, a zigzag i64, and an f64 all judge identically.
+#[derive(Debug, Clone)]
+pub struct ScalarProbe {
+    /// What was encoded (value and encoding named).
+    pub label: String,
+    /// The bits that went in.
+    pub want_bits: u64,
+    /// The bits that came back, `None` when decoding failed.
+    pub got_bits: Option<u64>,
+}
+
+/// One strictness observation: a deliberately non-canonical or
+/// over-long encoding and whether the decoder accepted it.
+#[derive(Debug, Clone)]
+pub struct StrictnessProbe {
+    /// Which hostile encoding was probed.
+    pub label: String,
+    /// Whether the decoder accepted it (it must not).
+    pub accepted: bool,
+}
+
+/// Emits GDCM160 for every pair whose encodings differ.
+pub fn judge_encode_pairs(subject: &str, pairs: &[EncodePair], diags: &mut Vec<Diagnostic>) {
+    for pair in pairs {
+        if pair.fast != pair.generic {
+            let at = pair
+                .fast
+                .iter()
+                .zip(&pair.generic)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| pair.fast.len().min(pair.generic.len()));
+            diags.push(Diagnostic::network_level(
+                DiagCode::WireFastEncodeDivergence,
+                subject,
+                format!(
+                    "{}: fast encoder produced {} byte(s), generic {}, first difference at byte {at}",
+                    pair.label,
+                    pair.fast.len(),
+                    pair.generic.len()
+                ),
+            ));
+        }
+    }
+}
+
+/// Emits GDCM161 for every pair whose decode verdicts disagree —
+/// different values, or one side accepting what the other rejects.
+pub fn judge_decode_pairs(subject: &str, pairs: &[DecodePair], diags: &mut Vec<Diagnostic>) {
+    for pair in pairs {
+        let agree = match (&pair.fast, &pair.generic) {
+            (Ok(a), Ok(b)) => a == b,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        if !agree {
+            diags.push(Diagnostic::network_level(
+                DiagCode::WireFastDecodeDivergence,
+                subject,
+                format!(
+                    "{}: fast decoder {} while generic decoder {}",
+                    pair.label,
+                    verdict(&pair.fast),
+                    verdict(&pair.generic)
+                ),
+            ));
+        }
+    }
+}
+
+fn verdict(r: &Result<Request, String>) -> String {
+    match r {
+        Ok(req) => format!("accepted ({})", gdcm_serve::protocol::request_label(req)),
+        Err(e) => format!("rejected ({e})"),
+    }
+}
+
+/// Emits GDCM162 for every probe whose bits did not survive.
+pub fn judge_scalar_probes(subject: &str, probes: &[ScalarProbe], diags: &mut Vec<Diagnostic>) {
+    for probe in probes {
+        if probe.got_bits != Some(probe.want_bits) {
+            diags.push(Diagnostic::network_level(
+                DiagCode::WireScalarRoundTripMismatch,
+                subject,
+                format!(
+                    "{}: encoded bits {:#018x}, decoded {}",
+                    probe.label,
+                    probe.want_bits,
+                    match probe.got_bits {
+                        Some(bits) => format!("{bits:#018x}"),
+                        None => "nothing (decode failed)".to_string(),
+                    }
+                ),
+            ));
+        }
+    }
+}
+
+/// Emits GDCM163 for every hostile varint encoding the decoder let
+/// through.
+pub fn judge_strictness_probes(
+    subject: &str,
+    probes: &[StrictnessProbe],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for probe in probes {
+        if probe.accepted {
+            diags.push(Diagnostic::network_level(
+                DiagCode::WireOverlongVarintAccepted,
+                subject,
+                format!("{}: decoder accepted a non-canonical encoding", probe.label),
+            ));
+        }
+    }
+}
+
+/// Every 7-bit LEB128 length boundary: the largest value of each
+/// encoded byte length and the smallest value of the next, 1 through
+/// 10 bytes.
+#[must_use]
+pub fn varint_boundaries() -> Vec<u64> {
+    let mut values = vec![0u64, 1];
+    for k in 1..=9usize {
+        let edge = 1u64 << (7 * k);
+        values.push(edge - 1);
+        values.push(edge);
+    }
+    values.push(u64::MAX - 1);
+    values.push(u64::MAX);
+    values
+}
+
+/// The f64 bit patterns the wire must carry exactly: ±0.0, subnormals,
+/// infinities, quiet/signalling-style NaN payloads, and ordinary
+/// magnitudes.
+#[must_use]
+pub fn f64_bit_corpus() -> Vec<(String, u64)> {
+    let named: Vec<(&str, f64)> = vec![
+        ("+0.0", 0.0),
+        ("-0.0", -0.0),
+        ("1.5", 1.5),
+        ("min-positive-subnormal", f64::from_bits(1)),
+        ("max-subnormal", f64::from_bits(0x000f_ffff_ffff_ffff)),
+        ("min-positive-normal", f64::MIN_POSITIVE),
+        ("max", f64::MAX),
+        ("min", f64::MIN),
+        ("+inf", f64::INFINITY),
+        ("-inf", f64::NEG_INFINITY),
+        ("pi-ish", 123.456_789_012_345_67),
+    ];
+    let mut out: Vec<(String, u64)> = named
+        .into_iter()
+        .map(|(name, v)| (name.to_string(), v.to_bits()))
+        .collect();
+    // NaNs compare unequal as floats, so they travel here as raw bits:
+    // the canonical quiet NaN, a payload-carrying NaN, and a negative
+    // NaN — different bit patterns that must all survive verbatim.
+    out.push(("quiet-nan".to_string(), f64::NAN.to_bits()));
+    out.push(("payload-nan".to_string(), 0x7ff8_0000_dead_beef));
+    out.push(("negative-nan".to_string(), 0xfff8_0000_0000_0001));
+    out
+}
+
+/// Builds the differential encoding observations from the live codec.
+#[must_use]
+pub fn encode_pairs() -> Vec<EncodePair> {
+    crate::corpus::all_requests()
+        .iter()
+        .map(|req| {
+            let mut fast = Vec::new();
+            wire::fast::append_request(&mut fast, req);
+            let generic = wire::encode_value(req).unwrap_or_default();
+            EncodePair {
+                label: gdcm_serve::protocol::request_label(req).to_string(),
+                fast,
+                generic,
+            }
+        })
+        .collect()
+}
+
+/// Builds the differential decoding observations: every canonical
+/// corpus encoding, a non-canonical-but-valid spelling (f64 sequence
+/// fields reordered would need map keys, so the probe uses trailing
+/// garbage and truncation instead), through both decoders.
+#[must_use]
+pub fn decode_pairs() -> Vec<DecodePair> {
+    let mut payloads: Vec<(String, Vec<u8>)> = Vec::new();
+    for req in crate::corpus::all_requests() {
+        let mut bytes = Vec::new();
+        wire::fast::append_request(&mut bytes, &req);
+        let label = gdcm_serve::protocol::request_label(&req).to_string();
+        // The canonical bytes, a truncated prefix, and a trailing-byte
+        // extension: accept/reject verdicts must match pairwise.
+        payloads.push((format!("{label}/canonical"), bytes.clone()));
+        let cut = bytes.len() / 2;
+        payloads.push((format!("{label}/prefix-{cut}"), bytes[..cut].to_vec()));
+        let mut extended = bytes;
+        extended.push(0x00);
+        payloads.push((format!("{label}/trailing-byte"), extended));
+    }
+    payloads.push(("garbage".to_string(), vec![0xff, 0xfe, 0xfd]));
+    payloads.push(("empty".to_string(), Vec::new()));
+    payloads
+        .into_iter()
+        .map(|(label, payload)| DecodePair {
+            label,
+            fast: wire::fast::decode_request(&payload).map_err(|e| e.to_string()),
+            generic: wire::decode_value::<Request>(&payload).map_err(|e| e.to_string()),
+        })
+        .collect()
+}
+
+/// Builds the scalar round-trip observations from the live codec:
+/// varint boundaries, zigzag extremes through `Content::I64`, and the
+/// f64 bit corpus through `Content::F64`.
+#[must_use]
+pub fn scalar_probes() -> Vec<ScalarProbe> {
+    let mut probes = Vec::new();
+    for value in varint_boundaries() {
+        let bytes = wire::encode_varint(value);
+        let got = wire::decode_varint(&bytes)
+            .ok()
+            .filter(|&(_, used)| used == bytes.len())
+            .map(|(v, _)| v);
+        probes.push(ScalarProbe {
+            label: format!("varint {value} ({} byte(s))", bytes.len()),
+            want_bits: value,
+            got_bits: got,
+        });
+    }
+    for value in [0i64, 1, -1, 63, -64, 64, -65, i64::MIN, i64::MAX] {
+        let bytes = wire::encode_content_tree(&Content::I64(value));
+        let got = match wire::decode_content_tree(&bytes) {
+            Ok(Content::I64(back)) => Some(back as u64),
+            _ => None,
+        };
+        probes.push(ScalarProbe {
+            label: format!("zigzag i64 {value}"),
+            want_bits: value as u64,
+            got_bits: got,
+        });
+    }
+    for (name, bits) in f64_bit_corpus() {
+        let bytes = wire::encode_content_tree(&Content::F64(f64::from_bits(bits)));
+        let got = match wire::decode_content_tree(&bytes) {
+            Ok(Content::F64(back)) => Some(back.to_bits()),
+            _ => None,
+        };
+        probes.push(ScalarProbe {
+            label: format!("f64 {name}"),
+            want_bits: bits,
+            got_bits: got,
+        });
+    }
+    probes
+}
+
+/// Builds the strictness observations from the live decoder: every
+/// boundary value padded with zero continuation bytes to every longer
+/// length up to the 10-byte cap, an 11-byte over-long encoding, a
+/// 10-byte overflow, and non-canonical varints embedded in a full
+/// content payload (a string length and a u64 scalar).
+#[must_use]
+pub fn strictness_probes() -> Vec<StrictnessProbe> {
+    let mut probes = Vec::new();
+    for value in varint_boundaries() {
+        let canonical = wire::encode_varint(value);
+        for padded_len in canonical.len() + 1..=10 {
+            let mut bytes = canonical.clone();
+            while bytes.len() < padded_len {
+                let last = bytes.len() - 1;
+                bytes[last] |= 0x80;
+                bytes.push(0x00);
+            }
+            probes.push(StrictnessProbe {
+                label: format!("varint {value} padded to {padded_len} byte(s)"),
+                accepted: wire::decode_varint(&bytes).is_ok(),
+            });
+        }
+    }
+    probes.push(StrictnessProbe {
+        label: "11-byte over-long varint".to_string(),
+        accepted: wire::decode_varint(&[0x80u8; 11]).is_ok(),
+    });
+    let mut overflow = vec![0xffu8; 9];
+    overflow.push(0x02);
+    probes.push(StrictnessProbe {
+        label: "10-byte varint overflowing u64".to_string(),
+        accepted: wire::decode_varint(&overflow).is_ok(),
+    });
+    // Embedded in payloads: a Str whose length varint is the padded
+    // spelling of 4, and a U64 scalar spelled non-canonically.
+    let mut padded_str = vec![wire::tags::STR, 0x84, 0x00];
+    padded_str.extend_from_slice(b"Ping");
+    probes.push(StrictnessProbe {
+        label: "payload: Str with padded length varint".to_string(),
+        accepted: wire::decode_content_tree(&padded_str).is_ok(),
+    });
+    let padded_u64 = vec![wire::tags::U64, 0x85, 0x00];
+    probes.push(StrictnessProbe {
+        label: "payload: U64 scalar spelled non-canonically".to_string(),
+        accepted: wire::decode_content_tree(&padded_u64).is_ok(),
+    });
+    probes
+}
+
+/// Runs the whole pass against the live codec.
+#[must_use]
+pub fn check_codec() -> Report {
+    let mut report = Report::new("wire/codec");
+    judge_encode_pairs("wire/codec", &encode_pairs(), &mut report.diagnostics);
+    judge_decode_pairs("wire/codec", &decode_pairs(), &mut report.diagnostics);
+    judge_scalar_probes("wire/codec", &scalar_probes(), &mut report.diagnostics);
+    judge_strictness_probes("wire/codec", &strictness_probes(), &mut report.diagnostics);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_codec_is_clean() {
+        let report = check_codec();
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn scalar_probe_counts_cover_the_boundaries() {
+        // 22 varint boundaries + 9 zigzag extremes + the f64 corpus.
+        assert_eq!(varint_boundaries().len(), 22);
+        assert!(scalar_probes().len() >= 22 + 9 + 14);
+    }
+}

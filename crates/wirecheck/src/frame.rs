@@ -1,0 +1,412 @@
+//! Pass 2 — frame-grammar soundness (GDCM164–169).
+//!
+//! Works below the `Request`/`Response` types, on the tagged content
+//! grammar itself: every enumerated tree must survive
+//! encode→decode→equality (GDCM164) and re-encode to its own bytes
+//! (GDCM165); every strict prefix of a valid encoding must be rejected
+//! (GDCM166); adversarial headers — lying lengths, depth bombs — must
+//! be refused before any allocation happens (GDCM167); frame headers
+//! must round-trip extreme request ids (GDCM168); and nothing above
+//! [`wire::MAX_PAYLOAD`] may ever be framed (GDCM169).
+
+use gdcm_analyze::{DiagCode, Diagnostic, Report};
+use gdcm_serve::protocol::wire;
+use serde::__private::Content;
+
+/// One tree round-trip observation.
+#[derive(Debug, Clone)]
+pub struct TreeFact {
+    /// Which grammar tree was probed.
+    pub label: String,
+    /// Whether decode(encode(tree)) equalled the tree.
+    pub round_tripped: bool,
+}
+
+/// One canonical re-encode observation.
+#[derive(Debug, Clone)]
+pub struct CanonicalFact {
+    /// Which payload was probed.
+    pub label: String,
+    /// Whether `reencode(bytes)` returned exactly `bytes`.
+    pub identical: bool,
+}
+
+/// One truncation observation: a strict prefix of a valid encoding.
+#[derive(Debug, Clone)]
+pub struct PrefixFact {
+    /// Which encoding was truncated and where.
+    pub label: String,
+    /// Whether the decoder accepted the prefix (it must not).
+    pub accepted: bool,
+}
+
+/// One hostile-header observation: a declared length or depth designed
+/// to trigger a huge allocation or unbounded recursion.
+#[derive(Debug, Clone)]
+pub struct HostileFact {
+    /// Which hostile input was probed.
+    pub label: String,
+    /// Whether the decoder rejected it (it must).
+    pub rejected: bool,
+}
+
+/// One frame-header observation.
+#[derive(Debug, Clone)]
+pub struct HeaderFact {
+    /// Which id/length combination was probed.
+    pub label: String,
+    /// Whether both header fields round-tripped.
+    pub round_tripped: bool,
+}
+
+/// One payload-cap observation: an attempt to frame an oversized
+/// payload.
+#[derive(Debug, Clone)]
+pub struct CapFact {
+    /// Which oversized framing was attempted.
+    pub label: String,
+    /// Whether the framing call refused (it must).
+    pub refused: bool,
+}
+
+/// Emits GDCM164 for every tree that failed its round trip.
+pub fn judge_tree_facts(subject: &str, facts: &[TreeFact], diags: &mut Vec<Diagnostic>) {
+    for fact in facts {
+        if !fact.round_tripped {
+            diags.push(Diagnostic::network_level(
+                DiagCode::WireContentRoundTripMismatch,
+                subject,
+                format!("{}: decode(encode(tree)) != tree", fact.label),
+            ));
+        }
+    }
+}
+
+/// Emits GDCM165 for every payload whose re-encoding differed.
+pub fn judge_canonical_facts(subject: &str, facts: &[CanonicalFact], diags: &mut Vec<Diagnostic>) {
+    for fact in facts {
+        if !fact.identical {
+            diags.push(Diagnostic::network_level(
+                DiagCode::WireReencodeMismatch,
+                subject,
+                format!("{}: reencode(bytes) != bytes", fact.label),
+            ));
+        }
+    }
+}
+
+/// Emits GDCM166 for every accepted strict prefix.
+pub fn judge_prefix_facts(subject: &str, facts: &[PrefixFact], diags: &mut Vec<Diagnostic>) {
+    for fact in facts {
+        if fact.accepted {
+            diags.push(Diagnostic::network_level(
+                DiagCode::WireTruncationAccepted,
+                subject,
+                format!("{}: a strict prefix decoded successfully", fact.label),
+            ));
+        }
+    }
+}
+
+/// Emits GDCM167 for every hostile input that was not rejected.
+pub fn judge_hostile_facts(subject: &str, facts: &[HostileFact], diags: &mut Vec<Diagnostic>) {
+    for fact in facts {
+        if !fact.rejected {
+            diags.push(Diagnostic::network_level(
+                DiagCode::WireHostileLengthAccepted,
+                subject,
+                format!("{}: hostile declared length/depth was accepted", fact.label),
+            ));
+        }
+    }
+}
+
+/// Emits GDCM168 for every header that failed to round-trip.
+pub fn judge_header_facts(subject: &str, facts: &[HeaderFact], diags: &mut Vec<Diagnostic>) {
+    for fact in facts {
+        if !fact.round_tripped {
+            diags.push(Diagnostic::network_level(
+                DiagCode::WireFrameHeaderMismatch,
+                subject,
+                format!("{}: header fields did not round-trip", fact.label),
+            ));
+        }
+    }
+}
+
+/// Emits GDCM169 for every oversized framing that was not refused.
+pub fn judge_cap_facts(subject: &str, facts: &[CapFact], diags: &mut Vec<Diagnostic>) {
+    for fact in facts {
+        if !fact.refused {
+            diags.push(Diagnostic::network_level(
+                DiagCode::WireOversizedFrameUnrefused,
+                subject,
+                format!("{}: payload above MAX_PAYLOAD was framed", fact.label),
+            ));
+        }
+    }
+}
+
+/// The symbolic enumeration of the content-tree grammar: every tag,
+/// scalars at their encoding edges, strings across length-varint
+/// boundaries and non-ASCII content, empty/nested/mixed containers,
+/// and a sequence nested to exactly the depth cap. NaN payloads are
+/// deliberately absent — floats here travel through an equality check,
+/// and NaN bit-exactness is covered by the codec pass's scalar probes.
+#[must_use]
+pub fn grammar_trees() -> Vec<(String, Content)> {
+    let mut trees: Vec<(String, Content)> = vec![
+        ("null".into(), Content::Null),
+        ("false".into(), Content::Bool(false)),
+        ("true".into(), Content::Bool(true)),
+        ("i64 0".into(), Content::I64(0)),
+        ("i64 min".into(), Content::I64(i64::MIN)),
+        ("i64 max".into(), Content::I64(i64::MAX)),
+        ("u64 0".into(), Content::U64(0)),
+        ("u64 max".into(), Content::U64(u64::MAX)),
+        ("f64 -0.0".into(), Content::F64(-0.0)),
+        ("f64 max".into(), Content::F64(f64::MAX)),
+        ("f64 subnormal".into(), Content::F64(f64::from_bits(1))),
+        ("str empty".into(), Content::Str(String::new())),
+        ("str ascii".into(), Content::Str("Ping".into())),
+        ("str utf8".into(), Content::Str("héllo-wörld-λ-⊕".into())),
+        (
+            "str 2-byte length varint".into(),
+            Content::Str("x".repeat(200)),
+        ),
+        ("seq empty".into(), Content::Seq(vec![])),
+        (
+            "seq mixed scalars".into(),
+            Content::Seq(vec![
+                Content::Null,
+                Content::Bool(true),
+                Content::I64(-1),
+                Content::U64(128),
+                Content::F64(1.5),
+                Content::Str("mix".into()),
+            ]),
+        ),
+        ("map empty".into(), Content::Map(vec![])),
+        (
+            "map nested".into(),
+            Content::Map(vec![
+                ("".into(), Content::Null),
+                ("kéy".into(), Content::Seq(vec![Content::U64(7)])),
+                (
+                    "inner".into(),
+                    Content::Map(vec![("x".into(), Content::Bool(false))]),
+                ),
+            ]),
+        ),
+    ];
+    // Every u64 varint length boundary as a scalar inside a container,
+    // so length varints and value varints are both swept in context.
+    for value in crate::codec::varint_boundaries() {
+        trees.push((
+            format!("seq[u64 {value}]"),
+            Content::Seq(vec![Content::U64(value)]),
+        ));
+    }
+    // The deepest legal tree: MAX_DEPTH nested singleton sequences.
+    let mut deep = Content::Null;
+    for _ in 0..wire::MAX_DEPTH {
+        deep = Content::Seq(vec![deep]);
+    }
+    trees.push((format!("seq nested to depth {}", wire::MAX_DEPTH), deep));
+    trees
+}
+
+/// Builds tree round-trip facts from the live codec.
+#[must_use]
+pub fn tree_facts() -> Vec<TreeFact> {
+    grammar_trees()
+        .into_iter()
+        .map(|(label, tree)| {
+            let bytes = wire::encode_content_tree(&tree);
+            let round_tripped = matches!(
+                wire::decode_content_tree(&bytes),
+                Ok(back) if back == tree
+            );
+            TreeFact {
+                label,
+                round_tripped,
+            }
+        })
+        .collect()
+}
+
+/// Builds canonical re-encode facts: every grammar tree's encoder
+/// output must be a fixed point of decode→encode.
+#[must_use]
+pub fn canonical_facts() -> Vec<CanonicalFact> {
+    grammar_trees()
+        .into_iter()
+        .map(|(label, tree)| {
+            let bytes = wire::encode_content_tree(&tree);
+            let identical = wire::reencode(&bytes).is_ok_and(|back| back == bytes);
+            CanonicalFact { label, identical }
+        })
+        .collect()
+}
+
+/// Builds truncation facts: every strict prefix of every grammar
+/// encoding is offered to the decoder.
+#[must_use]
+pub fn prefix_facts() -> Vec<PrefixFact> {
+    let mut facts = Vec::new();
+    for (label, tree) in grammar_trees() {
+        let bytes = wire::encode_content_tree(&tree);
+        for cut in 0..bytes.len() {
+            facts.push(PrefixFact {
+                label: format!("{label} cut to {cut}/{} byte(s)", bytes.len()),
+                accepted: wire::decode_content_tree(&bytes[..cut]).is_ok(),
+            });
+        }
+    }
+    facts
+}
+
+/// Builds hostile-header facts: declared lengths far beyond the buffer
+/// (which must be refused by arithmetic on the remaining input, not by
+/// attempting the allocation) and nesting past the depth cap.
+#[must_use]
+pub fn hostile_facts() -> Vec<HostileFact> {
+    let mut inputs: Vec<(String, Vec<u8>)> = Vec::new();
+    for (name, claimed) in [
+        ("u32::MAX", u64::from(u32::MAX)),
+        ("u64::MAX/2", u64::MAX / 2),
+        ("MAX_PAYLOAD", wire::MAX_PAYLOAD as u64),
+    ] {
+        for (tag_name, tag) in [
+            ("seq", wire::tags::SEQ),
+            ("map", wire::tags::MAP),
+            ("str", wire::tags::STR),
+        ] {
+            let mut bytes = vec![tag];
+            bytes.extend_from_slice(&wire::encode_varint(claimed));
+            inputs.push((format!("{tag_name} claiming {name} elements"), bytes));
+        }
+    }
+    // A map whose declared entry count narrowly overruns the input.
+    inputs.push((
+        "map declaring 2 entries with bytes for 1".into(),
+        vec![wire::tags::MAP, 0x02, 0x01, b'k', wire::tags::NULL],
+    ));
+    // Depth bombs: one just past the cap, one far past it (the second
+    // must be refused without exhausting the stack).
+    for extra in [1usize, 10_000] {
+        let depth = wire::MAX_DEPTH + extra;
+        let mut bytes = Vec::with_capacity(2 * depth + 1);
+        for _ in 0..depth {
+            bytes.push(wire::tags::SEQ);
+            bytes.push(0x01);
+        }
+        bytes.push(wire::tags::NULL);
+        inputs.push((format!("seq nested to depth {depth}"), bytes));
+    }
+    inputs
+        .into_iter()
+        .map(|(label, bytes)| HostileFact {
+            rejected: wire::decode_content_tree(&bytes).is_err(),
+            label,
+        })
+        .collect()
+}
+
+/// Builds frame-header facts over extreme request ids and payload
+/// lengths.
+#[must_use]
+pub fn header_facts() -> Vec<HeaderFact> {
+    let ids = [0u64, 1, 1 << 32, 1 << 53, u64::MAX - 1, u64::MAX];
+    let lens = [0usize, 1, 4096];
+    let mut facts = Vec::new();
+    for &id in &ids {
+        for &len in &lens {
+            let payload = vec![0xabu8; len];
+            let mut buf = Vec::new();
+            let round_tripped = wire::append_raw_frame(&mut buf, id, &payload).is_ok()
+                && matches!(
+                    wire::decode_frame_header(&buf),
+                    Ok(h) if h.request_id == id && h.payload_len == len
+                );
+            facts.push(HeaderFact {
+                label: format!("id {id}, {len}-byte payload"),
+                round_tripped,
+            });
+        }
+    }
+    facts
+}
+
+/// Builds payload-cap facts: framing one byte over [`wire::MAX_PAYLOAD`]
+/// must refuse on both the raw and the encoding path.
+#[must_use]
+pub fn cap_facts() -> Vec<CapFact> {
+    let oversized = vec![0u8; wire::MAX_PAYLOAD + 1];
+    let mut raw_buf = Vec::new();
+    let raw_refused = wire::append_raw_frame(&mut raw_buf, 1, &oversized).is_err();
+    // A string whose encoding (tag + length varint + bytes) lands just
+    // over the cap exercises the post-encode check in append_frame.
+    let big_string = "x".repeat(wire::MAX_PAYLOAD);
+    let mut enc_buf = Vec::new();
+    let enc_refused = wire::append_frame(&mut enc_buf, 1, &big_string).is_err();
+    vec![
+        CapFact {
+            label: format!("raw frame of {} byte(s)", oversized.len()),
+            refused: raw_refused && raw_buf.is_empty(),
+        },
+        CapFact {
+            label: "encoded frame just over MAX_PAYLOAD".into(),
+            refused: enc_refused && enc_buf.is_empty(),
+        },
+    ]
+}
+
+/// Runs the whole pass against the live codec.
+#[must_use]
+pub fn check_frames() -> Report {
+    let mut report = Report::new("wire/frame");
+    judge_tree_facts("wire/frame", &tree_facts(), &mut report.diagnostics);
+    judge_canonical_facts("wire/frame", &canonical_facts(), &mut report.diagnostics);
+    judge_prefix_facts("wire/frame", &prefix_facts(), &mut report.diagnostics);
+    judge_hostile_facts("wire/frame", &hostile_facts(), &mut report.diagnostics);
+    judge_header_facts("wire/frame", &header_facts(), &mut report.diagnostics);
+    judge_cap_facts("wire/frame", &cap_facts(), &mut report.diagnostics);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_frame_grammar_is_clean() {
+        let report = check_frames();
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn frame_at_exactly_max_payload_is_accepted() {
+        // The cap is inclusive: exactly MAX_PAYLOAD must still frame.
+        let payload = vec![0u8; wire::MAX_PAYLOAD];
+        let mut buf = Vec::new();
+        wire::append_raw_frame(&mut buf, 7, &payload).expect("at-cap frame");
+        let header = wire::decode_frame_header(&buf).expect("header");
+        assert_eq!(header.payload_len, wire::MAX_PAYLOAD);
+    }
+
+    #[test]
+    fn grammar_covers_every_tag() {
+        let trees = grammar_trees();
+        let has = |f: fn(&Content) -> bool| trees.iter().any(|(_, t)| f(t));
+        assert!(has(|t| matches!(t, Content::Null)));
+        assert!(has(|t| matches!(t, Content::Bool(false))));
+        assert!(has(|t| matches!(t, Content::Bool(true))));
+        assert!(has(|t| matches!(t, Content::I64(_))));
+        assert!(has(|t| matches!(t, Content::U64(_))));
+        assert!(has(|t| matches!(t, Content::F64(_))));
+        assert!(has(|t| matches!(t, Content::Str(_))));
+        assert!(has(|t| matches!(t, Content::Seq(_))));
+        assert!(has(|t| matches!(t, Content::Map(_))));
+    }
+}

@@ -1,0 +1,148 @@
+//! `gdcm-wirecheck` — sweep the binary wire protocol and the serving
+//! connection state machine through the conformance passes.
+//!
+//! ```text
+//! gdcm-wirecheck [--seed S] [--iters N] [--json PATH]
+//! ```
+//!
+//! Runs all four pass groups — codec equivalence, frame-grammar
+//! soundness, the bounded model check of the connection FSM, and the
+//! deterministic frame fuzzer — against the live `gdcm-serve` codec
+//! and a real in-memory serving repository. Writes one JSON report per
+//! pass (default `target/reports/gdcm-wirecheck.json`) and exits
+//! non-zero if *any* GDCM160–179 diagnostic was produced.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gdcm_analyze::Report;
+use serde::Serialize;
+
+struct Args {
+    seed: u64,
+    iters: Option<usize>,
+    json: PathBuf,
+}
+
+const USAGE: &str = "usage: gdcm-wirecheck [--seed S] [--iters N] [--json PATH]
+
+Sweeps the binary wire protocol through the conformance passes
+(GDCM160-179): codec equivalence, frame-grammar soundness, the bounded
+model check of the connection state machine, and the deterministic
+frame fuzzer. Exits non-zero on any diagnostic.
+
+  --seed S     fuzzer seed (default 42, the suite seed)
+  --iters N    fuzzer iterations (default GDCM_WIRECHECK_ITERS or 2000)
+  --json PATH  where to write the JSON pass reports
+               (default target/reports/gdcm-wirecheck.json)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        iters: None,
+        json: PathBuf::from("target/reports/gdcm-wirecheck.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--iters" => {
+                args.iters = Some(
+                    value("--iters")?
+                        .parse()
+                        .map_err(|e| format!("--iters: {e}"))?,
+                );
+            }
+            "--json" => args.json = PathBuf::from(value("--json")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The JSON document written next to the pipeline's other run reports.
+#[derive(Serialize)]
+struct SweepReport {
+    seed: u64,
+    iters: usize,
+    passes: usize,
+    diagnostics_total: usize,
+    errors_total: usize,
+    reports: Vec<Report>,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _span = gdcm_obs::span!("wirecheck/sweep");
+    let iters = args.iters.unwrap_or_else(gdcm_wirecheck::wirecheck_iters);
+
+    let reports = gdcm_wirecheck::full_sweep(args.seed, iters);
+    for report in &reports {
+        report.emit();
+    }
+
+    let diagnostics_total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    let errors_total: usize = reports.iter().map(Report::error_count).sum();
+    let sweep = SweepReport {
+        seed: args.seed,
+        iters,
+        passes: reports.len(),
+        diagnostics_total,
+        errors_total,
+        reports,
+    };
+    if let Err(e) = write_json(&args.json, &sweep) {
+        eprintln!("gdcm-wirecheck: cannot write {}: {e}", args.json.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut run = gdcm_obs::RunReport::new("gdcm-wirecheck");
+    run.set_dim("passes", sweep.passes as u64);
+    run.set_dim("fuzz_iters", iters as u64);
+    run.set_dim("threads", gdcm_par::pool().threads() as u64);
+    run.set_metric("diagnostics_total", diagnostics_total as f64);
+    run.set_metric("errors_total", errors_total as f64);
+    if let Err(e) = run.finalize_and_write() {
+        eprintln!("gdcm-wirecheck: cannot write run report: {e}");
+    }
+
+    println!(
+        "gdcm-wirecheck: {} passes, {} fuzz iterations, {} diagnostics ({} errors) -> {}",
+        sweep.passes,
+        iters,
+        diagnostics_total,
+        errors_total,
+        args.json.display()
+    );
+    if diagnostics_total > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write_json(path: &PathBuf, sweep: &SweepReport) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    let body = serde_json::to_string_pretty(sweep).map_err(std::io::Error::other)?;
+    file.write_all(body.as_bytes())?;
+    file.write_all(b"\n")
+}
