@@ -171,6 +171,11 @@ pub struct RepositoryParts {
     /// training rows in that case.
     #[serde(default)]
     pub frozen: Option<FrozenGbdt>,
+    /// Model epoch at snapshot time (see
+    /// [`CollaborativeRepository::model_epoch`]). `default` so old
+    /// snapshots deserialize with epoch 0.
+    #[serde(default)]
+    pub epoch: u64,
 }
 
 /// A growing, refittable collaborative cost-model repository.
@@ -192,6 +197,12 @@ pub struct CollaborativeRepository {
     /// the prediction paths run this; `model` is kept as the reference
     /// for auditing.
     frozen: Option<FrozenGbdt>,
+    /// Monotonic model epoch: bumped by every mutation that changes
+    /// what `predict` would answer (`fit`, `re_enroll`,
+    /// `install_model`). Lets callers that cache predictions *outside*
+    /// the repository detect that a value computed against an earlier
+    /// model is stale before they publish it.
+    epoch: u64,
 }
 
 impl CollaborativeRepository {
@@ -213,6 +224,7 @@ impl CollaborativeRepository {
             y: Vec::new(),
             model: None,
             frozen: None,
+            epoch: 0,
         }
     }
 
@@ -286,6 +298,10 @@ impl CollaborativeRepository {
                 row[hw_start..].copy_from_slice(&sig);
             }
         }
+        // The model is unchanged but predictions for this device now use
+        // the new signature, so anything cached against the old one is
+        // stale.
+        self.epoch += 1;
         Ok(())
     }
 
@@ -339,7 +355,56 @@ impl CollaborativeRepository {
                 .expect("freshly fitted model freezes on its own training grid"),
         );
         self.model = Some(model);
+        self.epoch += 1;
         Ok(())
+    }
+
+    /// Installs an externally fitted model pair (e.g. one trained by a
+    /// background refresh off the repository lock) and bumps the model
+    /// epoch. The caller is responsible for having trained and audited
+    /// the pair on this repository's rows; only structural width parity
+    /// is validated here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RepositoryError::CorruptParts`] when either artifact's
+    /// feature width disagrees with the repository's rows.
+    pub fn install_model(
+        &mut self,
+        model: GbdtRegressor,
+        frozen: FrozenGbdt,
+    ) -> Result<(), RepositoryError> {
+        let width = self.encoder.len() + self.signature_size;
+        if model.n_features() != width {
+            return Err(RepositoryError::CorruptParts {
+                reason: format!(
+                    "installed model expects {} features but rows have {width}",
+                    model.n_features()
+                ),
+            });
+        }
+        if frozen.n_features() != width {
+            return Err(RepositoryError::CorruptParts {
+                reason: format!(
+                    "installed frozen model expects {} features but rows have {width}",
+                    frozen.n_features()
+                ),
+            });
+        }
+        self.model = Some(model);
+        self.frozen = Some(frozen);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// The monotonic model epoch: 0 at construction, incremented by
+    /// every successful [`CollaborativeRepository::fit`],
+    /// [`CollaborativeRepository::re_enroll`], and
+    /// [`CollaborativeRepository::install_model`]. Two calls observing
+    /// the same epoch are guaranteed to see bit-identical predictions
+    /// for the same inputs.
+    pub fn model_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Predicts the latency (ms) of `network` on an enrolled device.
@@ -476,6 +541,7 @@ impl CollaborativeRepository {
             y: self.y.clone(),
             model: self.model.clone(),
             frozen: self.frozen.clone(),
+            epoch: self.epoch,
         }
     }
 
@@ -591,6 +657,7 @@ impl CollaborativeRepository {
             y: parts.y,
             model: parts.model,
             frozen,
+            epoch: parts.epoch,
         })
     }
 }
@@ -803,6 +870,75 @@ mod tests {
                 .expect("fitted");
             assert_eq!(a.to_bits(), b.to_bits(), "network {n}");
         }
+    }
+
+    #[test]
+    fn model_epoch_tracks_prediction_changing_mutations() {
+        let data = CostDataset::tiny(17, 8, 12);
+        let sig = vec![0usize, 1, 2];
+        let mut repo = build_repo(&data, &sig);
+        assert_eq!(repo.model_epoch(), 0);
+
+        for d in 0..8 {
+            let lat: Vec<f64> = sig.iter().map(|&n| data.db.latency(d, n)).collect();
+            let name = data.devices[d].model.clone();
+            repo.onboard_device(name.clone(), &lat).expect("valid");
+            for n in 3..data.n_networks() {
+                repo.contribute(&name, &data.suite[n].network, data.db.latency(d, n))
+                    .expect("enrolled");
+            }
+        }
+        // Onboarding and contributing do not change what predict answers.
+        assert_eq!(repo.model_epoch(), 0);
+
+        repo.fit().expect("enough rows");
+        assert_eq!(repo.model_epoch(), 1);
+
+        let name = data.devices[0].model.clone();
+        repo.re_enroll(&name, &[5.0, 6.0, 7.0]).expect("enrolled");
+        assert_eq!(repo.model_epoch(), 2);
+
+        // A failed fit must not bump.
+        let fresh = build_repo(&data, &sig);
+        let mut failing = fresh.clone();
+        assert!(failing.fit().is_err());
+        assert_eq!(failing.model_epoch(), 0);
+
+        // install_model bumps and swaps both artifacts.
+        let (model, frozen) = {
+            let (rows, y) = repo.training_data();
+            let x = DenseMatrix::from_rows(rows);
+            let model = GbdtRegressor::fit(&x, y, &repo.config().gbdt);
+            let binned = BinnedMatrix::from_matrix(&x, repo.config().gbdt.max_bins);
+            let frozen = FrozenGbdt::freeze(&model, &binned).expect("fresh model");
+            (model, frozen)
+        };
+        repo.install_model(model, frozen).expect("widths match");
+        assert_eq!(repo.model_epoch(), 3);
+
+        // Width mismatches are rejected without a bump.
+        let narrow = {
+            let x = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+            let y = [1.0, 2.0];
+            let params = GbdtParams {
+                n_estimators: 2,
+                ..GbdtParams::default()
+            };
+            let model = GbdtRegressor::fit(&x, &y, &params);
+            let binned = BinnedMatrix::from_matrix(&x, params.max_bins);
+            let frozen = FrozenGbdt::freeze(&model, &binned).expect("fresh model");
+            (model, frozen)
+        };
+        assert!(matches!(
+            repo.install_model(narrow.0, narrow.1),
+            Err(RepositoryError::CorruptParts { .. })
+        ));
+        assert_eq!(repo.model_epoch(), 3);
+
+        // The epoch survives a parts round-trip.
+        let rebuilt =
+            CollaborativeRepository::from_parts(repo.to_parts()).expect("self-produced parts");
+        assert_eq!(rebuilt.model_epoch(), 3);
     }
 
     #[test]

@@ -99,6 +99,11 @@ pub struct TrainingLog {
     /// Wall time of the serial per-round predict/residual update (ms) —
     /// the portion of `total_ms` that does not parallelize.
     pub predict_update_ms: f64,
+    /// Trees carried over from a previous model by
+    /// [`GbdtRegressor::warm_fit`]; 0 for a cold fit. `default` so old
+    /// payloads still deserialize.
+    #[serde(default)]
+    pub reused_trees: usize,
 }
 
 impl TrainingLog {
@@ -139,6 +144,65 @@ impl GbdtRegressor {
     /// Panics when `x` is empty, `y` length differs from the row count, or
     /// fractions are outside `(0, 1]`.
     pub fn fit(x: &DenseMatrix, y: &[f32], params: &GbdtParams) -> Self {
+        Self::fit_boosted(x, y, params, None)
+    }
+
+    /// Warm-start refit: reuses the first `reuse` trees of `prev` (and
+    /// its base score) verbatim and boosts only the remaining
+    /// `params.n_estimators - reuse` rounds against the residuals the
+    /// reused prefix leaves on `(x, y)`. Refit cost therefore scales
+    /// with the *new* rounds, not the whole ensemble, while the model
+    /// keeps a constant size.
+    ///
+    /// With `reuse == 0` this is **exactly** [`GbdtRegressor::fit`] —
+    /// the same code path, bit for bit — so callers can dial warmth
+    /// down to a cold refit without changing semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`GbdtRegressor::fit`], when
+    /// `reuse` exceeds `prev`'s tree count or `params.n_estimators`, or
+    /// when (for `reuse > 0`) `prev` was trained on a different feature
+    /// count than `x` has.
+    pub fn warm_fit(
+        x: &DenseMatrix,
+        y: &[f32],
+        params: &GbdtParams,
+        prev: &GbdtRegressor,
+        reuse: usize,
+    ) -> Self {
+        assert!(
+            reuse <= prev.trees.len(),
+            "cannot reuse {reuse} trees from a {}-tree model",
+            prev.trees.len()
+        );
+        assert!(
+            reuse <= params.n_estimators,
+            "cannot reuse {reuse} trees into a {}-round fit",
+            params.n_estimators
+        );
+        if reuse == 0 {
+            return Self::fit(x, y, params);
+        }
+        assert_eq!(
+            prev.n_features,
+            x.n_cols(),
+            "warm-start source feature count mismatch"
+        );
+        Self::fit_boosted(x, y, params, Some((prev.base_score, &prev.trees[..reuse])))
+    }
+
+    /// The boosting loop behind [`GbdtRegressor::fit`] (`warm == None`)
+    /// and [`GbdtRegressor::warm_fit`]. A warm start seeds the ensemble
+    /// with `(base_score, reused trees)` and boosts only the remaining
+    /// rounds; the cold path takes the mean-of-targets base and boosts
+    /// all of them.
+    fn fit_boosted(
+        x: &DenseMatrix,
+        y: &[f32],
+        params: &GbdtParams,
+        warm: Option<(f32, &[Tree])>,
+    ) -> Self {
         assert!(!x.is_empty(), "cannot fit on an empty matrix");
         assert_eq!(x.n_rows(), y.len(), "x/y length mismatch");
         assert!(
@@ -157,8 +221,11 @@ impl GbdtRegressor {
         let hist_start = Instant::now();
         let binned = Arc::new(BinnedMatrix::from_matrix(x, params.max_bins));
         let histogram_build_ms = hist_start.elapsed().as_secs_f64() * 1e3;
-        let base_score = y.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
-        let base_score = base_score as f32;
+        let base_score = match warm {
+            Some((base, _)) => base,
+            None => (y.iter().map(|&v| v as f64).sum::<f64>() / n as f64) as f32,
+        };
+        let reused: &[Tree] = warm.map_or(&[], |(_, trees)| trees);
 
         let tree_params = TreeParams {
             max_depth: params.max_depth,
@@ -173,18 +240,29 @@ impl GbdtRegressor {
             .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
 
+        // A warm start replays the reused prefix into the running
+        // predictions — the same per-tree f64 accumulation the original
+        // fit performed round by round — so boosting resumes on exactly
+        // the residuals the prefix leaves.
         let mut preds = vec![base_score as f64; n];
+        for tree in reused {
+            for (i, pred) in preds.iter_mut().enumerate() {
+                *pred += tree.predict_row(x.row(i)) as f64;
+            }
+        }
+        let rounds = params.n_estimators - reused.len();
         let hess = Arc::new(vec![1f64; n]);
         let all_rows: Vec<usize> = (0..n).collect();
         let mut trees = Vec::with_capacity(params.n_estimators);
-        let mut round_train_rmse = Vec::with_capacity(params.n_estimators);
+        trees.extend_from_slice(reused);
+        let mut round_train_rmse = Vec::with_capacity(rounds);
         let mut split_search_ms = 0.0f64;
         let mut predict_update_ms = 0.0f64;
         let pool = gdcm_par::pool();
         let threads_used = pool.threads();
         let pool_busy_at_start_ms = pool.total_busy_ms();
 
-        for _ in 0..params.n_estimators {
+        for _ in 0..rounds {
             // Gradients are rebuilt per round (they depend on the
             // running predictions) and handed to the split-search jobs
             // via `Arc` — same values the old in-place update produced.
@@ -249,6 +327,7 @@ impl GbdtRegressor {
             // attribution, but a fit's own jobs always dominate it.
             split_search_busy_ms: (pool.total_busy_ms() - pool_busy_at_start_ms).max(0.0),
             predict_update_ms,
+            reused_trees: reused.len(),
         };
         gdcm_obs::counter("ml/gbdt/fits").incr();
         gdcm_obs::histogram("ml/gbdt/fit_ms").record(log.total_ms);
@@ -287,6 +366,10 @@ impl GbdtRegressor {
                     (
                         "predict_update_ms",
                         gdcm_obs::FieldValue::F64(log.predict_update_ms),
+                    ),
+                    (
+                        "reused_trees",
+                        gdcm_obs::FieldValue::U64(log.reused_trees as u64),
                     ),
                 ],
             );
@@ -532,5 +615,81 @@ mod tests {
     fn empty_matrix_panics() {
         let x = DenseMatrix::with_capacity(0, 3);
         let _ = GbdtRegressor::fit(&x, &[], &GbdtParams::default());
+    }
+
+    #[test]
+    fn warm_fit_with_zero_reuse_is_bitwise_the_cold_fit() {
+        let (x, y) = synthetic(200);
+        let params = GbdtParams::default();
+        let prev = GbdtRegressor::fit(&x, &y, &params);
+        let warm = GbdtRegressor::warm_fit(&x, &y, &params, &prev, 0);
+        let cold = GbdtRegressor::fit(&x, &y, &params);
+        assert_eq!(warm, cold);
+        assert_eq!(
+            warm.training_log().unwrap().round_train_rmse,
+            cold.training_log().unwrap().round_train_rmse
+        );
+        assert_eq!(warm.training_log().unwrap().reused_trees, 0);
+        for i in 0..x.n_rows() {
+            assert_eq!(
+                warm.predict_row(x.row(i)).to_bits(),
+                cold.predict_row(x.row(i)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_fit_on_unchanged_data_continues_the_cold_trajectory() {
+        // Without row/column subsampling the RNG never draws, so
+        // resuming boosting from the first k trees on the same data
+        // rebuilds the exact remaining trees: warm == cold, bit for
+        // bit, while only n-k rounds were actually searched.
+        let (x, y) = synthetic(300);
+        let params = GbdtParams {
+            n_estimators: 30,
+            ..GbdtParams::default()
+        };
+        let cold = GbdtRegressor::fit(&x, &y, &params);
+        let warm = GbdtRegressor::warm_fit(&x, &y, &params, &cold, 20);
+        assert_eq!(warm, cold);
+        let log = warm.training_log().unwrap();
+        assert_eq!(log.reused_trees, 20);
+        assert_eq!(log.round_train_rmse.len(), 10);
+    }
+
+    #[test]
+    fn warm_fit_absorbs_new_rows() {
+        let (x, y) = synthetic(400);
+        let head: Vec<usize> = (0..300).collect();
+        let xh = x.select_rows(&head);
+        let yh: Vec<f32> = head.iter().map(|&i| y[i]).collect();
+        let params = GbdtParams {
+            n_estimators: 40,
+            ..GbdtParams::default()
+        };
+        let prev = GbdtRegressor::fit(&xh, &yh, &params);
+        // Refresh on the grown dataset, reusing 30 of 40 trees.
+        let warm = GbdtRegressor::warm_fit(&x, &y, &params, &prev, 30);
+        assert_eq!(warm.n_trees(), 40);
+        assert_eq!(warm.base_score(), prev.base_score());
+        // The reused prefix is carried over verbatim.
+        assert_eq!(&warm.trees()[..30], &prev.trees()[..30]);
+        let r2 = r2_score(&y, &warm.predict(&x));
+        assert!(r2 > 0.9, "warm-refreshed R² {r2}");
+        // Deterministic: the same warm refit rebuilds the same model.
+        let again = GbdtRegressor::warm_fit(&x, &y, &params, &prev, 30);
+        assert_eq!(warm, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reuse")]
+    fn warm_fit_rejects_overlong_reuse() {
+        let (x, y) = synthetic(100);
+        let params = GbdtParams {
+            n_estimators: 10,
+            ..GbdtParams::default()
+        };
+        let prev = GbdtRegressor::fit(&x, &y, &params);
+        let _ = GbdtRegressor::warm_fit(&x, &y, &params, &prev, 11);
     }
 }

@@ -26,10 +26,22 @@
 //!   ([`protocol::wire`]) on one listener, with per-request latency
 //!   histograms, open-connection gauges, and graceful drain-then-exit
 //!   shutdown.
+//! * [`wal`] + [`refresh`] — streaming ingestion: a checksummed,
+//!   fsync-before-ack write-ahead log for mutating requests, replayed
+//!   over the latest snapshot on startup, and a background refresh
+//!   controller that refits after `GDCM_SERVE_REFRESH_ROWS` new
+//!   contributions (warm-starting from the previous model's trees),
+//!   gates the result through the audit + flatcheck passes, atomically
+//!   swaps it in without blocking readers, and compacts the log into a
+//!   fresh snapshot.
 //!
 //! Environment knobs: `GDCM_SERVE_ENC_CACHE` / `GDCM_SERVE_PRED_CACHE`
-//! (cache capacities in entries, 0 disables), `GDCM_THREADS` (worker
+//! (cache capacities in entries, 0 disables),
+//! `GDCM_SERVE_REFRESH_ROWS` / `GDCM_SERVE_REFRESH_BOOST` (background
+//! refresh threshold and warm residual rounds), `GDCM_THREADS` (worker
 //! budget, via `gdcm-par`), `GDCM_OBS` (event sinks, via `gdcm-obs`).
+//! Unparsable `GDCM_SERVE_*` values fall back to their defaults with a
+//! structured `config_warning` event.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
@@ -40,18 +52,22 @@ pub mod harness;
 pub mod lru;
 pub mod ops;
 pub mod protocol;
+pub mod refresh;
 pub mod server;
 pub mod serving;
 pub mod snapshot;
+pub mod wal;
 
 pub use client::{BinClient, Client, OpsClient};
 pub use lru::LruCache;
 pub use protocol::{Request, RequestEnvelope, Response, ResponseEnvelope};
-pub use server::{serve, serve_with_ops, ServerConfig, ServerSummary};
+pub use refresh::{IngestPipeline, RefreshConfig};
+pub use server::{serve, serve_with_ingest, serve_with_ops, ServerConfig, ServerSummary};
 pub use serving::{network_hash, CacheStats, ServeConfig, ServingRepository};
 pub use snapshot::{
     load_repository, save_repository, RepositorySnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
 };
+pub use wal::{replay_record, WalRecord, WalRecovery, WriteAheadLog};
 
 use gdcm_core::RepositoryError;
 use std::fmt;

@@ -3,8 +3,9 @@
 //! ```text
 //! gdcm-serve --build-zoo PATH [--devices N] [--seed S] [--random K]
 //! gdcm-serve --snapshot PATH --addr HOST:PORT [--workers W] [--ops-addr HOST:PORT]
+//!            [--wal PATH]
 //! gdcm-serve --probe HOST:PORT --snapshot PATH [--seed S] [--random K]
-//!            [--ops HOST:PORT [--ops-out PATH]]
+//!            [--ops HOST:PORT [--ops-out PATH]] [--refresh N]
 //! ```
 //!
 //! * `--build-zoo` trains a collaborative repository on the simulated
@@ -16,7 +17,14 @@
 //!   so scripts can synchronize. With `--ops-addr` a second listener
 //!   serves the ops endpoint (`health` / `metrics` / `slowlog` /
 //!   `quiesce`) and per-request telemetry records; it prints
-//!   `OPS LISTENING <addr>` too.
+//!   `OPS LISTENING <addr>` too. With `--wal` mutating requests are
+//!   write-ahead logged (fsync before ack) at the given path; any
+//!   records already in the log are replayed over the snapshot before
+//!   serving starts (`WAL REPLAY ...` is printed), and — when
+//!   `GDCM_SERVE_REFRESH_ROWS` is set — a background refresher refits
+//!   after that many new contributions, swaps the audited model in
+//!   without blocking readers, and compacts the log back into the
+//!   snapshot file.
 //! * `--probe` is the scripted client the CI smoke job runs: it loads
 //!   the same snapshot locally, queries the server (ping / predict /
 //!   batch / cached re-predict / stats), asserts every prediction is
@@ -28,8 +36,12 @@
 //!   down. With `--ops` it additionally drives the ops endpoint,
 //!   asserts the windowed metrics saw its own load, and writes the
 //!   `metrics` snapshot to `--ops-out` (default
-//!   `target/reports/ops_metrics.json`). Exits non-zero on any
-//!   mismatch.
+//!   `target/reports/ops_metrics.json`). With `--refresh N` (requires
+//!   `--ops`) it additionally streams `N` contributions at the server
+//!   and polls `health` until the model epoch advances and the
+//!   write-ahead log compacts to empty — proving a live refresh swapped
+//!   a new model in while the connection kept answering. Exits non-zero
+//!   on any mismatch.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
@@ -45,25 +57,31 @@ use gdcm_gen::{benchmark_suite_with, SearchSpace};
 use gdcm_ml::GbdtParams;
 use gdcm_serve::protocol::{codes, Request, Response};
 use gdcm_serve::{
-    serve, serve_with_ops, BinClient, Client, OpsClient, ServeConfig, ServerConfig,
-    ServingRepository,
+    load_repository, replay_record, serve, serve_with_ingest, serve_with_ops, BinClient, Client,
+    IngestPipeline, OpsClient, RefreshConfig, ServeConfig, ServerConfig, ServingRepository,
+    WriteAheadLog,
 };
 
 const USAGE: &str = "usage:
   gdcm-serve --build-zoo PATH [--devices N] [--seed S] [--random K]
   gdcm-serve --snapshot PATH --addr HOST:PORT [--workers W] [--ops-addr HOST:PORT]
+             [--wal PATH]
   gdcm-serve --probe HOST:PORT --snapshot PATH [--seed S] [--random K]
-             [--ops HOST:PORT [--ops-out PATH]]
+             [--ops HOST:PORT [--ops-out PATH]] [--refresh N]
 
   --build-zoo PATH  train on the simulated zoo suite and write a snapshot
   --snapshot PATH   snapshot to serve (audited on load) or to probe against
   --addr HOST:PORT  listen address for serving
   --ops-addr ADDR   also serve the ops endpoint (health/metrics/slowlog/quiesce)
+  --wal PATH        write-ahead log mutating requests here (replayed on start;
+                    GDCM_SERVE_REFRESH_ROWS enables background refresh)
   --workers W       connection worker threads (default: GDCM_THREADS budget)
   --probe ADDR      act as the scripted smoke client against ADDR
   --ops ADDR        probe the server's ops endpoint at ADDR too
   --ops-out PATH    where the probe writes the metrics snapshot
                     (default target/reports/ops_metrics.json)
+  --refresh N       probe only, needs --ops: stream N contributions and wait
+                    for a background refresh to swap a new model in
   --devices N       devices to enroll when building (default 16)
   --seed S          dataset seed (default 42); probe must match build
   --random K        random networks beside the zoo (default 8); probe must match build";
@@ -73,9 +91,11 @@ struct Args {
     snapshot: Option<PathBuf>,
     addr: Option<String>,
     ops_addr: Option<String>,
+    wal: Option<PathBuf>,
     probe: Option<String>,
     ops: Option<String>,
     ops_out: Option<PathBuf>,
+    refresh: Option<usize>,
     workers: Option<usize>,
     devices: usize,
     seed: u64,
@@ -88,9 +108,11 @@ fn parse_args() -> Result<Args, String> {
         snapshot: None,
         addr: None,
         ops_addr: None,
+        wal: None,
         probe: None,
         ops: None,
         ops_out: None,
+        refresh: None,
         workers: None,
         devices: 16,
         seed: 42,
@@ -104,9 +126,17 @@ fn parse_args() -> Result<Args, String> {
             "--snapshot" => args.snapshot = Some(PathBuf::from(value("--snapshot")?)),
             "--addr" => args.addr = Some(value("--addr")?),
             "--ops-addr" => args.ops_addr = Some(value("--ops-addr")?),
+            "--wal" => args.wal = Some(PathBuf::from(value("--wal")?)),
             "--probe" => args.probe = Some(value("--probe")?),
             "--ops" => args.ops = Some(value("--ops")?),
             "--ops-out" => args.ops_out = Some(PathBuf::from(value("--ops-out")?)),
+            "--refresh" => {
+                args.refresh = Some(
+                    value("--refresh")?
+                        .parse()
+                        .map_err(|e| format!("--refresh: {e}"))?,
+                );
+            }
             "--workers" => {
                 args.workers = Some(
                     value("--workers")?
@@ -188,7 +218,36 @@ fn build_mode(args: &Args, out: &Path) -> Result<(), String> {
 }
 
 fn serve_mode(args: &Args, snapshot: &Path, addr: &str) -> Result<(), String> {
-    let serving = ServingRepository::from_snapshot_path(snapshot).map_err(|e| e.to_string())?;
+    // With a WAL, records already on disk (acked by a previous process
+    // that never compacted) are replayed over the snapshot before the
+    // listener binds — an acknowledged mutation is never lost.
+    let (serving, wal) = match &args.wal {
+        None => (
+            ServingRepository::from_snapshot_path(snapshot).map_err(|e| e.to_string())?,
+            None,
+        ),
+        Some(wal_path) => {
+            let mut repo = load_repository(snapshot).map_err(|e| e.to_string())?;
+            let (wal, records, recovery) =
+                WriteAheadLog::open(wal_path).map_err(|e| e.to_string())?;
+            let mut applied = 0usize;
+            let mut skipped = 0usize;
+            for record in &records {
+                match replay_record(&mut repo, record).map_err(|e| e.to_string())? {
+                    true => applied += 1,
+                    false => skipped += 1,
+                }
+            }
+            println!(
+                "WAL REPLAY {} applied, {skipped} skipped, {} torn byte(s) dropped",
+                applied, recovery.truncated_bytes
+            );
+            (
+                ServingRepository::new(repo, ServeConfig::from_env()),
+                Some(wal),
+            )
+        }
+    };
     let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     println!("LISTENING {local}");
@@ -206,9 +265,12 @@ fn serve_mode(args: &Args, snapshot: &Path, addr: &str) -> Result<(), String> {
             .workers
             .unwrap_or_else(|| ServerConfig::default().workers),
     };
-    let summary = match ops_listener {
-        Some(ops) => serve_with_ops(listener, Some(ops), &serving, config),
-        None => serve(listener, &serving, config),
+    let ingest =
+        wal.map(|wal| IngestPipeline::with_wal(&serving, wal, snapshot, RefreshConfig::from_env()));
+    let summary = match (&ingest, ops_listener) {
+        (Some(pipeline), ops) => serve_with_ingest(listener, ops, &serving, Some(pipeline), config),
+        (None, Some(ops)) => serve_with_ops(listener, Some(ops), &serving, config),
+        (None, None) => serve(listener, &serving, config),
     }
     .map_err(|e| e.to_string())?;
     println!(
@@ -351,16 +413,109 @@ fn probe_mode(args: &Args, addr: &str, snapshot: &Path) -> Result<(), String> {
         probe_ops(ops_addr, args.ops_out.as_deref())?;
     }
 
-    match ask(&Request::Shutdown)? {
+    // Stream contributions past the refresh threshold and wait for the
+    // background refresher to swap a new model in and compact the WAL.
+    if let Some(n) = args.refresh {
+        let ops_addr = args
+            .ops
+            .as_deref()
+            .ok_or("--refresh needs --ops to watch the model epoch")?;
+        probe_refresh(&mut client, ops_addr, device, &probe_nets, n)?;
+    }
+
+    match client
+        .request(&Request::Shutdown)
+        .map_err(|e| e.to_string())?
+    {
         Response::ShuttingDown => {}
         other => return Err(format!("shutdown answered {other:?}")),
     }
     println!(
-        "probe OK: ping, {} traced predictions, traced error echo, batch, cache hit, stats, binary ping/predict/pipeline/error/hardening{}, shutdown",
+        "probe OK: ping, {} traced predictions, traced error echo, batch, cache hit, stats, binary ping/predict/pipeline/error/hardening{}{}, shutdown",
         probe_nets.len(),
-        if args.ops.is_some() { ", ops" } else { "" }
+        if args.ops.is_some() { ", ops" } else { "" },
+        if args.refresh.is_some() {
+            ", refresh"
+        } else {
+            ""
+        }
     );
     Ok(())
+}
+
+/// Streams `n` contributions at the server, then polls ops `health`
+/// until the model epoch advances past its pre-contribution value *and*
+/// the write-ahead log drains to empty — i.e. the background refresher
+/// fitted, audited, swapped, and compacted — and finally asserts the
+/// just-swapped model still answers predictions.
+fn probe_refresh(
+    client: &mut Client,
+    ops_addr: &str,
+    device: &str,
+    probe_nets: &[gdcm_dnn::Network],
+    n: usize,
+) -> Result<(), String> {
+    let mut ops = OpsClient::connect_with_retry(ops_addr, Duration::from_secs(30))
+        .map_err(|e| format!("connect ops {ops_addr}: {e}"))?;
+    let health = |ops: &mut OpsClient| -> Result<serde_json::Value, String> {
+        let line = ops
+            .query("health")
+            .map_err(|e| format!("ops health: {e}"))?;
+        serde_json::from_str(&line).map_err(|e| format!("ops health reply unparsable: {e}"))
+    };
+    let before = health(&mut ops)?;
+    let epoch0 = json_u64(&before, "epoch")?;
+
+    for i in 0..n {
+        let net = &probe_nets[i % probe_nets.len()];
+        // Synthetic but valid measurements; the value only needs to be
+        // finite and positive for ingestion to accept it.
+        let latency_ms = 5.0 + (i as f64) * 0.25;
+        match client
+            .request(&Request::Contribute {
+                device: device.to_string(),
+                network: net.clone(),
+                latency_ms,
+            })
+            .map_err(|e| e.to_string())?
+        {
+            Response::Ok => {}
+            other => return Err(format!("contribute {i} answered {other:?}")),
+        }
+    }
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    loop {
+        let now = health(&mut ops)?;
+        let epoch = json_u64(&now, "epoch")?;
+        let wal_records = json_u64(&now, "wal_records")?;
+        let refreshes = json_u64(&now, "refreshes")?;
+        if epoch > epoch0 && wal_records == 0 && refreshes > 0 {
+            println!(
+                "refresh OK: epoch {epoch0} -> {epoch}, {refreshes} refresh(es), WAL compacted"
+            );
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(format!(
+                "refresh did not land in 120s: epoch {epoch0} -> {epoch}, \
+                 {wal_records} WAL record(s) pending, {refreshes} refresh(es)"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The swapped-in model must keep answering on the same connection.
+    match client
+        .request(&Request::Predict {
+            device: device.to_string(),
+            network: probe_nets[0].clone(),
+        })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Prediction { latency_ms } if latency_ms.is_finite() => Ok(()),
+        other => Err(format!("post-refresh predict answered {other:?}")),
+    }
 }
 
 /// Drives the binary protocol against the same listener: framed ids

@@ -56,6 +56,15 @@ pub struct HealthReply {
     /// Wire protocols the serving listener speaks, by stable name
     /// (`newline-json`, `binary-v1`).
     pub protocols: Vec<String>,
+    /// Model epoch currently serving (bumped by every fit, re-enroll,
+    /// and background refresh swap).
+    pub epoch: u64,
+    /// Background refreshes completed (0 without an ingest pipeline).
+    pub refreshes: u64,
+    /// Contributions accumulated toward the next background refresh.
+    pub refresh_pending_rows: u64,
+    /// Write-ahead-log records awaiting compaction (0 without a WAL).
+    pub wal_records: u64,
 }
 
 /// One cache's view over the metrics window.
@@ -254,6 +263,10 @@ fn health_reply(shared: &ServerShared<'_>) -> HealthReply {
             crate::protocol::PROTOCOL_NEWLINE_JSON.to_string(),
             crate::protocol::PROTOCOL_BINARY_V1.to_string(),
         ],
+        epoch: shared.serving.model_epoch(),
+        refreshes: shared.ingest.map_or(0, |p| p.refreshes()),
+        refresh_pending_rows: shared.ingest.map_or(0, |p| p.pending_rows()),
+        wal_records: shared.ingest.map_or(0, |p| p.wal_records()),
     }
 }
 

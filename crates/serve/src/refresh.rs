@@ -1,0 +1,370 @@
+//! Streaming ingestion with durable logging and background model
+//! refresh.
+//!
+//! [`IngestPipeline`] sits between the server's dispatch loop and the
+//! [`ServingRepository`] for the three mutating requests (`contribute`,
+//! `onboard_device`, `re_enroll`):
+//!
+//! 1. **Durability first.** When a write-ahead log is attached
+//!    ([`IngestPipeline::with_wal`]), the mutation is appended and
+//!    fsynced ([`crate::wal`]) *before* it is applied — an acknowledged
+//!    mutation survives a crash and is replayed on the next startup.
+//! 2. **Threshold-triggered refresh.** Contributions are counted; once
+//!    `GDCM_SERVE_REFRESH_ROWS` new rows accumulate, the background
+//!    refresher (spawned by the server when refresh is enabled) clones
+//!    the training data under a brief read lock, trains *off-lock* —
+//!    warm-starting from the previous model's trees so refit cost
+//!    scales with the residual rounds, not total rounds
+//!    ([`gdcm_ml::GbdtRegressor::warm_fit`]) — runs the same audit +
+//!    flatcheck gate the snapshot loader applies, and only then
+//!    atomically installs the new model
+//!    ([`ServingRepository::install_refit`]). Readers never wait on a
+//!    fit: the write guard is held for the pointer swap only.
+//! 3. **Compaction.** After a successful swap the repository is
+//!    re-snapshotted (atomically — [`crate::snapshot::save_repository`])
+//!    and the WAL truncated, bounding replay work at the next startup.
+//!
+//! The epoch guard in [`ServingRepository`] is what makes the swap safe
+//! for in-flight readers: any prediction computed against the old model
+//! is discarded rather than cached stale.
+
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::serving::env_usize;
+use crate::wal::{WalRecord, WriteAheadLog};
+use crate::{snapshot, ServeError, ServingRepository};
+use gdcm_dnn::Network;
+use gdcm_ml::{BinnedMatrix, DenseMatrix, FrozenGbdt, GbdtRegressor};
+
+/// Background-refresh configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshConfig {
+    /// Contributions that trigger a background refit; 0 disables the
+    /// refresher entirely.
+    pub refresh_rows: usize,
+    /// Boosting rounds to retrain on a warm-started refresh: the
+    /// previous model's first `n_estimators - warm_boost` trees are
+    /// reused and only `warm_boost` residual rounds are fitted. 0 means
+    /// every refresh is a cold fit.
+    pub warm_boost: usize,
+}
+
+/// Default residual rounds per warm refresh.
+pub const DEFAULT_WARM_BOOST: usize = 8;
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        Self {
+            refresh_rows: 0,
+            warm_boost: DEFAULT_WARM_BOOST,
+        }
+    }
+}
+
+impl RefreshConfig {
+    /// Reads `GDCM_SERVE_REFRESH_ROWS` (contribution threshold, 0 or
+    /// unset disables) and `GDCM_SERVE_REFRESH_BOOST` (warm residual
+    /// rounds). Unparsable values fall back with a structured warning,
+    /// like every other `GDCM_SERVE_*` knob.
+    pub fn from_env() -> Self {
+        Self {
+            refresh_rows: env_usize("GDCM_SERVE_REFRESH_ROWS", 0),
+            warm_boost: env_usize("GDCM_SERVE_REFRESH_BOOST", DEFAULT_WARM_BOOST),
+        }
+    }
+}
+
+/// Durable ingestion + background-refresh controller over a
+/// [`ServingRepository`].
+#[derive(Debug)]
+pub struct IngestPipeline<'a> {
+    serving: &'a ServingRepository,
+    /// The durability layer; `None` runs the pipeline in-memory (still
+    /// counting toward the refresh threshold).
+    wal: Option<Mutex<WriteAheadLog>>,
+    /// Where compaction writes the post-refresh snapshot.
+    snapshot_path: Option<PathBuf>,
+    config: RefreshConfig,
+    /// Contributions since the last completed refresh.
+    pending_rows: Mutex<u64>,
+    stop: AtomicBool,
+    refreshes: AtomicU64,
+    refreshes_rejected: AtomicU64,
+}
+
+impl<'a> IngestPipeline<'a> {
+    /// An in-memory pipeline: no durability, but contributions still
+    /// count toward the background-refresh threshold.
+    pub fn new(serving: &'a ServingRepository, config: RefreshConfig) -> Self {
+        Self {
+            serving,
+            wal: None,
+            snapshot_path: None,
+            config,
+            pending_rows: Mutex::new(0),
+            stop: AtomicBool::new(false),
+            refreshes: AtomicU64::new(0),
+            refreshes_rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// A durable pipeline: mutations are WAL-logged before they are
+    /// applied, and each completed refresh compacts the log into a
+    /// fresh snapshot at `snapshot_path`. The log should already have
+    /// been opened (and its records replayed into `serving`'s
+    /// repository) by the caller — see [`WriteAheadLog::open`].
+    pub fn with_wal(
+        serving: &'a ServingRepository,
+        wal: WriteAheadLog,
+        snapshot_path: &Path,
+        config: RefreshConfig,
+    ) -> Self {
+        let mut pipeline = Self::new(serving, config);
+        pipeline.wal = Some(Mutex::new(wal));
+        pipeline.snapshot_path = Some(snapshot_path.to_path_buf());
+        pipeline
+    }
+
+    /// Whether the background refresher should run at all.
+    pub fn refresh_enabled(&self) -> bool {
+        self.config.refresh_rows > 0
+    }
+
+    /// Completed background refreshes.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// Refreshes rejected by the audit + flatcheck gate.
+    pub fn refreshes_rejected(&self) -> u64 {
+        self.refreshes_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Contributions accumulated toward the next refresh.
+    pub fn pending_rows(&self) -> u64 {
+        *self.pending_rows.lock()
+    }
+
+    /// WAL records awaiting compaction (0 when no WAL is attached).
+    pub fn wal_records(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |wal| wal.lock().pending())
+    }
+
+    /// Contributes one measurement durably: WAL append + fsync first,
+    /// then apply, then count toward the refresh threshold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL I/O and repository validation errors. On an apply
+    /// error the record is already durable; replay maps the repeated
+    /// rejection to a skip.
+    pub fn contribute(
+        &self,
+        device: &str,
+        network: &Network,
+        latency_ms: f64,
+    ) -> Result<(), ServeError> {
+        self.logged_apply(
+            || WalRecord::Contribute {
+                device: device.to_string(),
+                network: network.clone(),
+                latency_ms,
+            },
+            || self.serving.contribute(device, network, latency_ms),
+        )?;
+        self.note_contribution();
+        Ok(())
+    }
+
+    /// Enrolls a device durably (see [`ServingRepository::onboard_device`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL I/O and repository validation errors.
+    pub fn onboard_device(&self, device: &str, signature_ms: &[f64]) -> Result<(), ServeError> {
+        self.logged_apply(
+            || WalRecord::Onboard {
+                device: device.to_string(),
+                signature_ms: signature_ms.to_vec(),
+            },
+            || self.serving.onboard_device(device, signature_ms),
+        )
+    }
+
+    /// Updates a device signature durably (see
+    /// [`ServingRepository::re_enroll`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL I/O and repository validation errors.
+    pub fn re_enroll(&self, device: &str, signature_ms: &[f64]) -> Result<(), ServeError> {
+        self.logged_apply(
+            || WalRecord::ReEnroll {
+                device: device.to_string(),
+                signature_ms: signature_ms.to_vec(),
+            },
+            || self.serving.re_enroll(device, signature_ms),
+        )
+    }
+
+    /// Appends the record (when a WAL is attached) and applies the
+    /// mutation, holding the WAL lock across both so the log order is
+    /// the apply order — compaction must never snapshot a mutation the
+    /// log believes is still pending.
+    fn logged_apply(
+        &self,
+        record: impl FnOnce() -> WalRecord,
+        apply: impl FnOnce() -> Result<(), ServeError>,
+    ) -> Result<(), ServeError> {
+        match &self.wal {
+            None => apply(),
+            Some(wal) => {
+                let mut wal = wal.lock();
+                wal.append(&record())?;
+                apply()
+            }
+        }
+    }
+
+    /// Counts one contribution toward the refresh threshold.
+    fn note_contribution(&self) {
+        if !self.refresh_enabled() {
+            return;
+        }
+        let mut pending = self.pending_rows.lock();
+        *pending += 1;
+        gdcm_obs::gauge("serve/refresh_pending_rows").set(*pending as f64);
+    }
+
+    /// Asks the refresher loop to exit after its current cycle.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// The background refresher loop: polls for the contribution
+    /// threshold, then refits and swaps. Run on a dedicated thread by
+    /// [`crate::server::serve_with_ingest`]. A gate-rejected refresh is
+    /// logged and the loop keeps serving the old model. The poll
+    /// interval (25 ms against an uncontended mutex) bounds refresh
+    /// latency; the vendored `parking_lot` shim has no `Condvar`, and a
+    /// refit takes orders of magnitude longer than a poll tick anyway.
+    pub fn run(&self) {
+        while !self.stop.load(Ordering::Acquire) {
+            if *self.pending_rows.lock() < self.config.refresh_rows as u64 {
+                std::thread::park_timeout(Duration::from_millis(25));
+                continue;
+            }
+            match self.refresh_once() {
+                Ok(_) => {}
+                Err(e) => gdcm_obs::event(
+                    "refresh_rejected",
+                    "serve",
+                    &[("error", gdcm_obs::FieldValue::Str(e.to_string()))],
+                ),
+            }
+        }
+    }
+
+    /// One refresh cycle: clone the training state under a brief read
+    /// lock, (warm-)fit off-lock, audit, swap, compact. Returns
+    /// `Ok(false)` when there is not yet enough data to fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::AuditRejected`] when the refreshed model
+    /// fails the audit + flatcheck gate (the old model keeps serving),
+    /// and I/O errors from compaction.
+    pub fn refresh_once(&self) -> Result<bool, ServeError> {
+        let _span = gdcm_obs::span!("serve/refresh");
+        let take = *self.pending_rows.lock();
+        // Clone what training needs under the read lock; concurrent
+        // readers share it, and the expensive work below runs off-lock.
+        let (x_rows, y, gbdt, min_rows, prev) = self.serving.with_repository(|repo| {
+            let (x_rows, y) = repo.training_data();
+            (
+                x_rows.to_vec(),
+                y.to_vec(),
+                repo.config().gbdt,
+                repo.config().min_rows,
+                repo.model().cloned(),
+            )
+        });
+        if y.len() < min_rows {
+            return Ok(false);
+        }
+        let started = Instant::now();
+        let x = DenseMatrix::from_rows(&x_rows);
+        // Warm-start only when the previous model is shaped like the
+        // configured fit; any mismatch (hyper-parameter change, feature
+        // width change after a signature-set change) falls back cold.
+        let reuse = match &prev {
+            Some(prev)
+                if self.config.warm_boost > 0
+                    && self.config.warm_boost < gbdt.n_estimators
+                    && prev.n_trees() == gbdt.n_estimators
+                    && prev.n_features() == x.n_cols() =>
+            {
+                gbdt.n_estimators - self.config.warm_boost
+            }
+            _ => 0,
+        };
+        let model = match (&prev, reuse) {
+            (Some(prev), r) if r > 0 => GbdtRegressor::warm_fit(&x, &y, &gbdt, prev, r),
+            _ => GbdtRegressor::fit(&x, &y, &gbdt),
+        };
+        let binned = BinnedMatrix::from_matrix(&x, gbdt.max_bins);
+        let frozen = FrozenGbdt::freeze(&model, &binned)
+            .expect("freshly fitted model freezes on its own training grid");
+        // The same gate the snapshot loader runs: a refreshed model
+        // must clear the audit + flatcheck passes *before* it swaps in.
+        if let Err(e) =
+            snapshot::audit_model_artifacts("serve/refresh", &model, &gbdt, &x, &y, Some(&frozen))
+        {
+            self.refreshes_rejected.fetch_add(1, Ordering::Relaxed);
+            gdcm_obs::counter("serve/refreshes_rejected").incr();
+            // Consume the pending count anyway: retrying the same rows
+            // in a hot loop would reject the same way.
+            let mut pending = self.pending_rows.lock();
+            *pending = pending.saturating_sub(take);
+            gdcm_obs::gauge("serve/refresh_pending_rows").set(*pending as f64);
+            return Err(e);
+        }
+        let epoch = self.serving.install_refit(model, frozen)?;
+        let fit_ms = started.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut pending = self.pending_rows.lock();
+            *pending = pending.saturating_sub(take);
+            gdcm_obs::gauge("serve/refresh_pending_rows").set(*pending as f64);
+        }
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        gdcm_obs::counter("serve/refreshes").incr();
+        gdcm_obs::histogram("serve/refresh_fit_ms").record(fit_ms);
+        self.compact()?;
+        gdcm_obs::event(
+            "refresh_swapped",
+            "serve",
+            &[
+                ("epoch", gdcm_obs::FieldValue::U64(epoch)),
+                ("rows", gdcm_obs::FieldValue::U64(y.len() as u64)),
+                ("reused_trees", gdcm_obs::FieldValue::U64(reuse as u64)),
+                ("fit_ms", gdcm_obs::FieldValue::F64(fit_ms)),
+            ],
+        );
+        Ok(true)
+    }
+
+    /// Folds the WAL into a fresh snapshot: save (atomic) then
+    /// truncate, under the WAL lock so no concurrent mutation lands
+    /// between the snapshot capture and the truncation.
+    fn compact(&self) -> Result<(), ServeError> {
+        let (Some(wal), Some(path)) = (&self.wal, &self.snapshot_path) else {
+            return Ok(());
+        };
+        let mut wal = wal.lock();
+        self.serving.save_snapshot(path)?;
+        wal.compact()
+    }
+}

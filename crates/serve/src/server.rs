@@ -69,6 +69,7 @@ use crate::protocol::wire;
 use crate::protocol::{
     codes, request_label, Request, RequestEnvelope, Response, ResponseEnvelope, TraceIdProbe,
 };
+use crate::refresh::IngestPipeline;
 use crate::serving::{CacheStats, ServingRepository};
 
 /// Server configuration.
@@ -101,6 +102,10 @@ pub struct ServerSummary {
 /// Shared per-server state (also read by the [`crate::ops`] endpoint).
 pub(crate) struct ServerShared<'a> {
     pub(crate) serving: &'a ServingRepository,
+    /// Streaming-ingestion pipeline; when present, the mutating
+    /// requests route through it (WAL-then-apply) instead of hitting
+    /// the serving façade directly.
+    pub(crate) ingest: Option<&'a IngestPipeline<'a>>,
     pub(crate) stop: AtomicBool,
     pub(crate) requests: AtomicU64,
     pub(crate) request_errors: AtomicU64,
@@ -126,6 +131,7 @@ impl ServerShared<'_> {
     pub(crate) fn for_harness(serving: &ServingRepository) -> ServerShared<'_> {
         ServerShared {
             serving,
+            ingest: None,
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             request_errors: AtomicU64::new(0),
@@ -210,6 +216,27 @@ pub fn serve_with_ops(
     serving: &ServingRepository,
     config: ServerConfig,
 ) -> std::io::Result<ServerSummary> {
+    serve_with_ingest(listener, ops_listener, serving, None, config)
+}
+
+/// Like [`serve_with_ops`], with an optional streaming-ingestion
+/// pipeline ([`IngestPipeline`]). When present, the mutating requests
+/// (`contribute` / `onboard_device` / `re_enroll`) are WAL-logged
+/// before they are applied, and — when the pipeline's refresh threshold
+/// is enabled — a dedicated background thread refits and atomically
+/// swaps the model as contributions accumulate, compacting the log
+/// afterwards. The refresher is stopped and joined before this returns.
+///
+/// # Errors
+///
+/// Same contract as [`serve`].
+pub fn serve_with_ingest(
+    listener: TcpListener,
+    ops_listener: Option<TcpListener>,
+    serving: &ServingRepository,
+    ingest: Option<&IngestPipeline<'_>>,
+    config: ServerConfig,
+) -> std::io::Result<ServerSummary> {
     let _span = gdcm_obs::span!("serve/server");
     listener.set_nonblocking(true)?;
     let ops_addr = match &ops_listener {
@@ -219,6 +246,7 @@ pub fn serve_with_ops(
     let workers = config.workers.max(1);
     let shared = ServerShared {
         serving,
+        ingest,
         stop: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         request_errors: AtomicU64::new(0),
@@ -237,6 +265,9 @@ pub fn serve_with_ops(
     std::thread::scope(|outer| {
         let ops_handle =
             ops_listener.map(|ops| outer.spawn(move || crate::ops::run_ops(ops, shared)));
+        let refresher = ingest
+            .filter(|p| p.refresh_enabled())
+            .map(|p| outer.spawn(move || p.run()));
 
         // Shards 1.. run on their own threads; shard 0 shares the
         // accept thread so `workers == 1` spawns nothing.
@@ -254,7 +285,15 @@ pub fn serve_with_ops(
             let _ = handle.join();
         }
 
-        // Main server done: stop the ops endpoint too.
+        // Request traffic has drained: stop the refresher (mid-refresh
+        // work completes — the swap and compaction are not torn), then
+        // the ops endpoint.
+        if let Some(handle) = refresher {
+            if let Some(p) = ingest {
+                p.stop();
+            }
+            let _ = handle.join();
+        }
         shared.trigger_ops_shutdown();
         if let Some(handle) = ops_handle {
             let _ = handle.join();
@@ -1111,28 +1150,49 @@ fn dispatch(shared: &ServerShared<'_>, request: Request) -> Response {
             Ok(latency_ms) => Response::Prediction { latency_ms },
             Err(e) => fail(e),
         },
+        // Mutations go through the ingestion pipeline when one is
+        // attached, so they are durable (WAL append + fsync) before the
+        // Ok below acknowledges them.
         Request::OnboardDevice {
             device,
             signature_ms,
-        } => match serving.onboard_device(&device, &signature_ms) {
-            Ok(()) => Response::Ok,
-            Err(e) => fail(e),
-        },
+        } => {
+            let result = match shared.ingest {
+                Some(ingest) => ingest.onboard_device(&device, &signature_ms),
+                None => serving.onboard_device(&device, &signature_ms),
+            };
+            match result {
+                Ok(()) => Response::Ok,
+                Err(e) => fail(e),
+            }
+        }
         Request::ReEnroll {
             device,
             signature_ms,
-        } => match serving.re_enroll(&device, &signature_ms) {
-            Ok(()) => Response::Ok,
-            Err(e) => fail(e),
-        },
+        } => {
+            let result = match shared.ingest {
+                Some(ingest) => ingest.re_enroll(&device, &signature_ms),
+                None => serving.re_enroll(&device, &signature_ms),
+            };
+            match result {
+                Ok(()) => Response::Ok,
+                Err(e) => fail(e),
+            }
+        }
         Request::Contribute {
             device,
             network,
             latency_ms,
-        } => match serving.contribute(&device, &network, latency_ms) {
-            Ok(()) => Response::Ok,
-            Err(e) => fail(e),
-        },
+        } => {
+            let result = match shared.ingest {
+                Some(ingest) => ingest.contribute(&device, &network, latency_ms),
+                None => serving.contribute(&device, &network, latency_ms),
+            };
+            match result {
+                Ok(()) => Response::Ok,
+                Err(e) => fail(e),
+            }
+        }
         Request::Fit => match serving.fit() {
             Ok(()) => Response::Ok,
             Err(e) => fail(e),

@@ -21,12 +21,26 @@
 //! ([`network_hash`]) — a *content* hash, so structurally identical
 //! networks share cache entries no matter how the caller built them. Predictions are keyed by `(device name, network hash)` and
 //! invalidated whenever the model or a device signature changes
-//! ([`ServingRepository::fit`], [`ServingRepository::re_enroll`]).
+//! ([`ServingRepository::fit`], [`ServingRepository::re_enroll`],
+//! [`ServingRepository::install_refit`]).
+//!
+//! ## Epoch-guarded inserts
+//!
+//! A prediction is computed under the repository *read* guard, which is
+//! released before the cache insert (holding it across the insert would
+//! serialize readers on the cache mutex). That leaves a window where a
+//! concurrent fit/re-enroll can clear the cache *before* the insert
+//! lands — which used to leave one permanently stale entry. Every
+//! computed value therefore carries the model epoch it was computed
+//! under, and the insert is discarded (counter
+//! `serve/pred_cache_stale_discard`) unless the epoch still matches the
+//! cache's own epoch mirror at publish time.
 
 use gdcm_core::{CollaborativeRepository, RepositoryError};
 use gdcm_dnn::Network;
-use gdcm_ml::DenseMatrix;
+use gdcm_ml::{DenseMatrix, FrozenGbdt, GbdtRegressor};
 use parking_lot::{Mutex, RwLock};
+use std::collections::HashSet;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -59,19 +73,41 @@ impl Default for ServeConfig {
 
 impl ServeConfig {
     /// Reads the cache knobs from `GDCM_SERVE_ENC_CACHE` and
-    /// `GDCM_SERVE_PRED_CACHE` (entry counts; 0 disables; unset or
-    /// unparsable falls back to the defaults).
+    /// `GDCM_SERVE_PRED_CACHE` (entry counts; 0 disables; unset falls
+    /// back to the defaults silently, set-but-unparsable falls back
+    /// with a structured warning — see [`env_usize`]).
     pub fn from_env() -> Self {
-        let parse = |name: &str, default: usize| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .unwrap_or(default)
-        };
         Self {
-            encoding_cache: parse("GDCM_SERVE_ENC_CACHE", DEFAULT_ENC_CACHE),
-            prediction_cache: parse("GDCM_SERVE_PRED_CACHE", DEFAULT_PRED_CACHE),
+            encoding_cache: env_usize("GDCM_SERVE_ENC_CACHE", DEFAULT_ENC_CACHE),
+            prediction_cache: env_usize("GDCM_SERVE_PRED_CACHE", DEFAULT_PRED_CACHE),
         }
+    }
+}
+
+/// Reads one `usize` knob from the environment. Unset is the normal
+/// case and stays silent; a *set but unparsable* value is an operator
+/// mistake, so it emits a `config_warning` event naming the variable,
+/// the rejected value, and the fallback used, and bumps the
+/// `serve/config_env_invalid` counter before falling back.
+pub(crate) fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) => v,
+            Err(_) => {
+                gdcm_obs::counter("serve/config_env_invalid").incr();
+                gdcm_obs::event(
+                    "config_warning",
+                    "serve",
+                    &[
+                        ("var", gdcm_obs::FieldValue::Str(name.to_string())),
+                        ("value", gdcm_obs::FieldValue::Str(raw)),
+                        ("fallback", gdcm_obs::FieldValue::U64(default as u64)),
+                    ],
+                );
+                default
+            }
+        },
     }
 }
 
@@ -134,6 +170,16 @@ pub struct ServingRepository {
     /// equal bytes always decode to equal graphs, so the mapping is a
     /// pure function of the wire encoding.
     wire_index: Mutex<LruCache<u64, u64>>,
+    /// Mirror of the repository's model epoch, advanced *under the
+    /// `predictions` mutex* whenever a writer invalidates the cache.
+    /// Readers compare the epoch they computed under (captured while
+    /// holding the repository read guard) against this mirror before
+    /// publishing — a mismatch means a fit/re-enroll landed in between
+    /// and the value must be discarded, never inserted stale. A mirror
+    /// is needed because reading the repository epoch while holding the
+    /// `predictions` mutex would invert the writers' `repo → predictions`
+    /// lock order and deadlock.
+    cache_epoch: AtomicU64,
     enc_hits: AtomicU64,
     enc_misses: AtomicU64,
     pred_hits: AtomicU64,
@@ -143,11 +189,13 @@ pub struct ServingRepository {
 impl ServingRepository {
     /// Wraps a repository with the given cache configuration.
     pub fn new(repo: CollaborativeRepository, config: ServeConfig) -> Self {
+        let epoch = repo.model_epoch();
         Self {
             repo: RwLock::new(repo),
             encodings: Mutex::new(LruCache::new(config.encoding_cache)),
             predictions: Mutex::new(LruCache::new(config.prediction_cache)),
             wire_index: Mutex::new(LruCache::new(config.prediction_cache)),
+            cache_epoch: AtomicU64::new(epoch),
             enc_hits: AtomicU64::new(0),
             enc_misses: AtomicU64::new(0),
             pred_hits: AtomicU64::new(0),
@@ -209,6 +257,22 @@ impl ServingRepository {
     ///
     /// Same contract as [`CollaborativeRepository::predict`].
     pub fn predict(&self, device: &str, network: &Network) -> Result<f64, ServeError> {
+        self.predict_hooked(device, network, || {})
+    }
+
+    /// [`ServingRepository::predict`] with a test hook invoked between
+    /// releasing the repository read guard and publishing the computed
+    /// value to the prediction cache — the window where a concurrent
+    /// fit/re-enroll can make the value stale. The race-regression test
+    /// forces that interleaving here; production code calls `predict`,
+    /// which passes a no-op.
+    #[doc(hidden)]
+    pub fn predict_hooked(
+        &self,
+        device: &str,
+        network: &Network,
+        between_compute_and_insert: impl FnOnce(),
+    ) -> Result<f64, ServeError> {
         let _span = gdcm_obs::span!("serve/predict");
         let hash = network_hash(network);
         let key = (device.to_string(), hash);
@@ -223,7 +287,7 @@ impl ServingRepository {
         }
         self.pred_misses.fetch_add(1, Ordering::Relaxed);
         gdcm_obs::counter("serve/pred_cache_miss").incr();
-        let value = {
+        let (value, epoch) = {
             let _stage = gdcm_obs::reqtrace::stage("predict");
             let repo = self.repo.read();
             let hw = repo
@@ -234,9 +298,17 @@ impl ServingRepository {
             let mut row = (*enc).clone();
             row.extend_from_slice(&hw);
             let rows = DenseMatrix::from_rows(std::slice::from_ref(&row));
-            repo.predict_rows(&rows)?[0]
+            // Capture the epoch while still holding the read guard: it
+            // names exactly the model this value came from.
+            (repo.predict_rows(&rows)?[0], repo.model_epoch())
         };
-        self.predictions.lock().insert(key, value);
+        between_compute_and_insert();
+        let mut cache = self.predictions.lock();
+        if self.cache_epoch.load(Ordering::Acquire) == epoch {
+            cache.insert(key, value);
+        } else {
+            gdcm_obs::counter("serve/pred_cache_stale_discard").incr();
+        }
         Ok(value)
     }
 
@@ -287,32 +359,58 @@ impl ServingRepository {
         device: &str,
         networks: &[Network],
     ) -> Result<Vec<f64>, ServeError> {
+        self.predict_batch_hooked(device, networks, || {})
+    }
+
+    /// [`ServingRepository::predict_batch`] with the same test hook as
+    /// [`ServingRepository::predict_hooked`]: invoked after the batch
+    /// is computed (read guard released) and before its values are
+    /// published to the cache.
+    #[doc(hidden)]
+    pub fn predict_batch_hooked(
+        &self,
+        device: &str,
+        networks: &[Network],
+        between_compute_and_insert: impl FnOnce(),
+    ) -> Result<Vec<f64>, ServeError> {
         let _span = gdcm_obs::span!("serve/predict_batch");
         let hashes: Vec<u64> = networks.iter().map(network_hash).collect();
         let mut out = vec![0f64; networks.len()];
+        // Positions whose hash missed and was *first seen* there — each
+        // unique network is computed (and counted as a miss) once.
         let mut misses: Vec<usize> = Vec::new();
+        // Positions repeating a hash already queued in `misses`; they
+        // reuse its computed value and count neither as hit nor miss.
+        let mut dup_misses: Vec<usize> = Vec::new();
         {
             let _stage = gdcm_obs::reqtrace::stage("cache_lookup");
+            let mut queued: HashSet<u64> = HashSet::new();
+            // One reusable key for the whole probe loop: mutate the
+            // hash half instead of re-allocating the device name per
+            // network.
+            let mut key = (device.to_string(), 0u64);
             let mut cache = self.predictions.lock();
             for (i, hash) in hashes.iter().enumerate() {
-                match cache.get(&(device.to_string(), *hash)) {
+                key.1 = *hash;
+                match cache.get(&key) {
                     Some(&value) => {
                         out[i] = value;
                         self.pred_hits.fetch_add(1, Ordering::Relaxed);
                         gdcm_obs::counter("serve/pred_cache_hit").incr();
                     }
-                    None => {
+                    None if queued.insert(*hash) => {
                         misses.push(i);
                         self.pred_misses.fetch_add(1, Ordering::Relaxed);
                         gdcm_obs::counter("serve/pred_cache_miss").incr();
                     }
+                    None => dup_misses.push(i),
                 }
             }
         }
         if misses.is_empty() {
             return Ok(out);
         }
-        let predicted = {
+        let (predicted, epoch) = {
             let _stage = gdcm_obs::reqtrace::stage("predict");
             let repo = self.repo.read();
             let hw = repo
@@ -327,12 +425,28 @@ impl ServingRepository {
                 row.extend_from_slice(&hw);
                 rows.push_row(&row);
             }
-            repo.predict_rows(&rows)?
+            (repo.predict_rows(&rows)?, repo.model_epoch())
         };
-        let mut cache = self.predictions.lock();
-        for (&i, value) in misses.iter().zip(predicted) {
-            out[i] = value;
-            cache.insert((device.to_string(), hashes[i]), value);
+        between_compute_and_insert();
+        {
+            let mut cache = self.predictions.lock();
+            let fresh = self.cache_epoch.load(Ordering::Acquire) == epoch;
+            if !fresh {
+                gdcm_obs::counter("serve/pred_cache_stale_discard").incr();
+            }
+            for (&i, &value) in misses.iter().zip(&predicted) {
+                out[i] = value;
+                if fresh {
+                    cache.insert((device.to_string(), hashes[i]), value);
+                }
+            }
+        }
+        for &i in &dup_misses {
+            let first = misses
+                .iter()
+                .position(|&j| hashes[j] == hashes[i])
+                .expect("every duplicate repeats a queued miss");
+            out[i] = predicted[first];
         }
         Ok(out)
     }
@@ -381,9 +495,12 @@ impl ServingRepository {
     ///
     /// Propagates the repository's validation errors.
     pub fn re_enroll(&self, name: &str, signature_latencies_ms: &[f64]) -> Result<(), ServeError> {
-        self.repo.write().re_enroll(name, signature_latencies_ms)?;
-        self.predictions.lock().clear();
-        gdcm_obs::counter("serve/pred_cache_invalidations").incr();
+        let epoch = {
+            let mut repo = self.repo.write();
+            repo.re_enroll(name, signature_latencies_ms)?;
+            repo.model_epoch()
+        };
+        self.invalidate_predictions(epoch);
         Ok(())
     }
 
@@ -411,10 +528,56 @@ impl ServingRepository {
     ///
     /// See [`CollaborativeRepository::fit`].
     pub fn fit(&self) -> Result<(), ServeError> {
-        self.repo.write().fit()?;
-        self.predictions.lock().clear();
-        gdcm_obs::counter("serve/pred_cache_invalidations").incr();
+        let epoch = {
+            let mut repo = self.repo.write();
+            repo.fit()?;
+            repo.model_epoch()
+        };
+        self.invalidate_predictions(epoch);
         Ok(())
+    }
+
+    /// Installs an externally fitted model pair — the background
+    /// refresh's atomic swap. The expensive training happened off-lock;
+    /// this only takes the write guard for the pointer swap plus the
+    /// cache invalidation, so concurrent readers never block behind a
+    /// refit. Returns the new model epoch.
+    ///
+    /// # Errors
+    ///
+    /// See [`CollaborativeRepository::install_model`].
+    pub fn install_refit(
+        &self,
+        model: GbdtRegressor,
+        frozen: FrozenGbdt,
+    ) -> Result<u64, ServeError> {
+        let epoch = {
+            let mut repo = self.repo.write();
+            repo.install_model(model, frozen)?;
+            repo.model_epoch()
+        };
+        self.invalidate_predictions(epoch);
+        Ok(epoch)
+    }
+
+    /// Drops every cached prediction and advances the cache-epoch
+    /// mirror to `epoch` (the repository epoch the caller just
+    /// produced under the write guard). `fetch_max`, not `store`: two
+    /// concurrent writers release the write guard in a known order but
+    /// may reach this point in the opposite one, and the mirror must
+    /// never move backwards or a reader from the older model could
+    /// publish a stale value.
+    fn invalidate_predictions(&self, epoch: u64) {
+        let mut cache = self.predictions.lock();
+        self.cache_epoch.fetch_max(epoch, Ordering::AcqRel);
+        cache.clear();
+        gdcm_obs::counter("serve/pred_cache_invalidations").incr();
+    }
+
+    /// The wrapped repository's current model epoch (see
+    /// [`CollaborativeRepository::model_epoch`]).
+    pub fn model_epoch(&self) -> u64 {
+        self.repo.read().model_epoch()
     }
 
     /// Number of enrolled devices.

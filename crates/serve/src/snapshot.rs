@@ -22,8 +22,9 @@
 
 use gdcm_audit::DatasetLints;
 use gdcm_core::{CollaborativeRepository, RepositoryParts};
-use gdcm_ml::{BinnedMatrix, DenseMatrix};
+use gdcm_ml::{BinnedMatrix, DenseMatrix, FrozenGbdt, GbdtParams, GbdtRegressor};
 use serde::{Deserialize, Serialize};
+use std::io::Write;
 use std::path::Path;
 
 use crate::ServeError;
@@ -101,24 +102,51 @@ fn audit_repository(repo: &CollaborativeRepository) -> Result<(), ServeError> {
     let _span = gdcm_obs::span!("serve/snapshot_audit");
     let (x_rows, y) = repo.training_data();
     let x = DenseMatrix::from_rows(x_rows);
+    audit_model_artifacts(
+        "serve/snapshot",
+        model,
+        &repo.config().gbdt,
+        &x,
+        y,
+        repo.frozen_model(),
+    )
+    .inspect_err(|_| gdcm_obs::counter("serve/snapshots_rejected").incr())
+}
+
+/// The audit + flatcheck gate shared by the snapshot loader and the
+/// background refresh controller: runs the `gdcm-audit` ensemble +
+/// dataset passes over a trained model and its data, then the flatcheck
+/// pass over the compiled (frozen) artifact when present.
+/// Error-severity findings return [`ServeError::AuditRejected`];
+/// warnings are re-emitted as `gdcm-obs` events. Call sites own their
+/// rejection counters.
+pub(crate) fn audit_model_artifacts(
+    context: &'static str,
+    model: &GbdtRegressor,
+    gbdt: &GbdtParams,
+    x: &DenseMatrix,
+    y: &[f32],
+    frozen: Option<&FrozenGbdt>,
+) -> Result<(), ServeError> {
     // The pipeline lint profile: padded layer-wise encodings make
     // constant and duplicate columns by design.
     let mut report = gdcm_audit::audit_trained_model(
-        "serve/snapshot",
+        context,
         model,
-        Some(&repo.config().gbdt),
-        &x,
+        Some(gbdt),
+        x,
         y,
         &DatasetLints::pipeline(),
     );
     // Every prediction the repository serves runs the frozen model, so
-    // a snapshot is only accepted once that exact artifact is certified
-    // equivalent to the pointer-tree model it claims to compile.
-    if let Some(frozen) = repo.frozen_model() {
+    // an artifact set is only accepted once that exact compiled form is
+    // certified equivalent to the pointer-tree model it claims to
+    // compile.
+    if let Some(frozen) = frozen {
         let binned = (x.n_cols() == model.n_features() && x.n_rows() > 0)
-            .then(|| BinnedMatrix::from_matrix(&x, repo.config().gbdt.max_bins));
+            .then(|| BinnedMatrix::from_matrix(x, gbdt.max_bins));
         gdcm_audit::check_frozen_gbdt(
-            "serve/snapshot",
+            context,
             model,
             frozen,
             binned.as_ref(),
@@ -126,22 +154,28 @@ fn audit_repository(repo: &CollaborativeRepository) -> Result<(), ServeError> {
         );
     }
     if report.error_count() > 0 {
-        gdcm_obs::counter("serve/snapshots_rejected").incr();
         return Err(ServeError::AuditRejected {
             diagnostics: report.diagnostics.iter().map(|d| d.to_string()).collect(),
         });
     }
     for warning in &report.diagnostics {
         gdcm_obs::event(
-            "snapshot_audit_warning",
+            "model_audit_warning",
             "serve",
-            &[("diagnostic", gdcm_obs::FieldValue::Str(warning.to_string()))],
+            &[
+                ("context", gdcm_obs::FieldValue::Str(context.to_string())),
+                ("diagnostic", gdcm_obs::FieldValue::Str(warning.to_string())),
+            ],
         );
     }
     Ok(())
 }
 
-/// Saves a repository snapshot as pretty JSON at `path`.
+/// Saves a repository snapshot as JSON at `path`, atomically: the bytes
+/// are written and fsynced to a `.tmp` sibling, then renamed over the
+/// destination, so a crash mid-save can never leave a torn file where a
+/// valid snapshot used to be — readers observe either the old snapshot
+/// or the new one, nothing in between.
 ///
 /// # Errors
 ///
@@ -150,7 +184,30 @@ pub fn save_repository(repo: &CollaborativeRepository, path: &Path) -> Result<()
     let _span = gdcm_obs::span!("serve/snapshot_save");
     let snapshot = RepositorySnapshot::capture(repo);
     let json = serde_json::to_string(&snapshot).map_err(|e| ServeError::Json(e.to_string()))?;
-    std::fs::write(path, json)?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(json.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Durability of the rename itself: fsync the parent directory when
+    // it is addressable. Best-effort — some platforms refuse directory
+    // handles, and the rename above is already atomic for crash
+    // *consistency*; this only narrows the window where the rename
+    // could be lost entirely.
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(handle) = std::fs::File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
     gdcm_obs::counter("serve/snapshots_saved").incr();
     Ok(())
 }
