@@ -578,6 +578,7 @@ fn main() {
             RefreshConfig {
                 refresh_rows: 1,
                 warm_boost: 0,
+                ..RefreshConfig::default()
             },
         );
         for (i, net) in nets.iter().enumerate() {

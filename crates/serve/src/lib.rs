@@ -67,7 +67,7 @@ pub use serving::{network_hash, CacheStats, ServeConfig, ServingRepository};
 pub use snapshot::{
     load_repository, save_repository, RepositorySnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
 };
-pub use wal::{replay_record, WalRecord, WalRecovery, WriteAheadLog};
+pub use wal::{replay_record, WalMark, WalRecord, WalRecovery, WriteAheadLog};
 
 use gdcm_core::RepositoryError;
 use std::fmt;

@@ -233,7 +233,7 @@ fn serve_mode(args: &Args, snapshot: &Path, addr: &str) -> Result<(), String> {
             let mut applied = 0usize;
             let mut skipped = 0usize;
             for record in &records {
-                match replay_record(&mut repo, record).map_err(|e| e.to_string())? {
+                match replay_record(&mut repo, record) {
                     true => applied += 1,
                     false => skipped += 1,
                 }

@@ -266,7 +266,7 @@ pub fn serve_with_ingest(
         let ops_handle =
             ops_listener.map(|ops| outer.spawn(move || crate::ops::run_ops(ops, shared)));
         let refresher = ingest
-            .filter(|p| p.refresh_enabled())
+            .filter(|p| p.refresher_needed())
             .map(|p| outer.spawn(move || p.run()));
 
         // Shards 1.. run on their own threads; shard 0 shares the
@@ -1193,10 +1193,20 @@ fn dispatch(shared: &ServerShared<'_>, request: Request) -> Response {
                 Err(e) => fail(e),
             }
         }
-        Request::Fit => match serving.fit() {
-            Ok(()) => Response::Ok,
-            Err(e) => fail(e),
-        },
+        // Fit also goes through the pipeline: the WAL records rows, not
+        // models, so the pipeline re-snapshots after a successful fit —
+        // otherwise crash-and-replay would silently revert an
+        // acknowledged fit to the snapshot's model.
+        Request::Fit => {
+            let result = match shared.ingest {
+                Some(ingest) => ingest.fit(),
+                None => serving.fit(),
+            };
+            match result {
+                Ok(()) => Response::Ok,
+                Err(e) => fail(e),
+            }
+        }
         Request::Shutdown => Response::ShuttingDown,
     }
 }

@@ -31,6 +31,12 @@
 //! idempotent enough for this to be safe: a replayed `onboard` of an
 //! existing device is rejected by the repository and skipped, and a
 //! replayed `contribute` adds a row the client believed it had sent.
+//! Replay never *fails* on a rejection: any record the repository
+//! refuses ([`replay_record`]) is skipped with a structured warning, so
+//! a stray durable record can never prevent the server from starting.
+//! (Rejections are rare by construction — a record whose apply is
+//! rejected at ingest time is rolled back out of the log before the
+//! error is returned, see [`WriteAheadLog::rollback_to`].)
 
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
@@ -89,6 +95,17 @@ pub struct WriteAheadLog {
     /// Records appended since the last [`WriteAheadLog::compact`]
     /// (including recovered ones).
     pending: u64,
+    /// Byte length of the valid record prefix — the file length, except
+    /// transiently inside a failed append.
+    len: u64,
+}
+
+/// A position in the log captured before an append, so a record whose
+/// apply was rejected can be rolled back ([`WriteAheadLog::rollback_to`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WalMark {
+    len: u64,
+    pending: u64,
 }
 
 impl WriteAheadLog {
@@ -135,6 +152,7 @@ impl WriteAheadLog {
             file,
             path: path.to_path_buf(),
             pending: records.len() as u64,
+            len: valid_len,
         };
         Ok((wal, records, recovery))
     }
@@ -157,7 +175,39 @@ impl WriteAheadLog {
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
         self.pending += 1;
+        self.len += frame.len() as u64;
         gdcm_obs::counter("serve/wal_appends").incr();
+        Ok(())
+    }
+
+    /// Captures the current log position; pair with
+    /// [`WriteAheadLog::rollback_to`] around an append whose apply may
+    /// be rejected.
+    pub fn mark(&self) -> WalMark {
+        WalMark {
+            len: self.len,
+            pending: self.pending,
+        }
+    }
+
+    /// Truncates the log back to `mark`, undoing every append since it
+    /// was captured. Used when the repository rejects a mutation whose
+    /// record is already durable: replaying the rejected record on the
+    /// next startup would be skipped anyway, but leaving it in the log
+    /// wastes replay work forever, so it is cut out here while the
+    /// caller still holds the log lock.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors, in which case the record stays in
+    /// the log and replay's skip-and-warn path handles it.
+    pub fn rollback_to(&mut self, mark: WalMark) -> Result<(), ServeError> {
+        self.file.set_len(mark.len)?;
+        self.file.seek(SeekFrom::Start(mark.len))?;
+        self.file.sync_all()?;
+        self.len = mark.len;
+        self.pending = mark.pending;
+        gdcm_obs::counter("serve/wal_rollbacks").incr();
         Ok(())
     }
 
@@ -173,6 +223,7 @@ impl WriteAheadLog {
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_all()?;
         self.pending = 0;
+        self.len = 0;
         gdcm_obs::counter("serve/wal_compactions").incr();
         Ok(())
     }
@@ -222,36 +273,46 @@ fn scan(bytes: &[u8]) -> (Vec<WalRecord>, u64) {
     (records, offset as u64)
 }
 
-/// Applies one recovered record to a repository, mapping "already
-/// applied" rejections to a skip — replay is at-least-once, and a
-/// record the repository refuses (e.g. an `Onboard` for a device the
-/// snapshot already contains) was simply made durable twice.
+/// Applies one recovered record to a repository, mapping *every*
+/// rejection to a skip — replay is at-least-once, and a record the
+/// repository refuses (e.g. an `Onboard` for a device the snapshot
+/// already contains, because the record was made durable twice across a
+/// compaction crash) must never be able to abort startup. Skips emit a
+/// structured warning and bump `serve/wal_replay_skipped` so a log that
+/// disagrees with its snapshot is visible, not silent.
 ///
 /// Returns `true` when the record mutated the repository.
-pub fn replay_record(
-    repo: &mut gdcm_core::CollaborativeRepository,
-    record: &WalRecord,
-) -> Result<bool, ServeError> {
-    let applied = match record {
+pub fn replay_record(repo: &mut gdcm_core::CollaborativeRepository, record: &WalRecord) -> bool {
+    let (kind, result) = match record {
         WalRecord::Contribute {
             device,
             network,
             latency_ms,
-        } => repo.contribute(device, network, *latency_ms).map(|()| true),
+        } => ("contribute", repo.contribute(device, network, *latency_ms)),
         WalRecord::Onboard {
             device,
             signature_ms,
-        } => match repo.onboard_device(device.clone(), signature_ms) {
-            Ok(()) => Ok(true),
-            Err(gdcm_core::RepositoryError::AlreadyEnrolled(_)) => Ok(false),
-            Err(e) => Err(e),
-        },
+        } => ("onboard", repo.onboard_device(device.clone(), signature_ms)),
         WalRecord::ReEnroll {
             device,
             signature_ms,
-        } => repo.re_enroll(device, signature_ms).map(|()| true),
+        } => ("re_enroll", repo.re_enroll(device, signature_ms)),
     };
-    Ok(applied?)
+    match result {
+        Ok(()) => true,
+        Err(e) => {
+            gdcm_obs::counter("serve/wal_replay_skipped").incr();
+            gdcm_obs::event(
+                "wal_replay_skipped",
+                "serve",
+                &[
+                    ("record", gdcm_obs::FieldValue::Str(kind.to_string())),
+                    ("error", gdcm_obs::FieldValue::Str(e.to_string())),
+                ],
+            );
+            false
+        }
+    }
 }
 
 #[cfg(test)]

@@ -215,7 +215,7 @@ fn acked_wal_records_survive_a_crash_and_replay() {
     assert!(recovery.truncated_bytes > 0);
     let mut applied = 0;
     for record in &records {
-        if gdcm_serve::replay_record(&mut recovered, record).unwrap() {
+        if gdcm_serve::replay_record(&mut recovered, record) {
             applied += 1;
         }
     }
@@ -245,6 +245,254 @@ fn unparsable_env_knob_warns_and_falls_back() {
     );
 }
 
+/// A mutation the repository rejects must not leave a poison record in
+/// the WAL: the frame is rolled back under the log lock, so a restart
+/// replays only mutations that were actually applied. (Regression: a
+/// single invalid client request used to persist a record whose replay
+/// rejection aborted every subsequent startup.)
+#[test]
+fn rejected_mutation_is_rolled_back_out_of_the_wal() {
+    let (repo, nets) = fitted_repository(36);
+    let snapshot_path = scratch_path("rollback_snapshot.json");
+    let wal_path = scratch_path("rollback.wal");
+    std::fs::remove_file(&wal_path).ok();
+    save_repository(&repo, &snapshot_path).unwrap();
+    let device = repo.device_names()[0].to_string();
+
+    let serving = ServingRepository::new(repo, ServeConfig::default());
+    let (wal, _, _) = WriteAheadLog::open(&wal_path).unwrap();
+    let pipeline =
+        IngestPipeline::with_wal(&serving, wal, &snapshot_path, RefreshConfig::default());
+
+    // One valid contribution, then two the repository rejects.
+    pipeline.contribute(&device, &nets[0], 10.0).unwrap();
+    assert!(matches!(
+        pipeline.contribute("not-a-device", &nets[0], 10.0),
+        Err(ServeError::Repository(_))
+    ));
+    assert!(matches!(
+        pipeline.contribute(&device, &nets[0], f64::NAN),
+        Err(ServeError::Repository(_))
+    ));
+    assert_eq!(
+        pipeline.wal_records(),
+        1,
+        "rejected mutations must not stay in the log"
+    );
+
+    // A restart sees only the applied record, and the rolled-back tail
+    // left the file byte-exact: recovery truncates nothing.
+    drop(pipeline);
+    let (_, records, recovery) = WriteAheadLog::open(&wal_path).unwrap();
+    assert_eq!(records.len(), 1);
+    assert_eq!(recovery.truncated_bytes, 0);
+    std::fs::remove_file(&wal_path).ok();
+    std::fs::remove_file(&snapshot_path).ok();
+}
+
+/// Replay tolerates *any* record the repository refuses — skip and
+/// warn, never error — so a stray durable record (e.g. surviving a
+/// failed rollback) can never prevent the server from starting.
+#[test]
+fn replay_skips_rejected_records_instead_of_failing() {
+    let (mut repo, nets) = fitted_repository(37);
+    let device = repo.device_names()[0].to_string();
+    let skipped_before = gdcm_obs::counter("serve/wal_replay_skipped").get();
+
+    let records = [
+        // Rejected: contribution for a device the snapshot never held.
+        gdcm_serve::WalRecord::Contribute {
+            device: "ghost-device".into(),
+            network: nets[0].clone(),
+            latency_ms: 12.0,
+        },
+        // Rejected: re-enroll of an unknown device.
+        gdcm_serve::WalRecord::ReEnroll {
+            device: "ghost-device".into(),
+            signature_ms: vec![1.0; repo.signature_size()],
+        },
+        // Rejected: wrong signature length.
+        gdcm_serve::WalRecord::Onboard {
+            device: "short-sig".into(),
+            signature_ms: vec![1.0],
+        },
+        // Applied: a valid contribution after all the rejects.
+        gdcm_serve::WalRecord::Contribute {
+            device: device.clone(),
+            network: nets[0].clone(),
+            latency_ms: 12.0,
+        },
+    ];
+    let rows_before = repo.n_rows();
+    let applied: Vec<bool> = records
+        .iter()
+        .map(|r| gdcm_serve::replay_record(&mut repo, r))
+        .collect();
+    assert_eq!(applied, [false, false, false, true]);
+    assert_eq!(repo.n_rows(), rows_before + 1);
+    assert_eq!(
+        gdcm_obs::counter("serve/wal_replay_skipped").get(),
+        skipped_before + 3,
+        "each skipped record must be counted"
+    );
+}
+
+/// Records recovered from the WAL at startup seed the refresh backlog,
+/// so a crash backlog is compacted by the next refresh instead of being
+/// replayed on every start until fresh contributions arrive.
+#[test]
+fn recovered_wal_records_seed_the_refresh_backlog() {
+    let (repo, nets) = fitted_repository(38);
+    let snapshot_path = scratch_path("seed_snapshot.json");
+    let wal_path = scratch_path("seed.wal");
+    std::fs::remove_file(&wal_path).ok();
+    save_repository(&repo, &snapshot_path).unwrap();
+    let device = repo.device_names()[0].to_string();
+
+    // First process acks three contributions and dies uncompacted.
+    {
+        let serving = ServingRepository::new(repo.clone(), ServeConfig::default());
+        let (wal, _, _) = WriteAheadLog::open(&wal_path).unwrap();
+        let pipeline = IngestPipeline::with_wal(
+            &serving,
+            wal,
+            &snapshot_path,
+            RefreshConfig {
+                refresh_rows: 100,
+                ..RefreshConfig::default()
+            },
+        );
+        for (i, net) in nets.iter().take(3).enumerate() {
+            pipeline.contribute(&device, net, 10.0 + i as f64).unwrap();
+        }
+    }
+
+    // Second process: the recovered backlog counts toward the refresh
+    // threshold immediately.
+    let serving = ServingRepository::new(repo, ServeConfig::default());
+    let (wal, records, _) = WriteAheadLog::open(&wal_path).unwrap();
+    assert_eq!(records.len(), 3);
+    let pipeline = IngestPipeline::with_wal(
+        &serving,
+        wal,
+        &snapshot_path,
+        RefreshConfig {
+            refresh_rows: 100,
+            ..RefreshConfig::default()
+        },
+    );
+    assert_eq!(
+        pipeline.pending_rows(),
+        3,
+        "crash backlog must seed the refresh threshold"
+    );
+    std::fs::remove_file(&wal_path).ok();
+    std::fs::remove_file(&snapshot_path).ok();
+}
+
+/// With the contribution threshold disabled, the WAL must still be
+/// bounded: crossing `wal_compact_records` makes the refresher run a
+/// backstop cycle — refit + swap + compact, since a compacted
+/// snapshot's model must match its rows to pass the load-time gate.
+#[test]
+fn wal_compacts_via_backstop_without_contribution_threshold() {
+    let (repo, nets) = fitted_repository(39);
+    let snapshot_path = scratch_path("backstop_snapshot.json");
+    let wal_path = scratch_path("backstop.wal");
+    std::fs::remove_file(&wal_path).ok();
+    save_repository(&repo, &snapshot_path).unwrap();
+    let rows_before = repo.n_rows();
+    let device = repo.device_names()[0].to_string();
+
+    let serving = ServingRepository::new(repo, ServeConfig::default());
+    let (wal, _, _) = WriteAheadLog::open(&wal_path).unwrap();
+    let pipeline = IngestPipeline::with_wal(
+        &serving,
+        wal,
+        &snapshot_path,
+        RefreshConfig {
+            refresh_rows: 0, // contribution threshold disabled
+            wal_compact_records: 2,
+            ..RefreshConfig::default()
+        },
+    );
+    assert!(
+        pipeline.refresher_needed(),
+        "a WAL with a record cap needs the refresher thread"
+    );
+    assert!(!pipeline.refresh_due());
+
+    std::thread::scope(|scope| {
+        let refresher = scope.spawn(|| pipeline.run());
+        pipeline.contribute(&device, &nets[0], 21.0).unwrap();
+        pipeline.contribute(&device, &nets[1], 22.0).unwrap();
+        // The backstop cycle runs on the refresher thread; give it a
+        // generous-but-bounded window to refit and compact.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while pipeline.wal_records() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        pipeline.stop();
+        refresher.join().unwrap();
+    });
+    assert_eq!(
+        pipeline.wal_records(),
+        0,
+        "crossing the record cap must trigger a backstop compaction"
+    );
+    assert_eq!(pipeline.refreshes(), 1, "the backstop rides one refit");
+    assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), 0);
+    // The compaction snapshot carries the contributed rows (and a model
+    // consistent with them — it reloads through the audit gate), so a
+    // restart needs no replay at all.
+    let reloaded = load_repository(&snapshot_path).unwrap();
+    assert_eq!(reloaded.n_rows(), rows_before + 2);
+    std::fs::remove_file(&wal_path).ok();
+    std::fs::remove_file(&snapshot_path).ok();
+}
+
+/// An on-demand fit through the pipeline is made durable by compaction:
+/// the WAL records rows, not models, so the pipeline re-snapshots after
+/// the fit and a crash-restart serves the fitted model's exact bits.
+#[test]
+fn pipeline_fit_compacts_so_the_model_survives_a_restart() {
+    let (repo, nets) = fitted_repository(40);
+    let snapshot_path = scratch_path("fit_snapshot.json");
+    let wal_path = scratch_path("fit.wal");
+    std::fs::remove_file(&wal_path).ok();
+    save_repository(&repo, &snapshot_path).unwrap();
+    let device = repo.device_names()[0].to_string();
+
+    let serving = ServingRepository::new(repo, ServeConfig::default());
+    let (wal, _, _) = WriteAheadLog::open(&wal_path).unwrap();
+    let pipeline =
+        IngestPipeline::with_wal(&serving, wal, &snapshot_path, RefreshConfig::default());
+    for (i, net) in nets.iter().take(3).enumerate() {
+        pipeline.contribute(&device, net, 17.0 + i as f64).unwrap();
+    }
+    pipeline.fit().unwrap();
+    assert_eq!(
+        pipeline.wal_records(),
+        0,
+        "fit must compact the log into the snapshot"
+    );
+
+    // Crash here: the reloaded snapshot alone reproduces the acked
+    // fit's predictions bit for bit.
+    let reloaded = load_repository(&snapshot_path).unwrap();
+    for net in &nets {
+        let live = serving
+            .with_repository(|r| r.predict(&device, net))
+            .unwrap();
+        assert_eq!(
+            live.to_bits(),
+            reloaded.predict(&device, net).unwrap().to_bits()
+        );
+    }
+    std::fs::remove_file(&wal_path).ok();
+    std::fs::remove_file(&snapshot_path).ok();
+}
+
 /// The pipeline end to end: contributions cross the threshold, one
 /// `refresh_once` fits + audits + swaps a new model (bumping the
 /// epoch), and compaction folds the WAL into a fresh snapshot that
@@ -268,6 +516,7 @@ fn refresh_swaps_a_new_model_and_compacts_the_wal() {
         RefreshConfig {
             refresh_rows: 4,
             warm_boost: 8,
+            ..RefreshConfig::default()
         },
     );
     let epoch_before = serving.model_epoch();
